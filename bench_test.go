@@ -1,0 +1,168 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation. Run all of them with
+//
+//	go test -bench=. -benchmem
+//
+// Each benchmark executes the full experiment per iteration and reports
+// a headline metric from the result as a custom unit, so the bench
+// output doubles as the reproduction record (see EXPERIMENTS.md).
+package tenplex
+
+import (
+	"testing"
+
+	"tenplex/internal/experiments"
+)
+
+func BenchmarkTab01SystemComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, _ := experiments.Tab1SystemComparison()
+		if len(rows) != 11 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+func BenchmarkFig02aDatasetConsistency(b *testing.B) {
+	var gap float64
+	for i := 0; i < b.N; i++ {
+		res, _ := experiments.Fig2aDatasetConsistency()
+		last := res.Points[len(res.Points)-1]
+		gap = last.Static - last.Dynamic
+	}
+	b.ReportMetric(gap, "loss-overfit-gap")
+}
+
+func BenchmarkFig02bBatchConsistency(b *testing.B) {
+	var gap float64
+	for i := 0; i < b.N; i++ {
+		res, _ := experiments.Fig2bBatchConsistency()
+		last := res.Points[len(res.Points)-1]
+		gap = last.Dynamic - last.Static
+	}
+	b.ReportMetric(gap, "loss-divergence-gap")
+}
+
+func BenchmarkFig03ParallelizationThroughput(b *testing.B) {
+	var spread float64
+	for i := 0; i < b.N; i++ {
+		rows, _ := experiments.Fig3ParallelizationSweep()
+		var best, worst float64
+		for _, r := range rows {
+			if r.Model != "gpt3-2.7b" || !r.Feasible {
+				continue
+			}
+			if best == 0 {
+				best = r.SamplesSec
+			}
+			worst = r.SamplesSec
+		}
+		spread = best / worst
+	}
+	b.ReportMetric(spread, "best/worst-x")
+}
+
+func BenchmarkFig09ElasticConvergence(b *testing.B) {
+	var reduction float64
+	for i := 0; i < b.N; i++ {
+		rows, _ := experiments.Fig9ElasticConvergence(1)
+		reduction = 1 - rows[0].MinToTarget/rows[1].MinToTarget
+	}
+	b.ReportMetric(reduction*100, "%time-saved-vs-DP")
+}
+
+func BenchmarkFig10Redeployment(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		rows, _ := experiments.Fig10Redeployment()
+		ratio = rows[len(rows)-1].CentralOver
+	}
+	b.ReportMetric(ratio, "central/tenplex-6.7B-x")
+}
+
+func BenchmarkFig11FailureRecovery(b *testing.B) {
+	var frac float64
+	for i := 0; i < b.N; i++ {
+		rows, _ := experiments.Fig11FailureRecovery()
+		frac = rows[1].TenplexSec / rows[1].BaselineSec
+	}
+	b.ReportMetric(frac*100, "%of-baseline-8fail")
+}
+
+func BenchmarkFig12ReconfigOverhead(b *testing.B) {
+	var saved float64
+	for i := 0; i < b.N; i++ {
+		rows, _ := experiments.Fig12ReconfigOverhead()
+		saved = 1 - rows[1].TenplexSec/rows[1].DeepSpeed
+	}
+	b.ReportMetric(saved*100, "%saved-vs-deepspeed-16to8")
+}
+
+func BenchmarkFig13HorovodThroughput(b *testing.B) {
+	var tenplex float64
+	for i := 0; i < b.N; i++ {
+		rows, _ := experiments.Fig13HorovodThroughput()
+		tenplex = rows[2].SamplesSec
+	}
+	b.ReportMetric(tenplex, "tenplex-samples/s")
+}
+
+func BenchmarkFig14ParallelizationType(b *testing.B) {
+	var worst float64
+	for i := 0; i < b.N; i++ {
+		rows, _ := experiments.Fig14ParallelizationType()
+		worst = 0
+		for _, r := range rows {
+			if r.ModelSize == "6.7B" && r.CentralSec/r.TenplexSec > worst {
+				worst = r.CentralSec / r.TenplexSec
+			}
+		}
+	}
+	b.ReportMetric(worst, "central/tenplex-6.7B-x")
+}
+
+func BenchmarkFig15ClusterSize(b *testing.B) {
+	var dpGrowth float64
+	for i := 0; i < b.N; i++ {
+		rows, _ := experiments.Fig15ClusterSize()
+		var dp []float64
+		for _, r := range rows {
+			if r.Dim == "data" {
+				dp = append(dp, r.TenplexSec)
+			}
+		}
+		dpGrowth = dp[len(dp)-1] / dp[0]
+	}
+	b.ReportMetric(dpGrowth, "dp-time-growth-x")
+}
+
+func BenchmarkAblations(b *testing.B) {
+	var worstSaving float64
+	for i := 0; i < b.N; i++ {
+		rows, _, err := experiments.Ablations()
+		if err != nil {
+			b.Fatal(err)
+		}
+		worstSaving = 1
+		for _, r := range rows {
+			if s := 1 - r.WithOpt/r.Without; s < worstSaving {
+				worstSaving = s
+			}
+		}
+	}
+	b.ReportMetric(worstSaving*100, "%min-saving")
+}
+
+func BenchmarkFig16Convergence(b *testing.B) {
+	var maxDev float64
+	for i := 0; i < b.N; i++ {
+		series, _ := experiments.Fig16Convergence()
+		maxDev = 0
+		for _, s := range series {
+			if s.MaxDeviation > maxDev {
+				maxDev = s.MaxDeviation
+			}
+		}
+	}
+	b.ReportMetric(maxDev, "max-loss-deviation")
+}

@@ -1,0 +1,75 @@
+// Command tenplex-bench regenerates every table and figure of the
+// paper's evaluation (§6) and prints them as text tables. Use -fig to
+// select a single experiment:
+//
+//	tenplex-bench             # everything
+//	tenplex-bench -fig fig10  # one experiment
+//	tenplex-bench -list       # available experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"tenplex/internal/experiments"
+)
+
+var all = map[string]func() experiments.Table{
+	"tab1":  func() experiments.Table { _, t := experiments.Tab1SystemComparison(); return t },
+	"fig2a": func() experiments.Table { _, t := experiments.Fig2aDatasetConsistency(); return t },
+	"fig2b": func() experiments.Table { _, t := experiments.Fig2bBatchConsistency(); return t },
+	"fig3":  func() experiments.Table { _, t := experiments.Fig3ParallelizationSweep(); return t },
+	"fig9":  func() experiments.Table { _, t := experiments.Fig9ElasticConvergence(1); return t },
+	"fig10": func() experiments.Table { _, t := experiments.Fig10Redeployment(); return t },
+	"fig11": func() experiments.Table { _, t := experiments.Fig11FailureRecovery(); return t },
+	"fig12": func() experiments.Table { _, t := experiments.Fig12ReconfigOverhead(); return t },
+	"fig13": func() experiments.Table { _, t := experiments.Fig13HorovodThroughput(); return t },
+	"fig14": func() experiments.Table { _, t := experiments.Fig14ParallelizationType(); return t },
+	"fig15": func() experiments.Table { _, t := experiments.Fig15ClusterSize(); return t },
+	"fig16": func() experiments.Table { _, t := experiments.Fig16Convergence(); return t },
+	"ablations": func() experiments.Table {
+		_, t, err := experiments.Ablations()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tenplex-bench: ablations: %v\n", err)
+			os.Exit(1)
+		}
+		return t
+	},
+}
+
+func ids() []string {
+	out := make([]string, 0, len(all))
+	for id := range all {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func main() {
+	fig := flag.String("fig", "", "experiment ID to run (default: all)")
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	flag.Parse()
+
+	if *list {
+		for _, id := range ids() {
+			fmt.Println(id)
+		}
+		return
+	}
+	if *fig != "" {
+		run, ok := all[*fig]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "tenplex-bench: unknown experiment %q (try -list)\n", *fig)
+			os.Exit(1)
+		}
+		fmt.Print(run().Render())
+		return
+	}
+	for _, id := range ids() {
+		fmt.Print(all[id]().Render())
+		fmt.Println()
+	}
+}

@@ -1,0 +1,114 @@
+// Command tenplex-ctl is a client for a tenplex-store daemon. It can
+// upload deterministic test tensors, read tensors (or sub-tensor ranges)
+// back, and inspect the store tree:
+//
+//	tenplex-ctl -addr http://127.0.0.1:7070 put  -path /w -dtype float32 -shape 4,6
+//	tenplex-ctl -addr http://127.0.0.1:7070 get  -path /w -range "[:,2:4]"
+//	tenplex-ctl -addr http://127.0.0.1:7070 stat -path /w
+//	tenplex-ctl -addr http://127.0.0.1:7070 ls   -path /
+//	tenplex-ctl -addr http://127.0.0.1:7070 rm   -path /w
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"tenplex/internal/store"
+	"tenplex/internal/tensor"
+)
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: tenplex-ctl [-addr URL] {put|get|stat|ls|rm} [flags]")
+	os.Exit(2)
+}
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:7070", "store address")
+	flag.Parse()
+	if flag.NArg() < 1 {
+		usage()
+	}
+	c := &store.Client{Base: *addr}
+	cmd := flag.Arg(0)
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	path := fs.String("path", "", "store path")
+	switch cmd {
+	case "put":
+		dtypeStr := fs.String("dtype", "float32", "element type")
+		shapeStr := fs.String("shape", "", "comma-separated dims, e.g. 4,6")
+		fill := fs.String("fill", "seq", "fill pattern: seq|zero")
+		_ = fs.Parse(flag.Args()[1:])
+		dt, err := tensor.ParseDType(*dtypeStr)
+		die(err)
+		shape, err := parseShape(*shapeStr)
+		die(err)
+		t := tensor.New(dt, shape...)
+		if *fill == "seq" {
+			t.FillSeq(0, 1)
+		}
+		die(c.Upload(*path, t))
+		fmt.Printf("put %s %v -> %s\n", dt, shape, *path)
+	case "get":
+		rangeStr := fs.String("range", "", "sub-tensor range, e.g. [:,2:4]")
+		_ = fs.Parse(flag.Args()[1:])
+		var reg tensor.Region
+		if *rangeStr != "" {
+			st, err := c.Stat(*path)
+			die(err)
+			reg, err = tensor.ParseRegion(*rangeStr, st.Shape)
+			die(err)
+		}
+		t, err := c.Query(*path, reg)
+		die(err)
+		fmt.Printf("%s\n", t)
+		if t.NumElems() <= 64 {
+			fmt.Println(t.Float64s())
+		}
+	case "stat":
+		_ = fs.Parse(flag.Args()[1:])
+		st, err := c.Stat(*path)
+		die(err)
+		fmt.Printf("%+v\n", st)
+	case "ls":
+		_ = fs.Parse(flag.Args()[1:])
+		if *path == "" {
+			*path = "/"
+		}
+		names, err := c.List(*path)
+		die(err)
+		for _, n := range names {
+			fmt.Println(n)
+		}
+	case "rm":
+		_ = fs.Parse(flag.Args()[1:])
+		die(c.Delete(*path))
+		fmt.Printf("rm %s\n", *path)
+	default:
+		usage()
+	}
+}
+
+func parseShape(s string) ([]int, error) {
+	if s == "" {
+		return nil, fmt.Errorf("missing -shape")
+	}
+	var out []int
+	for _, p := range strings.Split(s, ",") {
+		d, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad dimension %q", p)
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}
+
+func die(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tenplex-ctl: %v\n", err)
+		os.Exit(1)
+	}
+}

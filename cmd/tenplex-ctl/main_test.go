@@ -1,0 +1,32 @@
+package main
+
+import "testing"
+
+func TestParseShape(t *testing.T) {
+	good := map[string][]int{
+		"4":       {4},
+		"4,6":     {4, 6},
+		" 2 , 3 ": {2, 3},
+	}
+	for in, want := range good {
+		got, err := parseShape(in)
+		if err != nil {
+			t.Errorf("parseShape(%q): %v", in, err)
+			continue
+		}
+		if len(got) != len(want) {
+			t.Errorf("parseShape(%q) = %v", in, got)
+			continue
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("parseShape(%q) = %v, want %v", in, got, want)
+			}
+		}
+	}
+	for _, bad := range []string{"", "a", "4,,6", "4,x"} {
+		if _, err := parseShape(bad); err == nil {
+			t.Errorf("parseShape(%q) accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,35 @@
+// Command tenplex-store runs a Tensor Store daemon: the in-memory
+// hierarchical virtual file system of one worker, served over the REST
+// API (§5.2). State Transformers on other workers fetch sub-tensor
+// ranges from it with queries like
+//
+//	GET /query?path=/job/j0/model/dev2/block.3/attn/qkv/weight&range=[:,2:4]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+
+	"tenplex/internal/store"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7070", "listen address")
+	flag.Parse()
+
+	srv := store.NewServer(store.NewMemFS())
+	bound, closeFn, err := srv.Listen(*addr)
+	if err != nil {
+		log.Fatalf("tenplex-store: %v", err)
+	}
+	fmt.Printf("tenplex-store: serving on http://%s\n", bound)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	_ = closeFn()
+	fmt.Printf("tenplex-store: served %d B, received %d B\n", srv.BytesServed(), srv.BytesReceived())
+}

@@ -1,0 +1,98 @@
+package tenplex
+
+import (
+	"math/rand"
+	"testing"
+
+	"tenplex/internal/cluster"
+	"tenplex/internal/core"
+	"tenplex/internal/model"
+	"tenplex/internal/perfmodel"
+	"tenplex/internal/tensor"
+)
+
+// TestRandomElasticSequences is the end-to-end property test of the
+// public API: a job subjected to a long random sequence of scale-out,
+// scale-in, redeployment and failure events — interleaved with
+// checkpoints and state updates — always ends with exactly the logical
+// state it should have, on every surviving device, with no bytes read
+// from storage unless a failure actually destroyed the last replica.
+func TestRandomElasticSequences(t *testing.T) {
+	m := model.GPTCustom(6, 32, 4, 128, 16)
+	perf := perfmodel.DefaultParams()
+	perf.GlobalBatch = 48 // divides by every DP degree on 1..16 devices
+	perf.DeviceMemGB = 0
+
+	for seed := int64(0); seed < 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		j, err := NewJob(JobConfig{
+			Name: "prop", Model: m, Topology: cluster.OnPrem16(), Perf: perf, Seed: seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		state := map[core.TensorID]*tensor.Tensor{}
+		for i, lp := range m.StateParams() {
+			x := tensor.New(lp.Param.DType, lp.Param.Shape...)
+			x.FillRand(seed*100+int64(i), 1)
+			state[core.TensorID(lp.Path())] = x
+		}
+		if err := j.Deploy(8, state); err != nil {
+			t.Fatal(err)
+		}
+		j.SetStep(0)
+		if err := j.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+
+		sizes := []int{1, 2, 3, 4, 6, 8, 12, 16}
+		for step := 0; step < 12; step++ {
+			switch rng.Intn(4) {
+			case 0, 1: // resize
+				n := sizes[rng.Intn(len(sizes))]
+				if _, err := j.Reconfigure(n); err != nil {
+					t.Fatalf("seed %d step %d: reconfigure(%d): %v", seed, step, n, err)
+				}
+			case 2: // training update: mutate one tensor and write back
+				var ids []core.TensorID
+				for id := range state {
+					ids = append(ids, id)
+				}
+				id := ids[rng.Intn(len(ids))]
+				state[id].FillRand(rng.Int63(), 1)
+				if err := j.WriteState(state); err != nil {
+					t.Fatalf("seed %d step %d: write state: %v", seed, step, err)
+				}
+				j.SetStep(step)
+				if err := j.Checkpoint(); err != nil {
+					t.Fatalf("seed %d step %d: checkpoint: %v", seed, step, err)
+				}
+			case 3: // fail down to a smaller feasible size
+				alloc := j.Allocation()
+				var smaller []int
+				for _, s := range sizes {
+					if s < len(alloc) {
+						smaller = append(smaller, s)
+					}
+				}
+				if len(smaller) == 0 {
+					continue
+				}
+				target := smaller[rng.Intn(len(smaller))]
+				failed := append([]cluster.DeviceID(nil), alloc[target:]...)
+				if _, err := j.Recover(failed, target); err != nil {
+					t.Fatalf("seed %d step %d: recover to %d: %v", seed, step, target, err)
+				}
+			}
+			got, err := j.State()
+			if err != nil {
+				t.Fatalf("seed %d step %d: state: %v", seed, step, err)
+			}
+			for id, want := range state {
+				if !got[id].Equal(want) {
+					t.Fatalf("seed %d step %d: tensor %s diverged", seed, step, id)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,197 @@
+// Package checkpoint persists partitioned model state from the Tensor
+// Stores to remote blob storage and reads it back — including arbitrary
+// sub-tensor ranges that may span partition boundaries, which is what
+// failure recovery needs when it rebuilds lost state for a *different*
+// parallelization than the checkpoint was written under.
+package checkpoint
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"tenplex/internal/cluster"
+	"tenplex/internal/core"
+	"tenplex/internal/store"
+	"tenplex/internal/tensor"
+	"tenplex/internal/transform"
+)
+
+// Meta is the checkpoint manifest persisted as JSON next to the
+// partition files.
+type Meta struct {
+	Job    string `json:"job"`
+	Step   int    `json:"step"`
+	Config string `json:"config"` // human-readable parallelization name
+	// Pieces maps tensor ID to the partition files that tile it.
+	Pieces map[string][]Piece `json:"pieces"`
+}
+
+// Piece records where one sub-tensor of a checkpointed tensor lives.
+type Piece struct {
+	Path  string `json:"path"`
+	Range string `json:"range"` // region in base coordinates
+}
+
+func ckptRoot(job string, step int) string { return fmt.Sprintf("/ckpt/%s/step%08d", job, step) }
+func metaPath(job string, step int) string { return ckptRoot(job, step) + "/meta.json" }
+func latestPath(job string) string         { return fmt.Sprintf("/ckpt/%s/latest", job) }
+
+// Save writes the state described by ptc — read from the per-device
+// stores — into storage as a partitioned checkpoint for the given step.
+// Replicated sub-tensors (DP copies) are written once.
+func Save(storage store.Access, job string, step int, ptc *core.PTC,
+	stores map[cluster.DeviceID]store.Access) error {
+	meta := Meta{Job: job, Step: step, Config: ptc.Name, Pieces: map[string][]Piece{}}
+	written := map[string]bool{}
+	for _, d := range ptc.Devices {
+		acc, ok := stores[d]
+		if !ok {
+			return fmt.Errorf("checkpoint: no store for device %d", d)
+		}
+		for _, s := range ptc.Place[d] {
+			key := string(s.Tensor) + s.Region.String()
+			if written[key] {
+				continue
+			}
+			written[key] = true
+			t, err := acc.Query(transform.ModelPath(job, d, s.Tensor), nil)
+			if err != nil {
+				return fmt.Errorf("checkpoint: read %q from dev %d: %w", s.Tensor, d, err)
+			}
+			path := fmt.Sprintf("%s/%s@%s", ckptRoot(job, step), s.Tensor, s.Region)
+			if err := storage.Upload(path, t); err != nil {
+				return fmt.Errorf("checkpoint: write %q: %w", path, err)
+			}
+			meta.Pieces[string(s.Tensor)] = append(meta.Pieces[string(s.Tensor)], Piece{
+				Path: path, Range: s.Region.String(),
+			})
+		}
+	}
+	for _, ps := range meta.Pieces {
+		sort.Slice(ps, func(i, j int) bool { return ps[i].Range < ps[j].Range })
+	}
+	blob, err := json.MarshalIndent(meta, "", "  ")
+	if err != nil {
+		return fmt.Errorf("checkpoint: encode meta: %w", err)
+	}
+	if ms, ok := storage.(interface {
+		PutBlob(string, []byte) error
+	}); ok {
+		if err := ms.PutBlob(metaPath(job, step), blob); err != nil {
+			return err
+		}
+		latest, _ := json.Marshal(step)
+		return ms.PutBlob(latestPath(job), latest)
+	}
+	return fmt.Errorf("checkpoint: storage does not support blobs")
+}
+
+// Latest returns the step of the most recent checkpoint for job.
+func Latest(storage store.Access, job string) (int, error) {
+	gs, ok := storage.(interface {
+		GetBlob(string) ([]byte, error)
+	})
+	if !ok {
+		return 0, fmt.Errorf("checkpoint: storage does not support blobs")
+	}
+	blob, err := gs.GetBlob(latestPath(job))
+	if err != nil {
+		return 0, fmt.Errorf("checkpoint: no checkpoint for job %q: %w", job, err)
+	}
+	var step int
+	if err := json.Unmarshal(blob, &step); err != nil {
+		return 0, fmt.Errorf("checkpoint: corrupt latest marker: %w", err)
+	}
+	return step, nil
+}
+
+// Reader serves sub-tensor ranges out of one checkpoint. It implements
+// transform.StorageReader: ranges that span partition boundaries are
+// assembled from every intersecting piece, fetching only the
+// intersections (range reads against storage).
+type Reader struct {
+	Storage store.Access
+	Meta    Meta
+	// metas caches tensor metadata discovered from pieces.
+	shapes map[core.TensorID][]int
+	dtypes map[core.TensorID]tensor.DType
+}
+
+// Open loads the manifest of the checkpoint at step.
+func Open(storage store.Access, job string, step int) (*Reader, error) {
+	gs, ok := storage.(interface {
+		GetBlob(string) ([]byte, error)
+	})
+	if !ok {
+		return nil, fmt.Errorf("checkpoint: storage does not support blobs")
+	}
+	blob, err := gs.GetBlob(metaPath(job, step))
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: open %s step %d: %w", job, step, err)
+	}
+	var meta Meta
+	if err := json.Unmarshal(blob, &meta); err != nil {
+		return nil, fmt.Errorf("checkpoint: corrupt manifest: %w", err)
+	}
+	return &Reader{Storage: storage, Meta: meta}, nil
+}
+
+var _ transform.StorageReader = (*Reader)(nil)
+
+// ReadRange implements transform.StorageReader.
+func (r *Reader) ReadRange(id core.TensorID, want tensor.Region) (*tensor.Tensor, error) {
+	pieces, ok := r.Meta.Pieces[string(id)]
+	if !ok {
+		return nil, fmt.Errorf("checkpoint: tensor %q not in checkpoint (step %d)", id, r.Meta.Step)
+	}
+	var parts []tensor.Piece
+	var dt tensor.DType
+	for _, p := range pieces {
+		reg, err := tensor.ParseRegion(p.Range, nil)
+		if err != nil {
+			return nil, fmt.Errorf("checkpoint: corrupt range %q: %w", p.Range, err)
+		}
+		inter, overlap := reg.Intersect(want)
+		if !overlap {
+			continue
+		}
+		sub, err := r.Storage.Query(p.Path, inter.Translate(reg.Offset()))
+		if err != nil {
+			return nil, fmt.Errorf("checkpoint: read %q: %w", p.Path, err)
+		}
+		dt = sub.DType()
+		parts = append(parts, tensor.Piece{Region: inter.Translate(want.Offset()), Data: sub})
+	}
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("checkpoint: range %v of %q not covered", want, id)
+	}
+	out, err := tensor.Assemble(dt, want.Shape(), parts)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: assemble %q%v: %w", id, want, err)
+	}
+	return out, nil
+}
+
+// Restore loads a full checkpoint into the stores of a (possibly
+// different) PTC: every destination sub-tensor is read as a range from
+// the checkpoint — the "load partitioned checkpoints under a new
+// parallelization" path.
+func Restore(r *Reader, job string, ptc *core.PTC, stores map[cluster.DeviceID]store.Access) error {
+	for _, d := range ptc.Devices {
+		acc, ok := stores[d]
+		if !ok {
+			return fmt.Errorf("checkpoint: no store for device %d", d)
+		}
+		for _, s := range ptc.Place[d] {
+			t, err := r.ReadRange(s.Tensor, s.Region)
+			if err != nil {
+				return err
+			}
+			if err := acc.Upload(transform.ModelPath(job, d, s.Tensor), t); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

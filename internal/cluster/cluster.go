@@ -1,0 +1,257 @@
+// Package cluster describes the GPU clusters that Tenplex jobs run on:
+// workers (machines), devices (GPUs), and the bandwidths of the links
+// connecting them. It is the substitution for the paper's physical
+// testbeds — the 16-GPU on-premise cluster (4 machines × 4 × A6000,
+// pairwise NVLink, 100 Gb/s InfiniBand) and the 32-GPU Azure cloud
+// deployment (8 × Standard_NC24s_v3 with 4 × V100 each).
+//
+// The topology is consumed by internal/netsim to turn the byte counts of
+// a reconfiguration plan into transfer times, and by internal/perfmodel
+// to estimate training throughput for a parallelization configuration.
+package cluster
+
+import "fmt"
+
+// DeviceID identifies a GPU globally within a topology.
+type DeviceID int
+
+// Device is one accelerator.
+type Device struct {
+	ID        DeviceID
+	Worker    int     // index of the hosting worker
+	LocalRank int     // index of the device within its worker
+	MemGB     float64 // device memory, used for feasibility checks
+}
+
+// Worker is one machine hosting a set of devices.
+type Worker struct {
+	ID      int
+	Devices []DeviceID
+}
+
+// Topology is a cluster description: machines, devices, and link speeds.
+// All bandwidths are bytes per second.
+type Topology struct {
+	Name    string
+	Workers []Worker
+	Devices []Device
+
+	// NVLinkBW is the bandwidth of a direct NVLink between two devices
+	// on the same worker. NVLinkPairs limits NVLink connectivity to
+	// consecutive device pairs (0-1, 2-3, ...), matching the paper's
+	// on-premise machines where GPUs are "connected pairwise using 3rd
+	// generation NVLink"; when false, all intra-worker device pairs have
+	// NVLink (the V100 cloud VMs).
+	NVLinkBW    float64
+	NVLinkPairs bool
+
+	// PCIeBW is the intra-worker fallback bandwidth (host staging).
+	PCIeBW float64
+
+	// NetBW is the per-worker NIC bandwidth for inter-worker traffic.
+	NetBW float64
+	// NetLatency is the per-transfer latency in seconds for inter-worker
+	// traffic.
+	NetLatency float64
+
+	// StorageBW is the per-worker bandwidth to remote blob storage
+	// (S3-like). The paper notes it is "typically lower than the
+	// inter-worker bandwidth" (§5.2).
+	StorageBW float64
+
+	// MemCopyBW is the host-memory bandwidth available to the State
+	// Transformer for split/merge copies.
+	MemCopyBW float64
+}
+
+// NumDevices returns the total device count.
+func (t *Topology) NumDevices() int { return len(t.Devices) }
+
+// NumWorkers returns the machine count.
+func (t *Topology) NumWorkers() int { return len(t.Workers) }
+
+// Device returns the device with the given ID.
+func (t *Topology) Device(id DeviceID) Device {
+	if int(id) < 0 || int(id) >= len(t.Devices) {
+		panic(fmt.Sprintf("cluster: device %d out of range (%d devices)", id, len(t.Devices)))
+	}
+	return t.Devices[id]
+}
+
+// WorkerOf returns the worker index hosting device id.
+func (t *Topology) WorkerOf(id DeviceID) int { return t.Device(id).Worker }
+
+// SameWorker reports whether two devices share a machine.
+func (t *Topology) SameWorker(a, b DeviceID) bool { return t.WorkerOf(a) == t.WorkerOf(b) }
+
+// HaveNVLink reports whether devices a and b are connected by NVLink.
+func (t *Topology) HaveNVLink(a, b DeviceID) bool {
+	if a == b || !t.SameWorker(a, b) {
+		return false
+	}
+	if !t.NVLinkPairs {
+		return true
+	}
+	da, db := t.Device(a), t.Device(b)
+	return da.LocalRank/2 == db.LocalRank/2
+}
+
+// IntraBW returns the bandwidth between two devices on the same worker.
+func (t *Topology) IntraBW(a, b DeviceID) float64 {
+	if t.HaveNVLink(a, b) {
+		return t.NVLinkBW
+	}
+	return t.PCIeBW
+}
+
+// Allocation is an ordered set of devices assigned to a job. Order
+// matters: parallelization configurations map ranks onto devices in
+// allocation order.
+type Allocation []DeviceID
+
+// Contains reports whether the allocation includes device id.
+func (a Allocation) Contains(id DeviceID) bool {
+	for _, d := range a {
+		if d == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Workers returns the sorted list of distinct workers used by the
+// allocation.
+func (a Allocation) Workers(t *Topology) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, d := range a {
+		w := t.WorkerOf(d)
+		if !seen[w] {
+			seen[w] = true
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// FirstN returns an allocation of the first n devices of the topology,
+// filling workers in order — the scheduler's default compact placement.
+func (t *Topology) FirstN(n int) Allocation {
+	if n < 1 || n > len(t.Devices) {
+		panic(fmt.Sprintf("cluster: FirstN(%d) of %d devices", n, len(t.Devices)))
+	}
+	out := make(Allocation, n)
+	for i := 0; i < n; i++ {
+		out[i] = DeviceID(i)
+	}
+	return out
+}
+
+// DevicesOn returns an allocation of every device on the given workers,
+// in worker order.
+func (t *Topology) DevicesOn(workers ...int) Allocation {
+	var out Allocation
+	for _, w := range workers {
+		if w < 0 || w >= len(t.Workers) {
+			panic(fmt.Sprintf("cluster: worker %d out of range", w))
+		}
+		out = append(out, t.Workers[w].Devices...)
+	}
+	return out
+}
+
+// New builds a uniform topology of numWorkers machines with devsPerWorker
+// devices each, using the supplied link speeds.
+func New(name string, numWorkers, devsPerWorker int, cfg LinkConfig) *Topology {
+	if numWorkers < 1 || devsPerWorker < 1 {
+		panic("cluster: New needs at least one worker and one device")
+	}
+	t := &Topology{
+		Name:        name,
+		NVLinkBW:    cfg.NVLinkBW,
+		NVLinkPairs: cfg.NVLinkPairs,
+		PCIeBW:      cfg.PCIeBW,
+		NetBW:       cfg.NetBW,
+		NetLatency:  cfg.NetLatency,
+		StorageBW:   cfg.StorageBW,
+		MemCopyBW:   cfg.MemCopyBW,
+	}
+	for w := 0; w < numWorkers; w++ {
+		worker := Worker{ID: w}
+		for d := 0; d < devsPerWorker; d++ {
+			id := DeviceID(w*devsPerWorker + d)
+			t.Devices = append(t.Devices, Device{
+				ID: id, Worker: w, LocalRank: d, MemGB: cfg.DeviceMemGB,
+			})
+			worker.Devices = append(worker.Devices, id)
+		}
+		t.Workers = append(t.Workers, worker)
+	}
+	return t
+}
+
+// LinkConfig bundles the link speeds for New. All bandwidths in bytes/s.
+type LinkConfig struct {
+	NVLinkBW    float64
+	NVLinkPairs bool
+	PCIeBW      float64
+	NetBW       float64
+	NetLatency  float64
+	StorageBW   float64
+	MemCopyBW   float64
+	DeviceMemGB float64
+}
+
+const (
+	gb = 1e9
+)
+
+// OnPrem16 reproduces the paper's on-premise testbed: 4 machines × 4 ×
+// NVIDIA RTX A6000, PCIe 4.0, pairwise NVLink 3, 100 Gb/s InfiniBand.
+func OnPrem16() *Topology {
+	return New("onprem-16xA6000", 4, 4, LinkConfig{
+		NVLinkBW:    112 * gb, // A6000 NVLink bridge
+		NVLinkPairs: true,
+		PCIeBW:      28 * gb,   // PCIe 4.0 x16 effective
+		NetBW:       11.5 * gb, // 100 Gb/s InfiniBand effective
+		NetLatency:  5e-6,
+		StorageBW:   1.2 * gb, // shared NFS/blob store
+		MemCopyBW:   20 * gb,
+		DeviceMemGB: 48,
+	})
+}
+
+// Cloud32 reproduces the paper's cloud testbed: 8 Azure
+// Standard_NC24s_v3 VMs, each with 4 × NVIDIA V100 (full-mesh NVLink).
+func Cloud32() *Topology {
+	return New("azure-32xV100", 8, 4, LinkConfig{
+		NVLinkBW:    130 * gb, // V100 NVLink2 (per-pair aggregate)
+		NVLinkPairs: false,
+		PCIeBW:      12 * gb, // PCIe 3.0 x16 effective
+		NetBW:       3 * gb,  // ~24 Gb/s VM network
+		NetLatency:  40e-6,
+		StorageBW:   0.8 * gb, // Azure blob per-VM
+		MemCopyBW:   2.5 * gb, // strided sub-tensor copies on the VM host CPU
+		DeviceMemGB: 16,
+	})
+}
+
+// Cloud with n devices (multiple of 4) using the Cloud32 link profile;
+// used by the Fig. 15 cluster-size sweep.
+func Cloud(nDevices int) *Topology {
+	if nDevices%4 != 0 || nDevices < 4 {
+		panic(fmt.Sprintf("cluster: Cloud wants a multiple of 4 devices, got %d", nDevices))
+	}
+	t := Cloud32()
+	out := New(fmt.Sprintf("azure-%dxV100", nDevices), nDevices/4, 4, LinkConfig{
+		NVLinkBW:    t.NVLinkBW,
+		NVLinkPairs: t.NVLinkPairs,
+		PCIeBW:      t.PCIeBW,
+		NetBW:       t.NetBW,
+		NetLatency:  t.NetLatency,
+		StorageBW:   t.StorageBW,
+		MemCopyBW:   t.MemCopyBW,
+		DeviceMemGB: 16,
+	})
+	return out
+}

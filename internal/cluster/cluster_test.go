@@ -1,0 +1,115 @@
+package cluster
+
+import "testing"
+
+func TestOnPrem16Shape(t *testing.T) {
+	topo := OnPrem16()
+	if topo.NumWorkers() != 4 || topo.NumDevices() != 16 {
+		t.Fatalf("onprem: %d workers, %d devices", topo.NumWorkers(), topo.NumDevices())
+	}
+	for _, w := range topo.Workers {
+		if len(w.Devices) != 4 {
+			t.Fatalf("worker %d has %d devices", w.ID, len(w.Devices))
+		}
+	}
+	d := topo.Device(6)
+	if d.Worker != 1 || d.LocalRank != 2 {
+		t.Fatalf("device 6: worker=%d local=%d", d.Worker, d.LocalRank)
+	}
+}
+
+func TestCloudTopologies(t *testing.T) {
+	topo := Cloud32()
+	if topo.NumWorkers() != 8 || topo.NumDevices() != 32 {
+		t.Fatalf("cloud32: %d workers, %d devices", topo.NumWorkers(), topo.NumDevices())
+	}
+	c8 := Cloud(8)
+	if c8.NumWorkers() != 2 || c8.NumDevices() != 8 {
+		t.Fatalf("cloud(8): %d workers, %d devices", c8.NumWorkers(), c8.NumDevices())
+	}
+	if c8.NetBW != topo.NetBW || c8.NVLinkPairs != topo.NVLinkPairs {
+		t.Fatal("Cloud(n) must reuse Cloud32 link profile")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Cloud(6) should panic (not a multiple of 4)")
+		}
+	}()
+	Cloud(6)
+}
+
+func TestNVLinkPairing(t *testing.T) {
+	onprem := OnPrem16() // pairwise NVLink: 0-1, 2-3 within a worker
+	if !onprem.HaveNVLink(0, 1) {
+		t.Error("devices 0,1 should be NVLink-paired")
+	}
+	if onprem.HaveNVLink(1, 2) {
+		t.Error("devices 1,2 should not be NVLink-paired on-prem")
+	}
+	if onprem.HaveNVLink(0, 4) {
+		t.Error("cross-worker NVLink must not exist")
+	}
+	if onprem.HaveNVLink(3, 3) {
+		t.Error("self NVLink must not exist")
+	}
+	cloud := Cloud32() // full-mesh within VM
+	if !cloud.HaveNVLink(1, 2) {
+		t.Error("cloud devices 1,2 should be NVLink-connected")
+	}
+}
+
+func TestIntraBW(t *testing.T) {
+	topo := OnPrem16()
+	if got := topo.IntraBW(0, 1); got != topo.NVLinkBW {
+		t.Errorf("paired devices should use NVLink, got %g", got)
+	}
+	if got := topo.IntraBW(1, 2); got != topo.PCIeBW {
+		t.Errorf("unpaired devices should use PCIe, got %g", got)
+	}
+}
+
+func TestAllocationHelpers(t *testing.T) {
+	topo := OnPrem16()
+	a := topo.FirstN(6)
+	if len(a) != 6 || a[5] != 5 {
+		t.Fatalf("FirstN(6) = %v", a)
+	}
+	if !a.Contains(3) || a.Contains(9) {
+		t.Fatal("Contains wrong")
+	}
+	ws := a.Workers(topo)
+	if len(ws) != 2 || ws[0] != 0 || ws[1] != 1 {
+		t.Fatalf("Workers = %v", ws)
+	}
+	b := topo.DevicesOn(2, 3)
+	if len(b) != 8 || b[0] != 8 || b[7] != 15 {
+		t.Fatalf("DevicesOn(2,3) = %v", b)
+	}
+}
+
+func TestSameWorker(t *testing.T) {
+	topo := OnPrem16()
+	if !topo.SameWorker(0, 3) || topo.SameWorker(3, 4) {
+		t.Fatal("SameWorker wrong")
+	}
+}
+
+func TestPanics(t *testing.T) {
+	topo := OnPrem16()
+	for name, f := range map[string]func(){
+		"device oob":  func() { topo.Device(99) },
+		"firstN zero": func() { topo.FirstN(0) },
+		"firstN big":  func() { topo.FirstN(17) },
+		"devicesOn":   func() { topo.DevicesOn(7) },
+		"new empty":   func() { New("x", 0, 1, LinkConfig{}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"sort"
+
+	"tenplex/internal/cluster"
+)
+
+// AlignDevices permutes the device assignment of the target PTC so that
+// every placement group lands on the device that already holds the most
+// bytes of it under the source PTC. The parallelization structure
+// (σ, φ) is untouched — only α changes, which is legal because any
+// bijection of sub-collections onto devices realizes the same
+// configuration. This is part of Tenplex's minimal-data-movement
+// optimization (§4.2): without alignment, growing the pipeline degree
+// shifts every stage to a different device and moves nearly all state;
+// with it, each device keeps the prefix of its old stage.
+//
+// The returned PTC uses the same device set as `to`; `to` itself is not
+// modified.
+//
+// Alignment optimizes state movement, not steady-state placement: a
+// pathological overlap pattern could scatter a tensor-parallel group
+// across workers. In practice doubling or halving one parallelism
+// degree maps whole groups onto the contiguous devices that held them,
+// so NVLink locality is preserved; callers with stricter placement
+// constraints can build the target PTC with an explicit allocation
+// instead.
+func AlignDevices(from, to *PTC) *PTC {
+	type cand struct {
+		group int // index into to.Devices (placement group)
+		dev   cluster.DeviceID
+		olap  int64
+	}
+
+	// Index source holdings per device and tensor.
+	srcIdx := map[cluster.DeviceID]map[TensorID][]SubTensor{}
+	for _, d := range from.Devices {
+		m := map[TensorID][]SubTensor{}
+		for _, s := range from.Place[d] {
+			m[s.Tensor] = append(m[s.Tensor], s)
+		}
+		srcIdx[d] = m
+	}
+
+	overlap := func(group int, d cluster.DeviceID) int64 {
+		src, ok := srcIdx[d]
+		if !ok {
+			return 0
+		}
+		var bytes int64
+		for _, want := range to.Place[to.Devices[group]] {
+			meta, ok := to.Tensors[want.Tensor]
+			if !ok {
+				continue
+			}
+			for _, have := range src[want.Tensor] {
+				if inter, ok := want.Region.Intersect(have.Region); ok {
+					bytes += inter.NumBytes(meta.DType)
+				}
+			}
+		}
+		return bytes
+	}
+
+	var cands []cand
+	for g := range to.Devices {
+		for _, d := range to.Devices {
+			if o := overlap(g, d); o > 0 {
+				cands = append(cands, cand{group: g, dev: d, olap: o})
+			}
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].olap != cands[j].olap {
+			return cands[i].olap > cands[j].olap
+		}
+		if cands[i].group != cands[j].group {
+			return cands[i].group < cands[j].group
+		}
+		return cands[i].dev < cands[j].dev
+	})
+
+	assign := make(map[int]cluster.DeviceID, len(to.Devices))
+	taken := map[cluster.DeviceID]bool{}
+	for _, c := range cands {
+		if _, done := assign[c.group]; done || taken[c.dev] {
+			continue
+		}
+		assign[c.group] = c.dev
+		taken[c.dev] = true
+	}
+	// Unmatched groups take the remaining devices in order.
+	var free []cluster.DeviceID
+	for _, d := range to.Devices {
+		if !taken[d] {
+			free = append(free, d)
+		}
+	}
+	fi := 0
+	for g := range to.Devices {
+		if _, done := assign[g]; !done {
+			assign[g] = free[fi]
+			fi++
+		}
+	}
+
+	out := NewPTC(to.Name, to.Devices)
+	for id, meta := range to.Tensors {
+		out.Tensors[id] = meta
+	}
+	for g, oldDev := range to.Devices {
+		newDev := assign[g]
+		out.Place[newDev] = append([]SubTensor(nil), to.Place[oldDev]...)
+	}
+	return out
+}

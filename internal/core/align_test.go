@@ -1,0 +1,89 @@
+package core_test
+
+import (
+	"testing"
+
+	"tenplex/internal/core"
+	"tenplex/internal/model"
+	"tenplex/internal/parallel"
+)
+
+func TestAlignDevicesIdentityStaysPut(t *testing.T) {
+	m := model.GPTCustom(4, 16, 2, 64, 8)
+	cfg := parallel.Config{TP: 2, PP: 2, DP: 1}
+	from := buildPTC(t, m, cfg, alloc(4))
+	to := buildPTC(t, m, cfg, alloc(4))
+	aligned := core.AlignDevices(from, to)
+	if !aligned.Equal(from) {
+		t.Fatal("identity alignment changed placement")
+	}
+	plan, err := core.GeneratePlan(from, aligned, core.PlanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := plan.Stats(nil); st.MovedBytes != 0 {
+		t.Fatalf("aligned identity moved %d bytes", st.MovedBytes)
+	}
+}
+
+func TestAlignDevicesHalvesPipelineDoublingMovement(t *testing.T) {
+	// Doubling PP without alignment shifts almost every stage to a new
+	// device; with alignment each old device keeps the prefix of its
+	// stage and only the suffix moves.
+	m := model.GPTCustom(14, 16, 2, 64, 8) // 16 layers
+	from := buildPTC(t, m, parallel.Config{TP: 1, PP: 4, DP: 1}, alloc(4))
+	to := buildPTC(t, m, parallel.Config{TP: 1, PP: 8, DP: 1}, alloc(8))
+
+	planRaw, err := core.GeneratePlan(from, to, core.PlanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aligned := core.AlignDevices(from, to)
+	if err := aligned.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	planAligned, err := core.GeneratePlan(from, aligned, core.PlanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := planRaw.Stats(nil).MovedBytes
+	opt := planAligned.Stats(nil).MovedBytes
+	if opt >= raw {
+		t.Fatalf("alignment did not reduce movement: %d -> %d", raw, opt)
+	}
+	if opt > raw*2/3 {
+		t.Fatalf("alignment too weak: %d of %d bytes still move", opt, raw)
+	}
+	// Execution correctness still holds.
+	golden, placed := materialize(from)
+	verify(t, aligned, golden, execute(t, planAligned, golden, placed))
+}
+
+func TestAlignDevicesKeepsDeviceSet(t *testing.T) {
+	m := model.GPTCustom(4, 16, 2, 64, 8)
+	from := buildPTC(t, m, parallel.Config{TP: 2, PP: 1, DP: 1}, allocFrom(2, 2))
+	to := buildPTC(t, m, parallel.Config{TP: 2, PP: 2, DP: 1}, alloc(4))
+	aligned := core.AlignDevices(from, to)
+	if len(aligned.Devices) != 4 {
+		t.Fatalf("device set changed: %v", aligned.Devices)
+	}
+	seen := map[string]bool{}
+	for _, d := range aligned.Devices {
+		if len(aligned.Place[d]) == 0 {
+			t.Fatalf("device %d lost its placement group", d)
+		}
+		for _, s := range aligned.Place[d] {
+			seen[string(s.Tensor)+s.Region.String()] = true
+		}
+	}
+	for _, d := range to.Devices {
+		for _, s := range to.Place[d] {
+			if !seen[string(s.Tensor)+s.Region.String()] {
+				t.Fatalf("alignment dropped %s%v", s.Tensor, s.Region)
+			}
+		}
+	}
+	if err := aligned.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,77 @@
+package core_test
+
+import (
+	"testing"
+
+	"tenplex/internal/cluster"
+	"tenplex/internal/core"
+	"tenplex/internal/model"
+	"tenplex/internal/parallel"
+)
+
+// BenchmarkGeneratePlanFullScale measures plan generation for a real
+// paper-scale reconfiguration: GPT-3 6.7B with Adam state (~1200 state
+// tensors), (4,2,1) -> (8,2,1) on 16 devices. Plan generation is pure
+// metadata work and must stay cheap relative to the data movement it
+// orchestrates.
+func BenchmarkGeneratePlanFullScale(b *testing.B) {
+	m := model.GPT3_6B7().WithAdam()
+	topo := cluster.OnPrem16()
+	from, err := parallel.BuildPTC(m, parallel.Config{TP: 4, PP: 2, DP: 1}, topo.FirstN(8))
+	if err != nil {
+		b.Fatal(err)
+	}
+	to, err := parallel.BuildPTC(m, parallel.Config{TP: 8, PP: 2, DP: 1}, topo.FirstN(16))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		plan, err := core.GeneratePlan(from, to, core.PlanOptions{Topo: topo})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(plan.Assignments) == 0 {
+			b.Fatal("empty plan")
+		}
+	}
+}
+
+func BenchmarkBuildPTCFullScale(b *testing.B) {
+	m := model.GPT3_6B7().WithAdam()
+	topo := cluster.OnPrem16()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := parallel.BuildPTC(m, parallel.Config{TP: 2, PP: 4, DP: 2}, topo.FirstN(16)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAlignDevices(b *testing.B) {
+	m := model.GPT3XL().WithAdam()
+	topo := cluster.OnPrem16()
+	from, _ := parallel.BuildPTC(m, parallel.Config{TP: 2, PP: 4, DP: 1}, topo.FirstN(8))
+	to, _ := parallel.BuildPTC(m, parallel.Config{TP: 2, PP: 8, DP: 1}, topo.FirstN(16))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = core.AlignDevices(from, to)
+	}
+}
+
+func BenchmarkPlanValidate(b *testing.B) {
+	m := model.GPT3XL().WithAdam()
+	topo := cluster.OnPrem16()
+	from, _ := parallel.BuildPTC(m, parallel.Config{TP: 2, PP: 4, DP: 2}, topo.FirstN(16))
+	to, _ := parallel.BuildPTC(m, parallel.Config{TP: 2, PP: 4, DP: 1}, topo.FirstN(8))
+	plan, err := core.GeneratePlan(from, to, core.PlanOptions{Topo: topo})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := plan.Validate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

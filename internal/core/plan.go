@@ -1,0 +1,355 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"tenplex/internal/cluster"
+	"tenplex/internal/netsim"
+	"tenplex/internal/tensor"
+)
+
+// SourceKind discriminates where a fetched range comes from.
+type SourceKind int
+
+const (
+	// FromDevice fetches the range from another device's Tensor Store
+	// (or the local one).
+	FromDevice SourceKind = iota
+	// FromStorage fetches the range from the persisted checkpoint in
+	// remote storage; used when no surviving device holds it.
+	FromStorage
+)
+
+// Source identifies where a Fetch reads from.
+type Source struct {
+	Kind   SourceKind
+	Device cluster.DeviceID // valid when Kind == FromDevice
+	// Region is the source sub-tensor's full extent in base coordinates;
+	// the executor translates the fetched range into the source's local
+	// coordinates with it.
+	Region tensor.Region
+}
+
+// Fetch moves one range of a base tensor to a destination device. The
+// range is expressed in base coordinates; Want ⊆ Src.Region always
+// holds for device sources.
+type Fetch struct {
+	Want tensor.Region
+	Src  Source
+}
+
+// Assignment rebuilds one destination sub-tensor from fetches. If all
+// fetches are local and cover the region with a single piece identical
+// to an existing sub-tensor, the executor recognizes it as a no-op.
+type Assignment struct {
+	Device cluster.DeviceID
+	Tensor TensorID
+	Region tensor.Region // destination sub-tensor extent, base coords
+	Fetch  []Fetch
+}
+
+// Plan is an executable reconfiguration plan: the full set of
+// destination sub-tensors and where each of their ranges comes from.
+// Executing every assignment transforms the state placed as PTC into
+// the state required by PTC′ (Alg. 1's split ∥ move ∥ merge sequence:
+// splits are range-reads of source sub-tensors, moves are cross-device
+// fetches, merges are the assembly of multi-fetch assignments).
+type Plan struct {
+	From, To    *PTC
+	Assignments []Assignment
+}
+
+// PlanOptions tunes plan generation.
+type PlanOptions struct {
+	// Topo enables locality-aware source selection (prefer same device,
+	// then same worker, then least-loaded remote). Optional; without it
+	// sources are chosen by device order with load balancing.
+	Topo *cluster.Topology
+	// StorageFallback permits fetching ranges that no device holds from
+	// the persisted checkpoint; required for failure recovery when all
+	// replicas of a range died.
+	StorageFallback bool
+}
+
+// GeneratePlan computes the minimal reconfiguration plan that turns the
+// state described by from into the state described by to. Tensors are
+// matched by ID; both PTCs must agree on tensor metadata. For every
+// destination sub-tensor, ranges already resident on the destination
+// device are never re-sent (minimality), and remaining ranges are
+// fetched from the nearest holder.
+func GeneratePlan(from, to *PTC, opts PlanOptions) (*Plan, error) {
+	for id, m := range to.Tensors {
+		fm, ok := from.Tensors[id]
+		if !ok {
+			return nil, fmt.Errorf("core: plan: tensor %q exists only in target PTC", id)
+		}
+		if fm.DType != m.DType || !tensor.ShapeEqual(fm.Shape, m.Shape) {
+			return nil, fmt.Errorf("core: plan: tensor %q metadata differs between PTCs", id)
+		}
+	}
+
+	// Index source sub-tensors by tensor ID.
+	type holder struct {
+		dev cluster.DeviceID
+		reg tensor.Region
+	}
+	srcIdx := map[TensorID][]holder{}
+	for _, d := range from.Devices {
+		for _, s := range from.Place[d] {
+			srcIdx[s.Tensor] = append(srcIdx[s.Tensor], holder{d, s.Region})
+		}
+	}
+
+	// recvLoad tracks bytes each source device has been asked to send,
+	// for balancing among equally-near replicas.
+	sendLoad := map[cluster.DeviceID]int64{}
+
+	plan := &Plan{From: from, To: to}
+	for _, d := range to.Devices {
+		for _, want := range to.Place[d] {
+			meta := to.Tensors[want.Tensor]
+			a := Assignment{Device: d, Tensor: want.Tensor, Region: want.Region.Clone()}
+			remaining := []tensor.Region{want.Region.Clone()}
+
+			holders := append([]holder(nil), srcIdx[want.Tensor]...)
+			// Preference: local device first, then same worker, then
+			// remote ordered by current send load (ties by device ID for
+			// determinism).
+			sort.SliceStable(holders, func(i, j int) bool {
+				hi, hj := holders[i], holders[j]
+				pi, pj := sourceTier(opts.Topo, d, hi.dev), sourceTier(opts.Topo, d, hj.dev)
+				if pi != pj {
+					return pi < pj
+				}
+				if pi == 2 && sendLoad[hi.dev] != sendLoad[hj.dev] {
+					return sendLoad[hi.dev] < sendLoad[hj.dev]
+				}
+				return hi.dev < hj.dev
+			})
+
+			for _, h := range holders {
+				if len(remaining) == 0 {
+					break
+				}
+				var next []tensor.Region
+				for _, rem := range remaining {
+					inter, ok := rem.Intersect(h.reg)
+					if !ok {
+						next = append(next, rem)
+						continue
+					}
+					a.Fetch = append(a.Fetch, Fetch{
+						Want: inter,
+						Src:  Source{Kind: FromDevice, Device: h.dev, Region: h.reg.Clone()},
+					})
+					if h.dev != d {
+						sendLoad[h.dev] += inter.NumBytes(meta.DType)
+					}
+					next = append(next, subtractRegion(rem, inter)...)
+				}
+				remaining = next
+			}
+
+			for _, rem := range remaining {
+				if !opts.StorageFallback {
+					return nil, fmt.Errorf(
+						"core: plan: range %v of %q unavailable on any device (enable StorageFallback to recover from checkpoints)",
+						rem, want.Tensor)
+				}
+				a.Fetch = append(a.Fetch, Fetch{
+					Want: rem,
+					Src:  Source{Kind: FromStorage, Region: tensor.FullRegion(meta.Shape)},
+				})
+			}
+
+			// Deterministic fetch order: by region, device sources first.
+			sort.SliceStable(a.Fetch, func(i, j int) bool {
+				return regionLess(a.Fetch[i].Want, a.Fetch[j].Want)
+			})
+			plan.Assignments = append(plan.Assignments, a)
+		}
+	}
+	return plan, nil
+}
+
+// sourceTier ranks a source device relative to the destination:
+// 0 = same device, 1 = same worker, 2 = remote.
+func sourceTier(topo *cluster.Topology, dst, src cluster.DeviceID) int {
+	if src == dst {
+		return 0
+	}
+	if topo != nil && topo.SameWorker(src, dst) {
+		return 1
+	}
+	return 2
+}
+
+// IsNoop reports whether the assignment requires no work: a single local
+// fetch whose source region equals the wanted region.
+func (a Assignment) IsNoop() bool {
+	return len(a.Fetch) == 1 &&
+		a.Fetch[0].Src.Kind == FromDevice &&
+		a.Fetch[0].Src.Device == a.Device &&
+		a.Fetch[0].Src.Region.Equal(a.Region) &&
+		a.Fetch[0].Want.Equal(a.Region)
+}
+
+// Stats aggregates what a plan will do.
+type Stats struct {
+	Assignments int
+	Noops       int
+	Fetches     int
+	Splits      int // fetches that read a strict sub-range of the source
+	Merges      int // assignments assembled from more than one fetch
+
+	LocalBytes       int64 // same-device fetches
+	IntraWorkerBytes int64 // cross-device, same-worker (needs Topo)
+	CrossWorkerBytes int64 // cross-worker
+	StorageBytes     int64 // checkpoint fallback reads
+	MovedBytes       int64 // everything leaving its device (incl. storage)
+}
+
+// Stats computes plan statistics; topo may be nil (intra-worker bytes
+// then count as cross-worker).
+func (p *Plan) Stats(topo *cluster.Topology) Stats {
+	var st Stats
+	for _, a := range p.Assignments {
+		st.Assignments++
+		if a.IsNoop() {
+			st.Noops++
+			continue
+		}
+		meta := p.To.Tensors[a.Tensor]
+		if len(a.Fetch) > 1 {
+			st.Merges++
+		}
+		for _, f := range a.Fetch {
+			st.Fetches++
+			bytes := f.Want.NumBytes(meta.DType)
+			if f.Src.Kind == FromStorage {
+				st.StorageBytes += bytes
+				st.MovedBytes += bytes
+				continue
+			}
+			if !f.Src.Region.Equal(f.Want) {
+				st.Splits++
+			}
+			switch {
+			case f.Src.Device == a.Device:
+				st.LocalBytes += bytes
+			case topo != nil && topo.SameWorker(f.Src.Device, a.Device):
+				st.IntraWorkerBytes += bytes
+				st.MovedBytes += bytes
+			default:
+				st.CrossWorkerBytes += bytes
+				st.MovedBytes += bytes
+			}
+		}
+	}
+	return st
+}
+
+// Flows converts the plan into netsim flows for the performance plane.
+// Split work (reading a strict sub-range out of a stored sub-tensor) and
+// merge work (assembling a destination from multiple pieces) are
+// accounted as host-memory copy bytes.
+func (p *Plan) Flows(topo *cluster.Topology) []netsim.Flow {
+	var flows []netsim.Flow
+	for _, a := range p.Assignments {
+		if a.IsNoop() {
+			continue
+		}
+		meta := p.To.Tensors[a.Tensor]
+		merge := len(a.Fetch) > 1
+		for _, f := range a.Fetch {
+			bytes := f.Want.NumBytes(meta.DType)
+			var fl netsim.Flow
+			if f.Src.Kind == FromStorage {
+				fl = netsim.Flow{From: netsim.StorageEP(), To: netsim.DevEP(a.Device), Bytes: bytes}
+			} else {
+				fl = netsim.Flow{From: netsim.DevEP(f.Src.Device), To: netsim.DevEP(a.Device), Bytes: bytes}
+				if f.Src.Device == a.Device {
+					fl.Bytes = 0 // local range reads do not cross a link
+				}
+			}
+			var cp int64
+			if f.Src.Kind == FromDevice && !f.Src.Region.Equal(f.Want) {
+				cp += bytes // split copy at the source
+			}
+			if merge {
+				cp += bytes // merge copy at the destination
+			}
+			fl.CopyBytes = cp
+			flows = append(flows, fl)
+		}
+	}
+	return flows
+}
+
+// Ops renders the plan as the paper's split / move / merge operation
+// sequence, for logging and inspection.
+func (p *Plan) Ops() []string {
+	var ops []string
+	for _, a := range p.Assignments {
+		if a.IsNoop() {
+			continue
+		}
+		for _, f := range a.Fetch {
+			if f.Src.Kind == FromStorage {
+				ops = append(ops, fmt.Sprintf("load(%s%v, storage -> dev%d)", a.Tensor, f.Want, a.Device))
+				continue
+			}
+			if !f.Src.Region.Equal(f.Want) {
+				ops = append(ops, fmt.Sprintf("split(%s%v -> %v, dev%d)", a.Tensor, f.Src.Region, f.Want, f.Src.Device))
+			}
+			if f.Src.Device != a.Device {
+				ops = append(ops, fmt.Sprintf("move(%s%v, dev%d -> dev%d)", a.Tensor, f.Want, f.Src.Device, a.Device))
+			}
+		}
+		if len(a.Fetch) > 1 {
+			ops = append(ops, fmt.Sprintf("merge(%s%v, %d pieces, dev%d)", a.Tensor, a.Region, len(a.Fetch), a.Device))
+		}
+	}
+	return ops
+}
+
+// Validate checks plan invariants: every assignment's fetches exactly
+// tile its region with no gaps, every device fetch stays inside its
+// declared source region, and destination regions match the target PTC.
+func (p *Plan) Validate() error {
+	want := map[cluster.DeviceID]map[string]bool{}
+	for _, d := range p.To.Devices {
+		want[d] = map[string]bool{}
+		for _, s := range p.To.Place[d] {
+			want[d][string(s.Tensor)+s.Region.String()] = true
+		}
+	}
+	for _, a := range p.Assignments {
+		key := string(a.Tensor) + a.Region.String()
+		if !want[a.Device][key] {
+			return fmt.Errorf("core: plan: assignment %q on dev %d not in target PTC", key, a.Device)
+		}
+		delete(want[a.Device], key)
+
+		var regs []tensor.Region
+		for _, f := range a.Fetch {
+			if !a.Region.Contains(f.Want) {
+				return fmt.Errorf("core: plan: fetch %v outside assignment %v of %q", f.Want, a.Region, a.Tensor)
+			}
+			if f.Src.Kind == FromDevice && !f.Src.Region.Contains(f.Want) {
+				return fmt.Errorf("core: plan: fetch %v outside source region %v of %q", f.Want, f.Src.Region, a.Tensor)
+			}
+			regs = append(regs, f.Want)
+		}
+		if !covers(a.Region, regs) {
+			return fmt.Errorf("core: plan: fetches do not cover %v of %q on dev %d", a.Region, a.Tensor, a.Device)
+		}
+	}
+	for d, rest := range want {
+		for key := range rest {
+			return fmt.Errorf("core: plan: target sub-tensor %q on dev %d has no assignment", key, d)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,319 @@
+// Package core implements the paper's primary contribution: the
+// parallelizable tensor collection (PTC) and the reconfiguration-plan
+// generator (Alg. 1).
+//
+// A PTC = (T, σ, φ, α) describes the parallelized state of a DL job:
+// T is the set of state tensors (model parameters, optimizer moments,
+// and — logically — dataset samples); the slicing function σ cuts
+// tensors into sub-tensors (tensor/sequence parallelism); the
+// partitioning function φ groups sub-tensors into sub-collections (data
+// and pipeline parallelism); and the allocation function α assigns
+// sub-collections to devices.
+//
+// This package represents the three functions as data: a PTC stores,
+// for every device, the list of sub-tensors (tensor ID + region in base
+// coordinates) that the device holds. σ, φ and α are recoverable views
+// over that table, and — crucially — two PTCs can be diffed to produce a
+// minimal reconfiguration plan (split ∥ move ∥ merge) regardless of
+// which parallelism strategies produced them. That generality is what
+// lets Tenplex support data, tensor, pipeline, expert and sequence
+// parallelism with one mechanism (§4.3).
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"tenplex/internal/cluster"
+	"tenplex/internal/tensor"
+)
+
+// TensorID names a state tensor with its canonical hierarchical path,
+// e.g. "block.3/attn/qkv/weight" or "block.3/attn/qkv/weight.opt0".
+type TensorID string
+
+// TensorMeta carries the full (unsliced) description of a state tensor.
+type TensorMeta struct {
+	ID    TensorID
+	DType tensor.DType
+	Shape []int
+}
+
+// NumBytes returns the full tensor's byte size.
+func (m TensorMeta) NumBytes() int64 { return tensor.ShapeNumBytes(m.DType, m.Shape) }
+
+// SubTensor is one placed fragment: a region of a base tensor, in base
+// coordinates.
+type SubTensor struct {
+	Tensor TensorID
+	Region tensor.Region
+}
+
+// NumBytes returns the fragment's byte size given its base tensor meta.
+func (s SubTensor) NumBytes(meta TensorMeta) int64 {
+	return s.Region.NumBytes(meta.DType)
+}
+
+// PTC is the parallelizable tensor collection: the externalized state of
+// a DL job under some multi-dimensional parallelization, placed onto a
+// set of devices.
+type PTC struct {
+	// Name describes the parallelization, e.g. "gpt3-xl T2 P4 D2".
+	Name string
+	// Tensors is T: every state tensor's metadata, keyed by ID.
+	Tensors map[TensorID]TensorMeta
+	// Devices is the job's allocation in rank order (α's codomain).
+	Devices []cluster.DeviceID
+	// Place maps each device to the sub-tensors it holds — the
+	// composition α∘φ∘σ in tabular form.
+	Place map[cluster.DeviceID][]SubTensor
+}
+
+// NewPTC returns an empty PTC over the given allocation.
+func NewPTC(name string, devices []cluster.DeviceID) *PTC {
+	p := &PTC{
+		Name:    name,
+		Tensors: map[TensorID]TensorMeta{},
+		Devices: append([]cluster.DeviceID(nil), devices...),
+		Place:   map[cluster.DeviceID][]SubTensor{},
+	}
+	for _, d := range devices {
+		p.Place[d] = nil
+	}
+	return p
+}
+
+// AddTensor registers a state tensor. It must be called before Assign.
+func (p *PTC) AddTensor(meta TensorMeta) {
+	if _, dup := p.Tensors[meta.ID]; dup {
+		panic(fmt.Sprintf("core: duplicate tensor %q", meta.ID))
+	}
+	if !meta.DType.Valid() {
+		panic(fmt.Sprintf("core: tensor %q has invalid dtype", meta.ID))
+	}
+	p.Tensors[meta.ID] = meta
+}
+
+// Assign places a sub-tensor region of id onto device d.
+func (p *PTC) Assign(d cluster.DeviceID, id TensorID, reg tensor.Region) {
+	meta, ok := p.Tensors[id]
+	if !ok {
+		panic(fmt.Sprintf("core: Assign of unknown tensor %q", id))
+	}
+	if !reg.Valid(meta.Shape) {
+		panic(fmt.Sprintf("core: Assign %q region %v invalid for shape %v", id, reg, meta.Shape))
+	}
+	if _, ok := p.Place[d]; !ok {
+		panic(fmt.Sprintf("core: Assign to device %d outside allocation %v", d, p.Devices))
+	}
+	p.Place[d] = append(p.Place[d], SubTensor{Tensor: id, Region: reg.Clone()})
+}
+
+// Slices returns σ(t): the distinct regions into which tensor id is
+// sliced across all devices, in deterministic order.
+func (p *PTC) Slices(id TensorID) []tensor.Region {
+	var out []tensor.Region
+	for _, d := range p.Devices {
+		for _, s := range p.Place[d] {
+			if s.Tensor != id {
+				continue
+			}
+			dup := false
+			for _, r := range out {
+				if r.Equal(s.Region) {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				out = append(out, s.Region)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return regionLess(out[i], out[j]) })
+	return out
+}
+
+// Holders returns the devices that hold a sub-tensor of id whose region
+// intersects reg, i.e. the potential sources for that range.
+func (p *PTC) Holders(id TensorID, reg tensor.Region) []cluster.DeviceID {
+	var out []cluster.DeviceID
+	for _, d := range p.Devices {
+		for _, s := range p.Place[d] {
+			if s.Tensor != id {
+				continue
+			}
+			if _, ok := s.Region.Intersect(reg); ok {
+				out = append(out, d)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// DeviceBytes returns the total state bytes placed on device d.
+func (p *PTC) DeviceBytes(d cluster.DeviceID) int64 {
+	var n int64
+	for _, s := range p.Place[d] {
+		n += s.NumBytes(p.Tensors[s.Tensor])
+	}
+	return n
+}
+
+// TotalPlacedBytes sums state bytes over all devices (counting
+// replication).
+func (p *PTC) TotalPlacedBytes() int64 {
+	var n int64
+	for _, d := range p.Devices {
+		n += p.DeviceBytes(d)
+	}
+	return n
+}
+
+// Validate checks structural invariants: every placed region is in
+// bounds, and every registered tensor is fully covered by the union of
+// its placed regions (otherwise state would be unrecoverable).
+func (p *PTC) Validate() error {
+	for _, d := range p.Devices {
+		for _, s := range p.Place[d] {
+			meta, ok := p.Tensors[s.Tensor]
+			if !ok {
+				return fmt.Errorf("core: device %d holds unknown tensor %q", d, s.Tensor)
+			}
+			if !s.Region.Valid(meta.Shape) {
+				return fmt.Errorf("core: device %d holds %q with invalid region %v (shape %v)",
+					d, s.Tensor, s.Region, meta.Shape)
+			}
+		}
+	}
+	for id, meta := range p.Tensors {
+		var regs []tensor.Region
+		for _, d := range p.Devices {
+			for _, s := range p.Place[d] {
+				if s.Tensor == id {
+					regs = append(regs, s.Region)
+				}
+			}
+		}
+		if len(regs) == 0 {
+			return fmt.Errorf("core: tensor %q has no placement", id)
+		}
+		if !covers(tensor.FullRegion(meta.Shape), regs) {
+			return fmt.Errorf("core: tensor %q not fully covered by placements", id)
+		}
+	}
+	return nil
+}
+
+// WithoutDevices returns a copy of p restricted to the devices that
+// survive, dropping every sub-tensor placed on a removed device. It
+// models fail-stop GPU loss (§5.3): the resulting PTC may no longer
+// cover every tensor, in which case plan generation falls back to
+// persisted checkpoints in remote storage.
+func (p *PTC) WithoutDevices(failed ...cluster.DeviceID) *PTC {
+	dead := map[cluster.DeviceID]bool{}
+	for _, d := range failed {
+		dead[d] = true
+	}
+	var alive []cluster.DeviceID
+	for _, d := range p.Devices {
+		if !dead[d] {
+			alive = append(alive, d)
+		}
+	}
+	out := NewPTC(p.Name+" (degraded)", alive)
+	for id, meta := range p.Tensors {
+		out.Tensors[id] = meta
+	}
+	for _, d := range alive {
+		out.Place[d] = append([]SubTensor(nil), p.Place[d]...)
+	}
+	return out
+}
+
+// Equal reports whether two PTCs describe the same placement.
+func (p *PTC) Equal(q *PTC) bool {
+	if len(p.Tensors) != len(q.Tensors) || len(p.Devices) != len(q.Devices) {
+		return false
+	}
+	for i := range p.Devices {
+		if p.Devices[i] != q.Devices[i] {
+			return false
+		}
+	}
+	for id, m := range p.Tensors {
+		qm, ok := q.Tensors[id]
+		if !ok || qm.DType != m.DType || !tensor.ShapeEqual(qm.Shape, m.Shape) {
+			return false
+		}
+	}
+	for _, d := range p.Devices {
+		a, b := p.Place[d], q.Place[d]
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i].Tensor != b[i].Tensor || !a[i].Region.Equal(b[i].Region) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// regionLess orders regions lexicographically for deterministic output.
+func regionLess(a, b tensor.Region) bool {
+	for i := range a {
+		if i >= len(b) {
+			return false
+		}
+		if a[i].Lo != b[i].Lo {
+			return a[i].Lo < b[i].Lo
+		}
+		if a[i].Hi != b[i].Hi {
+			return a[i].Hi < b[i].Hi
+		}
+	}
+	return len(a) < len(b)
+}
+
+// subtractRegion returns a \ b as a list of disjoint boxes.
+func subtractRegion(a, b tensor.Region) []tensor.Region {
+	inter, ok := a.Intersect(b)
+	if !ok {
+		return []tensor.Region{a.Clone()}
+	}
+	var out []tensor.Region
+	cur := a.Clone()
+	for d := range a {
+		if cur[d].Lo < inter[d].Lo {
+			box := cur.Clone()
+			box[d] = tensor.Range{Lo: cur[d].Lo, Hi: inter[d].Lo}
+			out = append(out, box)
+		}
+		if inter[d].Hi < cur[d].Hi {
+			box := cur.Clone()
+			box[d] = tensor.Range{Lo: inter[d].Hi, Hi: cur[d].Hi}
+			out = append(out, box)
+		}
+		cur[d] = inter[d]
+	}
+	return out
+}
+
+// covers reports whether the union of regs covers all of full.
+func covers(full tensor.Region, regs []tensor.Region) bool {
+	remaining := []tensor.Region{full}
+	for _, r := range regs {
+		var next []tensor.Region
+		for _, rem := range remaining {
+			next = append(next, subtractRegion(rem, r)...)
+		}
+		remaining = next
+		if len(remaining) == 0 {
+			return true
+		}
+	}
+	return len(remaining) == 0
+}

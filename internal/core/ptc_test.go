@@ -1,0 +1,128 @@
+package core_test
+
+import (
+	"testing"
+
+	"tenplex/internal/cluster"
+	"tenplex/internal/core"
+	"tenplex/internal/tensor"
+)
+
+func devs(ids ...int) []cluster.DeviceID {
+	out := make([]cluster.DeviceID, len(ids))
+	for i, id := range ids {
+		out[i] = cluster.DeviceID(id)
+	}
+	return out
+}
+
+func TestPTCBuildAndValidate(t *testing.T) {
+	p := core.NewPTC("toy", devs(0, 1))
+	p.AddTensor(core.TensorMeta{ID: "w", DType: tensor.Float32, Shape: []int{4, 4}})
+	p.Assign(0, "w", tensor.Region{{Lo: 0, Hi: 2}, {Lo: 0, Hi: 4}})
+	p.Assign(1, "w", tensor.Region{{Lo: 2, Hi: 4}, {Lo: 0, Hi: 4}})
+	if err := p.Validate(); err != nil {
+		t.Fatalf("valid PTC rejected: %v", err)
+	}
+	if got := p.DeviceBytes(0); got != 2*4*4 {
+		t.Fatalf("DeviceBytes = %d", got)
+	}
+	if got := p.TotalPlacedBytes(); got != 4*4*4 {
+		t.Fatalf("TotalPlacedBytes = %d", got)
+	}
+}
+
+func TestPTCValidateDetectsGaps(t *testing.T) {
+	p := core.NewPTC("gap", devs(0))
+	p.AddTensor(core.TensorMeta{ID: "w", DType: tensor.Float32, Shape: []int{4}})
+	p.Assign(0, "w", tensor.Region{{Lo: 0, Hi: 2}})
+	if err := p.Validate(); err == nil {
+		t.Fatal("uncovered tensor accepted")
+	}
+	p.Assign(0, "w", tensor.Region{{Lo: 2, Hi: 4}})
+	if err := p.Validate(); err != nil {
+		t.Fatalf("covered tensor rejected: %v", err)
+	}
+}
+
+func TestPTCValidateDetectsMissingPlacement(t *testing.T) {
+	p := core.NewPTC("missing", devs(0))
+	p.AddTensor(core.TensorMeta{ID: "w", DType: tensor.Float32, Shape: []int{4}})
+	if err := p.Validate(); err == nil {
+		t.Fatal("tensor with no placement accepted")
+	}
+}
+
+func TestPTCAssignPanics(t *testing.T) {
+	p := core.NewPTC("panics", devs(0))
+	p.AddTensor(core.TensorMeta{ID: "w", DType: tensor.Float32, Shape: []int{4}})
+	for name, f := range map[string]func(){
+		"unknown tensor": func() { p.Assign(0, "nope", tensor.Region{{Lo: 0, Hi: 1}}) },
+		"bad region":     func() { p.Assign(0, "w", tensor.Region{{Lo: 0, Hi: 9}}) },
+		"bad device":     func() { p.Assign(7, "w", tensor.Region{{Lo: 0, Hi: 4}}) },
+		"dup tensor":     func() { p.AddTensor(core.TensorMeta{ID: "w", DType: tensor.Float32, Shape: []int{1}}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestPTCSlicesDeduplicated(t *testing.T) {
+	p := core.NewPTC("dp", devs(0, 1))
+	p.AddTensor(core.TensorMeta{ID: "w", DType: tensor.Float32, Shape: []int{4}})
+	full := tensor.FullRegion([]int{4})
+	p.Assign(0, "w", full)
+	p.Assign(1, "w", full) // DP replica
+	if got := p.Slices("w"); len(got) != 1 {
+		t.Fatalf("slices = %v", got)
+	}
+	if h := p.Holders("w", tensor.Region{{Lo: 1, Hi: 2}}); len(h) != 2 {
+		t.Fatalf("holders = %v", h)
+	}
+}
+
+func TestPTCWithoutDevices(t *testing.T) {
+	p := core.NewPTC("fail", devs(0, 1, 2))
+	p.AddTensor(core.TensorMeta{ID: "w", DType: tensor.Float32, Shape: []int{6}})
+	p.Assign(0, "w", tensor.Region{{Lo: 0, Hi: 2}})
+	p.Assign(1, "w", tensor.Region{{Lo: 2, Hi: 4}})
+	p.Assign(2, "w", tensor.Region{{Lo: 4, Hi: 6}})
+	q := p.WithoutDevices(1)
+	if len(q.Devices) != 2 {
+		t.Fatalf("surviving devices = %v", q.Devices)
+	}
+	if err := q.Validate(); err == nil {
+		t.Fatal("degraded PTC with lost range should fail validation")
+	}
+	if h := q.Holders("w", tensor.Region{{Lo: 2, Hi: 4}}); len(h) != 0 {
+		t.Fatalf("lost range still has holders: %v", h)
+	}
+	// Original untouched.
+	if err := p.Validate(); err != nil {
+		t.Fatalf("original mutated: %v", err)
+	}
+}
+
+func TestPTCEqual(t *testing.T) {
+	mk := func() *core.PTC {
+		p := core.NewPTC("x", devs(0, 1))
+		p.AddTensor(core.TensorMeta{ID: "w", DType: tensor.Float32, Shape: []int{4}})
+		p.Assign(0, "w", tensor.Region{{Lo: 0, Hi: 2}})
+		p.Assign(1, "w", tensor.Region{{Lo: 2, Hi: 4}})
+		return p
+	}
+	a, b := mk(), mk()
+	if !a.Equal(b) {
+		t.Fatal("identical PTCs unequal")
+	}
+	b.Assign(1, "w", tensor.Region{{Lo: 0, Hi: 1}})
+	if a.Equal(b) {
+		t.Fatal("different PTCs equal")
+	}
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"tenplex/internal/tensor"
+)
+
+// White-box tests of the region algebra the planner is built on.
+
+func randomRegionIn(rng *rand.Rand, shape []int) tensor.Region {
+	reg := make(tensor.Region, len(shape))
+	for d, n := range shape {
+		lo := rng.Intn(n)
+		hi := lo + 1 + rng.Intn(n-lo)
+		reg[d] = tensor.Range{Lo: lo, Hi: hi}
+	}
+	return reg
+}
+
+func TestSubtractRegionProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 500; trial++ {
+		shape := []int{2 + rng.Intn(8), 2 + rng.Intn(8), 1 + rng.Intn(4)}
+		a := randomRegionIn(rng, shape)
+		b := randomRegionIn(rng, shape)
+		parts := subtractRegion(a, b)
+
+		// 1. Pieces are disjoint from b and from each other, and lie in a.
+		for i, p := range parts {
+			if !p.Valid(shape) {
+				t.Fatalf("piece %v invalid", p)
+			}
+			if !a.Contains(p) {
+				t.Fatalf("piece %v escapes %v", p, a)
+			}
+			if _, ok := p.Intersect(b); ok {
+				t.Fatalf("piece %v overlaps subtrahend %v", p, b)
+			}
+			for j := i + 1; j < len(parts); j++ {
+				if _, ok := p.Intersect(parts[j]); ok {
+					t.Fatalf("pieces %v and %v overlap", p, parts[j])
+				}
+			}
+		}
+
+		// 2. Conservation: |a| = |pieces| + |a ∩ b|.
+		total := 0
+		for _, p := range parts {
+			total += p.NumElems()
+		}
+		if inter, ok := a.Intersect(b); ok {
+			total += inter.NumElems()
+		}
+		if total != a.NumElems() {
+			t.Fatalf("subtract not conservative: %d vs %d (a=%v b=%v)", total, a.NumElems(), a, b)
+		}
+	}
+}
+
+func TestSubtractRegionDisjoint(t *testing.T) {
+	a := tensor.Region{{Lo: 0, Hi: 2}, {Lo: 0, Hi: 2}}
+	b := tensor.Region{{Lo: 5, Hi: 6}, {Lo: 0, Hi: 2}}
+	parts := subtractRegion(a, b)
+	if len(parts) != 1 || !parts[0].Equal(a) {
+		t.Fatalf("disjoint subtract = %v", parts)
+	}
+}
+
+func TestSubtractRegionFullCover(t *testing.T) {
+	a := tensor.Region{{Lo: 1, Hi: 3}, {Lo: 1, Hi: 3}}
+	b := tensor.Region{{Lo: 0, Hi: 4}, {Lo: 0, Hi: 4}}
+	if parts := subtractRegion(a, b); len(parts) != 0 {
+		t.Fatalf("covered subtract = %v", parts)
+	}
+}
+
+func TestCoversProperties(t *testing.T) {
+	full := tensor.Region{{Lo: 0, Hi: 6}, {Lo: 0, Hi: 6}}
+	// A proper tiling covers.
+	var tiles []tensor.Region
+	for _, r := range tensor.SplitRanges(6, 3) {
+		for _, c := range tensor.SplitRanges(6, 2) {
+			tiles = append(tiles, tensor.Region{r, c})
+		}
+	}
+	if !covers(full, tiles) {
+		t.Fatal("tiling does not cover")
+	}
+	// Removing any tile breaks coverage.
+	for i := range tiles {
+		rest := append(append([]tensor.Region{}, tiles[:i]...), tiles[i+1:]...)
+		if covers(full, rest) {
+			t.Fatalf("coverage holds without tile %d", i)
+		}
+	}
+	// Overlapping regions still cover.
+	overlapping := []tensor.Region{
+		{{Lo: 0, Hi: 4}, {Lo: 0, Hi: 6}},
+		{{Lo: 2, Hi: 6}, {Lo: 0, Hi: 6}},
+	}
+	if !covers(full, overlapping) {
+		t.Fatal("overlapping cover rejected")
+	}
+}
+
+func TestRegionLessIsStrictWeakOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	shape := []int{6, 6}
+	for trial := 0; trial < 200; trial++ {
+		a := randomRegionIn(rng, shape)
+		b := randomRegionIn(rng, shape)
+		if regionLess(a, b) && regionLess(b, a) {
+			t.Fatalf("regionLess not antisymmetric: %v %v", a, b)
+		}
+		if a.Equal(b) && (regionLess(a, b) || regionLess(b, a)) {
+			t.Fatalf("regionLess not irreflexive on %v", a)
+		}
+	}
+}
+
+func TestSourceTier(t *testing.T) {
+	if sourceTier(nil, 3, 3) != 0 {
+		t.Fatal("same device tier")
+	}
+	if sourceTier(nil, 3, 4) != 2 {
+		t.Fatal("nil topo remote tier")
+	}
+}

@@ -1,0 +1,30 @@
+package dataset
+
+import "testing"
+
+func BenchmarkEpochOrder(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = EpochOrder(7, i, 100000)
+	}
+}
+
+func BenchmarkNextBatch(b *testing.B) {
+	const n, gb, dp = 1 << 20, 1024, 8
+	c := Cursor{Seed: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = c.NextBatch(n, gb, dp)
+	}
+}
+
+func BenchmarkLoaderSample(b *testing.B) {
+	ix, chunks := Synthetic(4096, 1024, 256, 3)
+	l := NewLoader(ix, MemChunks(chunks))
+	b.SetBytes(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.Sample(i % 4096); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,196 @@
+// Package dataset manages the dataset state of the PTC (§5.2): the
+// training samples, the index that locates each sample inside binary
+// chunk files by byte range, the deterministic per-epoch order, and the
+// re-partitioning that keeps data access consistent when the degree of
+// data parallelism changes mid-epoch.
+//
+// Consistency model (§2.3): the per-epoch sample order is a pure
+// function of (seed, epoch). Rank r of a DP-d job consumes, from global
+// batch k of size B, the slice order[k·B + r·B/d : k·B + (r+1)·B/d].
+// A reconfiguration at a step boundary re-partitions only the suffix of
+// the epoch order, so every sample of the epoch is still consumed
+// exactly once, in the same global order, regardless of how often d
+// changes.
+package dataset
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+)
+
+// SampleLoc locates one sample inside a chunk file: 64-bit byte offset
+// and length, as the paper's dataset index prescribes.
+type SampleLoc struct {
+	Chunk  int
+	Offset int64
+	Length int64
+}
+
+// Index is the dataset index: chunk file names plus one location per
+// sample. Sample IDs are positions in Samples.
+type Index struct {
+	// ChunkPaths names the binary files, e.g. in remote storage.
+	ChunkPaths []string
+	// Samples holds the byte range of every sample.
+	Samples []SampleLoc
+}
+
+// NumSamples returns the dataset size.
+func (ix *Index) NumSamples() int { return len(ix.Samples) }
+
+// TotalBytes sums all sample lengths.
+func (ix *Index) TotalBytes() int64 {
+	var n int64
+	for _, s := range ix.Samples {
+		n += s.Length
+	}
+	return n
+}
+
+// Validate checks that locations are in bounds and non-overlapping per
+// chunk given chunk sizes.
+func (ix *Index) Validate(chunkSizes []int64) error {
+	if len(chunkSizes) != len(ix.ChunkPaths) {
+		return fmt.Errorf("dataset: %d chunk sizes for %d chunks", len(chunkSizes), len(ix.ChunkPaths))
+	}
+	for i, s := range ix.Samples {
+		if s.Chunk < 0 || s.Chunk >= len(ix.ChunkPaths) {
+			return fmt.Errorf("dataset: sample %d references chunk %d of %d", i, s.Chunk, len(ix.ChunkPaths))
+		}
+		if s.Offset < 0 || s.Length <= 0 || s.Offset+s.Length > chunkSizes[s.Chunk] {
+			return fmt.Errorf("dataset: sample %d range [%d,%d) exceeds chunk %d size %d",
+				i, s.Offset, s.Offset+s.Length, s.Chunk, chunkSizes[s.Chunk])
+		}
+	}
+	return nil
+}
+
+// Synthetic builds an in-memory dataset of n samples of sampleBytes
+// each, packed samplesPerChunk to a chunk. Sample i's payload is a pure
+// function of (seed, i), so tests can verify exactly-once consumption by
+// decoding what they read. It returns the index and the chunk contents.
+func Synthetic(n, sampleBytes, samplesPerChunk int, seed int64) (*Index, [][]byte) {
+	if n <= 0 || sampleBytes < 8 || samplesPerChunk <= 0 {
+		panic(fmt.Sprintf("dataset: bad Synthetic args n=%d bytes=%d perChunk=%d", n, sampleBytes, samplesPerChunk))
+	}
+	ix := &Index{}
+	var chunks [][]byte
+	var cur []byte
+	for i := 0; i < n; i++ {
+		if i%samplesPerChunk == 0 {
+			if cur != nil {
+				chunks = append(chunks, cur)
+			}
+			cur = nil
+			ix.ChunkPaths = append(ix.ChunkPaths, fmt.Sprintf("chunk-%05d.bin", len(chunks)))
+		}
+		ix.Samples = append(ix.Samples, SampleLoc{
+			Chunk:  len(chunks),
+			Offset: int64(len(cur)),
+			Length: int64(sampleBytes),
+		})
+		cur = append(cur, SampleBytes(seed, i, sampleBytes)...)
+	}
+	chunks = append(chunks, cur)
+	return ix, chunks
+}
+
+// SampleBytes generates sample i's payload: an 8-byte little-endian
+// sample ID followed by deterministic pseudo-random bytes.
+func SampleBytes(seed int64, i, sampleBytes int) []byte {
+	buf := make([]byte, sampleBytes)
+	binary.LittleEndian.PutUint64(buf, uint64(i))
+	rng := rand.New(rand.NewSource(seed ^ int64(i)*0x9e3779b9))
+	rng.Read(buf[8:]) //nolint:errcheck // never fails
+	return buf
+}
+
+// DecodeSampleID reads back the sample ID from a payload.
+func DecodeSampleID(payload []byte) int {
+	if len(payload) < 8 {
+		panic("dataset: payload too short for sample ID")
+	}
+	return int(binary.LittleEndian.Uint64(payload))
+}
+
+// EpochOrder returns the deterministic sample order for an epoch: a
+// Fisher–Yates shuffle keyed by (seed, epoch). Identical inputs produce
+// identical orders on every worker, which is what makes re-partitioning
+// consistent without coordination.
+func EpochOrder(seed int64, epoch, n int) []int {
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	rng := rand.New(rand.NewSource(seed*1_000_003 + int64(epoch)))
+	rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+	return order
+}
+
+// Cursor tracks a job's position in the dataset state: which epoch it
+// is in and how many samples of the epoch's order have been consumed.
+// It is part of the PTC (the iterator of §4.1) and survives
+// reconfigurations unchanged.
+type Cursor struct {
+	Seed     int64
+	Epoch    int
+	Consumed int // samples of the current epoch already used
+}
+
+// Shard is the per-rank slice of one global batch.
+type Shard struct {
+	Rank    int
+	Samples []int // sample IDs
+}
+
+// NextBatch returns the per-rank shards of the next global batch of
+// size globalBatch under data parallelism dp, and advances the cursor.
+// The batch is cut from the epoch order at the cursor; when fewer than
+// globalBatch samples remain the epoch wraps (the remainder is dropped,
+// as DL systems do with drop_last). globalBatch must divide by dp.
+func (c *Cursor) NextBatch(n, globalBatch, dp int) []Shard {
+	if globalBatch%dp != 0 {
+		panic(fmt.Sprintf("dataset: global batch %d not divisible by dp %d", globalBatch, dp))
+	}
+	if globalBatch > n {
+		panic(fmt.Sprintf("dataset: global batch %d exceeds dataset %d", globalBatch, n))
+	}
+	if c.Consumed+globalBatch > n {
+		c.Epoch++
+		c.Consumed = 0
+	}
+	order := EpochOrder(c.Seed, c.Epoch, n)
+	local := globalBatch / dp
+	shards := make([]Shard, dp)
+	for r := 0; r < dp; r++ {
+		lo := c.Consumed + r*local
+		shards[r] = Shard{
+			Rank:    r,
+			Samples: append([]int(nil), order[lo:lo+local]...),
+		}
+	}
+	c.Consumed += globalBatch
+	return shards
+}
+
+// Remaining returns how many samples of the current epoch are left.
+func (c *Cursor) Remaining(n int) int { return n - c.Consumed }
+
+// Partition lists the sample IDs rank r will consume for the rest of
+// the current epoch under (globalBatch, dp) — the contents of the
+// rank's virtual dataset directory after a (re-)partitioning. The
+// cursor is not advanced.
+func (c *Cursor) Partition(n, globalBatch, dp, rank int) []int {
+	if globalBatch%dp != 0 {
+		panic(fmt.Sprintf("dataset: global batch %d not divisible by dp %d", globalBatch, dp))
+	}
+	order := EpochOrder(c.Seed, c.Epoch, n)
+	local := globalBatch / dp
+	var out []int
+	for pos := c.Consumed; pos+globalBatch <= n; pos += globalBatch {
+		lo := pos + rank*local
+		out = append(out, order[lo:lo+local]...)
+	}
+	return out
+}

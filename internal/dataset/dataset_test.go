@@ -1,0 +1,288 @@
+package dataset
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSyntheticIndex(t *testing.T) {
+	ix, chunks := Synthetic(100, 64, 16, 7)
+	if ix.NumSamples() != 100 {
+		t.Fatalf("samples = %d", ix.NumSamples())
+	}
+	if len(chunks) != 7 { // ceil(100/16)
+		t.Fatalf("chunks = %d", len(chunks))
+	}
+	if ix.TotalBytes() != 6400 {
+		t.Fatalf("total bytes = %d", ix.TotalBytes())
+	}
+	sizes := make([]int64, len(chunks))
+	for i, c := range chunks {
+		sizes[i] = int64(len(c))
+	}
+	if err := ix.Validate(sizes); err != nil {
+		t.Fatal(err)
+	}
+	// Sample payloads decode to their IDs.
+	l := NewLoader(ix, MemChunks(chunks))
+	for _, id := range []int{0, 15, 16, 99} {
+		p, err := l.Sample(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if DecodeSampleID(p) != id {
+			t.Fatalf("sample %d decodes to %d", id, DecodeSampleID(p))
+		}
+	}
+	if _, err := l.Sample(100); err == nil {
+		t.Fatal("out-of-range sample read")
+	}
+	if l.BytesRead != 4*64 {
+		t.Fatalf("BytesRead = %d", l.BytesRead)
+	}
+}
+
+func TestIndexValidateCatchesCorruption(t *testing.T) {
+	ix, chunks := Synthetic(10, 16, 4, 1)
+	sizes := make([]int64, len(chunks))
+	for i, c := range chunks {
+		sizes[i] = int64(len(c))
+	}
+	bad := *ix
+	bad.Samples = append([]SampleLoc(nil), ix.Samples...)
+	bad.Samples[3] = SampleLoc{Chunk: 0, Offset: 60, Length: 16}
+	if err := bad.Validate(sizes); err == nil {
+		t.Fatal("overflowing sample accepted")
+	}
+	bad.Samples[3] = SampleLoc{Chunk: 9, Offset: 0, Length: 16}
+	if err := bad.Validate(sizes); err == nil {
+		t.Fatal("bad chunk reference accepted")
+	}
+}
+
+func TestEpochOrderDeterministicAndComplete(t *testing.T) {
+	a := EpochOrder(42, 3, 1000)
+	b := EpochOrder(42, 3, 1000)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("epoch order not deterministic")
+		}
+	}
+	c := EpochOrder(42, 4, 1000)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different epochs produce identical order")
+	}
+	seen := map[int]bool{}
+	for _, id := range a {
+		if seen[id] {
+			t.Fatal("duplicate in epoch order")
+		}
+		seen[id] = true
+	}
+	if len(seen) != 1000 {
+		t.Fatal("epoch order incomplete")
+	}
+}
+
+func TestNextBatchExactlyOnce(t *testing.T) {
+	const n, gb = 64, 8
+	c := Cursor{Seed: 5}
+	seen := map[int]int{}
+	for step := 0; step < n/gb; step++ {
+		shards := c.NextBatch(n, gb, 4)
+		if len(shards) != 4 {
+			t.Fatalf("%d shards", len(shards))
+		}
+		for _, s := range shards {
+			if len(s.Samples) != 2 {
+				t.Fatalf("shard size %d", len(s.Samples))
+			}
+			for _, id := range s.Samples {
+				seen[id]++
+			}
+		}
+	}
+	if len(seen) != n {
+		t.Fatalf("consumed %d distinct samples, want %d", len(seen), n)
+	}
+	for id, k := range seen {
+		if k != 1 {
+			t.Fatalf("sample %d consumed %d times", id, k)
+		}
+	}
+	if c.Epoch != 0 || c.Consumed != n {
+		t.Fatalf("cursor = %+v", c)
+	}
+	// Next batch wraps into epoch 1.
+	_ = c.NextBatch(n, gb, 4)
+	if c.Epoch != 1 || c.Consumed != gb {
+		t.Fatalf("cursor after wrap = %+v", c)
+	}
+}
+
+// TestRepartitionPreservesGlobalOrder is the Fig. 2a property: changing
+// DP mid-epoch must not change which samples are consumed or their
+// global order.
+func TestRepartitionPreservesGlobalOrder(t *testing.T) {
+	const n, gb = 240, 12
+	collect := func(dpSchedule []int) []int {
+		c := Cursor{Seed: 9}
+		var consumed []int
+		for _, dp := range dpSchedule {
+			shards := c.NextBatch(n, gb, dp)
+			// Global order of the batch: rank 0's slice, rank 1's, ...
+			for _, s := range shards {
+				consumed = append(consumed, s.Samples...)
+			}
+		}
+		return consumed
+	}
+	static := collect([]int{2, 2, 2, 2, 2, 2})
+	dynamic := collect([]int{2, 2, 4, 4, 6, 1})
+	if len(static) != len(dynamic) {
+		t.Fatalf("lengths differ: %d vs %d", len(static), len(dynamic))
+	}
+	for i := range static {
+		if static[i] != dynamic[i] {
+			t.Fatalf("global order diverges at %d: %d vs %d", i, static[i], dynamic[i])
+		}
+	}
+}
+
+func TestNextBatchPanics(t *testing.T) {
+	c := Cursor{}
+	for name, f := range map[string]func(){
+		"indivisible": func() { c.NextBatch(100, 10, 3) },
+		"too big":     func() { c.NextBatch(8, 16, 2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestPartitionMatchesNextBatch(t *testing.T) {
+	const n, gb, dp = 96, 8, 4
+	c := Cursor{Seed: 3, Consumed: 2 * gb}
+	parts := make([][]int, dp)
+	for r := 0; r < dp; r++ {
+		parts[r] = c.Partition(n, gb, dp, r)
+	}
+	// Walking NextBatch from the same cursor must yield the same
+	// per-rank streams.
+	w := c // copy
+	got := make([][]int, dp)
+	for w.Remaining(n) >= gb && w.Epoch == c.Epoch {
+		for _, s := range w.NextBatch(n, gb, dp) {
+			got[s.Rank] = append(got[s.Rank], s.Samples...)
+		}
+	}
+	for r := 0; r < dp; r++ {
+		if len(got[r]) != len(parts[r]) {
+			t.Fatalf("rank %d: %d vs %d samples", r, len(got[r]), len(parts[r]))
+		}
+		for i := range got[r] {
+			if got[r][i] != parts[r][i] {
+				t.Fatalf("rank %d diverges at %d", r, i)
+			}
+		}
+	}
+}
+
+func TestExactlyOnceQuick(t *testing.T) {
+	// Property: any DP schedule consumes each sample at most once per
+	// epoch and the union over one full epoch is complete.
+	f := func(seed int64, sched []uint8) bool {
+		const n, gb = 48, 8
+		c := Cursor{Seed: seed}
+		seen := map[int]bool{}
+		steps := 0
+		for _, s := range sched {
+			if steps >= n/gb {
+				break
+			}
+			dp := []int{1, 2, 4, 8}[s%4]
+			for _, sh := range c.NextBatch(n, gb, dp) {
+				for _, id := range sh.Samples {
+					if seen[id] {
+						return false
+					}
+					seen[id] = true
+				}
+			}
+			steps++
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFetchOrder(t *testing.T) {
+	ix, _ := Synthetic(40, 16, 10, 1) // 4 chunks of 10
+	// Partition touching chunks 3, 0, 3, 1 in that order of first use.
+	partition := []int{35, 2, 35, 35, 12}
+	got := FetchOrder(ix, partition)
+	want := []int{3, 0, 1}
+	if len(got) != len(want) {
+		t.Fatalf("FetchOrder = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("FetchOrder = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestStreamStatsOverlap(t *testing.T) {
+	ix, _ := Synthetic(100, 1000, 10, 2) // 10 chunks of 10 KB
+	c := Cursor{Seed: 1}
+	part := c.Partition(100, 10, 1, 0)
+
+	// Fast network: only the first chunk gates the start; no stalls.
+	start, stall := StreamStats(ix, part, 1e9, 1.0)
+	if start <= 0 {
+		t.Fatal("start delay must be positive")
+	}
+	if stall != 0 {
+		t.Fatalf("fast fetch should not stall, got %g", stall)
+	}
+	// Slow network: training stalls waiting for chunks.
+	_, stallSlow := StreamStats(ix, part, 2000, 0.0001)
+	if stallSlow <= 0 {
+		t.Fatal("slow fetch must stall")
+	}
+	// No partition: zeros.
+	if s, st := StreamStats(ix, nil, 1e9, 1); s != 0 || st != 0 {
+		t.Fatal("empty partition should be free")
+	}
+}
+
+func TestMemChunksErrors(t *testing.T) {
+	m := MemChunks{[]byte{1}}
+	if _, err := m.Chunk(1); err == nil {
+		t.Fatal("out-of-range chunk read")
+	}
+}
+
+func TestSyntheticPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Synthetic(0, 16, 4, 1)
+}

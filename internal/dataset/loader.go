@@ -1,0 +1,125 @@
+package dataset
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ChunkSource supplies chunk file contents; implemented by in-memory
+// chunks, the Tensor Store (blobs), or remote storage.
+type ChunkSource interface {
+	Chunk(i int) ([]byte, error)
+}
+
+// MemChunks is an in-memory ChunkSource.
+type MemChunks [][]byte
+
+// Chunk implements ChunkSource.
+func (m MemChunks) Chunk(i int) ([]byte, error) {
+	if i < 0 || i >= len(m) {
+		return nil, fmt.Errorf("dataset: chunk %d of %d", i, len(m))
+	}
+	return m[i], nil
+}
+
+// Loader reads samples through the index, caching chunks as they are
+// first touched — the data-loader the (simulated) DL system invokes,
+// which reads "the corresponding part of the file" per sample (§5.2).
+type Loader struct {
+	Index  *Index
+	Source ChunkSource
+
+	cache map[int][]byte
+	// BytesRead counts payload bytes served; tests use it to verify
+	// exactly-once consumption.
+	BytesRead int64
+}
+
+// NewLoader builds a loader over an index and chunk source.
+func NewLoader(ix *Index, src ChunkSource) *Loader {
+	return &Loader{Index: ix, Source: src, cache: map[int][]byte{}}
+}
+
+// Sample returns the payload of sample id.
+func (l *Loader) Sample(id int) ([]byte, error) {
+	if id < 0 || id >= len(l.Index.Samples) {
+		return nil, fmt.Errorf("dataset: sample %d of %d", id, len(l.Index.Samples))
+	}
+	loc := l.Index.Samples[id]
+	chunk, ok := l.cache[loc.Chunk]
+	if !ok {
+		var err error
+		chunk, err = l.Source.Chunk(loc.Chunk)
+		if err != nil {
+			return nil, err
+		}
+		l.cache[loc.Chunk] = chunk
+	}
+	if loc.Offset+loc.Length > int64(len(chunk)) {
+		return nil, fmt.Errorf("dataset: sample %d range [%d,%d) exceeds chunk %d size %d",
+			id, loc.Offset, loc.Offset+loc.Length, loc.Chunk, len(chunk))
+	}
+	l.BytesRead += loc.Length
+	return chunk[loc.Offset : loc.Offset+loc.Length], nil
+}
+
+// FetchOrder returns the chunks a partition touches, ordered by the
+// position of their first-needed sample. Streaming chunks in this order
+// lets training resume before the whole partition has arrived (§5.2's
+// overlap of dataset fetching with training).
+func FetchOrder(ix *Index, partition []int) []int {
+	first := map[int]int{}
+	for pos, id := range partition {
+		c := ix.Samples[id].Chunk
+		if _, seen := first[c]; !seen {
+			first[c] = pos
+		}
+	}
+	chunks := make([]int, 0, len(first))
+	for c := range first {
+		chunks = append(chunks, c)
+	}
+	sort.Slice(chunks, func(i, j int) bool {
+		if first[chunks[i]] != first[chunks[j]] {
+			return first[chunks[i]] < first[chunks[j]]
+		}
+		return chunks[i] < chunks[j]
+	})
+	return chunks
+}
+
+// StreamStats estimates the overlap of dataset streaming with training:
+// given the chunk fetch order, per-chunk byte sizes, a fetch bandwidth
+// (bytes/s) and the training time per sample, it returns the delay
+// before the first step can run and the total stall time training
+// spends waiting for data mid-epoch.
+func StreamStats(ix *Index, partition []int, fetchBW float64, secPerSample float64) (startDelay, stallTime float64) {
+	if len(partition) == 0 || fetchBW <= 0 {
+		return 0, 0
+	}
+	chunkSize := map[int]int64{}
+	for _, s := range ix.Samples {
+		if s.Offset+s.Length > chunkSize[s.Chunk] {
+			chunkSize[s.Chunk] = s.Offset + s.Length
+		}
+	}
+	order := FetchOrder(ix, partition)
+	// arrival[c] = time chunk c is fully fetched.
+	arrival := map[int]float64{}
+	var clock float64
+	for _, c := range order {
+		clock += float64(chunkSize[c]) / fetchBW
+		arrival[c] = clock
+	}
+	startDelay = arrival[ix.Samples[partition[0]].Chunk]
+	trainClock := startDelay
+	for _, id := range partition {
+		need := arrival[ix.Samples[id].Chunk]
+		if need > trainClock {
+			stallTime += need - trainClock
+			trainClock = need
+		}
+		trainClock += secPerSample
+	}
+	return startDelay, stallTime
+}

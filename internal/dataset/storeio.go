@@ -1,0 +1,92 @@
+package dataset
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Integration between the dataset state and the Tensor Store (§5.2):
+// each data-parallel rank gets a *virtual directory* in its worker's
+// store holding the partition index and, as chunks stream in, the chunk
+// blobs. The DL system's data loader reads samples out of it; Tenplex
+// re-populates it on re-partitioning.
+
+// BlobStore is the subset of store capabilities dataset staging needs;
+// store.Local and store.Client both satisfy it.
+type BlobStore interface {
+	PutBlob(path string, data []byte) error
+	GetBlob(path string) ([]byte, error)
+}
+
+func partitionDir(job string, rank int) string {
+	return fmt.Sprintf("/job/%s/dataset/rank%d", job, rank)
+}
+
+// partitionManifest is the persisted form of a rank's dataset partition.
+type partitionManifest struct {
+	Samples []int  `json:"samples"` // sample IDs in consumption order
+	Chunks  []int  `json:"chunks"`  // chunk IDs in fetch order
+	Epoch   int    `json:"epoch"`
+	Note    string `json:"note,omitempty"`
+}
+
+// StagePartition writes rank r's partition for the rest of the current
+// epoch into its store: the manifest plus every needed chunk, in fetch
+// order (so training can start before the last chunk arrives).
+func StagePartition(bs BlobStore, job string, ix *Index, src ChunkSource,
+	c Cursor, n, globalBatch, dp, rank int) (int64, error) {
+	samples := c.Partition(n, globalBatch, dp, rank)
+	chunks := FetchOrder(ix, samples)
+	man := partitionManifest{Samples: samples, Chunks: chunks, Epoch: c.Epoch}
+	blob, err := json.Marshal(man)
+	if err != nil {
+		return 0, fmt.Errorf("dataset: encode manifest: %w", err)
+	}
+	dir := partitionDir(job, rank)
+	if err := bs.PutBlob(dir+"/index.json", blob); err != nil {
+		return 0, err
+	}
+	var bytes int64
+	for _, ch := range chunks {
+		data, err := src.Chunk(ch)
+		if err != nil {
+			return bytes, err
+		}
+		if err := bs.PutBlob(fmt.Sprintf("%s/%s", dir, ix.ChunkPaths[ch]), data); err != nil {
+			return bytes, err
+		}
+		bytes += int64(len(data))
+	}
+	return bytes, nil
+}
+
+// OpenPartition returns a Loader over a staged partition plus the
+// sample order the rank must consume.
+func OpenPartition(bs BlobStore, job string, ix *Index, rank int) (*Loader, []int, error) {
+	dir := partitionDir(job, rank)
+	blob, err := bs.GetBlob(dir + "/index.json")
+	if err != nil {
+		return nil, nil, fmt.Errorf("dataset: partition %d not staged: %w", rank, err)
+	}
+	var man partitionManifest
+	if err := json.Unmarshal(blob, &man); err != nil {
+		return nil, nil, fmt.Errorf("dataset: corrupt partition manifest: %w", err)
+	}
+	src := storeChunks{bs: bs, dir: dir, ix: ix}
+	return NewLoader(ix, src), man.Samples, nil
+}
+
+// storeChunks reads chunk blobs out of a staged partition directory.
+type storeChunks struct {
+	bs  BlobStore
+	dir string
+	ix  *Index
+}
+
+// Chunk implements ChunkSource.
+func (s storeChunks) Chunk(i int) ([]byte, error) {
+	if i < 0 || i >= len(s.ix.ChunkPaths) {
+		return nil, fmt.Errorf("dataset: chunk %d of %d", i, len(s.ix.ChunkPaths))
+	}
+	return s.bs.GetBlob(fmt.Sprintf("%s/%s", s.dir, s.ix.ChunkPaths[i]))
+}

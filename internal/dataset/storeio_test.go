@@ -1,0 +1,93 @@
+package dataset
+
+import (
+	"testing"
+
+	"tenplex/internal/store"
+)
+
+func TestStagePartitionRoundTrip(t *testing.T) {
+	ix, chunks := Synthetic(96, 32, 12, 3)
+	bs := store.Local{FS: store.NewMemFS()}
+	c := Cursor{Seed: 5, Consumed: 16}
+	const (
+		n, gb, dp = 96, 8, 2
+		job       = "job0"
+	)
+	var staged int64
+	for rank := 0; rank < dp; rank++ {
+		b, err := StagePartition(bs, job, ix, MemChunks(chunks), c, n, gb, dp, rank)
+		if err != nil {
+			t.Fatal(err)
+		}
+		staged += b
+	}
+	if staged == 0 {
+		t.Fatal("nothing staged")
+	}
+
+	// Reading back through the store yields exactly the cursor's
+	// partition, exactly once across ranks.
+	seen := map[int]bool{}
+	for rank := 0; rank < dp; rank++ {
+		loader, samples, err := OpenPartition(bs, job, ix, rank)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := c.Partition(n, gb, dp, rank)
+		if len(samples) != len(want) {
+			t.Fatalf("rank %d: %d samples, want %d", rank, len(samples), len(want))
+		}
+		for i, id := range samples {
+			if id != want[i] {
+				t.Fatalf("rank %d: order diverges at %d", rank, i)
+			}
+			if seen[id] {
+				t.Fatalf("sample %d staged to two ranks", id)
+			}
+			seen[id] = true
+			payload, err := loader.Sample(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if DecodeSampleID(payload) != id {
+				t.Fatalf("sample %d payload decodes to %d", id, DecodeSampleID(payload))
+			}
+		}
+	}
+}
+
+func TestOpenPartitionErrors(t *testing.T) {
+	ix, _ := Synthetic(16, 16, 4, 1)
+	bs := store.Local{FS: store.NewMemFS()}
+	if _, _, err := OpenPartition(bs, "ghost", ix, 0); err == nil {
+		t.Fatal("missing partition opened")
+	}
+	// Corrupt manifest.
+	if err := bs.PutBlob("/job/j/dataset/rank0/index.json", []byte("not json")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := OpenPartition(bs, "j", ix, 0); err == nil {
+		t.Fatal("corrupt manifest opened")
+	}
+}
+
+func TestStagePartitionFetchOrderUnblocksTraining(t *testing.T) {
+	// The first chunk staged must be the one holding the first sample
+	// the rank consumes.
+	ix, chunks := Synthetic(64, 16, 8, 2)
+	bs := store.Local{FS: store.NewMemFS()}
+	c := Cursor{Seed: 9}
+	if _, err := StagePartition(bs, "j", ix, MemChunks(chunks), c, 64, 8, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	_, samples, err := OpenPartition(bs, "j", ix, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := FetchOrder(ix, samples)
+	if len(order) == 0 || order[0] != ix.Samples[samples[0]].Chunk {
+		t.Fatalf("fetch order %v does not start with the first-needed chunk %d",
+			order, ix.Samples[samples[0]].Chunk)
+	}
+}

@@ -1,0 +1,56 @@
+package experiments
+
+import "testing"
+
+func TestAblationAlignmentSaves(t *testing.T) {
+	r, err := AblationAlignment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.WithOpt >= r.Without {
+		t.Fatalf("alignment does not help: %.2f vs %.2f GB", r.WithOpt, r.Without)
+	}
+	if r.WithOpt > 0.7*r.Without {
+		t.Fatalf("alignment saving too small: %.2f of %.2f GB", r.WithOpt, r.Without)
+	}
+}
+
+func TestAblationLocalitySaves(t *testing.T) {
+	r, err := AblationLocality()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.WithOpt != 0 {
+		t.Fatalf("locality-aware plan still crossed workers: %.2f GB", r.WithOpt)
+	}
+	if r.Without <= 0 {
+		t.Fatal("naive plan should cross workers")
+	}
+}
+
+func TestAblationRangeQueriesSave(t *testing.T) {
+	r, err := AblationRangeQueries()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A TP doubling needs exactly half of each source sub-tensor:
+	// whole-tensor fetches move ~2x the bytes.
+	if r.Without < 1.8*r.WithOpt {
+		t.Fatalf("range queries should halve traffic: %.2f vs %.2f GB", r.WithOpt, r.Without)
+	}
+}
+
+func TestAblationsTable(t *testing.T) {
+	rows, table, err := Ablations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 || len(table.Rows) != 3 {
+		t.Fatalf("%d ablations", len(rows))
+	}
+	for _, r := range rows {
+		if r.WithOpt >= r.Without {
+			t.Fatalf("%s: no saving (%.2f vs %.2f)", r.Name, r.WithOpt, r.Without)
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"fmt"
+
+	"tenplex/internal/cluster"
+	"tenplex/internal/model"
+	"tenplex/internal/perfmodel"
+)
+
+// Fig3Row is one bar of Fig. 3: throughput of one parallelization
+// configuration on 16 GPUs.
+type Fig3Row struct {
+	Model      string
+	Config     string
+	SamplesSec float64
+	Feasible   bool
+}
+
+// Fig3ParallelizationSweep reproduces Fig. 3: training throughput of
+// BERT-large and GPT-3 2.7B on the 16-GPU on-premise cluster under
+// every (T,P,D) configuration. The paper's headline findings: the
+// spread between best and worst exceeds 10×; (2,4,2) performs best for
+// GPT-3 2.7B because tensor parallelism stays inside NVLink-connected
+// workers; (16,1,1) performs worst because TP crosses the inter-worker
+// network.
+func Fig3ParallelizationSweep() ([]Fig3Row, Table) {
+	topo := cluster.OnPrem16()
+	p := perfmodel.DefaultParams()
+	table := Table{
+		ID:      "fig3",
+		Title:   "Throughput by parallelization configuration (16 GPUs)",
+		Columns: []string{"model", "(T,P,D)", "samples/s", "feasible"},
+		Notes: []string{
+			"paper: >10x spread; (2,4,2) best for GPT-3 2.7B; (16,1,1) worst",
+		},
+	}
+	var rows []Fig3Row
+	for _, m := range []*model.Model{model.BERTLarge(), model.GPT3_2B7()} {
+		for _, est := range perfmodel.Sweep(m, topo, 16, p) {
+			r := Fig3Row{
+				Model:      m.Name,
+				Config:     est.Config.String(),
+				SamplesSec: est.SamplesSec,
+				Feasible:   est.Feasible,
+			}
+			rows = append(rows, r)
+			val := "-"
+			if est.Feasible {
+				val = fmt.Sprintf("%.1f", est.SamplesSec)
+			}
+			table.Rows = append(table.Rows, []string{
+				m.Name, est.Config.String(), val, fmt.Sprintf("%v", est.Feasible),
+			})
+		}
+	}
+	return rows, table
+}

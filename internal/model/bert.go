@@ -1,0 +1,75 @@
+package model
+
+import (
+	"fmt"
+
+	"tenplex/internal/tensor"
+)
+
+// BERTLarge returns the BERT-large catalog (340M parameters: 24 layers,
+// hidden 1024, 16 heads, WordPiece vocab 30522), used by Fig. 3 and the
+// Fig. 16 convergence experiments.
+func BERTLarge() *Model {
+	return BERT(24, 1024, 16, 30522, 512, "bert-large-340m")
+}
+
+// BERTCustom builds a reduced-scale BERT for materialized tests.
+func BERTCustom(layers, hidden, heads, vocab, seqLen int) *Model {
+	return BERT(layers, hidden, heads, vocab, seqLen,
+		fmt.Sprintf("bert-custom-l%d-h%d", layers, hidden))
+}
+
+// BERT materializes an encoder catalog. The per-block decomposition is
+// identical to GPT's (Megatron treats both the same way); BERT adds
+// token-type embeddings, an embedding layer norm and a pooler.
+func BERT(layers, hidden, heads, vocab, seqLen int, name string) *Model {
+	if layers < 1 || hidden < 1 || heads < 1 || hidden%heads != 0 {
+		panic(fmt.Sprintf("model: bad BERT config l=%d h=%d heads=%d", layers, hidden, heads))
+	}
+	h := hidden
+	dt := tensor.Float32
+	blockParams := float64(12*h*h + 13*h)
+	blockFLOPs := 6 * blockParams * float64(seqLen)
+
+	m := &Model{Name: name, SeqLen: seqLen, ActElemsPerSample: seqLen * h}
+	m.Layers = append(m.Layers, Layer{
+		Name: "embedding",
+		Params: []Param{
+			{Name: "word/weight", Shape: []int{vocab, h}, DType: dt, TPDim: 0},
+			{Name: "position/weight", Shape: []int{seqLen, h}, DType: dt, TPDim: NoTP},
+			{Name: "tokentype/weight", Shape: []int{2, h}, DType: dt, TPDim: NoTP},
+			{Name: "ln/weight", Shape: []int{h}, DType: dt, TPDim: NoTP},
+			{Name: "ln/bias", Shape: []int{h}, DType: dt, TPDim: NoTP},
+		},
+		FLOPsPerSample: 6 * float64(vocab*h) * float64(seqLen) * 0.05,
+	})
+	for i := 0; i < layers; i++ {
+		m.Layers = append(m.Layers, Layer{
+			Name: fmt.Sprintf("block.%d", i),
+			Params: []Param{
+				{Name: "attn/qkv/weight", Shape: []int{3 * h, h}, DType: dt, TPDim: 0},
+				{Name: "attn/qkv/bias", Shape: []int{3 * h}, DType: dt, TPDim: 0},
+				{Name: "attn/proj/weight", Shape: []int{h, h}, DType: dt, TPDim: 1},
+				{Name: "attn/proj/bias", Shape: []int{h}, DType: dt, TPDim: NoTP},
+				{Name: "ln1/weight", Shape: []int{h}, DType: dt, TPDim: NoTP},
+				{Name: "ln1/bias", Shape: []int{h}, DType: dt, TPDim: NoTP},
+				{Name: "mlp/fc1/weight", Shape: []int{4 * h, h}, DType: dt, TPDim: 0},
+				{Name: "mlp/fc1/bias", Shape: []int{4 * h}, DType: dt, TPDim: 0},
+				{Name: "mlp/fc2/weight", Shape: []int{h, 4 * h}, DType: dt, TPDim: 1},
+				{Name: "mlp/fc2/bias", Shape: []int{h}, DType: dt, TPDim: NoTP},
+				{Name: "ln2/weight", Shape: []int{h}, DType: dt, TPDim: NoTP},
+				{Name: "ln2/bias", Shape: []int{h}, DType: dt, TPDim: NoTP},
+			},
+			FLOPsPerSample: blockFLOPs,
+		})
+	}
+	m.Layers = append(m.Layers, Layer{
+		Name: "pooler",
+		Params: []Param{
+			{Name: "dense/weight", Shape: []int{h, h}, DType: dt, TPDim: NoTP},
+			{Name: "dense/bias", Shape: []int{h}, DType: dt, TPDim: NoTP},
+		},
+		FLOPsPerSample: 6 * float64(h*h),
+	})
+	return m
+}

@@ -1,0 +1,143 @@
+package model
+
+import (
+	"fmt"
+
+	"tenplex/internal/tensor"
+)
+
+// GPTConfig captures the transformer hyper-parameters that determine
+// parameter shapes.
+type GPTConfig struct {
+	Name      string
+	Layers    int
+	Hidden    int
+	Heads     int
+	Vocab     int
+	SeqLen    int
+	DType     tensor.DType
+	TiedEmbed bool // share input embedding with output head
+}
+
+// The paper trains GPT-3 with sizes 1.3B (XL), 2.7B and 6.7B (§6.1).
+// Hyper-parameters follow Brown et al. (2020), Table 2.1.
+
+// GPT3XL returns the GPT-3 1.3B catalog.
+func GPT3XL() *Model {
+	return GPT(GPTConfig{
+		Name: "gpt3-xl-1.3b", Layers: 24, Hidden: 2048, Heads: 16,
+		Vocab: 50257, SeqLen: 1024, DType: tensor.Float32, TiedEmbed: true,
+	})
+}
+
+// GPT3_2B7 returns the GPT-3 2.7B catalog.
+func GPT3_2B7() *Model {
+	return GPT(GPTConfig{
+		Name: "gpt3-2.7b", Layers: 32, Hidden: 2560, Heads: 32,
+		Vocab: 50257, SeqLen: 1024, DType: tensor.Float32, TiedEmbed: true,
+	})
+}
+
+// GPT3_6B7 returns the GPT-3 6.7B catalog.
+func GPT3_6B7() *Model {
+	return GPT(GPTConfig{
+		Name: "gpt3-6.7b", Layers: 32, Hidden: 4096, Heads: 32,
+		Vocab: 50257, SeqLen: 1024, DType: tensor.Float32, TiedEmbed: true,
+	})
+}
+
+// GPTBySize maps the paper's model-size labels to catalogs.
+func GPTBySize(size string) (*Model, error) {
+	switch size {
+	case "1.3B", "1.3b", "xl", "XL":
+		return GPT3XL(), nil
+	case "2.7B", "2.7b":
+		return GPT3_2B7(), nil
+	case "6.7B", "6.7b":
+		return GPT3_6B7(), nil
+	}
+	return nil, fmt.Errorf("model: unknown GPT-3 size %q", size)
+}
+
+// GPTCustom builds a reduced-scale GPT for the correctness plane, where
+// tensors are materialized with real bytes.
+func GPTCustom(layers, hidden, heads, vocab, seqLen int) *Model {
+	return GPT(GPTConfig{
+		Name:   fmt.Sprintf("gpt-custom-l%d-h%d", layers, hidden),
+		Layers: layers, Hidden: hidden, Heads: heads,
+		Vocab: vocab, SeqLen: seqLen, DType: tensor.Float32, TiedEmbed: true,
+	})
+}
+
+// GPT materializes a transformer catalog from cfg, following the
+// Megatron-LM decomposition:
+//
+//   - embedding: word embedding (vocab-parallel, TP dim 0) and position
+//     embedding (replicated);
+//   - each block: fused QKV projection (column-parallel), attention
+//     output projection (row-parallel), 4× MLP up-projection
+//     (column-parallel), MLP down-projection (row-parallel), and two
+//     replicated layer norms;
+//   - final layer norm; the output head shares the word embedding when
+//     TiedEmbed is set, otherwise a separate vocab-parallel matrix.
+func GPT(cfg GPTConfig) *Model {
+	if cfg.Layers < 1 || cfg.Hidden < 1 || cfg.Heads < 1 || cfg.Hidden%cfg.Heads != 0 {
+		panic(fmt.Sprintf("model: bad GPT config %+v", cfg))
+	}
+	h := cfg.Hidden
+	dt := cfg.DType
+
+	// Training FLOPs ≈ 6 × params × tokens (fwd + bwd), attributed per
+	// layer so pipeline stages can be balanced by compute.
+	blockParams := float64(12*h*h + 13*h)
+	blockFLOPs := 6 * blockParams * float64(cfg.SeqLen)
+
+	m := &Model{Name: cfg.Name, SeqLen: cfg.SeqLen, ActElemsPerSample: cfg.SeqLen * h}
+
+	embed := Layer{
+		Name: "embedding",
+		Params: []Param{
+			{Name: "word/weight", Shape: []int{cfg.Vocab, h}, DType: dt, TPDim: 0},
+			{Name: "position/weight", Shape: []int{cfg.SeqLen, h}, DType: dt, TPDim: NoTP},
+		},
+		FLOPsPerSample: 6 * float64(cfg.Vocab*h) * float64(cfg.SeqLen) * 0.05,
+	}
+	m.Layers = append(m.Layers, embed)
+
+	for i := 0; i < cfg.Layers; i++ {
+		m.Layers = append(m.Layers, Layer{
+			Name: fmt.Sprintf("block.%d", i),
+			Params: []Param{
+				{Name: "ln1/weight", Shape: []int{h}, DType: dt, TPDim: NoTP},
+				{Name: "ln1/bias", Shape: []int{h}, DType: dt, TPDim: NoTP},
+				{Name: "attn/qkv/weight", Shape: []int{3 * h, h}, DType: dt, TPDim: 0},
+				{Name: "attn/qkv/bias", Shape: []int{3 * h}, DType: dt, TPDim: 0},
+				{Name: "attn/proj/weight", Shape: []int{h, h}, DType: dt, TPDim: 1},
+				{Name: "attn/proj/bias", Shape: []int{h}, DType: dt, TPDim: NoTP},
+				{Name: "ln2/weight", Shape: []int{h}, DType: dt, TPDim: NoTP},
+				{Name: "ln2/bias", Shape: []int{h}, DType: dt, TPDim: NoTP},
+				{Name: "mlp/fc1/weight", Shape: []int{4 * h, h}, DType: dt, TPDim: 0},
+				{Name: "mlp/fc1/bias", Shape: []int{4 * h}, DType: dt, TPDim: 0},
+				{Name: "mlp/fc2/weight", Shape: []int{h, 4 * h}, DType: dt, TPDim: 1},
+				{Name: "mlp/fc2/bias", Shape: []int{h}, DType: dt, TPDim: NoTP},
+			},
+			FLOPsPerSample: blockFLOPs,
+		})
+	}
+
+	final := Layer{
+		Name: "final",
+		Params: []Param{
+			{Name: "ln/weight", Shape: []int{h}, DType: dt, TPDim: NoTP},
+			{Name: "ln/bias", Shape: []int{h}, DType: dt, TPDim: NoTP},
+		},
+		FLOPsPerSample: 6 * float64(cfg.Vocab*h) * float64(cfg.SeqLen) * 0.05,
+	}
+	if !cfg.TiedEmbed {
+		final.Params = append(final.Params, Param{
+			Name: "head/weight", Shape: []int{cfg.Vocab, h}, DType: dt, TPDim: 0,
+		})
+	}
+	m.Layers = append(m.Layers, final)
+	return m
+}

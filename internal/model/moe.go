@@ -1,0 +1,108 @@
+package model
+
+import (
+	"fmt"
+
+	"tenplex/internal/tensor"
+)
+
+// MoEConfig describes a mixture-of-experts transformer whose FFN is
+// replaced by E expert FFNs plus a router (Switch/DeepSpeed-MoE style).
+// Expert parallelism (§4.3) groups each expert's tensors and assigns
+// the groups to devices — the slicing function stays the identity.
+type MoEConfig struct {
+	Name    string
+	Layers  int
+	Hidden  int
+	Heads   int
+	Experts int
+	Vocab   int
+	SeqLen  int
+}
+
+// MoE materializes the catalog. Attention and norms follow the dense
+// GPT decomposition; every expert contributes its own pair of FFN
+// matrices flagged with IsExpert/Expert so the expert-parallel builder
+// can group them.
+func MoE(cfg MoEConfig) *Model {
+	if cfg.Layers < 1 || cfg.Hidden < 1 || cfg.Experts < 1 || cfg.Heads < 1 || cfg.Hidden%cfg.Heads != 0 {
+		panic(fmt.Sprintf("model: bad MoE config %+v", cfg))
+	}
+	h := cfg.Hidden
+	dt := tensor.Float32
+	m := &Model{Name: cfg.Name, SeqLen: cfg.SeqLen, ActElemsPerSample: cfg.SeqLen * h}
+
+	m.Layers = append(m.Layers, Layer{
+		Name: "embedding",
+		Params: []Param{
+			{Name: "word/weight", Shape: []int{cfg.Vocab, h}, DType: dt, TPDim: 0},
+			{Name: "position/weight", Shape: []int{cfg.SeqLen, h}, DType: dt, TPDim: NoTP},
+		},
+		FLOPsPerSample: 6 * float64(cfg.Vocab*h) * float64(cfg.SeqLen) * 0.05,
+	})
+	attnParams := func() []Param {
+		return []Param{
+			{Name: "ln1/weight", Shape: []int{h}, DType: dt, TPDim: NoTP},
+			{Name: "ln1/bias", Shape: []int{h}, DType: dt, TPDim: NoTP},
+			{Name: "attn/qkv/weight", Shape: []int{3 * h, h}, DType: dt, TPDim: 0},
+			{Name: "attn/qkv/bias", Shape: []int{3 * h}, DType: dt, TPDim: 0},
+			{Name: "attn/proj/weight", Shape: []int{h, h}, DType: dt, TPDim: 1},
+			{Name: "attn/proj/bias", Shape: []int{h}, DType: dt, TPDim: NoTP},
+			{Name: "ln2/weight", Shape: []int{h}, DType: dt, TPDim: NoTP},
+			{Name: "ln2/bias", Shape: []int{h}, DType: dt, TPDim: NoTP},
+			{Name: "router/weight", Shape: []int{cfg.Experts, h}, DType: dt, TPDim: NoTP},
+		}
+	}
+	// Per-token compute: attention + one routed expert; parameters
+	// cover all experts.
+	denseBlock := float64(12*h*h + 13*h)
+	blockFLOPs := 6 * denseBlock * float64(cfg.SeqLen)
+	for i := 0; i < cfg.Layers; i++ {
+		l := Layer{Name: fmt.Sprintf("block.%d", i), FLOPsPerSample: blockFLOPs}
+		l.Params = append(l.Params, attnParams()...)
+		for e := 0; e < cfg.Experts; e++ {
+			l.Params = append(l.Params,
+				Param{Name: fmt.Sprintf("mlp/expert.%d/fc1/weight", e), Shape: []int{4 * h, h},
+					DType: dt, TPDim: 0, IsExpert: true, Expert: e},
+				Param{Name: fmt.Sprintf("mlp/expert.%d/fc1/bias", e), Shape: []int{4 * h},
+					DType: dt, TPDim: 0, IsExpert: true, Expert: e},
+				Param{Name: fmt.Sprintf("mlp/expert.%d/fc2/weight", e), Shape: []int{h, 4 * h},
+					DType: dt, TPDim: 1, IsExpert: true, Expert: e},
+				Param{Name: fmt.Sprintf("mlp/expert.%d/fc2/bias", e), Shape: []int{h},
+					DType: dt, TPDim: NoTP, IsExpert: true, Expert: e},
+			)
+		}
+		m.Layers = append(m.Layers, l)
+	}
+	m.Layers = append(m.Layers, Layer{
+		Name: "final",
+		Params: []Param{
+			{Name: "ln/weight", Shape: []int{h}, DType: dt, TPDim: NoTP},
+			{Name: "ln/bias", Shape: []int{h}, DType: dt, TPDim: NoTP},
+		},
+		FLOPsPerSample: 6 * float64(cfg.Vocab*h) * float64(cfg.SeqLen) * 0.05,
+	})
+	return m
+}
+
+// MoECustom is a reduced-scale MoE for materialized tests and examples.
+func MoECustom(layers, hidden, experts int) *Model {
+	return MoE(MoEConfig{
+		Name:   fmt.Sprintf("moe-custom-l%d-h%d-e%d", layers, hidden, experts),
+		Layers: layers, Hidden: hidden, Heads: 2, Experts: experts,
+		Vocab: 128, SeqLen: 16,
+	})
+}
+
+// NumExperts returns the number of distinct experts in the catalog.
+func (m *Model) NumExperts() int {
+	max := -1
+	for _, l := range m.Layers {
+		for _, p := range l.Params {
+			if p.IsExpert && p.Expert > max {
+				max = p.Expert
+			}
+		}
+	}
+	return max + 1
+}

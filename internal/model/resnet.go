@@ -1,0 +1,73 @@
+package model
+
+import (
+	"fmt"
+
+	"tenplex/internal/tensor"
+)
+
+// ResNet50 returns the ResNet-50 catalog (25.6M parameters), used by the
+// Horovod throughput comparison (Fig. 13). Convolutions are not
+// tensor-parallelizable in this reproduction (the paper only trains
+// ResNet under data parallelism), so every parameter is TP-replicated.
+func ResNet50() *Model {
+	dt := tensor.Float32
+	// Largest stage-boundary feature map: 56×56×256 after stage 1.
+	m := &Model{Name: "resnet50-25m", ActElemsPerSample: 56 * 56 * 256}
+
+	conv := func(name string, out, in, k int) Param {
+		return Param{Name: name + "/weight", Shape: []int{out, in, k, k}, DType: dt, TPDim: NoTP}
+	}
+	bn := func(name string, ch int) []Param {
+		return []Param{
+			{Name: name + "/weight", Shape: []int{ch}, DType: dt, TPDim: NoTP},
+			{Name: name + "/bias", Shape: []int{ch}, DType: dt, TPDim: NoTP},
+			{Name: name + "/running_mean", Shape: []int{ch}, DType: dt, TPDim: NoTP},
+			{Name: name + "/running_var", Shape: []int{ch}, DType: dt, TPDim: NoTP},
+		}
+	}
+
+	stem := Layer{Name: "stem", FLOPsPerSample: 0.24e9 * 3}
+	stem.Params = append(stem.Params, conv("conv1", 64, 3, 7))
+	stem.Params = append(stem.Params, bn("bn1", 64)...)
+	m.Layers = append(m.Layers, stem)
+
+	// Bottleneck stages: (width, blocks, fwd GFLOPs of the whole stage).
+	stages := []struct {
+		width, blocks int
+		gflops        float64
+	}{
+		{64, 3, 0.68}, {128, 4, 1.04}, {256, 6, 1.47}, {512, 3, 0.66},
+	}
+	in := 64
+	for si, st := range stages {
+		out := st.width * 4
+		perBlock := st.gflops * 3e9 / float64(st.blocks) // fwd+bwd ≈ 3× fwd
+		for b := 0; b < st.blocks; b++ {
+			l := Layer{
+				Name:           fmt.Sprintf("layer%d.%d", si+1, b),
+				FLOPsPerSample: perBlock,
+			}
+			l.Params = append(l.Params, conv("conv1", st.width, in, 1))
+			l.Params = append(l.Params, bn("bn1", st.width)...)
+			l.Params = append(l.Params, conv("conv2", st.width, st.width, 3))
+			l.Params = append(l.Params, bn("bn2", st.width)...)
+			l.Params = append(l.Params, conv("conv3", out, st.width, 1))
+			l.Params = append(l.Params, bn("bn3", out)...)
+			if b == 0 {
+				l.Params = append(l.Params, conv("downsample", out, in, 1))
+				l.Params = append(l.Params, bn("downsample_bn", out)...)
+			}
+			m.Layers = append(m.Layers, l)
+			in = out
+		}
+	}
+
+	fc := Layer{Name: "fc", FLOPsPerSample: 0.004e9 * 3}
+	fc.Params = append(fc.Params,
+		Param{Name: "weight", Shape: []int{1000, 2048}, DType: dt, TPDim: NoTP},
+		Param{Name: "bias", Shape: []int{1000}, DType: dt, TPDim: NoTP},
+	)
+	m.Layers = append(m.Layers, fc)
+	return m
+}

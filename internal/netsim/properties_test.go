@@ -1,0 +1,102 @@
+package netsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"tenplex/internal/cluster"
+)
+
+// randomFlows builds a set of device-to-device flows on a topology.
+func randomFlows(rng *rand.Rand, topo *cluster.Topology, n int) []Flow {
+	out := make([]Flow, n)
+	nd := topo.NumDevices()
+	for i := range out {
+		out[i] = Flow{
+			From:  DevEP(cluster.DeviceID(rng.Intn(nd))),
+			To:    DevEP(cluster.DeviceID(rng.Intn(nd))),
+			Bytes: int64(1+rng.Intn(1000)) * 1e6,
+		}
+	}
+	return out
+}
+
+// TestSimulateMonotoneInLoad: adding flows never makes the transfer set
+// finish earlier.
+func TestSimulateMonotoneInLoad(t *testing.T) {
+	topo := cluster.OnPrem16()
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 100; trial++ {
+		flows := randomFlows(rng, topo, 1+rng.Intn(20))
+		base := Simulate(topo, flows).Seconds
+		more := append(append([]Flow{}, flows...), randomFlows(rng, topo, 1+rng.Intn(5))...)
+		if got := Simulate(topo, more).Seconds; got+1e-12 < base {
+			t.Fatalf("adding flows sped things up: %g -> %g", base, got)
+		}
+	}
+}
+
+// TestSimulateMonotoneInBytes: growing one flow never helps.
+func TestSimulateMonotoneInBytes(t *testing.T) {
+	topo := cluster.Cloud32()
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 100; trial++ {
+		flows := randomFlows(rng, topo, 1+rng.Intn(10))
+		base := Simulate(topo, flows).Seconds
+		i := rng.Intn(len(flows))
+		flows[i].Bytes *= 3
+		if got := Simulate(topo, flows).Seconds; got+1e-12 < base {
+			t.Fatalf("growing a flow sped things up: %g -> %g", base, got)
+		}
+	}
+}
+
+// TestSimulateScaleInvariance: doubling every bandwidth halves the time
+// (minus the latency constant).
+func TestSimulateScaleInvariance(t *testing.T) {
+	topo := cluster.OnPrem16()
+	fast := *topo
+	fast.NVLinkBW *= 2
+	fast.PCIeBW *= 2
+	fast.NetBW *= 2
+	fast.StorageBW *= 2
+	fast.MemCopyBW *= 2
+	fast.NetLatency = 0
+
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 50; trial++ {
+		flows := randomFlows(rng, topo, 1+rng.Intn(12))
+		slow := Simulate(topo, flows)
+		quick := Simulate(&fast, flows)
+		want := (slow.Seconds - topo.NetLatency) / 2
+		if slow.PerResourceSeconds == nil {
+			continue
+		}
+		// Latency applies only when network flows exist; tolerate it.
+		diff := quick.Seconds - want
+		if diff < -1e-9 || diff > topo.NetLatency+1e-9 {
+			t.Fatalf("doubling bandwidth: %g -> %g (want ≈ %g)", slow.Seconds, quick.Seconds, want)
+		}
+	}
+}
+
+// TestSimulateDecomposition: the completion time of a union of flow
+// sets is at most the sum of their separate completion times
+// (subadditivity) and at least each individual one (monotonicity).
+func TestSimulateDecomposition(t *testing.T) {
+	topo := cluster.OnPrem16()
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 100; trial++ {
+		a := randomFlows(rng, topo, 1+rng.Intn(8))
+		b := randomFlows(rng, topo, 1+rng.Intn(8))
+		ta := Simulate(topo, a).Seconds
+		tb := Simulate(topo, b).Seconds
+		tu := Simulate(topo, append(append([]Flow{}, a...), b...)).Seconds
+		if tu+1e-12 < ta || tu+1e-12 < tb {
+			t.Fatalf("union faster than a part: %g vs %g/%g", tu, ta, tb)
+		}
+		if tu > ta+tb+1e-9 {
+			t.Fatalf("union slower than serial: %g vs %g+%g", tu, ta, tb)
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package parallel
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"tenplex/internal/cluster"
+	"tenplex/internal/core"
+	"tenplex/internal/model"
+	"tenplex/internal/tensor"
+)
+
+// BuildPTC constructs the parallelizable tensor collection describing
+// model m's state parallelized with cfg over the allocation:
+//
+//   - the slicing function σ cuts every tensor-parallel parameter into
+//     cfg.TP near-equal ranges along its TPDim (replicated parameters
+//     are "sliced" into one full range);
+//   - the partitioning function φ groups sub-tensors by pipeline stage
+//     (contiguous, FLOP-balanced layer ranges) and replicates every
+//     group cfg.DP times;
+//   - the allocation function α maps rank (dp, pp, tp) onto
+//     alloc[RankIndex], TP fastest.
+//
+// Optimizer-state tensors follow their parameter's slicing, as Megatron
+// checkpoints do.
+func BuildPTC(m *model.Model, cfg Config, alloc cluster.Allocation) (*core.PTC, error) {
+	if err := cfg.Validate(len(alloc), m); err != nil {
+		return nil, err
+	}
+	stages := PartitionStages(m, cfg.PP)
+
+	ptc := core.NewPTC(fmt.Sprintf("%s %s", m.Name, cfg), alloc)
+	params := m.StateParams()
+	for _, lp := range params {
+		ptc.AddTensor(core.TensorMeta{
+			ID:    core.TensorID(lp.Path()),
+			DType: lp.Param.DType,
+			Shape: lp.Param.Shape,
+		})
+	}
+
+	// layerStage[i] = pipeline stage owning layer i.
+	layerStage := make([]int, len(m.Layers))
+	for s, rng := range stages {
+		for i := rng[0]; i < rng[1]; i++ {
+			layerStage[i] = s
+		}
+	}
+
+	for _, r := range cfg.Ranks() {
+		dev := cfg.DeviceFor(alloc, r)
+		for _, lp := range params {
+			if layerStage[lp.LayerIndex] != r.PP {
+				continue
+			}
+			reg := tpRegion(lp.Param, cfg.TP, r.TP)
+			ptc.Assign(dev, core.TensorID(lp.Path()), reg)
+		}
+	}
+	if err := ptc.Validate(); err != nil {
+		return nil, fmt.Errorf("parallel: built PTC invalid: %w", err)
+	}
+	return ptc, nil
+}
+
+// tpRegion returns the region of p held by tensor-parallel rank tp out
+// of tpDegree. Parameters without a TP dimension — or too small to cut —
+// are replicated in full on every TP rank.
+func tpRegion(p model.Param, tpDegree, tp int) tensor.Region {
+	full := tensor.FullRegion(p.Shape)
+	if p.TPDim == model.NoTP || tpDegree == 1 || p.Shape[p.TPDim] < tpDegree {
+		return full
+	}
+	full[p.TPDim] = tensor.SplitRanges(p.Shape[p.TPDim], tpDegree)[tp]
+	return full
+}
+
+// RankSpec is the JSON interchange structure the State Transformer
+// exchanges with model parallelizers (§5.1): one object per rank,
+// following the structure of the model hosted by that rank, with tensor
+// shapes (and their sub-tensor ranges) as leaves.
+type RankSpec struct {
+	Rank    int                   `json:"rank"`
+	Device  int                   `json:"device"`
+	DP      int                   `json:"dp"`
+	PP      int                   `json:"pp"`
+	TP      int                   `json:"tp"`
+	Tensors map[string]RankTensor `json:"tensors"`
+}
+
+// RankTensor is one leaf of a RankSpec.
+type RankTensor struct {
+	DType string `json:"dtype"`
+	Shape []int  `json:"shape"`
+	Range string `json:"range"`
+}
+
+// ConfigJSON renders the full parallelization configuration — a list of
+// per-rank model structures — as JSON.
+func ConfigJSON(m *model.Model, cfg Config, alloc cluster.Allocation) ([]byte, error) {
+	ptc, err := BuildPTC(m, cfg, alloc)
+	if err != nil {
+		return nil, err
+	}
+	specs := make([]RankSpec, 0, cfg.WorldSize())
+	for i, r := range cfg.Ranks() {
+		dev := cfg.DeviceFor(alloc, r)
+		spec := RankSpec{
+			Rank: i, Device: int(dev), DP: r.DP, PP: r.PP, TP: r.TP,
+			Tensors: map[string]RankTensor{},
+		}
+		for _, s := range ptc.Place[dev] {
+			meta := ptc.Tensors[s.Tensor]
+			spec.Tensors[string(s.Tensor)] = RankTensor{
+				DType: meta.DType.String(),
+				Shape: s.Region.Shape(),
+				Range: s.Region.String(),
+			}
+		}
+		specs = append(specs, spec)
+	}
+	return json.MarshalIndent(specs, "", "  ")
+}
+
+// ParseConfigJSON decodes a ConfigJSON document back into rank specs,
+// letting external parallelizers hand Tenplex a configuration.
+func ParseConfigJSON(data []byte) ([]RankSpec, error) {
+	var specs []RankSpec
+	if err := json.Unmarshal(data, &specs); err != nil {
+		return nil, fmt.Errorf("parallel: bad configuration JSON: %w", err)
+	}
+	return specs, nil
+}

@@ -1,0 +1,116 @@
+package parallel
+
+import (
+	"fmt"
+
+	"tenplex/internal/cluster"
+	"tenplex/internal/core"
+	"tenplex/internal/model"
+	"tenplex/internal/tensor"
+)
+
+// The PTC's three functions generalize beyond (T, P, D) — §4.3. This
+// file implements the two strategies the paper calls out: expert
+// parallelism for mixture-of-experts models, and sequence parallelism
+// for data sample tensors.
+
+// MoEConfig is an expert-parallel configuration: EP expert groups
+// replicated DP ways. Experts are distributed round-robin over the EP
+// ranks; attention/norm/router parameters are replicated within each
+// replica's EP group (the usual DeepSpeed-MoE deployment).
+type MoEConfig struct {
+	EP, DP int
+}
+
+// WorldSize returns the device count the configuration occupies.
+func (c MoEConfig) WorldSize() int { return c.EP * c.DP }
+
+func (c MoEConfig) String() string { return fmt.Sprintf("(E=%d,D=%d)", c.EP, c.DP) }
+
+// BuildMoEPTC expresses expert parallelism with the PTC functions: the
+// slicing function σ is the identity (experts are whole tensors), the
+// partitioning function φ groups tensors by expert — analogous to
+// pipeline stages, with expert groups in place of stage groups — and α
+// assigns group (dp, ep) to alloc[dp·EP + ep].
+func BuildMoEPTC(m *model.Model, cfg MoEConfig, alloc cluster.Allocation) (*core.PTC, error) {
+	if cfg.EP < 1 || cfg.DP < 1 {
+		return nil, fmt.Errorf("parallel: bad MoE config %v", cfg)
+	}
+	if cfg.WorldSize() != len(alloc) {
+		return nil, fmt.Errorf("parallel: %v needs %d devices, allocation has %d", cfg, cfg.WorldSize(), len(alloc))
+	}
+	nExperts := m.NumExperts()
+	if nExperts == 0 {
+		return nil, fmt.Errorf("parallel: model %s has no experts", m.Name)
+	}
+	if cfg.EP > nExperts {
+		return nil, fmt.Errorf("parallel: EP=%d exceeds %d experts", cfg.EP, nExperts)
+	}
+
+	ptc := core.NewPTC(fmt.Sprintf("%s %s", m.Name, cfg), alloc)
+	params := m.StateParams()
+	for _, lp := range params {
+		ptc.AddTensor(core.TensorMeta{
+			ID:    core.TensorID(lp.Path()),
+			DType: lp.Param.DType,
+			Shape: lp.Param.Shape,
+		})
+	}
+	for dp := 0; dp < cfg.DP; dp++ {
+		for ep := 0; ep < cfg.EP; ep++ {
+			dev := alloc[dp*cfg.EP+ep]
+			for _, lp := range params {
+				p := lp.Param
+				if p.IsExpert && p.Expert%cfg.EP != ep {
+					continue // owned by another expert group
+				}
+				ptc.Assign(dev, core.TensorID(lp.Path()), tensor.FullRegion(p.Shape))
+			}
+		}
+	}
+	if err := ptc.Validate(); err != nil {
+		return nil, fmt.Errorf("parallel: built MoE PTC invalid: %w", err)
+	}
+	return ptc, nil
+}
+
+// SequenceBatch describes a batch of data sample tensors for sequence
+// parallelism: each sample is a [SeqLen, Features] tensor that σ slices
+// along the sequence dimension.
+type SequenceBatch struct {
+	// Samples names the per-sample tensors (e.g. "sample.0").
+	Samples []string
+	// SeqLen and Features are the sample tensor shape.
+	SeqLen, Features int
+	DType            tensor.DType
+}
+
+// BuildSequencePTC expresses sequence parallelism with the PTC
+// functions: like tensor parallelism, σ slices tensors — but it slices
+// the *data sample* tensors along the sequence dimension instead of the
+// model tensors (§4.3). Rank r of sp holds rows
+// SplitRanges(SeqLen, sp)[r] of every sample.
+func BuildSequencePTC(name string, batch SequenceBatch, sp int, alloc cluster.Allocation) (*core.PTC, error) {
+	if sp < 1 || sp > batch.SeqLen {
+		return nil, fmt.Errorf("parallel: SP=%d for sequence length %d", sp, batch.SeqLen)
+	}
+	if sp != len(alloc) {
+		return nil, fmt.Errorf("parallel: SP=%d needs %d devices, allocation has %d", sp, sp, len(alloc))
+	}
+	ptc := core.NewPTC(fmt.Sprintf("%s SP=%d", name, sp), alloc)
+	shape := []int{batch.SeqLen, batch.Features}
+	for _, s := range batch.Samples {
+		ptc.AddTensor(core.TensorMeta{ID: core.TensorID(s), DType: batch.DType, Shape: shape})
+	}
+	ranges := tensor.SplitRanges(batch.SeqLen, sp)
+	for r, dev := range alloc {
+		reg := tensor.Region{ranges[r], {Lo: 0, Hi: batch.Features}}
+		for _, s := range batch.Samples {
+			ptc.Assign(dev, core.TensorID(s), reg.Clone())
+		}
+	}
+	if err := ptc.Validate(); err != nil {
+		return nil, fmt.Errorf("parallel: built SP PTC invalid: %w", err)
+	}
+	return ptc, nil
+}

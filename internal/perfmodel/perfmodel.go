@@ -1,0 +1,224 @@
+// Package perfmodel estimates training throughput (samples/s) for a
+// model under a multi-dimensional parallelization configuration on a
+// cluster topology. It substitutes for profiling-based model
+// parallelizers (Alpa, Megatron-LM): Tenplex asks it for the best
+// (T, P, D) for a device count, and the Fig. 3 sweep uses it to
+// reproduce the >10× throughput spread between configurations.
+//
+// The per-iteration time model follows the standard decomposition:
+//
+//	iter = (compute + tpComm + ppComm) · bubble + dpComm
+//
+// where compute divides the model FLOPs over devices, tensor-parallel
+// communication all-reduces activations per layer inside each TP group,
+// pipeline parallelism multiplies by the bubble factor (m+P−1)/m for m
+// micro-batches and exchanges boundary activations, and data
+// parallelism all-reduces gradients across replicas. Which terms
+// dominate depends on where the parallelism groups land in the
+// topology — TP inside an NVLink pair is nearly free, TP across
+// InfiniBand is catastrophic — which is exactly the effect Fig. 3
+// demonstrates.
+package perfmodel
+
+import (
+	"fmt"
+	"sort"
+
+	"tenplex/internal/cluster"
+	"tenplex/internal/model"
+	"tenplex/internal/netsim"
+	"tenplex/internal/parallel"
+)
+
+// Params tunes the cost model.
+type Params struct {
+	// GlobalBatch is the per-iteration sample count across all replicas.
+	GlobalBatch int
+	// MicroBatch is the pipeline micro-batch size per replica.
+	MicroBatch int
+	// DevFLOPS is the effective per-device compute rate (FLOP/s),
+	// already discounted for utilization.
+	DevFLOPS float64
+	// GradBytesPerParam is the gradient payload per parameter for the
+	// DP all-reduce (4 for fp32, 2 for fp16).
+	GradBytesPerParam int
+	// ActBytesPerElem is the activation element size (4 for fp32).
+	ActBytesPerElem int
+	// TPAllReducesPerLayer counts activation all-reduces per transformer
+	// layer per sample pass (Megatron: 2 forward + 2 backward).
+	TPAllReducesPerLayer int
+	// DeviceMemGB bounds the per-device state for feasibility; 0 skips
+	// the check.
+	DeviceMemGB float64
+	// StateBytesPerParam sizes the resident training state for the
+	// feasibility check (params + grads + optimizer ≈ 16 B/param for
+	// mixed precision with fp32 Adam).
+	StateBytesPerParam int
+}
+
+// DefaultParams mirrors the paper's setup: A6000-class devices at
+// realistic utilization, fp32 gradients, Megatron-style TP.
+func DefaultParams() Params {
+	return Params{
+		GlobalBatch:          128,
+		MicroBatch:           4,
+		DevFLOPS:             70e12,
+		GradBytesPerParam:    4,
+		ActBytesPerElem:      4,
+		TPAllReducesPerLayer: 4,
+		DeviceMemGB:          48,
+		StateBytesPerParam:   16,
+	}
+}
+
+// Estimate describes one configuration's predicted performance.
+type Estimate struct {
+	Config     parallel.Config
+	SamplesSec float64
+	IterSec    float64
+	Feasible   bool
+	Reason     string // why infeasible, when Feasible is false
+
+	ComputeSec float64
+	TPCommSec  float64
+	PPCommSec  float64
+	DPCommSec  float64
+	Bubble     float64
+}
+
+// Throughput evaluates cfg for m on the first cfg.WorldSize() devices
+// of the allocation.
+func Throughput(m *model.Model, cfg parallel.Config, topo *cluster.Topology,
+	alloc cluster.Allocation, p Params) Estimate {
+	est := Estimate{Config: cfg, Feasible: true}
+	if err := cfg.Validate(len(alloc), m); err != nil {
+		return Estimate{Config: cfg, Reason: err.Error()}
+	}
+	if p.GlobalBatch%cfg.DP != 0 {
+		return Estimate{Config: cfg, Reason: fmt.Sprintf("global batch %d not divisible by DP %d", p.GlobalBatch, cfg.DP)}
+	}
+	if cfg.TP > 1 && !m.TensorParallelizable() {
+		return Estimate{Config: cfg, Reason: fmt.Sprintf("%s has no tensor-parallel dimensions", m.Name)}
+	}
+
+	// Memory feasibility: state bytes per device.
+	if p.DeviceMemGB > 0 {
+		perDev := float64(m.NumParams()) * float64(p.StateBytesPerParam) / float64(cfg.TP*cfg.PP)
+		if perDev > p.DeviceMemGB*1e9 {
+			return Estimate{Config: cfg, Reason: fmt.Sprintf("needs %.1f GB/device, have %.0f", perDev/1e9, p.DeviceMemGB)}
+		}
+	}
+
+	replicaBatch := p.GlobalBatch / cfg.DP
+	micro := p.MicroBatch
+	if micro > replicaBatch {
+		micro = replicaBatch
+	}
+	numMicro := (replicaBatch + micro - 1) / micro
+
+	// Compute: model FLOPs divided over the TP×PP grid, per replica.
+	est.ComputeSec = m.FLOPsPerSample() * float64(replicaBatch) / (float64(cfg.TP*cfg.PP) * p.DevFLOPS)
+
+	actElems := m.ActElemsPerSample
+	if actElems == 0 {
+		actElems = 1
+	}
+
+	// Tensor-parallel activation all-reduces: per layer, per sample,
+	// TPAllReducesPerLayer reductions of the boundary activation. All
+	// layers of one stage all-reduce within the (worst) TP group.
+	if cfg.TP > 1 {
+		perLayerBytes := int64(actElems) * int64(p.ActBytesPerElem)
+		layers := len(m.Layers)
+		vol := perLayerBytes * int64(p.TPAllReducesPerLayer) * int64(layers) * int64(replicaBatch) / int64(cfg.PP)
+		group := worstTPGroup(cfg, alloc, topo)
+		est.TPCommSec = netsim.AllReduceTime(topo, group, vol)
+	}
+
+	// Pipeline: boundary activations per micro-batch per stage edge.
+	if cfg.PP > 1 {
+		actBytes := int64(actElems) * int64(p.ActBytesPerElem) * int64(micro)
+		var worst float64
+		for tp := 0; tp < cfg.TP; tp++ {
+			stagesDevs := cfg.PPNeighbors(alloc, 0, tp)
+			for i := 0; i+1 < len(stagesDevs); i++ {
+				t := netsim.PointToPointTime(topo, stagesDevs[i], stagesDevs[i+1], actBytes)
+				if t > worst {
+					worst = t
+				}
+			}
+		}
+		// 2× for forward and backward, once per micro-batch.
+		est.PPCommSec = 2 * worst * float64(numMicro)
+	}
+
+	est.Bubble = 1
+	if cfg.PP > 1 {
+		est.Bubble = float64(numMicro+cfg.PP-1) / float64(numMicro)
+	}
+
+	// Data-parallel gradient all-reduce: each device syncs its shard of
+	// the parameters with its DP group.
+	if cfg.DP > 1 {
+		gradBytes := m.NumParams() * int64(p.GradBytesPerParam) / int64(cfg.TP*cfg.PP)
+		var worst float64
+		for pp := 0; pp < cfg.PP; pp++ {
+			for tp := 0; tp < cfg.TP; tp++ {
+				group := cfg.DPGroup(alloc, pp, tp)
+				if t := netsim.AllReduceTime(topo, group, gradBytes); t > worst {
+					worst = t
+				}
+			}
+		}
+		est.DPCommSec = worst
+	}
+
+	est.IterSec = (est.ComputeSec+est.TPCommSec+est.PPCommSec)*est.Bubble + est.DPCommSec
+	est.SamplesSec = float64(p.GlobalBatch) / est.IterSec
+	return est
+}
+
+// worstTPGroup returns the TP group with the slowest interconnect (the
+// one that gates the iteration).
+func worstTPGroup(cfg parallel.Config, alloc cluster.Allocation, topo *cluster.Topology) []cluster.DeviceID {
+	var worst []cluster.DeviceID
+	var worstTime float64 = -1
+	for dp := 0; dp < cfg.DP; dp++ {
+		for pp := 0; pp < cfg.PP; pp++ {
+			g := cfg.TPGroup(alloc, dp, pp)
+			t := netsim.AllReduceTime(topo, g, 1<<20)
+			if t > worstTime {
+				worstTime, worst = t, g
+			}
+		}
+	}
+	return worst
+}
+
+// Sweep evaluates every configuration for n devices and returns the
+// estimates sorted by throughput, best first — Fig. 3's bar chart.
+func Sweep(m *model.Model, topo *cluster.Topology, n int, p Params) []Estimate {
+	alloc := topo.FirstN(n)
+	var out []Estimate
+	for _, cfg := range parallel.Enumerate(n, n, 8) {
+		out = append(out, Throughput(m, cfg, topo, alloc, p))
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Feasible != out[j].Feasible {
+			return out[i].Feasible
+		}
+		return out[i].SamplesSec > out[j].SamplesSec
+	})
+	return out
+}
+
+// Best returns the highest-throughput feasible configuration for n
+// devices — the "request a new parallelization configuration from the
+// parallelizer" step of a reconfiguration (§5.1, step 2).
+func Best(m *model.Model, topo *cluster.Topology, n int, p Params) (Estimate, error) {
+	sweep := Sweep(m, topo, n, p)
+	if len(sweep) == 0 || !sweep[0].Feasible {
+		return Estimate{}, fmt.Errorf("perfmodel: no feasible configuration for %d devices", n)
+	}
+	return sweep[0], nil
+}

@@ -1,0 +1,75 @@
+package store
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"testing"
+
+	"tenplex/internal/tensor"
+)
+
+func BenchmarkMemFSPutGet(b *testing.B) {
+	fs := NewMemFS()
+	x := tensor.New(tensor.Float32, 256, 256)
+	b.SetBytes(int64(x.NumBytes()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		path := fmt.Sprintf("/job/model/dev%d/w", i%16)
+		if err := fs.PutTensor(path, x); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := fs.GetTensor(path); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMemFSGetSlice(b *testing.B) {
+	fs := NewMemFS()
+	x := tensor.New(tensor.Float32, 1024, 1024)
+	if err := fs.PutTensor("/w", x); err != nil {
+		b.Fatal(err)
+	}
+	reg := tensor.Region{{Lo: 0, Hi: 1024}, {Lo: 128, Hi: 256}}
+	b.SetBytes(reg.NumBytes(tensor.Float32))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fs.GetSlice("/w", reg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRESTRangeQuery(b *testing.B) {
+	srv := NewServer(NewMemFS())
+	hs := httptest.NewServer(srv)
+	defer hs.Close()
+	c := &Client{Base: hs.URL, HTTP: hs.Client()}
+	x := tensor.New(tensor.Float32, 512, 512)
+	if err := c.Upload("/w", x); err != nil {
+		b.Fatal(err)
+	}
+	reg := tensor.Region{{Lo: 0, Hi: 512}, {Lo: 0, Hi: 64}}
+	b.SetBytes(reg.NumBytes(tensor.Float32))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Query("/w", reg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRESTUpload(b *testing.B) {
+	srv := NewServer(NewMemFS())
+	hs := httptest.NewServer(srv)
+	defer hs.Close()
+	c := &Client{Base: hs.URL, HTTP: hs.Client()}
+	x := tensor.New(tensor.Float32, 512, 512)
+	b.SetBytes(int64(x.NumBytes()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Upload("/w", x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

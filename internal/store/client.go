@@ -1,0 +1,183 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+
+	"tenplex/internal/tensor"
+)
+
+// Access is the interface shared by local (in-process) and remote (REST)
+// Tensor Stores. The State Transformer operates through it, so a plan
+// executes identically whether sub-tensors live on this worker or
+// another.
+type Access interface {
+	// Query returns the tensor at path, optionally sliced to reg (nil
+	// for the whole tensor).
+	Query(path string, reg tensor.Region) (*tensor.Tensor, error)
+	// Upload stores t at path.
+	Upload(path string, t *tensor.Tensor) error
+	// Delete removes the file or tree at path.
+	Delete(path string) error
+	// List returns directory children.
+	List(path string) ([]string, error)
+	// Rename atomically moves a file or tree, overwriting the target;
+	// used to commit staged state.
+	Rename(src, dst string) error
+}
+
+// Local adapts a MemFS to the Access interface.
+type Local struct{ FS *MemFS }
+
+// Query implements Access.
+func (l Local) Query(path string, reg tensor.Region) (*tensor.Tensor, error) {
+	if reg == nil {
+		t, err := l.FS.GetTensor(path)
+		if err != nil {
+			return nil, err
+		}
+		return t, nil
+	}
+	return l.FS.GetSlice(path, reg)
+}
+
+// Upload implements Access.
+func (l Local) Upload(path string, t *tensor.Tensor) error { return l.FS.PutTensor(path, t) }
+
+// Delete implements Access.
+func (l Local) Delete(path string) error { return l.FS.Delete(path) }
+
+// List implements Access.
+func (l Local) List(path string) ([]string, error) { return l.FS.List(path) }
+
+// Rename implements Access.
+func (l Local) Rename(src, dst string) error { return l.FS.Rename(src, dst) }
+
+// PutBlob stores raw bytes; it mirrors Client.PutBlob so blob users can
+// hold either through the Access interface.
+func (l Local) PutBlob(path string, data []byte) error { return l.FS.PutBlob(path, data) }
+
+// GetBlob fetches raw bytes; it mirrors Client.GetBlob.
+func (l Local) GetBlob(path string) ([]byte, error) { return l.FS.GetBlob(path) }
+
+// Client talks to a remote Tensor Store server.
+type Client struct {
+	// Base is the server address, e.g. "http://10.0.0.2:7070".
+	Base string
+	// HTTP is the client to use; http.DefaultClient when nil.
+	HTTP *http.Client
+}
+
+var _ Access = (*Client)(nil)
+var _ Access = Local{}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) do(method, endpoint string, params url.Values, body io.Reader) ([]byte, error) {
+	u := fmt.Sprintf("%s%s?%s", c.Base, endpoint, params.Encode())
+	req, err := http.NewRequest(method, u, body)
+	if err != nil {
+		return nil, fmt.Errorf("store client: %w", err)
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("store client: %s %s: %w", method, endpoint, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("store client: read response: %w", err)
+	}
+	if resp.StatusCode/100 != 2 {
+		return nil, fmt.Errorf("store client: %s %s: %s: %s", method, endpoint, resp.Status, trimStatus(data))
+	}
+	return data, nil
+}
+
+// Query implements Access. A nil region fetches the whole tensor; a
+// non-nil region is sent as a range attribute so only those bytes cross
+// the network.
+func (c *Client) Query(path string, reg tensor.Region) (*tensor.Tensor, error) {
+	params := url.Values{"path": {path}}
+	if reg != nil {
+		params.Set("range", reg.String())
+	}
+	data, err := c.do(http.MethodGet, "/query", params, nil)
+	if err != nil {
+		return nil, err
+	}
+	return tensor.Decode(data)
+}
+
+// Upload implements Access.
+func (c *Client) Upload(path string, t *tensor.Tensor) error {
+	_, err := c.do(http.MethodPost, "/upload", url.Values{"path": {path}}, bytes.NewReader(t.Encode()))
+	return err
+}
+
+// Delete implements Access.
+func (c *Client) Delete(path string) error {
+	_, err := c.do(http.MethodDelete, "/delete", url.Values{"path": {path}}, nil)
+	return err
+}
+
+// List implements Access.
+func (c *Client) List(path string) ([]string, error) {
+	data, err := c.do(http.MethodGet, "/list", url.Values{"path": {path}}, nil)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	if err := json.Unmarshal(data, &names); err != nil {
+		return nil, fmt.Errorf("store client: bad list response: %w", err)
+	}
+	return names, nil
+}
+
+// Rename implements Access.
+func (c *Client) Rename(src, dst string) error {
+	_, err := c.do(http.MethodPost, "/rename", url.Values{"src": {src}, "dst": {dst}}, nil)
+	return err
+}
+
+// GetBlob fetches raw bytes from the server.
+func (c *Client) GetBlob(path string) ([]byte, error) {
+	return c.do(http.MethodGet, "/blob", url.Values{"path": {path}}, nil)
+}
+
+// PutBlob stores raw bytes on the server.
+func (c *Client) PutBlob(path string, data []byte) error {
+	_, err := c.do(http.MethodPost, "/blob", url.Values{"path": {path}}, bytes.NewReader(data))
+	return err
+}
+
+// StatResult mirrors the server's stat response.
+type StatResult struct {
+	Path  string `json:"path"`
+	Blob  bool   `json:"blob"`
+	DType string `json:"dtype,omitempty"`
+	Shape []int  `json:"shape,omitempty"`
+	Bytes int    `json:"bytes"`
+}
+
+// Stat fetches file metadata.
+func (c *Client) Stat(path string) (StatResult, error) {
+	data, err := c.do(http.MethodGet, "/stat", url.Values{"path": {path}}, nil)
+	if err != nil {
+		return StatResult{}, err
+	}
+	var st StatResult
+	if err := json.Unmarshal(data, &st); err != nil {
+		return StatResult{}, fmt.Errorf("store client: bad stat response: %w", err)
+	}
+	return st, nil
+}

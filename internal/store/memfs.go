@@ -1,0 +1,369 @@
+// Package store implements the Tensor Store: a hierarchical, in-memory
+// virtual file system that holds the model and dataset partitions of the
+// PTC on every worker (§5.2). The tree hierarchy mirrors the layered
+// model structure ("/job/model/dev0/block.2/attn/qkv/weight"), with
+// sub-tensors as leaves. A REST API exposes NumPy-like sub-tensor range
+// queries ("range=[:,2:4]"), which let the State Transformer fetch
+// exactly the ranges it needs instead of whole tensors.
+package store
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"tenplex/internal/tensor"
+)
+
+// MemFS is a thread-safe hierarchical in-memory file system whose leaves
+// are tensors or raw blobs. The zero value is not usable; call NewMemFS.
+type MemFS struct {
+	mu   sync.RWMutex
+	root *node
+}
+
+type node struct {
+	dirs  map[string]*node
+	files map[string]*entry
+}
+
+type entry struct {
+	t    *tensor.Tensor
+	blob []byte
+}
+
+func newNode() *node {
+	return &node{dirs: map[string]*node{}, files: map[string]*entry{}}
+}
+
+// NewMemFS returns an empty file system.
+func NewMemFS() *MemFS { return &MemFS{root: newNode()} }
+
+// splitPath normalizes "/a/b/c" into components, rejecting empty paths.
+func splitPath(path string) ([]string, error) {
+	var parts []string
+	for _, p := range strings.Split(path, "/") {
+		if p == "" {
+			continue
+		}
+		if p == "." || p == ".." {
+			return nil, fmt.Errorf("store: path %q contains %q", path, p)
+		}
+		parts = append(parts, p)
+	}
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("store: empty path %q", path)
+	}
+	return parts, nil
+}
+
+// lookup walks to the parent directory of path; if create is set,
+// missing directories are created. Returns the parent node and the leaf
+// name.
+func (fs *MemFS) lookup(parts []string, create bool) (*node, string, error) {
+	n := fs.root
+	for _, p := range parts[:len(parts)-1] {
+		child, ok := n.dirs[p]
+		if !ok {
+			if !create {
+				return nil, "", fmt.Errorf("store: directory %q not found", p)
+			}
+			if _, isFile := n.files[p]; isFile {
+				return nil, "", fmt.Errorf("store: %q is a file, not a directory", p)
+			}
+			child = newNode()
+			n.dirs[p] = child
+		}
+		n = child
+	}
+	return n, parts[len(parts)-1], nil
+}
+
+// PutTensor stores t at path, overwriting any existing file.
+func (fs *MemFS) PutTensor(path string, t *tensor.Tensor) error {
+	parts, err := splitPath(path)
+	if err != nil {
+		return err
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	dir, name, err := fs.lookup(parts, true)
+	if err != nil {
+		return err
+	}
+	if _, isDir := dir.dirs[name]; isDir {
+		return fmt.Errorf("store: %q is a directory", path)
+	}
+	dir.files[name] = &entry{t: t}
+	return nil
+}
+
+// PutBlob stores raw bytes (e.g. checkpoint metadata, dataset chunks) at
+// path.
+func (fs *MemFS) PutBlob(path string, data []byte) error {
+	parts, err := splitPath(path)
+	if err != nil {
+		return err
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	dir, name, err := fs.lookup(parts, true)
+	if err != nil {
+		return err
+	}
+	if _, isDir := dir.dirs[name]; isDir {
+		return fmt.Errorf("store: %q is a directory", path)
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	dir.files[name] = &entry{blob: cp}
+	return nil
+}
+
+// GetTensor returns the tensor stored at path.
+func (fs *MemFS) GetTensor(path string) (*tensor.Tensor, error) {
+	parts, err := splitPath(path)
+	if err != nil {
+		return nil, err
+	}
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	dir, name, err := fs.lookup(parts, false)
+	if err != nil {
+		return nil, err
+	}
+	e, ok := dir.files[name]
+	if !ok {
+		return nil, fmt.Errorf("store: %q not found", path)
+	}
+	if e.t == nil {
+		return nil, fmt.Errorf("store: %q is a blob, not a tensor", path)
+	}
+	return e.t, nil
+}
+
+// GetSlice returns a copy of the sub-tensor reg of the tensor at path.
+// This is the range-query primitive: only the requested bytes are
+// copied, so remote callers move minimal data.
+func (fs *MemFS) GetSlice(path string, reg tensor.Region) (*tensor.Tensor, error) {
+	t, err := fs.GetTensor(path)
+	if err != nil {
+		return nil, err
+	}
+	if !reg.Valid(t.Shape()) {
+		return nil, fmt.Errorf("store: range %v invalid for %q (shape %v)", reg, path, t.Shape())
+	}
+	// Tensors in the store are replaced, never mutated, so slicing the
+	// snapshot without the lock is safe.
+	return t.Slice(reg), nil
+}
+
+// GetBlob returns the raw bytes stored at path.
+func (fs *MemFS) GetBlob(path string) ([]byte, error) {
+	parts, err := splitPath(path)
+	if err != nil {
+		return nil, err
+	}
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	dir, name, err := fs.lookup(parts, false)
+	if err != nil {
+		return nil, err
+	}
+	e, ok := dir.files[name]
+	if !ok {
+		return nil, fmt.Errorf("store: %q not found", path)
+	}
+	if e.blob == nil {
+		return nil, fmt.Errorf("store: %q is a tensor, not a blob", path)
+	}
+	cp := make([]byte, len(e.blob))
+	copy(cp, e.blob)
+	return cp, nil
+}
+
+// Stat describes a file.
+type Stat struct {
+	Path   string
+	IsBlob bool
+	DType  tensor.DType // tensors only
+	Shape  []int        // tensors only
+	Bytes  int
+}
+
+// Stat returns metadata for the file at path.
+func (fs *MemFS) Stat(path string) (Stat, error) {
+	parts, err := splitPath(path)
+	if err != nil {
+		return Stat{}, err
+	}
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	dir, name, err := fs.lookup(parts, false)
+	if err != nil {
+		return Stat{}, err
+	}
+	e, ok := dir.files[name]
+	if !ok {
+		return Stat{}, fmt.Errorf("store: %q not found", path)
+	}
+	if e.t != nil {
+		return Stat{Path: path, DType: e.t.DType(), Shape: e.t.Shape(), Bytes: e.t.NumBytes()}, nil
+	}
+	return Stat{Path: path, IsBlob: true, Bytes: len(e.blob)}, nil
+}
+
+// List returns the children of the directory at path ("/" for the root):
+// sub-directory names with a trailing slash and file names bare, sorted.
+func (fs *MemFS) List(path string) ([]string, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	n := fs.root
+	if trimmed := strings.Trim(path, "/"); trimmed != "" {
+		parts := strings.Split(trimmed, "/")
+		for _, p := range parts {
+			child, ok := n.dirs[p]
+			if !ok {
+				return nil, fmt.Errorf("store: directory %q not found", path)
+			}
+			n = child
+		}
+	}
+	var out []string
+	for name := range n.dirs {
+		out = append(out, name+"/")
+	}
+	for name := range n.files {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Delete removes the file or directory tree at path.
+func (fs *MemFS) Delete(path string) error {
+	parts, err := splitPath(path)
+	if err != nil {
+		return err
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	dir, name, err := fs.lookup(parts, false)
+	if err != nil {
+		return err
+	}
+	if _, ok := dir.files[name]; ok {
+		delete(dir.files, name)
+		return nil
+	}
+	if _, ok := dir.dirs[name]; ok {
+		delete(dir.dirs, name)
+		return nil
+	}
+	return fmt.Errorf("store: %q not found", path)
+}
+
+// Rename atomically moves the file or directory at src to dst,
+// overwriting dst. The State Transformer uses it to commit a staged
+// model partition ("model.next" -> "model") once all fetches complete.
+func (fs *MemFS) Rename(src, dst string) error {
+	sp, err := splitPath(src)
+	if err != nil {
+		return err
+	}
+	dp, err := splitPath(dst)
+	if err != nil {
+		return err
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	sDir, sName, err := fs.lookup(sp, false)
+	if err != nil {
+		return err
+	}
+	var moveDir *node
+	var moveFile *entry
+	if d, ok := sDir.dirs[sName]; ok {
+		moveDir = d
+	} else if f, ok := sDir.files[sName]; ok {
+		moveFile = f
+	} else {
+		return fmt.Errorf("store: %q not found", src)
+	}
+	dDir, dName, err := fs.lookup(dp, true)
+	if err != nil {
+		return err
+	}
+	delete(sDir.dirs, sName)
+	delete(sDir.files, sName)
+	delete(dDir.dirs, dName)
+	delete(dDir.files, dName)
+	if moveDir != nil {
+		dDir.dirs[dName] = moveDir
+	} else {
+		dDir.files[dName] = moveFile
+	}
+	return nil
+}
+
+// Walk calls fn for every file under prefix (the whole tree for "/"),
+// in sorted path order.
+func (fs *MemFS) Walk(prefix string, fn func(path string, st Stat) error) error {
+	fs.mu.RLock()
+	n := fs.root
+	trimmed := strings.Trim(prefix, "/")
+	base := ""
+	if trimmed != "" {
+		for _, p := range strings.Split(trimmed, "/") {
+			child, ok := n.dirs[p]
+			if !ok {
+				fs.mu.RUnlock()
+				return fmt.Errorf("store: directory %q not found", prefix)
+			}
+			n = child
+		}
+		base = "/" + trimmed
+	}
+	type item struct {
+		n    *node
+		path string
+	}
+	var paths []string
+	stats := map[string]Stat{}
+	stack := []item{{n, base}}
+	for len(stack) > 0 {
+		it := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for name, e := range it.n.files {
+			p := it.path + "/" + name
+			paths = append(paths, p)
+			if e.t != nil {
+				stats[p] = Stat{Path: p, DType: e.t.DType(), Shape: e.t.Shape(), Bytes: e.t.NumBytes()}
+			} else {
+				stats[p] = Stat{Path: p, IsBlob: true, Bytes: len(e.blob)}
+			}
+		}
+		for name, d := range it.n.dirs {
+			stack = append(stack, item{d, it.path + "/" + name})
+		}
+	}
+	fs.mu.RUnlock()
+	sort.Strings(paths)
+	for _, p := range paths {
+		if err := fn(p, stats[p]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TotalBytes sums the sizes of every file in the tree.
+func (fs *MemFS) TotalBytes() int64 {
+	var n int64
+	_ = fs.Walk("/", func(_ string, st Stat) error {
+		n += int64(st.Bytes)
+		return nil
+	})
+	return n
+}

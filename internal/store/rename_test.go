@@ -1,0 +1,88 @@
+package store
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestClientRenameOverREST(t *testing.T) {
+	_, c, done := newTestServer(t)
+	defer done()
+	if err := c.Upload("/job/model.next/dev0/w", seq(3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Rename("/job/model.next", "/job/model"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Query("/job/model/dev0/w", nil)
+	if err != nil || got.NumElems() != 3 {
+		t.Fatalf("rename lost data: %v", err)
+	}
+	if _, err := c.Query("/job/model.next/dev0/w", nil); err == nil {
+		t.Fatal("source still present after rename")
+	}
+	if err := c.Rename("/missing", "/m"); err == nil {
+		t.Fatal("rename of missing path succeeded")
+	}
+}
+
+func TestRenameEndpointValidation(t *testing.T) {
+	srv := NewServer(NewMemFS())
+	hs := httptest.NewServer(srv)
+	defer hs.Close()
+	// Missing params.
+	resp, err := http.Post(hs.URL+"/rename?src=/a", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("missing dst: %d", resp.StatusCode)
+	}
+	// Wrong method.
+	resp, err = http.Get(hs.URL + "/rename?src=/a&dst=/b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /rename: %d", resp.StatusCode)
+	}
+}
+
+func TestBlobEndpointErrors(t *testing.T) {
+	srv := NewServer(NewMemFS())
+	hs := httptest.NewServer(srv)
+	defer hs.Close()
+	c := &Client{Base: hs.URL, HTTP: hs.Client()}
+	if _, err := c.GetBlob("/missing"); err == nil {
+		t.Fatal("missing blob read succeeded")
+	}
+	// Wrong method on /blob.
+	req, _ := http.NewRequest(http.MethodDelete, hs.URL+"/blob?path=/x", nil)
+	resp, err := hs.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("DELETE /blob: %d", resp.StatusCode)
+	}
+	if srv.BytesReceived() != 0 {
+		t.Fatal("error paths counted as received bytes")
+	}
+}
+
+func TestTrimStatus(t *testing.T) {
+	long := make([]byte, 500)
+	for i := range long {
+		long[i] = 'a'
+	}
+	if got := trimStatus(long); len(got) != 200 {
+		t.Fatalf("trimStatus long = %d chars", len(got))
+	}
+	if got := trimStatus([]byte("line1\nline2")); got != "line1" {
+		t.Fatalf("trimStatus multiline = %q", got)
+	}
+}

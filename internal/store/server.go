@@ -1,0 +1,269 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync/atomic"
+
+	"tenplex/internal/tensor"
+)
+
+// Server exposes a MemFS over the Tensor Store REST API:
+//
+//	GET    /query?path=P[&range=R]   tensor (wire format); R slices it
+//	POST   /upload?path=P            store the tensor in the body
+//	GET    /blob?path=P              raw blob bytes
+//	POST   /blob?path=P              store the body as a blob
+//	GET    /stat?path=P              JSON {dtype, shape, bytes, blob}
+//	GET    /list?path=P              JSON [names...]
+//	DELETE /delete?path=P            remove a file or directory
+//
+// The range attribute uses the NumPy-like syntax of
+// tensor.ParseRegion, e.g. range=[:,2:4] returns the sub-tensor
+// covering rows 2..4 of the second dimension.
+type Server struct {
+	FS  *MemFS
+	mux *http.ServeMux
+
+	bytesOut atomic.Int64
+	bytesIn  atomic.Int64
+}
+
+// NewServer wraps fs in a REST handler.
+func NewServer(fs *MemFS) *Server {
+	s := &Server{FS: fs, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/query", s.handleQuery)
+	s.mux.HandleFunc("/upload", s.handleUpload)
+	s.mux.HandleFunc("/blob", s.handleBlob)
+	s.mux.HandleFunc("/stat", s.handleStat)
+	s.mux.HandleFunc("/list", s.handleList)
+	s.mux.HandleFunc("/delete", s.handleDelete)
+	s.mux.HandleFunc("/rename", s.handleRename)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// BytesServed returns the total payload bytes sent to clients; tests use
+// it to assert that range queries move only the requested data.
+func (s *Server) BytesServed() int64 { return s.bytesOut.Load() }
+
+// BytesReceived returns the total payload bytes uploaded by clients.
+func (s *Server) BytesReceived() int64 { return s.bytesIn.Load() }
+
+// Listen serves the API on addr (e.g. "127.0.0.1:0") until the listener
+// is closed; it returns the bound address.
+func (s *Server) Listen(addr string) (string, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("store: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: s}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), srv.Close, nil
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	http.Error(w, fmt.Sprintf(format, args...), code)
+}
+
+func pathParam(w http.ResponseWriter, r *http.Request) (string, bool) {
+	p := r.URL.Query().Get("path")
+	if p == "" {
+		httpError(w, http.StatusBadRequest, "missing path parameter")
+		return "", false
+	}
+	return p, true
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "query is GET")
+		return
+	}
+	path, ok := pathParam(w, r)
+	if !ok {
+		return
+	}
+	t, err := s.FS.GetTensor(path)
+	if err != nil {
+		httpError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	if rangeStr := r.URL.Query().Get("range"); rangeStr != "" {
+		reg, err := tensor.ParseRegion(rangeStr, t.Shape())
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		t, err = s.FS.GetSlice(path, reg)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
+	w.Header().Set("Content-Type", "application/x-tenplex-tensor")
+	buf := t.Encode()
+	s.bytesOut.Add(int64(len(buf)))
+	_, _ = w.Write(buf)
+}
+
+func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "upload is POST")
+		return
+	}
+	path, ok := pathParam(w, r)
+	if !ok {
+		return
+	}
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "read body: %v", err)
+		return
+	}
+	t, err := tensor.Decode(body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if err := s.FS.PutTensor(path, t); err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.bytesIn.Add(int64(len(body)))
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleBlob(w http.ResponseWriter, r *http.Request) {
+	path, ok := pathParam(w, r)
+	if !ok {
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		data, err := s.FS.GetBlob(path)
+		if err != nil {
+			httpError(w, http.StatusNotFound, "%v", err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		s.bytesOut.Add(int64(len(data)))
+		_, _ = w.Write(data)
+	case http.MethodPost:
+		data, err := io.ReadAll(r.Body)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "read body: %v", err)
+			return
+		}
+		if err := s.FS.PutBlob(path, data); err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		s.bytesIn.Add(int64(len(data)))
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		httpError(w, http.StatusMethodNotAllowed, "blob is GET or POST")
+	}
+}
+
+// statJSON is the wire form of Stat.
+type statJSON struct {
+	Path  string `json:"path"`
+	Blob  bool   `json:"blob"`
+	DType string `json:"dtype,omitempty"`
+	Shape []int  `json:"shape,omitempty"`
+	Bytes int    `json:"bytes"`
+}
+
+func (s *Server) handleStat(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "stat is GET")
+		return
+	}
+	path, ok := pathParam(w, r)
+	if !ok {
+		return
+	}
+	st, err := s.FS.Stat(path)
+	if err != nil {
+		httpError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	out := statJSON{Path: st.Path, Blob: st.IsBlob, Bytes: st.Bytes}
+	if !st.IsBlob {
+		out.DType = st.DType.String()
+		out.Shape = st.Shape
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(out)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "list is GET")
+		return
+	}
+	path := r.URL.Query().Get("path")
+	if path == "" {
+		path = "/"
+	}
+	names, err := s.FS.List(path)
+	if err != nil {
+		httpError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(names)
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodDelete {
+		httpError(w, http.StatusMethodNotAllowed, "delete is DELETE")
+		return
+	}
+	path, ok := pathParam(w, r)
+	if !ok {
+		return
+	}
+	if err := s.FS.Delete(path); err != nil {
+		httpError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleRename(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "rename is POST")
+		return
+	}
+	src, dst := r.URL.Query().Get("src"), r.URL.Query().Get("dst")
+	if src == "" || dst == "" {
+		httpError(w, http.StatusBadRequest, "rename needs src and dst")
+		return
+	}
+	if err := s.FS.Rename(src, dst); err != nil {
+		httpError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// trimStatus extracts the first line of an HTTP error body for client
+// error messages.
+func trimStatus(body []byte) string {
+	s := strings.TrimSpace(string(body))
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		s = s[:i]
+	}
+	if len(s) > 200 {
+		s = s[:200]
+	}
+	return s
+}

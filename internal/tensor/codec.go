@@ -1,0 +1,105 @@
+package tensor
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Wire format for tensors crossing the Tensor Store REST API or being
+// persisted as checkpoint files. Little-endian throughout:
+//
+//	magic   uint32  0x54504c58 ("TPLX")
+//	version uint16  1
+//	dtype   uint16
+//	rank    uint32
+//	shape   rank × int64
+//	payload raw element bytes, row-major
+const (
+	wireMagic   uint32 = 0x54504c58
+	wireVersion uint16 = 1
+)
+
+// EncodedSize returns the number of bytes Encode will produce for t.
+func (t *Tensor) EncodedSize() int {
+	return 4 + 2 + 2 + 4 + 8*len(t.shape) + len(t.data)
+}
+
+// Encode serializes t in the wire format.
+func (t *Tensor) Encode() []byte {
+	buf := make([]byte, 0, t.EncodedSize())
+	var scratch [8]byte
+	binary.LittleEndian.PutUint32(scratch[:4], wireMagic)
+	buf = append(buf, scratch[:4]...)
+	binary.LittleEndian.PutUint16(scratch[:2], wireVersion)
+	buf = append(buf, scratch[:2]...)
+	binary.LittleEndian.PutUint16(scratch[:2], uint16(t.dtype))
+	buf = append(buf, scratch[:2]...)
+	binary.LittleEndian.PutUint32(scratch[:4], uint32(len(t.shape)))
+	buf = append(buf, scratch[:4]...)
+	for _, d := range t.shape {
+		binary.LittleEndian.PutUint64(scratch[:8], uint64(d))
+		buf = append(buf, scratch[:8]...)
+	}
+	return append(buf, t.data...)
+}
+
+// WriteTo streams the encoded form of t to w.
+func (t *Tensor) WriteTo(w io.Writer) (int64, error) {
+	n, err := w.Write(t.Encode())
+	return int64(n), err
+}
+
+// Decode reconstructs a tensor from the wire format.
+func Decode(buf []byte) (*Tensor, error) {
+	const headerMin = 4 + 2 + 2 + 4
+	if len(buf) < headerMin {
+		return nil, fmt.Errorf("tensor: decode: short buffer (%d bytes)", len(buf))
+	}
+	if m := binary.LittleEndian.Uint32(buf[0:]); m != wireMagic {
+		return nil, fmt.Errorf("tensor: decode: bad magic %#x", m)
+	}
+	if v := binary.LittleEndian.Uint16(buf[4:]); v != wireVersion {
+		return nil, fmt.Errorf("tensor: decode: unsupported version %d", v)
+	}
+	dt := DType(binary.LittleEndian.Uint16(buf[6:]))
+	if !dt.Valid() {
+		return nil, fmt.Errorf("tensor: decode: invalid dtype %d", dt)
+	}
+	rank := int(binary.LittleEndian.Uint32(buf[8:]))
+	if rank < 0 || rank > 16 {
+		return nil, fmt.Errorf("tensor: decode: implausible rank %d", rank)
+	}
+	off := headerMin
+	if len(buf) < off+8*rank {
+		return nil, fmt.Errorf("tensor: decode: truncated shape")
+	}
+	shape := make([]int, rank)
+	elems := 1
+	for i := 0; i < rank; i++ {
+		d := int(int64(binary.LittleEndian.Uint64(buf[off:])))
+		if d <= 0 {
+			return nil, fmt.Errorf("tensor: decode: non-positive dim %d", d)
+		}
+		shape[i] = d
+		elems *= d
+		off += 8
+	}
+	want := elems * dt.Size()
+	if len(buf)-off != want {
+		return nil, fmt.Errorf("tensor: decode: payload %d bytes, want %d", len(buf)-off, want)
+	}
+	t := &Tensor{dtype: dt, shape: shape, data: make([]byte, want)}
+	copy(t.data, buf[off:])
+	return t, nil
+}
+
+// ReadFrom decodes one tensor from r, which must contain exactly one
+// encoded tensor (it reads to EOF).
+func ReadFrom(r io.Reader) (*Tensor, error) {
+	buf, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("tensor: read: %w", err)
+	}
+	return Decode(buf)
+}

@@ -1,0 +1,96 @@
+package tensor
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for _, dt := range []DType{Float32, Float64, Float16, Int64, Int32, Uint8} {
+		x := New(dt, 3, 5)
+		x.FillSeq(1, 1)
+		buf := x.Encode()
+		if len(buf) != x.EncodedSize() {
+			t.Fatalf("%s: encoded %d bytes, EncodedSize says %d", dt, len(buf), x.EncodedSize())
+		}
+		y, err := Decode(buf)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", dt, err)
+		}
+		if !y.Equal(x) {
+			t.Fatalf("%s: roundtrip mismatch", dt)
+		}
+	}
+}
+
+func TestEncodeDecodeScalar(t *testing.T) {
+	x := New(Float64)
+	x.SetFloat64(42)
+	y, err := Decode(x.Encode())
+	if err != nil || y.Float64At() != 42 {
+		t.Fatalf("scalar roundtrip: %v, %v", y, err)
+	}
+}
+
+func TestWriteToReadFrom(t *testing.T) {
+	x := seqTensor(Int64, 2, 2)
+	var buf bytes.Buffer
+	n, err := x.WriteTo(&buf)
+	if err != nil || n != int64(x.EncodedSize()) {
+		t.Fatalf("WriteTo: n=%d err=%v", n, err)
+	}
+	y, err := ReadFrom(&buf)
+	if err != nil || !y.Equal(x) {
+		t.Fatalf("ReadFrom mismatch: %v", err)
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	x := seqTensor(Float32, 4, 4)
+	good := x.Encode()
+
+	cases := map[string]func() []byte{
+		"short":       func() []byte { return good[:6] },
+		"bad magic":   func() []byte { b := append([]byte(nil), good...); b[0] ^= 0xff; return b },
+		"bad version": func() []byte { b := append([]byte(nil), good...); b[4] = 0x7f; return b },
+		"bad dtype":   func() []byte { b := append([]byte(nil), good...); b[6] = 0xee; return b },
+		"huge rank":   func() []byte { b := append([]byte(nil), good...); b[8] = 200; return b },
+		"truncated":   func() []byte { return good[:len(good)-1] },
+		"extra bytes": func() []byte { return append(append([]byte(nil), good...), 0) },
+		"zero dim": func() []byte {
+			b := append([]byte(nil), good...)
+			for i := 12; i < 20; i++ {
+				b[i] = 0
+			}
+			return b
+		},
+	}
+	for name, mk := range cases {
+		if _, err := Decode(mk()); err == nil {
+			t.Errorf("%s: Decode accepted corrupt input", name)
+		}
+	}
+}
+
+func TestCodecQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		dts := []DType{Float32, Float64, Float16, Int64, Int32, Uint8}
+		dt := dts[r.Intn(len(dts))]
+		rank := r.Intn(4)
+		shape := make([]int, rank)
+		for i := range shape {
+			shape[i] = 1 + r.Intn(6)
+		}
+		x := New(dt, shape...)
+		r.Read(x.data) //nolint:errcheck // math/rand Read never fails
+		y, err := Decode(x.Encode())
+		return err == nil && y.Equal(x)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}

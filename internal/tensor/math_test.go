@@ -1,0 +1,161 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMatMul(t *testing.T) {
+	a := FromFloat64([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	b := FromFloat64([]float64{7, 8, 9, 10, 11, 12}, 3, 2)
+	c := MatMul(a, b)
+	want := FromFloat64([]float64{58, 64, 139, 154}, 2, 2)
+	if !c.Equal(want) {
+		t.Fatalf("MatMul = %v, want %v", c.Float64s(), want.Float64s())
+	}
+}
+
+func TestMatMulVariantsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		m, k, n := 1+rng.Intn(6), 1+rng.Intn(6), 1+rng.Intn(6)
+		a := New(Float64, m, k)
+		b := New(Float64, k, n)
+		a.FillRand(int64(trial), 2)
+		b.FillRand(int64(trial+1000), 2)
+
+		ref := MatMul(a, b)
+		viaATB := MatMulATB(Transpose(a), b)
+		viaABT := MatMulABT(a, Transpose(b))
+		if !ref.AllClose(viaATB, 1e-12) {
+			t.Fatalf("MatMulATB disagrees at trial %d", trial)
+		}
+		if !ref.AllClose(viaABT, 1e-12) {
+			t.Fatalf("MatMulABT disagrees at trial %d", trial)
+		}
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	a := FromFloat64([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	at := Transpose(a)
+	if !ShapeEqual(at.Shape(), []int{3, 2}) {
+		t.Fatalf("transpose shape %v", at.Shape())
+	}
+	if at.Float64At(2, 1) != 6 || at.Float64At(0, 1) != 4 {
+		t.Fatal("transpose values wrong")
+	}
+	if !Transpose(at).Equal(a) {
+		t.Fatal("double transpose differs")
+	}
+}
+
+func TestElementwise(t *testing.T) {
+	a := FromFloat64([]float64{1, 2, 3}, 3)
+	b := FromFloat64([]float64{10, 20, 30}, 3)
+	if got := Add(a, b).Float64s(); got[2] != 33 {
+		t.Fatalf("Add = %v", got)
+	}
+	if got := Sub(b, a).Float64s(); got[0] != 9 {
+		t.Fatalf("Sub = %v", got)
+	}
+	if got := Mul(a, b).Float64s(); got[1] != 40 {
+		t.Fatalf("Mul = %v", got)
+	}
+	if got := Scale(a, -2).Float64s(); got[2] != -6 {
+		t.Fatalf("Scale = %v", got)
+	}
+	if got := Apply(a, func(x float64) float64 { return x * x }).Float64s(); got[2] != 9 {
+		t.Fatalf("Apply = %v", got)
+	}
+	// Inputs unmodified.
+	if a.Float64At(0) != 1 || b.Float64At(0) != 10 {
+		t.Fatal("elementwise op mutated its input")
+	}
+}
+
+func TestInPlaceOps(t *testing.T) {
+	a := FromFloat64([]float64{1, 2}, 2)
+	u := FromFloat64([]float64{10, 10}, 2)
+	a.AddScaledInPlace(0.5, u)
+	if a.Float64At(0) != 6 || a.Float64At(1) != 7 {
+		t.Fatalf("AddScaledInPlace = %v", a.Float64s())
+	}
+	a.ScaleInPlace(2)
+	if a.Float64At(1) != 14 {
+		t.Fatalf("ScaleInPlace = %v", a.Float64s())
+	}
+}
+
+func TestRowOps(t *testing.T) {
+	m := FromFloat64([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	v := FromFloat64([]float64{10, 20, 30}, 3)
+	got := AddRowVec(m, v)
+	if got.Float64At(1, 2) != 36 || got.Float64At(0, 0) != 11 {
+		t.Fatalf("AddRowVec = %v", got.Float64s())
+	}
+	s := SumRows(m)
+	if s.Float64At(0) != 5 || s.Float64At(2) != 9 {
+		t.Fatalf("SumRows = %v", s.Float64s())
+	}
+}
+
+func TestReductions(t *testing.T) {
+	a := FromFloat64([]float64{3, 4}, 2)
+	if Sum(a) != 7 {
+		t.Fatal("Sum")
+	}
+	if Dot(a, a) != 25 {
+		t.Fatal("Dot")
+	}
+	if math.Abs(Norm2(a)-5) > 1e-12 {
+		t.Fatal("Norm2")
+	}
+}
+
+func TestMathPanics(t *testing.T) {
+	mustPanic(t, "matmul dims", func() { MatMul(New(Float64, 2, 3), New(Float64, 2, 3)) })
+	mustPanic(t, "matmul rank", func() { MatMul(New(Float64, 2), New(Float64, 2, 2)) })
+	mustPanic(t, "dtype", func() { MatMul(New(Float32, 2, 2), New(Float32, 2, 2)) })
+	mustPanic(t, "add shape", func() { Add(New(Float64, 2), New(Float64, 3)) })
+	mustPanic(t, "rowvec", func() { AddRowVec(New(Float64, 2, 3), New(Float64, 2)) })
+}
+
+// TestMatMulBlockDecomposition checks the algebra the tensor-parallel
+// trainer relies on: a column-split matmul concatenates, a row-split
+// matmul sums. These identities make TP-degree changes numerically
+// invisible, which is the crux of Fig. 16c.
+func TestMatMulBlockDecomposition(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 30; trial++ {
+		m, k, n := 2+rng.Intn(5), 2+rng.Intn(6), 2+rng.Intn(6)
+		x := New(Float64, m, k)
+		w := New(Float64, k, n)
+		x.FillRand(int64(trial), 1)
+		w.FillRand(int64(trial+99), 1)
+		ref := MatMul(x, w)
+
+		// Column parallelism: split W along columns (dim 1).
+		parts := 1 + rng.Intn(n)
+		var colOuts []*Tensor
+		for _, wi := range w.Split(1, parts) {
+			colOuts = append(colOuts, MatMul(x, wi))
+		}
+		if !Concat(1, colOuts...).AllClose(ref, 1e-9) {
+			t.Fatalf("column-parallel decomposition failed (trial %d)", trial)
+		}
+
+		// Row parallelism: split W along rows (dim 0) and X along cols.
+		parts = 1 + rng.Intn(k)
+		wRows := w.Split(0, parts)
+		xCols := x.Split(1, parts)
+		sum := New(Float64, m, n)
+		for i := range wRows {
+			sum = Add(sum, MatMul(xCols[i], wRows[i]))
+		}
+		if !sum.AllClose(ref, 1e-9) {
+			t.Fatalf("row-parallel decomposition failed (trial %d)", trial)
+		}
+	}
+}

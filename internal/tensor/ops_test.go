@@ -1,0 +1,253 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func seqTensor(dt DType, shape ...int) *Tensor {
+	t := New(dt, shape...)
+	t.FillSeq(0, 1)
+	return t
+}
+
+func TestSliceBasic(t *testing.T) {
+	x := seqTensor(Float64, 4, 5) // rows 0..3, cols 0..4, value = 5i+j
+	s := x.Slice(Region{{1, 3}, {2, 4}})
+	if !ShapeEqual(s.Shape(), []int{2, 2}) {
+		t.Fatalf("slice shape %v", s.Shape())
+	}
+	want := [][]float64{{7, 8}, {12, 13}}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if got := s.Float64At(i, j); got != want[i][j] {
+				t.Fatalf("slice[%d,%d] = %v, want %v", i, j, got, want[i][j])
+			}
+		}
+	}
+}
+
+func TestSliceFullIsClone(t *testing.T) {
+	x := seqTensor(Float32, 3, 4, 2)
+	s := x.Slice(FullRegion(x.Shape()))
+	if !s.Equal(x) {
+		t.Fatal("full slice differs from original")
+	}
+	s.SetFloat64(99, 0, 0, 0)
+	if x.Float64At(0, 0, 0) == 99 {
+		t.Fatal("slice aliases original")
+	}
+}
+
+func TestSetSliceRoundTrip(t *testing.T) {
+	x := New(Float64, 4, 4)
+	x.Fill(-1)
+	sub := seqTensor(Float64, 2, 2)
+	reg := Region{{1, 3}, {1, 3}}
+	x.SetSlice(reg, sub)
+	if !x.Slice(reg).Equal(sub) {
+		t.Fatal("SetSlice/Slice roundtrip failed")
+	}
+	if x.Float64At(0, 0) != -1 || x.Float64At(3, 3) != -1 {
+		t.Fatal("SetSlice touched bytes outside the region")
+	}
+}
+
+func TestSlicePanics(t *testing.T) {
+	x := New(Float64, 2, 2)
+	mustPanic(t, "oob region", func() { x.Slice(Region{{0, 3}, {0, 2}}) })
+	mustPanic(t, "rank", func() { x.Slice(Region{{0, 1}}) })
+	mustPanic(t, "setslice dtype", func() {
+		x.SetSlice(FullRegion(x.Shape()), New(Float32, 2, 2))
+	})
+	mustPanic(t, "setslice shape", func() {
+		x.SetSlice(Region{{0, 1}, {0, 1}}, New(Float64, 2, 2))
+	})
+}
+
+func TestSplitPoints(t *testing.T) {
+	cases := []struct {
+		n, parts int
+		want     []int
+	}{
+		{10, 2, []int{5}},
+		{10, 3, []int{4, 7}},
+		{7, 7, []int{1, 2, 3, 4, 5, 6}},
+		{5, 1, []int{}},
+	}
+	for _, c := range cases {
+		got := SplitPoints(c.n, c.parts)
+		if len(got) != len(c.want) {
+			t.Errorf("SplitPoints(%d,%d) = %v, want %v", c.n, c.parts, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("SplitPoints(%d,%d) = %v, want %v", c.n, c.parts, got, c.want)
+				break
+			}
+		}
+	}
+	mustPanic(t, "too many parts", func() { SplitPoints(3, 4) })
+	mustPanic(t, "zero parts", func() { SplitPoints(3, 0) })
+}
+
+func TestSplitRangesCoverAndBalance(t *testing.T) {
+	for n := 1; n <= 30; n++ {
+		for parts := 1; parts <= n; parts++ {
+			rs := SplitRanges(n, parts)
+			if len(rs) != parts {
+				t.Fatalf("SplitRanges(%d,%d): %d ranges", n, parts, len(rs))
+			}
+			total, prevHi := 0, 0
+			minL, maxL := n+1, 0
+			for _, r := range rs {
+				if r.Lo != prevHi {
+					t.Fatalf("SplitRanges(%d,%d): gap before %v", n, parts, r)
+				}
+				prevHi = r.Hi
+				total += r.Len()
+				if r.Len() < minL {
+					minL = r.Len()
+				}
+				if r.Len() > maxL {
+					maxL = r.Len()
+				}
+			}
+			if total != n || prevHi != n {
+				t.Fatalf("SplitRanges(%d,%d): total=%d end=%d", n, parts, total, prevHi)
+			}
+			if maxL-minL > 1 {
+				t.Fatalf("SplitRanges(%d,%d): unbalanced %d..%d", n, parts, minL, maxL)
+			}
+		}
+	}
+}
+
+func TestSplitConcatRoundTrip(t *testing.T) {
+	x := seqTensor(Float64, 6, 4)
+	for dim := 0; dim < 2; dim++ {
+		for parts := 1; parts <= x.Dim(dim); parts++ {
+			ps := x.Split(dim, parts)
+			back := Concat(dim, ps...)
+			if !back.Equal(x) {
+				t.Fatalf("split(%d,%d)+concat != original", dim, parts)
+			}
+		}
+	}
+}
+
+func TestSplitConcatQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rank := 1 + r.Intn(3)
+		shape := make([]int, rank)
+		for i := range shape {
+			shape[i] = 1 + r.Intn(8)
+		}
+		x := New(Float64, shape...)
+		x.FillRand(seed, 10)
+		dim := r.Intn(rank)
+		parts := 1 + r.Intn(shape[dim])
+		back := Concat(dim, x.Split(dim, parts)...)
+		return back.Equal(x)
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcatValidation(t *testing.T) {
+	mustPanic(t, "empty", func() { Concat(0) })
+	mustPanic(t, "dtype", func() { Concat(0, New(Float64, 2), New(Float32, 2)) })
+	mustPanic(t, "rank", func() { Concat(0, New(Float64, 2), New(Float64, 2, 2)) })
+	mustPanic(t, "shape", func() { Concat(0, New(Float64, 2, 3), New(Float64, 2, 4)) })
+	mustPanic(t, "dim", func() { Concat(2, New(Float64, 2, 3)) })
+}
+
+func TestAssemble(t *testing.T) {
+	x := seqTensor(Float64, 4, 4)
+	// Tile the tensor with 4 quadrants.
+	var pieces []Piece
+	for _, ri := range SplitRanges(4, 2) {
+		for _, rj := range SplitRanges(4, 2) {
+			reg := Region{ri, rj}
+			pieces = append(pieces, Piece{Region: reg, Data: x.Slice(reg)})
+		}
+	}
+	back, err := Assemble(Float64, []int{4, 4}, pieces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(x) {
+		t.Fatal("assembled tensor differs")
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	full := seqTensor(Float64, 2, 2)
+	// Under-coverage.
+	if _, err := Assemble(Float64, []int{2, 2}, []Piece{
+		{Region: Region{{0, 1}, {0, 2}}, Data: full.Slice(Region{{0, 1}, {0, 2}})},
+	}); err == nil {
+		t.Error("Assemble accepted a gap")
+	}
+	// Region out of bounds.
+	if _, err := Assemble(Float64, []int{2, 2}, []Piece{
+		{Region: Region{{0, 3}, {0, 2}}, Data: New(Float64, 3, 2)},
+	}); err == nil {
+		t.Error("Assemble accepted out-of-bounds region")
+	}
+	// Shape mismatch.
+	if _, err := Assemble(Float64, []int{2, 2}, []Piece{
+		{Region: Region{{0, 2}, {0, 2}}, Data: New(Float64, 2, 1)},
+	}); err == nil {
+		t.Error("Assemble accepted piece/region shape mismatch")
+	}
+	// DType mismatch.
+	if _, err := Assemble(Float64, []int{2, 2}, []Piece{
+		{Region: Region{{0, 2}, {0, 2}}, Data: New(Float32, 2, 2)},
+	}); err == nil {
+		t.Error("Assemble accepted dtype mismatch")
+	}
+}
+
+// TestSliceOfSliceComposition verifies that slicing a slice equals slicing
+// the original with composed (translated) regions — the property the state
+// transformer relies on when it requests a sub-range of a sub-tensor that
+// lives on a remote device.
+func TestSliceOfSliceComposition(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 200; trial++ {
+		shape := []int{2 + rng.Intn(6), 2 + rng.Intn(6), 2 + rng.Intn(4)}
+		x := New(Float64, shape...)
+		x.FillRand(int64(trial), 5)
+
+		outer := randomRegion(rng, shape)
+		inner := randomRegion(rng, outer.Shape())
+
+		a := x.Slice(outer).Slice(inner)
+
+		composed := make(Region, len(shape))
+		for d := range shape {
+			composed[d] = Range{outer[d].Lo + inner[d].Lo, outer[d].Lo + inner[d].Hi}
+		}
+		b := x.Slice(composed)
+		if !a.Equal(b) {
+			t.Fatalf("composition failed: outer=%v inner=%v", outer, inner)
+		}
+	}
+}
+
+func randomRegion(rng *rand.Rand, shape []int) Region {
+	reg := make(Region, len(shape))
+	for d, n := range shape {
+		lo := rng.Intn(n)
+		hi := lo + 1 + rng.Intn(n-lo)
+		reg[d] = Range{lo, hi}
+	}
+	return reg
+}

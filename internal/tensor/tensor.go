@@ -1,0 +1,385 @@
+package tensor
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Tensor is a dense, row-major n-dimensional array. The zero value is not
+// usable; construct tensors with New, Zeros, FromFloat32 or FromFloat64.
+//
+// A Tensor owns its backing storage. Slicing and splitting copy data; the
+// package never aliases two tensors to the same bytes, which keeps the
+// Tensor Store free of hidden sharing across HTTP and goroutine
+// boundaries.
+type Tensor struct {
+	dtype DType
+	shape []int
+	data  []byte
+}
+
+// New allocates a zero-filled tensor with the given element type and
+// shape. A nil or empty shape produces a scalar holding one element.
+// All dimensions must be positive.
+func New(dt DType, shape ...int) *Tensor {
+	if !dt.Valid() {
+		panic("tensor: New with invalid dtype")
+	}
+	n := 1
+	for _, d := range shape {
+		if d <= 0 {
+			panic(fmt.Sprintf("tensor: non-positive dimension in shape %v", shape))
+		}
+		n *= d
+	}
+	return &Tensor{
+		dtype: dt,
+		shape: append([]int(nil), shape...),
+		data:  make([]byte, n*dt.Size()),
+	}
+}
+
+// Zeros is an alias of New that reads better at call sites that care
+// about the initial value.
+func Zeros(dt DType, shape ...int) *Tensor { return New(dt, shape...) }
+
+// FromFloat32 builds a Float32 tensor from vals; len(vals) must equal the
+// product of shape.
+func FromFloat32(vals []float32, shape ...int) *Tensor {
+	t := New(Float32, shape...)
+	if len(vals) != t.NumElems() {
+		panic(fmt.Sprintf("tensor: FromFloat32 got %d values for shape %v", len(vals), shape))
+	}
+	for i, v := range vals {
+		binary.LittleEndian.PutUint32(t.data[i*4:], math.Float32bits(v))
+	}
+	return t
+}
+
+// FromFloat64 builds a Float64 tensor from vals; len(vals) must equal the
+// product of shape.
+func FromFloat64(vals []float64, shape ...int) *Tensor {
+	t := New(Float64, shape...)
+	if len(vals) != t.NumElems() {
+		panic(fmt.Sprintf("tensor: FromFloat64 got %d values for shape %v", len(vals), shape))
+	}
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(t.data[i*8:], math.Float64bits(v))
+	}
+	return t
+}
+
+// FromInt64 builds an Int64 tensor from vals.
+func FromInt64(vals []int64, shape ...int) *Tensor {
+	t := New(Int64, shape...)
+	if len(vals) != t.NumElems() {
+		panic(fmt.Sprintf("tensor: FromInt64 got %d values for shape %v", len(vals), shape))
+	}
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(t.data[i*8:], uint64(v))
+	}
+	return t
+}
+
+// DType returns the element type.
+func (t *Tensor) DType() DType { return t.dtype }
+
+// Shape returns a copy of the tensor's shape.
+func (t *Tensor) Shape() []int { return append([]int(nil), t.shape...) }
+
+// Rank returns the number of dimensions.
+func (t *Tensor) Rank() int { return len(t.shape) }
+
+// Dim returns the size of dimension i.
+func (t *Tensor) Dim(i int) int { return t.shape[i] }
+
+// NumElems returns the total number of elements.
+func (t *Tensor) NumElems() int {
+	n := 1
+	for _, d := range t.shape {
+		n *= d
+	}
+	return n
+}
+
+// NumBytes returns the size of the backing storage in bytes.
+func (t *Tensor) NumBytes() int { return len(t.data) }
+
+// Data exposes the backing bytes. Callers must treat the slice as
+// read-only unless they own the tensor exclusively.
+func (t *Tensor) Data() []byte { return t.data }
+
+// Clone returns a deep copy.
+func (t *Tensor) Clone() *Tensor {
+	c := &Tensor{
+		dtype: t.dtype,
+		shape: append([]int(nil), t.shape...),
+		data:  make([]byte, len(t.data)),
+	}
+	copy(c.data, t.data)
+	return c
+}
+
+// Reshape returns a copy of t with a new shape holding the same number of
+// elements in the same order.
+func (t *Tensor) Reshape(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if n != t.NumElems() {
+		panic(fmt.Sprintf("tensor: Reshape %v -> %v changes element count", t.shape, shape))
+	}
+	c := t.Clone()
+	c.shape = append([]int(nil), shape...)
+	return c
+}
+
+// strides returns the element stride of every dimension (row-major).
+func (t *Tensor) strides() []int {
+	s := make([]int, len(t.shape))
+	acc := 1
+	for i := len(t.shape) - 1; i >= 0; i-- {
+		s[i] = acc
+		acc *= t.shape[i]
+	}
+	return s
+}
+
+// flatIndex converts a multi-index into a flat element index, panicking
+// on out-of-range coordinates.
+func (t *Tensor) flatIndex(idx []int) int {
+	if len(idx) != len(t.shape) {
+		panic(fmt.Sprintf("tensor: index rank %d != tensor rank %d", len(idx), len(t.shape)))
+	}
+	flat := 0
+	for i, x := range idx {
+		if x < 0 || x >= t.shape[i] {
+			panic(fmt.Sprintf("tensor: index %v out of range for shape %v", idx, t.shape))
+		}
+		flat = flat*t.shape[i] + x
+	}
+	return flat
+}
+
+// Float64At returns the element at idx converted to float64. It works for
+// every numeric dtype (Float16 is decoded from binary16).
+func (t *Tensor) Float64At(idx ...int) float64 {
+	return t.float64AtFlat(t.flatIndex(idx))
+}
+
+func (t *Tensor) float64AtFlat(flat int) float64 {
+	off := flat * t.dtype.Size()
+	switch t.dtype {
+	case Float32:
+		return float64(math.Float32frombits(binary.LittleEndian.Uint32(t.data[off:])))
+	case Float64:
+		return math.Float64frombits(binary.LittleEndian.Uint64(t.data[off:]))
+	case Float16:
+		return float64(f16ToF32(binary.LittleEndian.Uint16(t.data[off:])))
+	case Int64:
+		return float64(int64(binary.LittleEndian.Uint64(t.data[off:])))
+	case Int32:
+		return float64(int32(binary.LittleEndian.Uint32(t.data[off:])))
+	case Uint8:
+		return float64(t.data[off])
+	}
+	panic("tensor: Float64At on invalid dtype")
+}
+
+// SetFloat64 stores v (converted to the tensor's dtype) at idx.
+func (t *Tensor) SetFloat64(v float64, idx ...int) {
+	t.setFloat64Flat(t.flatIndex(idx), v)
+}
+
+func (t *Tensor) setFloat64Flat(flat int, v float64) {
+	off := flat * t.dtype.Size()
+	switch t.dtype {
+	case Float32:
+		binary.LittleEndian.PutUint32(t.data[off:], math.Float32bits(float32(v)))
+	case Float64:
+		binary.LittleEndian.PutUint64(t.data[off:], math.Float64bits(v))
+	case Float16:
+		binary.LittleEndian.PutUint16(t.data[off:], f32ToF16(float32(v)))
+	case Int64:
+		binary.LittleEndian.PutUint64(t.data[off:], uint64(int64(v)))
+	case Int32:
+		binary.LittleEndian.PutUint32(t.data[off:], uint32(int32(v)))
+	case Uint8:
+		t.data[off] = uint8(v)
+	default:
+		panic("tensor: SetFloat64 on invalid dtype")
+	}
+}
+
+// Fill sets every element to v.
+func (t *Tensor) Fill(v float64) {
+	for i, n := 0, t.NumElems(); i < n; i++ {
+		t.setFloat64Flat(i, v)
+	}
+}
+
+// FillSeq sets element i to start + i*step; useful for tests that must
+// recognize where every element ended up after a reconfiguration.
+func (t *Tensor) FillSeq(start, step float64) {
+	for i, n := 0, t.NumElems(); i < n; i++ {
+		t.setFloat64Flat(i, start+float64(i)*step)
+	}
+}
+
+// FillRand fills the tensor with uniform values in [-scale, scale) from a
+// deterministic source seeded by seed.
+func (t *Tensor) FillRand(seed int64, scale float64) {
+	rng := rand.New(rand.NewSource(seed))
+	for i, n := 0, t.NumElems(); i < n; i++ {
+		t.setFloat64Flat(i, (rng.Float64()*2-1)*scale)
+	}
+}
+
+// Float64s returns all elements converted to float64 in row-major order.
+func (t *Tensor) Float64s() []float64 {
+	out := make([]float64, t.NumElems())
+	for i := range out {
+		out[i] = t.float64AtFlat(i)
+	}
+	return out
+}
+
+// Equal reports whether u has the same dtype, shape and bytes as t.
+func (t *Tensor) Equal(u *Tensor) bool {
+	if t.dtype != u.dtype || len(t.shape) != len(u.shape) {
+		return false
+	}
+	for i := range t.shape {
+		if t.shape[i] != u.shape[i] {
+			return false
+		}
+	}
+	if len(t.data) != len(u.data) {
+		return false
+	}
+	for i := range t.data {
+		if t.data[i] != u.data[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// AllClose reports whether every element of t and u differs by at most
+// tol. Shapes must match; dtypes may differ.
+func (t *Tensor) AllClose(u *Tensor, tol float64) bool {
+	if len(t.shape) != len(u.shape) {
+		return false
+	}
+	for i := range t.shape {
+		if t.shape[i] != u.shape[i] {
+			return false
+		}
+	}
+	for i, n := 0, t.NumElems(); i < n; i++ {
+		if math.Abs(t.float64AtFlat(i)-u.float64AtFlat(i)) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+func (t *Tensor) String() string {
+	return fmt.Sprintf("Tensor(%s, shape=%v, %dB)", t.dtype, t.shape, len(t.data))
+}
+
+// ShapeNumElems returns the number of elements implied by shape.
+func ShapeNumElems(shape []int) int {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	return n
+}
+
+// ShapeNumBytes returns the byte size of a tensor of the given dtype and
+// shape without materializing it. The performance plane of the
+// experiments uses this to account for full-scale model state.
+func ShapeNumBytes(dt DType, shape []int) int64 {
+	return int64(ShapeNumElems(shape)) * int64(dt.Size())
+}
+
+// ShapeEqual reports whether two shapes are identical.
+func ShapeEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// f16ToF32 decodes an IEEE 754 binary16 value.
+func f16ToF32(h uint16) float32 {
+	sign := uint32(h>>15) & 1
+	exp := uint32(h>>10) & 0x1f
+	frac := uint32(h) & 0x3ff
+	var bits uint32
+	switch {
+	case exp == 0 && frac == 0: // signed zero
+		bits = sign << 31
+	case exp == 0: // subnormal: normalize
+		e := uint32(127 - 15 + 1)
+		for frac&0x400 == 0 {
+			frac <<= 1
+			e--
+		}
+		frac &= 0x3ff
+		bits = sign<<31 | e<<23 | frac<<13
+	case exp == 0x1f: // inf / NaN
+		bits = sign<<31 | 0xff<<23 | frac<<13
+	default:
+		bits = sign<<31 | (exp-15+127)<<23 | frac<<13
+	}
+	return math.Float32frombits(bits)
+}
+
+// f32ToF16 encodes a float32 as IEEE 754 binary16 with round-to-nearest-
+// even, saturating to infinity.
+func f32ToF16(f float32) uint16 {
+	bits := math.Float32bits(f)
+	sign := uint16(bits>>16) & 0x8000
+	exp := int32(bits>>23)&0xff - 127 + 15
+	frac := bits & 0x7fffff
+	switch {
+	case int32(bits>>23)&0xff == 0xff: // inf / NaN
+		if frac != 0 {
+			return sign | 0x7e00 // NaN
+		}
+		return sign | 0x7c00
+	case exp >= 0x1f: // overflow -> inf
+		return sign | 0x7c00
+	case exp <= 0:
+		if exp < -10 {
+			return sign // underflow to zero
+		}
+		// subnormal
+		frac |= 0x800000
+		shift := uint32(14 - exp)
+		half := uint32(1) << (shift - 1)
+		v := frac >> shift
+		if frac&(half|((v&1)<<shift))|frac&(half-1) != 0 && frac&half != 0 {
+			v++
+		}
+		return sign | uint16(v)
+	default:
+		v := uint16(exp)<<10 | uint16(frac>>13)
+		// round to nearest even on the truncated 13 bits
+		rem := frac & 0x1fff
+		if rem > 0x1000 || (rem == 0x1000 && v&1 == 1) {
+			v++
+		}
+		return sign | v
+	}
+}

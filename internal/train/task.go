@@ -1,0 +1,145 @@
+// Package train is the mini DL system of this reproduction: a real
+// (CPU, float64) training stack with deterministic SGD, data-parallel
+// gradient averaging, Megatron-style tensor-parallel execution, and
+// hooks for elastic reconfiguration. The convergence experiments of the
+// paper (Figs. 2, 9, 16) depend on state-consistency semantics — sample
+// order, exactly-once consumption, global batch size, parameter
+// re-sharding — not on GPUs, so this small real system exhibits exactly
+// the pathologies the paper demonstrates when state is handled
+// inconsistently.
+package train
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"tenplex/internal/model"
+	"tenplex/internal/tensor"
+)
+
+// Task is a synthetic classification problem: inputs are deterministic
+// pseudo-random vectors keyed by sample ID, labels come from a hidden
+// teacher network, so the task is learnable and every worker can
+// materialize any sample from its ID alone (the dataset package
+// provides the IDs; features are a pure function of them).
+type Task struct {
+	In         int
+	Classes    int
+	NumSamples int
+	Seed       int64
+	// NoiseFrac is the fraction of samples whose label is replaced by a
+	// deterministic random class. Label noise makes per-sample
+	// memorization visible, which the Fig. 2a experiment (overfitting
+	// after inconsistent dataset access) relies on.
+	NoiseFrac float64
+
+	teacher *tensor.Tensor // [Classes, In]
+}
+
+// NewTask builds a task with a fixed teacher.
+func NewTask(in, classes, numSamples int, seed int64) *Task {
+	if in < 1 || classes < 2 || numSamples < 1 {
+		panic(fmt.Sprintf("train: bad task (in=%d classes=%d n=%d)", in, classes, numSamples))
+	}
+	teacher := tensor.New(tensor.Float64, classes, in)
+	teacher.FillRand(seed*31+7, 1.0)
+	return &Task{In: in, Classes: classes, NumSamples: numSamples, Seed: seed, teacher: teacher}
+}
+
+// Features materializes the inputs for a batch of sample IDs as a
+// [B, In] matrix.
+func (tk *Task) Features(ids []int) *tensor.Tensor {
+	x := tensor.New(tensor.Float64, len(ids), tk.In)
+	for r, id := range ids {
+		if id < 0 || id >= tk.NumSamples {
+			panic(fmt.Sprintf("train: sample %d of %d", id, tk.NumSamples))
+		}
+		rng := rand.New(rand.NewSource(tk.Seed ^ int64(id)*0x9e3779b9))
+		for j := 0; j < tk.In; j++ {
+			x.SetFloat64(rng.NormFloat64(), r, j)
+		}
+	}
+	return x
+}
+
+// Labels returns each sample's class: the teacher's argmax, except for
+// the NoiseFrac of samples that carry a deterministic random label.
+func (tk *Task) Labels(ids []int) []int {
+	x := tk.Features(ids)
+	logits := tensor.MatMulABT(x, tk.teacher)
+	out := make([]int, len(ids))
+	for r, id := range ids {
+		rng := rand.New(rand.NewSource(tk.Seed ^ int64(id)*0x51ed2701 + 13))
+		if tk.NoiseFrac > 0 && rng.Float64() < tk.NoiseFrac {
+			out[r] = rng.Intn(tk.Classes)
+			continue
+		}
+		best, bestV := 0, math.Inf(-1)
+		for c := 0; c < tk.Classes; c++ {
+			if v := logits.Float64At(r, c); v > bestV {
+				best, bestV = c, v
+			}
+		}
+		out[r] = best
+	}
+	return out
+}
+
+// MLPCatalog describes the trainer's two-layer MLP in the model
+// package's terms, so the PTC machinery can parallelize and reconfigure
+// its state. fc1 is column-parallel (its output dimension slices under
+// TP), fc2 is row-parallel; each parameter carries one optimizer-state
+// tensor (the SGD momentum buffer).
+func MLPCatalog(in, hidden, classes int) *model.Model {
+	dt := tensor.Float64
+	m := &model.Model{
+		Name:              fmt.Sprintf("mlp-i%d-h%d-c%d", in, hidden, classes),
+		OptimizerStates:   1,
+		OptimizerDType:    dt,
+		ActElemsPerSample: hidden,
+	}
+	m.Layers = []model.Layer{
+		{
+			Name: "fc1",
+			Params: []model.Param{
+				{Name: "weight", Shape: []int{hidden, in}, DType: dt, TPDim: 0},
+				{Name: "bias", Shape: []int{hidden}, DType: dt, TPDim: 0},
+			},
+			FLOPsPerSample: 6 * float64(hidden*in),
+		},
+		{
+			Name: "fc2",
+			Params: []model.Param{
+				{Name: "weight", Shape: []int{classes, hidden}, DType: dt, TPDim: 1},
+				{Name: "bias", Shape: []int{classes}, DType: dt, TPDim: model.NoTP},
+			},
+			FLOPsPerSample: 6 * float64(classes*hidden),
+		},
+	}
+	return m
+}
+
+// InitState returns deterministic initial parameters (and zeroed
+// momentum buffers) for an MLP catalog, keyed by tensor path.
+func InitState(cat *model.Model, seed int64) map[string]*tensor.Tensor {
+	out := map[string]*tensor.Tensor{}
+	i := int64(0)
+	for _, lp := range cat.StateParams() {
+		t := tensor.New(tensor.Float64, lp.Param.Shape...)
+		if isOptState(lp.Param.Name) {
+			// momentum buffers start at zero
+		} else {
+			fan := lp.Param.Shape[len(lp.Param.Shape)-1]
+			t.FillRand(seed+i, 1/math.Sqrt(float64(fan)))
+		}
+		out[lp.Path()] = t
+		i++
+	}
+	return out
+}
+
+func isOptState(name string) bool {
+	n := len(name)
+	return n > 5 && name[n-5:] == ".opt0"
+}

@@ -1,0 +1,77 @@
+package transform
+
+import (
+	"testing"
+
+	"tenplex/internal/cluster"
+	"tenplex/internal/core"
+	"tenplex/internal/model"
+	"tenplex/internal/parallel"
+)
+
+// BenchmarkApplyTPReshard measures the full materialized pipeline:
+// plan + parallel fetch + assemble + stage + commit for a TP 2->4
+// re-shard of a reduced-scale GPT (real bytes through local stores).
+func BenchmarkApplyTPReshard(b *testing.B) {
+	m := model.GPTCustom(4, 128, 4, 512, 32) // ~1.1 MB of state
+	from, err := parallel.BuildPTC(m, parallel.Config{TP: 2, PP: 1, DP: 1}, alloc(2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	to, err := parallel.BuildPTC(m, parallel.Config{TP: 4, PP: 1, DP: 1}, alloc(4))
+	if err != nil {
+		b.Fatal(err)
+	}
+	golden := goldenState(from)
+	plan, err := core.GeneratePlan(from, to, core.PlanOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(m.ParamBytes())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		stores := localStores(alloc(4))
+		if err := LoadPTC("bench", from, stores, golden); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		tr := &Transformer{Job: "bench", Stores: stores}
+		if _, err := tr.Apply(plan); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkApplyDistributed measures the per-worker execution path on
+// the same workload.
+func BenchmarkApplyDistributed(b *testing.B) {
+	topo := cluster.OnPrem16()
+	m := model.GPTCustom(4, 128, 4, 512, 32)
+	from, err := parallel.BuildPTC(m, parallel.Config{TP: 2, PP: 2, DP: 1}, alloc(4))
+	if err != nil {
+		b.Fatal(err)
+	}
+	to, err := parallel.BuildPTC(m, parallel.Config{TP: 2, PP: 2, DP: 2}, alloc(8))
+	if err != nil {
+		b.Fatal(err)
+	}
+	golden := goldenState(from)
+	plan, err := core.GeneratePlan(from, to, core.PlanOptions{Topo: topo})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(m.ParamBytes())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		stores := localStores(alloc(8))
+		if err := LoadPTC("bench", from, stores, golden); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, err := ApplyDistributed("bench", plan, topo, stores, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

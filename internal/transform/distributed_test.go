@@ -1,0 +1,87 @@
+package transform
+
+import (
+	"testing"
+
+	"tenplex/internal/cluster"
+	"tenplex/internal/core"
+	"tenplex/internal/model"
+	"tenplex/internal/parallel"
+)
+
+func TestApplyDistributedMatchesSingle(t *testing.T) {
+	topo := cluster.OnPrem16()
+	m := model.GPTCustom(6, 32, 4, 128, 16)
+	const job = "job0"
+	from := buildPTC(t, m, parallel.Config{TP: 2, PP: 4, DP: 2}, alloc(16))
+	to := buildPTC(t, m, parallel.Config{TP: 2, PP: 2, DP: 2}, alloc(8))
+	golden := goldenState(from)
+
+	// Single-transformer reference.
+	single := localStores(alloc(16))
+	if err := LoadPTC(job, from, single, golden); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := core.GeneratePlan(from, to, core.PlanOptions{Topo: topo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stS, err := (&Transformer{Job: job, Stores: single}).Apply(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifyAgainstGolden(t, job, to, single, golden)
+
+	// Distributed execution: one transformer per worker.
+	dist := localStores(alloc(16))
+	if err := LoadPTC(job, from, dist, golden); err != nil {
+		t.Fatal(err)
+	}
+	stD, err := ApplyDistributed(job, plan, topo, dist, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifyAgainstGolden(t, job, to, dist, golden)
+
+	// Same work was done.
+	if stS.Assignments != stD.Assignments || stS.PeerBytes != stD.PeerBytes ||
+		stS.LocalBytes != stD.LocalBytes {
+		t.Fatalf("distributed stats differ: single %+v vs distributed %+v", stS, stD)
+	}
+	// Departed devices cleared in both.
+	for _, d := range []cluster.DeviceID{8, 12} {
+		if _, err := dist[d].List("/job/job0/model"); err == nil {
+			t.Fatalf("device %d still holds state after distributed apply", d)
+		}
+	}
+}
+
+func TestApplyDistributedFailureRecovery(t *testing.T) {
+	topo := cluster.OnPrem16()
+	m := model.GPTCustom(2, 16, 2, 64, 8)
+	const job = "job0"
+	from := buildPTC(t, m, parallel.Config{TP: 2, PP: 1, DP: 1}, alloc(2))
+	golden := goldenState(from)
+	stores := localStores(alloc(4))
+	if err := LoadPTC(job, from, stores, golden); err != nil {
+		t.Fatal(err)
+	}
+	degraded := from.WithoutDevices(1)
+	to := buildPTC(t, m, parallel.Config{TP: 1, PP: 1, DP: 1}, alloc(1))
+	plan, err := core.GeneratePlan(degraded, to, core.PlanOptions{StorageFallback: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without storage: error propagates from the owning worker.
+	if _, err := ApplyDistributed(job, plan, topo, stores, nil); err == nil {
+		t.Fatal("distributed apply without storage succeeded")
+	}
+	st, err := ApplyDistributed(job, plan, topo, stores, memStorage(golden))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.StorageBytes == 0 {
+		t.Fatal("no storage reads recorded")
+	}
+	verifyAgainstGolden(t, job, to, stores, golden)
+}

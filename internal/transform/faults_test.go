@@ -1,0 +1,103 @@
+package transform
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"tenplex/internal/core"
+	"tenplex/internal/model"
+	"tenplex/internal/parallel"
+	"tenplex/internal/store"
+	"tenplex/internal/tensor"
+)
+
+// flakyAccess injects failures into a store.Access: every failEvery-th
+// operation returns an error.
+type flakyAccess struct {
+	inner store.Access
+	count atomic.Int64
+	// failEvery <= 0 disables injection.
+	failEvery int64
+}
+
+func (f *flakyAccess) maybeFail(op string) error {
+	if f.failEvery <= 0 {
+		return nil
+	}
+	if f.count.Add(1)%f.failEvery == 0 {
+		return fmt.Errorf("injected fault during %s", op)
+	}
+	return nil
+}
+
+func (f *flakyAccess) Query(path string, reg tensor.Region) (*tensor.Tensor, error) {
+	if err := f.maybeFail("query"); err != nil {
+		return nil, err
+	}
+	return f.inner.Query(path, reg)
+}
+func (f *flakyAccess) Upload(path string, t *tensor.Tensor) error {
+	if err := f.maybeFail("upload"); err != nil {
+		return err
+	}
+	return f.inner.Upload(path, t)
+}
+func (f *flakyAccess) Delete(path string) error { return f.inner.Delete(path) }
+func (f *flakyAccess) List(path string) ([]string, error) {
+	return f.inner.List(path)
+}
+func (f *flakyAccess) Rename(src, dst string) error { return f.inner.Rename(src, dst) }
+
+// TestApplyFaultInjectionPreservesOldState: when fetches fail mid-plan,
+// Apply must report the error and leave the previous model state
+// readable (no partial commit).
+func TestApplyFaultInjectionPreservesOldState(t *testing.T) {
+	m := model.GPTCustom(4, 16, 2, 64, 8)
+	const job = "job0"
+	from := buildPTC(t, m, parallel.Config{TP: 2, PP: 1, DP: 1}, alloc(2))
+	to := buildPTC(t, m, parallel.Config{TP: 4, PP: 1, DP: 1}, alloc(4))
+	golden := goldenState(from)
+
+	for _, every := range []int64{3, 7, 13} {
+		plain := localStores(alloc(4))
+		if err := LoadPTC(job, from, plain, golden); err != nil {
+			t.Fatal(err)
+		}
+		wrapped := map[string]*flakyAccess{}
+		stores := localStores(alloc(4))
+		for d, acc := range plain {
+			fa := &flakyAccess{inner: acc, failEvery: every}
+			wrapped[fmt.Sprint(d)] = fa
+			stores[d] = fa
+		}
+		plan, err := core.GeneratePlan(from, to, core.PlanOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := &Transformer{Job: job, Stores: stores, Parallelism: 4}
+		if _, err := tr.Apply(plan); err == nil {
+			t.Fatalf("failEvery=%d: Apply succeeded despite injected faults", every)
+		}
+		// Old state must be intact and fully readable.
+		for _, d := range from.Devices {
+			for _, s := range from.Place[d] {
+				got, err := plain[d].Query(ModelPath(job, d, s.Tensor), nil)
+				if err != nil {
+					t.Fatalf("failEvery=%d: old state lost: %v", every, err)
+				}
+				if !got.Equal(golden[s.Tensor].Slice(s.Region)) {
+					t.Fatalf("failEvery=%d: old state corrupted", every)
+				}
+			}
+		}
+		// Retrying with the faults cleared succeeds.
+		for _, fa := range wrapped {
+			fa.failEvery = 0
+		}
+		if _, err := tr.Apply(plan); err != nil {
+			t.Fatalf("failEvery=%d: retry failed: %v", every, err)
+		}
+		verifyAgainstGolden(t, job, to, stores, golden)
+	}
+}

@@ -1,0 +1,95 @@
+package transform
+
+import (
+	"fmt"
+
+	"tenplex/internal/cluster"
+	"tenplex/internal/core"
+	"tenplex/internal/store"
+)
+
+// Replication (§5.3): to survive frequent failures, Tenplex can
+// replicate the model state held in each device's Tensor Store to the
+// stores of the next n workers, round-robin. If a worker fails and the
+// state in its store is lost, the replicas on the following workers
+// still hold it, so recovery avoids stale persisted checkpoints.
+
+// replicaPath is where device d's partition is mirrored on another
+// worker's store.
+func replicaPath(job string, d cluster.DeviceID, id core.TensorID) string {
+	return fmt.Sprintf("/job/%s/replica/dev%d/%s", job, d, id)
+}
+
+// Replicate copies every device's partition of the PTC to the Tensor
+// Stores of its next n workers (round-robin by worker index). It
+// returns the bytes written. Stores are addressed by the first device
+// of the target worker.
+func Replicate(job string, ptc *core.PTC, topo *cluster.Topology,
+	stores map[cluster.DeviceID]store.Access, n int) (int64, error) {
+	if n < 1 || n >= topo.NumWorkers() {
+		return 0, fmt.Errorf("transform: replication factor %d of %d workers", n, topo.NumWorkers())
+	}
+	var written int64
+	for _, d := range ptc.Devices {
+		src, ok := stores[d]
+		if !ok {
+			return written, fmt.Errorf("transform: no store for device %d", d)
+		}
+		home := topo.WorkerOf(d)
+		for _, s := range ptc.Place[d] {
+			t, err := src.Query(ModelPath(job, d, s.Tensor), nil)
+			if err != nil {
+				return written, fmt.Errorf("transform: replicate read %q: %w", s.Tensor, err)
+			}
+			for k := 1; k <= n; k++ {
+				w := topo.Workers[(home+k)%topo.NumWorkers()]
+				dstDev := w.Devices[0]
+				dst, ok := stores[dstDev]
+				if !ok {
+					return written, fmt.Errorf("transform: no store for replica worker %d", w.ID)
+				}
+				if err := dst.Upload(replicaPath(job, d, s.Tensor), t); err != nil {
+					return written, fmt.Errorf("transform: replicate write: %w", err)
+				}
+				written += int64(t.NumBytes())
+			}
+		}
+	}
+	return written, nil
+}
+
+// RestoreFromReplicas rebuilds the model partition of a lost device
+// into the store of a replacement device, reading the round-robin
+// replicas written by Replicate. The PTC is the placement the lost
+// device had.
+func RestoreFromReplicas(job string, ptc *core.PTC, topo *cluster.Topology,
+	stores map[cluster.DeviceID]store.Access, lost, replacement cluster.DeviceID, n int) error {
+	dst, ok := stores[replacement]
+	if !ok {
+		return fmt.Errorf("transform: no store for replacement device %d", replacement)
+	}
+	home := topo.WorkerOf(lost)
+	for _, s := range ptc.Place[lost] {
+		var restored bool
+		for k := 1; k <= n && !restored; k++ {
+			w := topo.Workers[(home+k)%topo.NumWorkers()]
+			replDev := w.Devices[0]
+			repl, ok := stores[replDev]
+			if !ok {
+				continue
+			}
+			t, err := repl.Query(replicaPath(job, lost, s.Tensor), nil)
+			if err != nil {
+				continue // this replica may be lost too
+			}
+			if err := dst.Upload(ModelPath(job, replacement, s.Tensor), t); err != nil {
+				return fmt.Errorf("transform: restore write: %w", err)
+			}
+			restored = true
+		}
+		if !restored {
+			return fmt.Errorf("transform: no surviving replica of %q (device %d)", s.Tensor, lost)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,294 @@
+// Package transform implements the State Transformer (§5.1): the
+// component that executes a reconfiguration plan against the Tensor
+// Stores of the cluster. Fetches run in parallel, read exactly the
+// sub-tensor ranges the plan requires (splits are range-reads, merges
+// are local assembly), stage the new partitions next to the old ones,
+// and atomically commit when every assignment has landed.
+package transform
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"tenplex/internal/cluster"
+	"tenplex/internal/core"
+	"tenplex/internal/store"
+	"tenplex/internal/tensor"
+)
+
+// StorageReader provides ranges of base tensors from persisted
+// checkpoints in remote storage; the plan falls back to it when no
+// surviving device holds a range (failure recovery).
+type StorageReader interface {
+	ReadRange(id core.TensorID, reg tensor.Region) (*tensor.Tensor, error)
+}
+
+// ModelPath returns the canonical Tensor Store path of a model-state
+// tensor: the hierarchy mirrors the layered model structure, scoped by
+// job and device (cf. "/2/embedding/weight" in §5.2).
+func ModelPath(job string, dev cluster.DeviceID, id core.TensorID) string {
+	return fmt.Sprintf("/job/%s/model/dev%d/%s", job, dev, id)
+}
+
+// stagingPath is where new partitions accumulate before commit.
+func stagingPath(job string, dev cluster.DeviceID, id core.TensorID) string {
+	return fmt.Sprintf("/job/%s/model.next/dev%d/%s", job, dev, id)
+}
+
+func modelRoot(job string) string   { return fmt.Sprintf("/job/%s/model", job) }
+func stagingRoot(job string) string { return fmt.Sprintf("/job/%s/model.next", job) }
+
+// Transformer executes plans. One logical Transformer drives all
+// devices here; in a real deployment each worker runs one instance and
+// executes the subset of assignments destined for its devices — the
+// code path is identical because every store is reached through the
+// store.Access interface (local or REST).
+type Transformer struct {
+	// Job scopes all store paths.
+	Job string
+	// Stores maps every device to its Tensor Store.
+	Stores map[cluster.DeviceID]store.Access
+	// Storage reads persisted checkpoints; may be nil if the plan has
+	// no storage fetches.
+	Storage StorageReader
+	// Parallelism bounds concurrent assignment execution; <= 0 means 8.
+	Parallelism int
+}
+
+// Stats reports what an Apply did.
+type Stats struct {
+	Assignments  int
+	Noops        int
+	LocalBytes   int64 // fetched from the destination device itself
+	PeerBytes    int64 // fetched from other devices' stores
+	StorageBytes int64 // fetched from checkpoint storage
+	Duration     time.Duration
+}
+
+// Apply executes the plan: every destination sub-tensor is assembled in
+// the staging area of its device's store, and once all assignments
+// succeed the staged tree replaces the live model state on every
+// destination device. On error nothing is committed.
+func (tr *Transformer) Apply(plan *core.Plan) (Stats, error) {
+	start := time.Now()
+	var st Stats
+	if err := plan.Validate(); err != nil {
+		return st, fmt.Errorf("transform: invalid plan: %w", err)
+	}
+	if err := tr.checkOneRegionPerTensor(plan); err != nil {
+		return st, err
+	}
+	for _, d := range plan.To.Devices {
+		if _, ok := tr.Stores[d]; !ok {
+			return st, fmt.Errorf("transform: no store for destination device %d", d)
+		}
+	}
+
+	par := tr.Parallelism
+	if par <= 0 {
+		par = 8
+	}
+	var (
+		mu   sync.Mutex
+		errs []error
+		wg   sync.WaitGroup
+		sem  = make(chan struct{}, par)
+	)
+	for _, a := range plan.Assignments {
+		wg.Add(1)
+		go func(a core.Assignment) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			s, err := tr.applyAssignment(plan, a)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				errs = append(errs, err)
+				return
+			}
+			st.Assignments++
+			if a.IsNoop() {
+				st.Noops++
+			}
+			st.LocalBytes += s.LocalBytes
+			st.PeerBytes += s.PeerBytes
+			st.StorageBytes += s.StorageBytes
+		}(a)
+	}
+	wg.Wait()
+	if len(errs) > 0 {
+		sort.Slice(errs, func(i, j int) bool { return errs[i].Error() < errs[j].Error() })
+		return st, fmt.Errorf("transform: %d assignments failed: %w", len(errs), errors.Join(errs...))
+	}
+
+	if err := tr.commit(plan); err != nil {
+		return st, err
+	}
+	st.Duration = time.Since(start)
+	return st, nil
+}
+
+// applyAssignment assembles one destination sub-tensor in staging.
+func (tr *Transformer) applyAssignment(plan *core.Plan, a core.Assignment) (Stats, error) {
+	var st Stats
+	meta := plan.To.Tensors[a.Tensor]
+	dst := tr.Stores[a.Device]
+
+	var pieces []tensor.Piece
+	for _, f := range a.Fetch {
+		bytes := f.Want.NumBytes(meta.DType)
+		var data *tensor.Tensor
+		var err error
+		switch f.Src.Kind {
+		case core.FromDevice:
+			src, ok := tr.Stores[f.Src.Device]
+			if !ok {
+				return st, fmt.Errorf("transform: no store for source device %d", f.Src.Device)
+			}
+			local := f.Want.Translate(f.Src.Region.Offset())
+			data, err = src.Query(ModelPath(tr.Job, f.Src.Device, a.Tensor), local)
+			if err != nil {
+				return st, fmt.Errorf("transform: fetch %s%v from dev %d: %w", a.Tensor, f.Want, f.Src.Device, err)
+			}
+			if f.Src.Device == a.Device {
+				st.LocalBytes += bytes
+			} else {
+				st.PeerBytes += bytes
+			}
+		case core.FromStorage:
+			if tr.Storage == nil {
+				return st, fmt.Errorf("transform: plan needs storage for %s%v but no StorageReader configured", a.Tensor, f.Want)
+			}
+			data, err = tr.Storage.ReadRange(a.Tensor, f.Want)
+			if err != nil {
+				return st, fmt.Errorf("transform: storage read %s%v: %w", a.Tensor, f.Want, err)
+			}
+			st.StorageBytes += bytes
+		}
+		pieces = append(pieces, tensor.Piece{
+			Region: f.Want.Translate(a.Region.Offset()),
+			Data:   data,
+		})
+	}
+	merged, err := tensor.Assemble(meta.DType, a.Region.Shape(), pieces)
+	if err != nil {
+		return st, fmt.Errorf("transform: assemble %s%v: %w", a.Tensor, a.Region, err)
+	}
+	if err := dst.Upload(stagingPath(tr.Job, a.Device, a.Tensor), merged); err != nil {
+		return st, fmt.Errorf("transform: stage %s on dev %d: %w", a.Tensor, a.Device, err)
+	}
+	return st, nil
+}
+
+// commit swaps the staged tree into place on every destination device
+// and clears stale model state on devices that leave the job.
+func (tr *Transformer) commit(plan *core.Plan) error {
+	for _, d := range plan.To.Devices {
+		acc := tr.Stores[d]
+		// A device with no assignments (possible when it holds nothing
+		// under the new PTC) still needs its old state cleared below.
+		if _, err := acc.List(stagingRoot(tr.Job)); err != nil {
+			continue
+		}
+		_ = acc.Delete(modelRoot(tr.Job)) // old state may not exist
+		if err := acc.Rename(stagingRoot(tr.Job), modelRoot(tr.Job)); err != nil {
+			return fmt.Errorf("transform: commit on dev %d: %w", d, err)
+		}
+	}
+	// Devices that held state before but are not in the new allocation
+	// release it so the scheduler can hand their memory to other jobs.
+	newSet := map[cluster.DeviceID]bool{}
+	for _, d := range plan.To.Devices {
+		newSet[d] = true
+	}
+	for _, d := range plan.From.Devices {
+		if newSet[d] {
+			continue
+		}
+		if acc, ok := tr.Stores[d]; ok {
+			_ = acc.Delete(modelRoot(tr.Job))
+		}
+	}
+	return nil
+}
+
+// checkOneRegionPerTensor enforces the store layout invariant: a device
+// holds at most one sub-tensor per base tensor (one file per tensor
+// path). Every parallelization the parallel package produces satisfies
+// it.
+func (tr *Transformer) checkOneRegionPerTensor(plan *core.Plan) error {
+	for _, ptc := range []*core.PTC{plan.From, plan.To} {
+		for _, d := range ptc.Devices {
+			seen := map[core.TensorID]bool{}
+			for _, s := range ptc.Place[d] {
+				if seen[s.Tensor] {
+					return fmt.Errorf("transform: device %d holds multiple regions of %q; unsupported store layout", d, s.Tensor)
+				}
+				seen[s.Tensor] = true
+			}
+		}
+	}
+	return nil
+}
+
+// LoadPTC materializes PTC state into the stores: every device uploads
+// its sub-tensors sliced from the provided full tensors. Tests,
+// examples and the checkpoint path use it to seed initial state.
+func LoadPTC(job string, ptc *core.PTC, stores map[cluster.DeviceID]store.Access,
+	full map[core.TensorID]*tensor.Tensor) error {
+	for _, d := range ptc.Devices {
+		acc, ok := stores[d]
+		if !ok {
+			return fmt.Errorf("transform: no store for device %d", d)
+		}
+		for _, s := range ptc.Place[d] {
+			src, ok := full[s.Tensor]
+			if !ok {
+				return fmt.Errorf("transform: no source tensor for %q", s.Tensor)
+			}
+			if err := acc.Upload(ModelPath(job, d, s.Tensor), src.Slice(s.Region)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ReadPTC gathers the full tensors of a PTC back out of the stores by
+// assembling every tensor from the sub-tensors of its holders — the
+// inverse of LoadPTC, used to hand a resumed job its merged state and
+// by tests to verify reconfigurations end to end.
+func ReadPTC(job string, ptc *core.PTC, stores map[cluster.DeviceID]store.Access) (map[core.TensorID]*tensor.Tensor, error) {
+	out := map[core.TensorID]*tensor.Tensor{}
+	for id, meta := range ptc.Tensors {
+		var pieces []tensor.Piece
+		seen := map[string]bool{}
+		for _, d := range ptc.Devices {
+			for _, s := range ptc.Place[d] {
+				if s.Tensor != id || seen[s.Region.String()] {
+					continue
+				}
+				acc, ok := stores[d]
+				if !ok {
+					return nil, fmt.Errorf("transform: no store for device %d", d)
+				}
+				t, err := acc.Query(ModelPath(job, d, id), nil)
+				if err != nil {
+					return nil, fmt.Errorf("transform: read %q from dev %d: %w", id, d, err)
+				}
+				pieces = append(pieces, tensor.Piece{Region: s.Region, Data: t})
+				seen[s.Region.String()] = true
+			}
+		}
+		full, err := tensor.Assemble(meta.DType, meta.Shape, pieces)
+		if err != nil {
+			return nil, fmt.Errorf("transform: assemble %q: %w", id, err)
+		}
+		out[id] = full
+	}
+	return out, nil
+}

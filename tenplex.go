@@ -1,0 +1,291 @@
+// Package tenplex is the public entry point of this reproduction of
+// "Tenplex: Dynamic Parallelism for Deep Learning using Parallelizable
+// Tensor Collections" (SOSP 2024): a state management library that lets
+// DL jobs with multi-dimensional parallelism change their GPU
+// allocation at runtime.
+//
+// A Job externalizes its training state — model parameters, optimizer
+// moments and the dataset cursor — into per-device Tensor Stores,
+// described by a parallelizable tensor collection (PTC). When the
+// scheduler changes the allocation, the job asks the parallelizer
+// (internal/perfmodel) for the best new (tensor, pipeline, data)
+// configuration, diffs the old and new PTCs into a minimal
+// split/move/merge plan (internal/core), and executes it with the
+// distributed State Transformer (internal/transform).
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-vs-measured record of every reproduced table and figure.
+package tenplex
+
+import (
+	"fmt"
+
+	"tenplex/internal/checkpoint"
+	"tenplex/internal/cluster"
+	"tenplex/internal/core"
+	"tenplex/internal/dataset"
+	"tenplex/internal/model"
+	"tenplex/internal/netsim"
+	"tenplex/internal/parallel"
+	"tenplex/internal/perfmodel"
+	"tenplex/internal/sched"
+	"tenplex/internal/store"
+	"tenplex/internal/tensor"
+	"tenplex/internal/transform"
+)
+
+// JobConfig describes a training job to manage.
+type JobConfig struct {
+	// Name scopes store paths and checkpoints.
+	Name string
+	// Model is the catalog of the job's state tensors.
+	Model *model.Model
+	// Topology is the cluster the job runs on.
+	Topology *cluster.Topology
+	// Perf tunes the parallelizer's cost model; zero value uses
+	// perfmodel.DefaultParams.
+	Perf perfmodel.Params
+	// Seed drives the dataset order.
+	Seed int64
+}
+
+// ReconfigReport summarizes one reconfiguration.
+type ReconfigReport struct {
+	From, To         parallel.Config
+	FromGPUs, ToGPUs int
+	// MovedBytes crossed a device boundary.
+	MovedBytes int64
+	// StorageBytes were read from persisted checkpoints.
+	StorageBytes int64
+	// SimulatedSec is the modeled transfer time on the topology.
+	SimulatedSec float64
+	// Plan statistics.
+	Splits, Merges, Fetches int
+}
+
+// Job is a managed training job. It is not safe for concurrent use; the
+// scheduler serializes resource changes.
+type Job struct {
+	cfg    JobConfig
+	stores map[cluster.DeviceID]store.Access
+	// storage is the remote blob store holding checkpoints.
+	storage store.Local
+
+	alloc  cluster.Allocation
+	par    parallel.Config
+	ptc    *core.PTC
+	cursor dataset.Cursor
+	step   int
+}
+
+// NewJob prepares a job on the topology: one in-memory Tensor Store per
+// device plus a blob store standing in for remote checkpoint storage.
+func NewJob(cfg JobConfig) (*Job, error) {
+	if cfg.Name == "" || cfg.Model == nil || cfg.Topology == nil {
+		return nil, fmt.Errorf("tenplex: JobConfig needs Name, Model and Topology")
+	}
+	if cfg.Perf.GlobalBatch == 0 {
+		cfg.Perf = perfmodel.DefaultParams()
+	}
+	j := &Job{
+		cfg:     cfg,
+		stores:  map[cluster.DeviceID]store.Access{},
+		storage: store.Local{FS: store.NewMemFS()},
+		cursor:  dataset.Cursor{Seed: cfg.Seed},
+	}
+	for _, d := range cfg.Topology.Devices {
+		j.stores[d.ID] = store.Local{FS: store.NewMemFS()}
+	}
+	return j, nil
+}
+
+// Stores exposes the per-device Tensor Stores (read-mostly; examples
+// and tests inspect them).
+func (j *Job) Stores() map[cluster.DeviceID]store.Access { return j.stores }
+
+// Config returns the current parallelization configuration.
+func (j *Job) Config() parallel.Config { return j.par }
+
+// Allocation returns the current device allocation.
+func (j *Job) Allocation() cluster.Allocation { return append(cluster.Allocation(nil), j.alloc...) }
+
+// PTC returns the current parallelizable tensor collection.
+func (j *Job) PTC() *core.PTC { return j.ptc }
+
+// Cursor returns a pointer to the dataset cursor (the dataset state of
+// the PTC); the training loop advances it.
+func (j *Job) Cursor() *dataset.Cursor { return &j.cursor }
+
+// Step returns the job's completed training steps.
+func (j *Job) Step() int { return j.step }
+
+// SetStep records training progress (called by the training loop).
+func (j *Job) SetStep(s int) { j.step = s }
+
+// Deploy places the job on nGPUs devices with the parallelizer's best
+// configuration and loads the initial state into the Tensor Stores.
+func (j *Job) Deploy(nGPUs int, init map[core.TensorID]*tensor.Tensor) error {
+	best, err := perfmodel.Best(j.cfg.Model, j.cfg.Topology, nGPUs, j.cfg.Perf)
+	if err != nil {
+		return fmt.Errorf("tenplex: deploy: %w", err)
+	}
+	return j.DeployWith(best.Config, j.cfg.Topology.FirstN(nGPUs), init)
+}
+
+// DeployWith places the job with an explicit configuration and
+// allocation.
+func (j *Job) DeployWith(cfg parallel.Config, alloc cluster.Allocation, init map[core.TensorID]*tensor.Tensor) error {
+	ptc, err := parallel.BuildPTC(j.cfg.Model, cfg, alloc)
+	if err != nil {
+		return fmt.Errorf("tenplex: deploy: %w", err)
+	}
+	if err := transform.LoadPTC(j.cfg.Name, ptc, j.stores, init); err != nil {
+		return fmt.Errorf("tenplex: deploy: %w", err)
+	}
+	j.ptc, j.par, j.alloc = ptc, cfg, alloc
+	return nil
+}
+
+// Reconfigure moves the job to nGPUs devices, picking the best new
+// configuration, computing the minimal plan against the current PTC and
+// executing it. It is the scheduler's entry point (§5.4).
+func (j *Job) Reconfigure(nGPUs int) (ReconfigReport, error) {
+	best, err := perfmodel.Best(j.cfg.Model, j.cfg.Topology, nGPUs, j.cfg.Perf)
+	if err != nil {
+		return ReconfigReport{}, fmt.Errorf("tenplex: reconfigure: %w", err)
+	}
+	return j.ReconfigureWith(best.Config, j.cfg.Topology.FirstN(nGPUs))
+}
+
+// ReconfigureWith moves the job to an explicit configuration and
+// allocation.
+func (j *Job) ReconfigureWith(cfg parallel.Config, alloc cluster.Allocation) (ReconfigReport, error) {
+	if j.ptc == nil {
+		return ReconfigReport{}, fmt.Errorf("tenplex: job %q not deployed", j.cfg.Name)
+	}
+	to, err := parallel.BuildPTC(j.cfg.Model, cfg, alloc)
+	if err != nil {
+		return ReconfigReport{}, fmt.Errorf("tenplex: reconfigure: %w", err)
+	}
+	return j.applyPlan(j.ptc, to, cfg, alloc, false)
+}
+
+// Recover handles a fail-stop loss of devices: the degraded PTC keeps
+// only surviving replicas, and ranges no replica holds are read back
+// from the latest persisted checkpoint.
+func (j *Job) Recover(failed []cluster.DeviceID, newGPUs int) (ReconfigReport, error) {
+	if j.ptc == nil {
+		return ReconfigReport{}, fmt.Errorf("tenplex: job %q not deployed", j.cfg.Name)
+	}
+	best, err := perfmodel.Best(j.cfg.Model, j.cfg.Topology, newGPUs, j.cfg.Perf)
+	if err != nil {
+		return ReconfigReport{}, fmt.Errorf("tenplex: recover: %w", err)
+	}
+	dead := map[cluster.DeviceID]bool{}
+	for _, d := range failed {
+		dead[d] = true
+	}
+	var alloc cluster.Allocation
+	for _, d := range j.cfg.Topology.Devices {
+		if !dead[d.ID] && len(alloc) < newGPUs {
+			alloc = append(alloc, d.ID)
+		}
+	}
+	if len(alloc) < newGPUs {
+		return ReconfigReport{}, fmt.Errorf("tenplex: only %d healthy devices for %d GPUs", len(alloc), newGPUs)
+	}
+	to, err := parallel.BuildPTC(j.cfg.Model, best.Config, alloc)
+	if err != nil {
+		return ReconfigReport{}, fmt.Errorf("tenplex: recover: %w", err)
+	}
+	degraded := j.ptc.WithoutDevices(failed...)
+	return j.applyPlan(degraded, to, best.Config, alloc, true)
+}
+
+func (j *Job) applyPlan(from, to *core.PTC, cfg parallel.Config, alloc cluster.Allocation, storageOK bool) (ReconfigReport, error) {
+	to = core.AlignDevices(from, to)
+	plan, err := core.GeneratePlan(from, to, core.PlanOptions{
+		Topo:            j.cfg.Topology,
+		StorageFallback: storageOK,
+	})
+	if err != nil {
+		return ReconfigReport{}, fmt.Errorf("tenplex: plan: %w", err)
+	}
+	tr := &transform.Transformer{Job: j.cfg.Name, Stores: j.stores}
+	if storageOK {
+		step, err := checkpoint.Latest(j.storage, j.cfg.Name)
+		if err == nil {
+			if r, err := checkpoint.Open(j.storage, j.cfg.Name, step); err == nil {
+				tr.Storage = r
+			}
+		}
+	}
+	if _, err := tr.Apply(plan); err != nil {
+		return ReconfigReport{}, fmt.Errorf("tenplex: transform: %w", err)
+	}
+	st := plan.Stats(j.cfg.Topology)
+	sim := netsim.Simulate(j.cfg.Topology, plan.Flows(j.cfg.Topology))
+	rep := ReconfigReport{
+		From: j.par, To: cfg,
+		FromGPUs: len(j.alloc), ToGPUs: len(alloc),
+		MovedBytes:   st.MovedBytes,
+		StorageBytes: st.StorageBytes,
+		SimulatedSec: sim.Seconds,
+		Splits:       st.Splits, Merges: st.Merges, Fetches: st.Fetches,
+	}
+	j.ptc, j.par, j.alloc = to, cfg, alloc
+	return rep, nil
+}
+
+// Replicate mirrors every device's model partition to the Tensor Stores
+// of its next n workers, round-robin (§5.3), adding state redundancy so
+// that worker loss can be repaired without stale checkpoints. It
+// returns the bytes written.
+func (j *Job) Replicate(n int) (int64, error) {
+	if j.ptc == nil {
+		return 0, fmt.Errorf("tenplex: job %q not deployed", j.cfg.Name)
+	}
+	return transform.Replicate(j.cfg.Name, j.ptc, j.cfg.Topology, j.stores, n)
+}
+
+// Checkpoint persists the current partitioned state to remote storage.
+func (j *Job) Checkpoint() error {
+	if j.ptc == nil {
+		return fmt.Errorf("tenplex: job %q not deployed", j.cfg.Name)
+	}
+	return checkpoint.Save(j.storage, j.cfg.Name, j.step, j.ptc, j.stores)
+}
+
+// State assembles and returns the job's full logical tensors from the
+// distributed sub-tensors — what the DL system loads to resume.
+func (j *Job) State() (map[core.TensorID]*tensor.Tensor, error) {
+	if j.ptc == nil {
+		return nil, fmt.Errorf("tenplex: job %q not deployed", j.cfg.Name)
+	}
+	return transform.ReadPTC(j.cfg.Name, j.ptc, j.stores)
+}
+
+// WriteState pushes updated full tensors back into the stores under the
+// current PTC (the DL system calls it after training steps, the
+// equivalent of tenplex.save in §5.2).
+func (j *Job) WriteState(full map[core.TensorID]*tensor.Tensor) error {
+	if j.ptc == nil {
+		return fmt.Errorf("tenplex: job %q not deployed", j.cfg.Name)
+	}
+	return transform.LoadPTC(j.cfg.Name, j.ptc, j.stores, full)
+}
+
+// HandleEvent adapts the job to a scheduler event, returning the
+// simulated reconfiguration time; it lets a Job drive sched.Run.
+func (j *Job) HandleEvent(e sched.Event) (ReconfigReport, error) {
+	switch e.Kind {
+	case sched.Failure:
+		var failed []cluster.DeviceID
+		for _, d := range j.alloc[e.GPUs:] {
+			failed = append(failed, d)
+		}
+		return j.Recover(failed, e.GPUs)
+	default:
+		return j.Reconfigure(e.GPUs)
+	}
+}
