@@ -11,6 +11,7 @@ package tenplex
 import (
 	"testing"
 
+	"tenplex/internal/core"
 	"tenplex/internal/experiments"
 )
 
@@ -165,4 +166,25 @@ func BenchmarkFig16Convergence(b *testing.B) {
 		}
 	}
 	b.ReportMetric(maxDev, "max-loss-deviation")
+}
+
+// BenchmarkReconfigPlannerScenarios runs the shared 64- and 128-device
+// reconfiguration planning scenarios (see EXPERIMENTS.md), reporting
+// the plan's moved gigabytes as the headline metric. Plan generation is
+// pure metadata work; these benches pin its cost at production scale.
+func BenchmarkReconfigPlannerScenarios(b *testing.B) {
+	for _, sc := range experiments.PlannerScenarios() {
+		b.Run(sc.Name, func(b *testing.B) {
+			var plan *core.Plan
+			for i := 0; i < b.N; i++ {
+				var err error
+				plan, err = core.GeneratePlan(sc.From, sc.To, sc.Opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(plan.Stats(sc.Topo).MovedBytes)/1e9, "moved-GB")
+		})
+	}
 }

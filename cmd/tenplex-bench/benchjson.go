@@ -1,0 +1,109 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"tenplex/internal/core"
+	"tenplex/internal/experiments"
+	"tenplex/internal/netsim"
+)
+
+// The -json mode emits a machine-readable BENCH_*.json record of the
+// reconfiguration-planning scenarios (see EXPERIMENTS.md), so the perf
+// trajectory of the planner hot path can be tracked across commits
+// without parsing Go benchmark text output.
+
+// benchRecord is the top-level BENCH_*.json document.
+type benchRecord struct {
+	Schema      string          `json:"schema"`
+	GeneratedAt string          `json:"generated_at"`
+	GoVersion   string          `json:"go_version"`
+	MaxProcs    int             `json:"gomaxprocs"`
+	Scenarios   []scenarioStats `json:"scenarios"`
+}
+
+// scenarioStats is one planner scenario's measured cost and plan shape.
+type scenarioStats struct {
+	Name        string  `json:"name"`
+	Devices     int     `json:"devices"`
+	Iters       int     `json:"iters"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	Assignments int     `json:"assignments"`
+	Noops       int     `json:"noops"`
+	Fetches     int     `json:"fetches"`
+	Splits      int     `json:"splits"`
+	Merges      int     `json:"merges"`
+	MovedBytes  int64   `json:"moved_bytes"`
+	Storage     int64   `json:"storage_bytes"`
+	ReconfigSec float64 `json:"simulated_reconfig_seconds"`
+}
+
+// measureScenario times GeneratePlan on one scenario: it runs
+// iterations until the budget elapses (at least minIters), reporting
+// the mean.
+func measureScenario(sc experiments.PlannerScenario, budget time.Duration, minIters int) (scenarioStats, error) {
+	var plan *core.Plan
+	var elapsed time.Duration
+	iters := 0
+	for iters < minIters || elapsed < budget {
+		t0 := time.Now()
+		p, err := core.GeneratePlan(sc.From, sc.To, sc.Opts)
+		elapsed += time.Since(t0)
+		if err != nil {
+			return scenarioStats{}, fmt.Errorf("%s: %w", sc.Name, err)
+		}
+		plan = p
+		iters++
+	}
+	if err := plan.Validate(); err != nil {
+		return scenarioStats{}, fmt.Errorf("%s: invalid plan: %w", sc.Name, err)
+	}
+	st := plan.Stats(sc.Topo)
+	sec := netsim.Simulate(sc.Topo, plan.Flows(sc.Topo)).Seconds
+	return scenarioStats{
+		Name:        sc.Name,
+		Devices:     sc.Devices,
+		Iters:       iters,
+		NsPerOp:     elapsed.Nanoseconds() / int64(iters),
+		Assignments: st.Assignments,
+		Noops:       st.Noops,
+		Fetches:     st.Fetches,
+		Splits:      st.Splits,
+		Merges:      st.Merges,
+		MovedBytes:  st.MovedBytes,
+		Storage:     st.StorageBytes,
+		ReconfigSec: sec,
+	}, nil
+}
+
+// writeBenchJSON runs every planner scenario and writes the record to
+// path ("-" for stdout).
+func writeBenchJSON(path string, budget time.Duration) error {
+	rec := benchRecord{
+		Schema:      "tenplex-bench/planner/v1",
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		MaxProcs:    runtime.GOMAXPROCS(0),
+	}
+	for _, sc := range experiments.PlannerScenarios() {
+		st, err := measureScenario(sc, budget, 2)
+		if err != nil {
+			return err
+		}
+		rec.Scenarios = append(rec.Scenarios, st)
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}

@@ -1,10 +1,12 @@
 // Command tenplex-bench regenerates every table and figure of the
 // paper's evaluation (§6) and prints them as text tables. Use -fig to
-// select a single experiment:
+// select a single experiment, or -json to emit a machine-readable
+// record of the reconfiguration-planner benchmarks:
 //
-//	tenplex-bench             # everything
-//	tenplex-bench -fig fig10  # one experiment
-//	tenplex-bench -list       # available experiment IDs
+//	tenplex-bench                      # everything
+//	tenplex-bench -fig fig10           # one experiment
+//	tenplex-bench -list                # available experiment IDs
+//	tenplex-bench -json BENCH_plan.json  # planner perf record ("-" = stdout)
 package main
 
 import (
@@ -12,6 +14,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"time"
 
 	"tenplex/internal/experiments"
 )
@@ -51,8 +54,17 @@ func ids() []string {
 func main() {
 	fig := flag.String("fig", "", "experiment ID to run (default: all)")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
+	jsonOut := flag.String("json", "", "write a BENCH_*.json planner perf record to this path (\"-\" for stdout) and exit")
+	jsonBudget := flag.Duration("json-budget", 200*time.Millisecond, "per-scenario measurement budget for -json")
 	flag.Parse()
 
+	if *jsonOut != "" {
+		if err := writeBenchJSON(*jsonOut, *jsonBudget); err != nil {
+			fmt.Fprintf(os.Stderr, "tenplex-bench: json: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *list {
 		for _, id := range ids() {
 			fmt.Println(id)

@@ -1,6 +1,12 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
 
 func TestExperimentRegistry(t *testing.T) {
 	want := []string{
@@ -33,6 +39,44 @@ func TestQuickExperimentsRender(t *testing.T) {
 		out := all[id]().Render()
 		if len(out) == 0 {
 			t.Errorf("%s rendered empty", id)
+		}
+	}
+}
+
+// TestWriteBenchJSON verifies the -json record: parseable, versioned,
+// and covering every planner scenario with sane measurements.
+func TestWriteBenchJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_planner.json")
+	if err := writeBenchJSON(path, time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec benchRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		t.Fatalf("record not valid JSON: %v", err)
+	}
+	if rec.Schema != "tenplex-bench/planner/v1" {
+		t.Fatalf("schema = %q", rec.Schema)
+	}
+	if len(rec.Scenarios) < 6 {
+		t.Fatalf("only %d scenarios recorded", len(rec.Scenarios))
+	}
+	names := map[string]bool{}
+	for _, sc := range rec.Scenarios {
+		if names[sc.Name] {
+			t.Fatalf("duplicate scenario %q", sc.Name)
+		}
+		names[sc.Name] = true
+		if sc.Iters < 2 || sc.NsPerOp <= 0 || sc.Assignments == 0 || sc.Devices < 64 {
+			t.Fatalf("implausible stats for %q: %+v", sc.Name, sc)
+		}
+	}
+	for _, want := range []string{"scale-out-128", "scale-in-128", "failstop-storage-64", "moe-expert-64"} {
+		if !names[want] {
+			t.Fatalf("scenario %q missing from record", want)
 		}
 	}
 }

@@ -1,0 +1,3 @@
+module tenplex
+
+go 1.24

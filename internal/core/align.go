@@ -33,40 +33,35 @@ func AlignDevices(from, to *PTC) *PTC {
 		olap  int64
 	}
 
-	// Index source holdings per device and tensor.
-	srcIdx := map[cluster.DeviceID]map[TensorID][]SubTensor{}
-	for _, d := range from.Devices {
-		m := map[TensorID][]SubTensor{}
-		for _, s := range from.Place[d] {
-			m[s.Tensor] = append(m[s.Tensor], s)
-		}
-		srcIdx[d] = m
-	}
-
-	overlap := func(group int, d cluster.DeviceID) int64 {
-		src, ok := srcIdx[d]
-		if !ok {
-			return 0
-		}
-		var bytes int64
-		for _, want := range to.Place[to.Devices[group]] {
+	// One interval-indexed pass per group: look up the source holders
+	// overlapping each wanted sub-tensor and accumulate overlap bytes
+	// per source device, instead of re-scanning every device's holdings
+	// for every (group, device) pair.
+	idx := newSourceIndex(from)
+	var cands []cand
+	olapByDev := map[cluster.DeviceID]int64{}
+	var hits []int32
+	for g := range to.Devices {
+		clear(olapByDev)
+		for _, want := range to.Place[to.Devices[g]] {
 			meta, ok := to.Tensors[want.Tensor]
 			if !ok {
 				continue
 			}
-			for _, have := range src[want.Tensor] {
-				if inter, ok := want.Region.Intersect(have.Region); ok {
-					bytes += inter.NumBytes(meta.DType)
+			ti := idx.tensor(want.Tensor)
+			if ti == nil {
+				continue
+			}
+			hits = ti.lookupRegion(want.Region, hits[:0])
+			for _, p := range hits {
+				h := &ti.holders[p]
+				if inter, ok := intersectRegions(want.Region, h.reg); ok {
+					olapByDev[h.dev] += inter.NumBytes(meta.DType)
 				}
 			}
 		}
-		return bytes
-	}
-
-	var cands []cand
-	for g := range to.Devices {
 		for _, d := range to.Devices {
-			if o := overlap(g, d); o > 0 {
+			if o := olapByDev[d]; o > 0 {
 				cands = append(cands, cand{group: g, dev: d, olap: o})
 			}
 		}

@@ -1,0 +1,38 @@
+package core
+
+// sliceArena hands out immutable windows of large backing arrays, so
+// the planner's many small, plan-lifetime slices (fetch lists, region
+// range lists, remaining-range lists) don't each pay a heap allocation.
+// Windows are full-capacity slices: appending to one always reallocates
+// instead of clobbering a neighbor. An arena is single-goroutine; each
+// plan worker owns its own.
+type sliceArena[T any] struct {
+	buf []T
+}
+
+const arenaChunk = 4096
+
+// alloc returns a zeroed window of n elements.
+func (ar *sliceArena[T]) alloc(n int) []T {
+	if cap(ar.buf)-len(ar.buf) < n {
+		c := arenaChunk
+		if n > c {
+			c = n
+		}
+		ar.buf = make([]T, 0, c)
+	}
+	s := len(ar.buf)
+	ar.buf = ar.buf[:s+n]
+	return ar.buf[s : s+n : s+n]
+}
+
+// save copies src into a window. Empty input returns nil, matching the
+// zero value of an unset field.
+func (ar *sliceArena[T]) save(src []T) []T {
+	if len(src) == 0 {
+		return nil
+	}
+	out := ar.alloc(len(src))
+	copy(out, src)
+	return out
+}

@@ -5,6 +5,7 @@ import (
 
 	"tenplex/internal/cluster"
 	"tenplex/internal/core"
+	"tenplex/internal/experiments"
 	"tenplex/internal/model"
 	"tenplex/internal/parallel"
 )
@@ -34,6 +35,28 @@ func BenchmarkGeneratePlanFullScale(b *testing.B) {
 		if len(plan.Assignments) == 0 {
 			b.Fatal("empty plan")
 		}
+	}
+}
+
+// BenchmarkGeneratePlanScenarios measures plan generation for the
+// shared 64- and 128-device reconfiguration scenarios (scale-out,
+// scale-in, redeployment, fail-stop recovery with StorageFallback, and
+// an MoE expert-parallel reshape). The same scenarios back
+// tenplex-bench's -json perf record; see EXPERIMENTS.md.
+func BenchmarkGeneratePlanScenarios(b *testing.B) {
+	for _, sc := range experiments.PlannerScenarios() {
+		b.Run(sc.Name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				plan, err := core.GeneratePlan(sc.From, sc.To, sc.Opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(plan.Assignments) == 0 {
+					b.Fatal("empty plan")
+				}
+			}
+		})
 	}
 }
 

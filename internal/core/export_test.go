@@ -1,0 +1,6 @@
+package core
+
+// GeneratePlanReference exposes the sequential reference planner to the
+// external test package, which property-tests that the indexed parallel
+// planner emits byte-identical plans.
+var GeneratePlanReference = generatePlanReference

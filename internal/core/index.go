@@ -1,0 +1,288 @@
+package core
+
+import (
+	"sort"
+
+	"tenplex/internal/cluster"
+	"tenplex/internal/tensor"
+)
+
+// This file implements the planner's source index: every holder of every
+// tensor in the source PTC, organized for the three lookups the plan
+// generator needs per destination sub-tensor — holders on one device
+// (tier 0), holders on one worker (tier 1), and holders overlapping an
+// interval along the tensor's dominant split axis (tier 2). The index
+// is built once per GeneratePlan / AlignDevices call and replaces the
+// per-assignment copy-and-sort of the full holder list.
+
+// srcHolder is one source sub-tensor in the index. lo/hi cache the
+// holder's extent along the owning tensorIndex's split axis; rank is
+// the device's dense position among the source devices, so send-load
+// bookkeeping can use flat arrays regardless of how sparse the
+// DeviceID space is.
+type srcHolder struct {
+	dev    cluster.DeviceID
+	rank   int32
+	reg    tensor.Region
+	lo, hi int
+}
+
+// tensorIndex indexes the holders of one tensor. holders is kept in
+// canonical order — device ascending, placement order within a device —
+// which is exactly the tie-break order of the reference planner's
+// stable sort. byLo additionally orders holder positions by their lower
+// bound along the dominant split axis for interval lookup.
+type tensorIndex struct {
+	holders []srcHolder
+	devs    []cluster.DeviceID // ascending; devices holding the tensor
+	starts  []int32            // len(devs)+1; holders[starts[i]:starts[i+1]] sit on devs[i]
+	axis    int                // dominant split axis; -1 when every holder has the same region
+	byLo    []int32
+	meta    TensorMeta // source-side metadata (planning checks it equals the target's)
+	n       int32      // holder count, used as a fill cursor during the build
+}
+
+// sourceIndex indexes a whole source PTC by tensor. All per-tensor
+// slices are windows into shared backing arrays sized in a counting
+// pass, so building it costs a handful of allocations regardless of
+// tensor count.
+type sourceIndex struct {
+	pos      map[TensorID]int32
+	all      []tensorIndex
+	numRanks int // distinct source devices (dense rank space)
+}
+
+// tensor returns the index of one tensor, or nil if no device holds it.
+func (idx *sourceIndex) tensor(id TensorID) *tensorIndex {
+	p, ok := idx.pos[id]
+	if !ok {
+		return nil
+	}
+	return &idx.all[p]
+}
+
+// newSourceIndex builds the index. Holder regions are copied once into
+// a shared arena, so plan fetches can reference them without aliasing
+// the PTC.
+func newSourceIndex(from *PTC) *sourceIndex {
+	devs := append([]cluster.DeviceID(nil), from.Devices...)
+	sort.Slice(devs, func(i, j int) bool { return devs[i] < devs[j] })
+
+	idx := &sourceIndex{pos: make(map[TensorID]int32, len(from.Tensors))}
+	idx.all = make([]tensorIndex, 0, len(from.Tensors))
+	totalHolders, totalRanks := 0, 0
+	var seq []int32 // tensor position of each holder, in placement order
+	for _, d := range devs {
+		for _, s := range from.Place[d] {
+			p, ok := idx.pos[s.Tensor]
+			if !ok {
+				p = int32(len(idx.all))
+				idx.all = append(idx.all, tensorIndex{axis: -1, meta: from.Tensors[s.Tensor]})
+				idx.pos[s.Tensor] = p
+			}
+			idx.all[p].n++
+			seq = append(seq, p)
+			totalHolders++
+			totalRanks += len(s.Region)
+		}
+	}
+
+	holderArena := make([]srcHolder, totalHolders)
+	rangeArena := make([]tensor.Range, 0, totalRanks)
+	off := int32(0)
+	for i := range idx.all {
+		end := off + idx.all[i].n
+		idx.all[i].holders = holderArena[off:off:end]
+		off = end
+	}
+	// Replay the recorded tensor positions instead of re-hashing IDs.
+	// Equal device IDs (degenerate, but the reference planner merges
+	// them in its load map) share one rank.
+	si, rank := 0, int32(-1)
+	var prev cluster.DeviceID
+	for _, d := range devs {
+		if rank < 0 || d != prev {
+			rank++
+			prev = d
+		}
+		for _, s := range from.Place[d] {
+			ti := &idx.all[seq[si]]
+			si++
+			start := len(rangeArena)
+			rangeArena = append(rangeArena, s.Region...)
+			reg := tensor.Region(rangeArena[start:len(rangeArena):len(rangeArena)])
+			ti.holders = append(ti.holders, srcHolder{dev: d, rank: rank, reg: reg})
+		}
+	}
+	idx.numRanks = int(rank + 1)
+
+	devArena := make([]cluster.DeviceID, 0, totalHolders)
+	startArena := make([]int32, 0, totalHolders+len(idx.all))
+	byLoArena := make([]int32, 0, totalHolders)
+	for i := range idx.all {
+		idx.all[i].finish(&devArena, &startArena, &byLoArena)
+	}
+	return idx
+}
+
+// finish computes device spans, the dominant split axis, and the
+// interval-sorted position list, carving slices out of the shared
+// arenas.
+func (ti *tensorIndex) finish(devArena *[]cluster.DeviceID, startArena *[]int32, byLoArena *[]int32) {
+	ds, ss := len(*devArena), len(*startArena)
+	for p := 0; p < len(ti.holders); {
+		d := ti.holders[p].dev
+		q := p
+		for q < len(ti.holders) && ti.holders[q].dev == d {
+			q++
+		}
+		*devArena = append(*devArena, d)
+		*startArena = append(*startArena, int32(p))
+		p = q
+	}
+	*startArena = append(*startArena, int32(len(ti.holders)))
+	ti.devs = (*devArena)[ds:len(*devArena):len(*devArena)]
+	ti.starts = (*startArena)[ss:len(*startArena):len(*startArena)]
+
+	// Dominant split axis: the first dimension along which any two
+	// holders differ. Fully replicated tensors keep axis == -1.
+	first := ti.holders[0].reg
+	for _, h := range ti.holders[1:] {
+		if len(h.reg) != len(first) {
+			ti.axis = -1
+			return // mixed ranks: no usable axis, lookup returns all
+		}
+		for d := range first {
+			if h.reg[d] != first[d] {
+				if ti.axis < 0 || d < ti.axis {
+					ti.axis = d
+				}
+				break
+			}
+		}
+	}
+	if ti.axis < 0 {
+		return
+	}
+	for p := range ti.holders {
+		h := &ti.holders[p]
+		h.lo, h.hi = h.reg[ti.axis].Lo, h.reg[ti.axis].Hi
+	}
+	bs := len(*byLoArena)
+	for p := range ti.holders {
+		*byLoArena = append(*byLoArena, int32(p))
+	}
+	ti.byLo = (*byLoArena)[bs:len(*byLoArena):len(*byLoArena)]
+	// Stable insertion sort by lo: holder lists are short and usually
+	// already in split order, and ties must keep canonical order.
+	for i := 1; i < len(ti.byLo); i++ {
+		for j := i; j > 0 && ti.holders[ti.byLo[j]].lo < ti.holders[ti.byLo[j-1]].lo; j-- {
+			ti.byLo[j], ti.byLo[j-1] = ti.byLo[j-1], ti.byLo[j]
+		}
+	}
+}
+
+// span returns the canonical-order position range of device d's
+// holders.
+func (ti *tensorIndex) span(d cluster.DeviceID) (int32, int32, bool) {
+	lo, hi := 0, len(ti.devs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if ti.devs[mid] < d {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == len(ti.devs) || ti.devs[lo] != d {
+		return 0, 0, false
+	}
+	return ti.starts[lo], ti.starts[lo+1], true
+}
+
+// lookup appends to out the positions of every holder whose extent
+// along the split axis overlaps [qlo, qhi). The result is a superset
+// filter only — callers still intersect full regions — so tensors
+// without a split axis simply return all holders.
+func (ti *tensorIndex) lookup(qlo, qhi int, out []int32) []int32 {
+	if ti.axis < 0 {
+		for p := range ti.holders {
+			out = append(out, int32(p))
+		}
+		return out
+	}
+	// All holders with lo < qhi form a prefix of byLo.
+	lo, hi := 0, len(ti.byLo)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if ti.holders[ti.byLo[mid]].lo < qhi {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	for _, p := range ti.byLo[:lo] {
+		if ti.holders[p].hi > qlo {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// lookupRegion runs lookup with reg's extent along the split axis.
+func (ti *tensorIndex) lookupRegion(reg tensor.Region, out []int32) []int32 {
+	if ti.axis < 0 || ti.axis >= len(reg) {
+		return ti.lookup(0, 0, out)
+	}
+	return ti.lookup(reg[ti.axis].Lo, reg[ti.axis].Hi, out)
+}
+
+// regionAllocator abstracts where region storage comes from, so the
+// planner's region algebra has one implementation serving both the
+// plain heap (validation paths) and per-worker arenas (the planning
+// hot path).
+type regionAllocator interface {
+	allocRegion(n int) tensor.Region
+}
+
+// heapRegions is the plain-make allocator.
+type heapRegions struct{}
+
+func (heapRegions) allocRegion(n int) tensor.Region { return make(tensor.Region, n) }
+
+func cloneRegion(al regionAllocator, r tensor.Region) tensor.Region {
+	out := al.allocRegion(len(r))
+	copy(out, r)
+	return out
+}
+
+// regionsOverlap reports whether two regions intersect, without
+// allocating the intersection.
+func regionsOverlap(a, b tensor.Region) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Lo >= b[i].Hi || b[i].Lo >= a[i].Hi {
+			return false
+		}
+	}
+	return true
+}
+
+// intersectInto is Region.Intersect with an allocation-free miss path.
+func intersectInto(a, b tensor.Region, al regionAllocator) (tensor.Region, bool) {
+	if !regionsOverlap(a, b) {
+		return nil, false
+	}
+	out := al.allocRegion(len(a))
+	for i := range a {
+		out[i], _ = a[i].Intersect(b[i])
+	}
+	return out, true
+}
+
+// intersectRegions is intersectInto on the heap.
+func intersectRegions(a, b tensor.Region) (tensor.Region, bool) {
+	return intersectInto(a, b, heapRegions{})
+}

@@ -2,7 +2,9 @@ package core
 
 import (
 	"fmt"
-	"sort"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"tenplex/internal/cluster"
 	"tenplex/internal/netsim"
@@ -72,105 +74,369 @@ type PlanOptions struct {
 	StorageFallback bool
 }
 
+// checkPlanMeta verifies that every target tensor exists in the source
+// PTC with identical metadata.
+func checkPlanMeta(from, to *PTC) error {
+	for id, m := range to.Tensors {
+		fm, ok := from.Tensors[id]
+		if !ok {
+			return fmt.Errorf("core: plan: tensor %q exists only in target PTC", id)
+		}
+		if fm.DType != m.DType || !tensor.ShapeEqual(fm.Shape, m.Shape) {
+			return fmt.Errorf("core: plan: tensor %q metadata differs between PTCs", id)
+		}
+	}
+	return nil
+}
+
+// sendDelta records bytes a tier-1 fetch asks a source device to send,
+// keyed by the device's dense source rank; deltas are folded into the
+// global send-load counters during the sequential tier-2 pass so
+// load-balanced replica choice stays identical to the reference
+// planner's.
+type sendDelta struct {
+	rank  int32
+	bytes int64
+}
+
+// pendingAssignment is one destination sub-tensor that the parallel
+// tier-0/1 phase could not finish on its own: either ranges remain
+// uncovered for the sequential tier-2 pass, or tier-1 fetches produced
+// send-load deltas the sequential pass must fold in. Assignments fully
+// resolved by local holders produce no pending entry at all.
+type pendingAssignment struct {
+	slot      int32 // index into plan.Assignments
+	ti        *tensorIndex
+	remaining []tensor.Region
+	delta     []sendDelta
+}
+
+// planWorker carries per-goroutine scratch and arenas. Fetches and
+// deltas accumulate in scratch slices and are committed to arena
+// windows per assignment; regions produced by intersection and
+// subtraction live in the ranges arena for the plan's lifetime.
+type planWorker struct {
+	to           *PTC
+	topo         *cluster.Topology
+	idx          *sourceIndex
+	rem, next    []tensor.Region
+	fetchScratch []Fetch
+	deltaScratch []sendDelta
+	fetches      sliceArena[Fetch]
+	deltas       sliceArena[sendDelta]
+	regions      sliceArena[tensor.Region]
+	ranges       sliceArena[tensor.Range]
+}
+
+// allocRegion makes planWorker a regionAllocator backed by its arena,
+// so the shared region algebra (intersectInto, subtractInto) serves
+// the hot path without per-region heap allocations.
+func (w *planWorker) allocRegion(n int) tensor.Region {
+	return tensor.Region(w.ranges.alloc(n))
+}
+
+// intersect is intersectInto on the worker arena.
+func (w *planWorker) intersect(a, b tensor.Region) (tensor.Region, bool) {
+	return intersectInto(a, b, w)
+}
+
+// clone copies a region into the worker arena.
+func (w *planWorker) clone(r tensor.Region) tensor.Region {
+	return cloneRegion(w, r)
+}
+
+// subtract is subtractInto on the worker arena.
+func (w *planWorker) subtract(dst []tensor.Region, rem, inter tensor.Region) []tensor.Region {
+	return subtractInto(dst, rem, inter, w)
+}
+
+// consume intersects one holder with every remaining range, emitting
+// fetches into the scratch list and shrinking w.rem, exactly as the
+// reference planner's inner loop does for that holder.
+func (w *planWorker) consume(h *srcHolder, dt tensor.DType, dst cluster.DeviceID) {
+	w.next = w.next[:0]
+	for _, rem := range w.rem {
+		inter, ok := w.intersect(rem, h.reg)
+		if !ok {
+			w.next = append(w.next, rem)
+			continue
+		}
+		w.fetchScratch = append(w.fetchScratch, Fetch{
+			Want: inter,
+			Src:  Source{Kind: FromDevice, Device: h.dev, Region: h.reg},
+		})
+		if h.dev != dst {
+			w.deltaScratch = append(w.deltaScratch, sendDelta{h.rank, inter.NumBytes(dt)})
+		}
+		w.next = w.subtract(w.next, rem, inter)
+	}
+	w.rem, w.next = w.next, w.rem
+}
+
+// planDevice resolves tier-0 (local) and tier-1 (same-worker) sources
+// for every sub-tensor wanted by destination device di, writing
+// finished assignments directly into assigns starting at slot base.
+// This is the embarrassingly parallel part of plan generation: nothing
+// here depends on other destinations, and slot ranges are disjoint
+// across workers. The returned pending list covers only assignments
+// the sequential pass must touch.
+func (w *planWorker) planDevice(di int, assigns []Assignment, base int32) []pendingAssignment {
+	d := w.to.Devices[di]
+	place := w.to.Place[d]
+	var out []pendingAssignment
+	for i, want := range place {
+		ti := w.idx.tensor(want.Tensor)
+		var dt tensor.DType
+		if ti != nil {
+			dt = ti.meta.DType
+		} else {
+			dt = w.to.Tensors[want.Tensor].DType
+		}
+		a := Assignment{Device: d, Tensor: want.Tensor, Region: w.clone(want.Region)}
+		w.fetchScratch = w.fetchScratch[:0]
+		w.deltaScratch = w.deltaScratch[:0]
+		w.rem = append(w.rem[:0], want.Region)
+		if ti != nil {
+			if start, end, ok := ti.span(d); ok {
+				for p := start; p < end && len(w.rem) > 0; p++ {
+					w.consume(&ti.holders[p], dt, d)
+				}
+			}
+			if w.topo != nil && len(w.rem) > 0 {
+				for _, sd := range ti.devs {
+					if len(w.rem) == 0 {
+						break
+					}
+					if sd == d || !w.topo.SameWorker(sd, d) {
+						continue
+					}
+					start, end, _ := ti.span(sd)
+					for p := start; p < end && len(w.rem) > 0; p++ {
+						w.consume(&ti.holders[p], dt, d)
+					}
+				}
+			}
+		}
+		a.Fetch = w.fetches.save(w.fetchScratch)
+		sortFetches(a.Fetch)
+		slot := base + int32(i)
+		assigns[slot] = a
+		if len(w.rem) > 0 || len(w.deltaScratch) > 0 {
+			out = append(out, pendingAssignment{
+				slot:      slot,
+				ti:        ti,
+				remaining: w.regions.save(w.rem),
+				delta:     w.deltas.save(w.deltaScratch),
+			})
+		}
+	}
+	return out
+}
+
 // GeneratePlan computes the minimal reconfiguration plan that turns the
 // state described by from into the state described by to. Tensors are
 // matched by ID; both PTCs must agree on tensor metadata. For every
 // destination sub-tensor, ranges already resident on the destination
 // device are never re-sent (minimality), and remaining ranges are
 // fetched from the nearest holder.
+//
+// Plan generation is pure metadata work and must stay cheap at
+// production scale, so the hot path is indexed and parallel: source
+// holders are indexed once per call (see sourceIndex), local and
+// same-worker source selection runs concurrently across destination
+// devices on a bounded worker pool, and only the send-load-balanced
+// remote replica choice runs as a cheap sequential pass — which keeps
+// the output byte-identical to the reference planner
+// (generatePlanReference).
 func GeneratePlan(from, to *PTC, opts PlanOptions) (*Plan, error) {
-	for id, m := range to.Tensors {
-		fm, ok := from.Tensors[id]
-		if !ok {
-			return nil, fmt.Errorf("core: plan: tensor %q exists only in target PTC", id)
+	if err := checkPlanMeta(from, to); err != nil {
+		return nil, err
+	}
+	idx := newSourceIndex(from)
+
+	bases := make([]int32, len(to.Devices)+1)
+	for i, d := range to.Devices {
+		bases[i+1] = bases[i] + int32(len(to.Place[d]))
+	}
+	nAssign := int(bases[len(to.Devices)])
+	assigns := make([]Assignment, nAssign)
+
+	// Parallel tier-0/1 phase across destination devices. Workers write
+	// into disjoint slot ranges of assigns.
+	pending := make([][]pendingAssignment, len(to.Devices))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(to.Devices) {
+		workers = len(to.Devices)
+	}
+	if workers <= 1 {
+		w := &planWorker{to: to, topo: opts.Topo, idx: idx}
+		for di := range to.Devices {
+			pending[di] = w.planDevice(di, assigns, bases[di])
 		}
-		if fm.DType != m.DType || !tensor.ShapeEqual(fm.Shape, m.Shape) {
-			return nil, fmt.Errorf("core: plan: tensor %q metadata differs between PTCs", id)
+	} else {
+		var cursor atomic.Int64
+		var wg sync.WaitGroup
+		for i := 0; i < workers; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				w := &planWorker{to: to, topo: opts.Topo, idx: idx}
+				for {
+					di := int(cursor.Add(1)) - 1
+					if di >= len(to.Devices) {
+						return
+					}
+					pending[di] = w.planDevice(di, assigns, bases[di])
+				}
+			}()
 		}
+		wg.Wait()
 	}
 
-	// Index source sub-tensors by tensor ID.
-	type holder struct {
-		dev cluster.DeviceID
-		reg tensor.Region
-	}
-	srcIdx := map[TensorID][]holder{}
-	for _, d := range from.Devices {
-		for _, s := range from.Place[d] {
-			srcIdx[s.Tensor] = append(srcIdx[s.Tensor], holder{d, s.Region})
-		}
-	}
+	// Sequential tier-2 / storage pass, in deterministic assignment
+	// order. sendLoad tracks bytes each source device has been asked to
+	// send, for balancing among equally-near replicas; it is indexed by
+	// the dense source-device rank, so sparse DeviceID spaces cost
+	// nothing.
+	sendLoad := make([]int64, idx.numRanks)
+	w := &planWorker{to: to, topo: opts.Topo, idx: idx}
+	var cands []int32
 
-	// recvLoad tracks bytes each source device has been asked to send,
-	// for balancing among equally-near replicas.
-	sendLoad := map[cluster.DeviceID]int64{}
-
-	plan := &Plan{From: from, To: to}
-	for _, d := range to.Devices {
-		for _, want := range to.Place[d] {
-			meta := to.Tensors[want.Tensor]
-			a := Assignment{Device: d, Tensor: want.Tensor, Region: want.Region.Clone()}
-			remaining := []tensor.Region{want.Region.Clone()}
-
-			holders := append([]holder(nil), srcIdx[want.Tensor]...)
-			// Preference: local device first, then same worker, then
-			// remote ordered by current send load (ties by device ID for
-			// determinism).
-			sort.SliceStable(holders, func(i, j int) bool {
-				hi, hj := holders[i], holders[j]
-				pi, pj := sourceTier(opts.Topo, d, hi.dev), sourceTier(opts.Topo, d, hj.dev)
-				if pi != pj {
-					return pi < pj
+	for di, d := range to.Devices {
+		for pi := range pending[di] {
+			pa := &pending[di][pi]
+			a := &assigns[pa.slot]
+			if len(pa.remaining) == 0 {
+				for _, pd := range pa.delta {
+					sendLoad[pd.rank] += pd.bytes
 				}
-				if pi == 2 && sendLoad[hi.dev] != sendLoad[hj.dev] {
-					return sendLoad[hi.dev] < sendLoad[hj.dev]
-				}
-				return hi.dev < hj.dev
-			})
-
-			for _, h := range holders {
-				if len(remaining) == 0 {
-					break
-				}
-				var next []tensor.Region
-				for _, rem := range remaining {
-					inter, ok := rem.Intersect(h.reg)
-					if !ok {
-						next = append(next, rem)
+				continue
+			}
+			ti := pa.ti
+			cands = cands[:0]
+			var dt tensor.DType
+			if ti != nil {
+				dt = ti.meta.DType
+				// Remote candidates: holders overlapping the remaining
+				// ranges' extent along the split axis, excluding
+				// tier-0/1 devices already consumed.
+				qlo, qhi := boundsAlong(ti.axis, pa.remaining)
+				cands = ti.lookup(qlo, qhi, cands)
+				k := 0
+				for _, p := range cands {
+					sd := ti.holders[p].dev
+					if sd == d || (opts.Topo != nil && opts.Topo.SameWorker(sd, d)) {
 						continue
 					}
-					a.Fetch = append(a.Fetch, Fetch{
-						Want: inter,
-						Src:  Source{Kind: FromDevice, Device: h.dev, Region: h.reg.Clone()},
-					})
-					if h.dev != d {
-						sendLoad[h.dev] += inter.NumBytes(meta.DType)
-					}
-					next = append(next, subtractRegion(rem, inter)...)
+					cands[k] = p
+					k++
 				}
-				remaining = next
+				cands = cands[:k]
+				// The reference planner orders remote holders by (send
+				// load at assignment start, device, placement order);
+				// candidate positions already encode the last two keys.
+				sortCandidates(cands, ti, sendLoad)
 			}
-
-			for _, rem := range remaining {
+			for _, pd := range pa.delta {
+				sendLoad[pd.rank] += pd.bytes
+			}
+			w.fetchScratch = append(w.fetchScratch[:0], a.Fetch...)
+			w.rem = append(w.rem[:0], pa.remaining...)
+			for _, p := range cands {
+				if len(w.rem) == 0 {
+					break
+				}
+				h := &ti.holders[p]
+				w.next = w.next[:0]
+				for _, rem := range w.rem {
+					inter, ok := w.intersect(rem, h.reg)
+					if !ok {
+						w.next = append(w.next, rem)
+						continue
+					}
+					w.fetchScratch = append(w.fetchScratch, Fetch{
+						Want: inter,
+						Src:  Source{Kind: FromDevice, Device: h.dev, Region: h.reg},
+					})
+					sendLoad[h.rank] += inter.NumBytes(dt)
+					w.next = w.subtract(w.next, rem, inter)
+				}
+				w.rem, w.next = w.next, w.rem
+			}
+			if len(w.rem) > 0 {
 				if !opts.StorageFallback {
 					return nil, fmt.Errorf(
 						"core: plan: range %v of %q unavailable on any device (enable StorageFallback to recover from checkpoints)",
-						rem, want.Tensor)
+						w.rem[0], a.Tensor)
 				}
-				a.Fetch = append(a.Fetch, Fetch{
-					Want: rem,
-					Src:  Source{Kind: FromStorage, Region: tensor.FullRegion(meta.Shape)},
-				})
+				shape := to.Tensors[a.Tensor].Shape
+				full := tensor.Region(w.ranges.alloc(len(shape)))
+				for i, n := range shape {
+					full[i] = tensor.Range{Lo: 0, Hi: n}
+				}
+				for _, rem := range w.rem {
+					w.fetchScratch = append(w.fetchScratch, Fetch{
+						Want: rem,
+						Src:  Source{Kind: FromStorage, Region: full},
+					})
+				}
 			}
-
+			a.Fetch = w.fetches.save(w.fetchScratch)
 			// Deterministic fetch order: by region, device sources first.
-			sort.SliceStable(a.Fetch, func(i, j int) bool {
-				return regionLess(a.Fetch[i].Want, a.Fetch[j].Want)
-			})
-			plan.Assignments = append(plan.Assignments, a)
+			sortFetches(a.Fetch)
 		}
 	}
-	return plan, nil
+	return &Plan{From: from, To: to, Assignments: assigns}, nil
+}
+
+// boundsAlong returns the extent of regs along axis; regs is non-empty.
+func boundsAlong(axis int, regs []tensor.Region) (int, int) {
+	if axis < 0 || axis >= len(regs[0]) {
+		return 0, 0
+	}
+	lo, hi := regs[0][axis].Lo, regs[0][axis].Hi
+	for _, r := range regs[1:] {
+		if r[axis].Lo < lo {
+			lo = r[axis].Lo
+		}
+		if r[axis].Hi > hi {
+			hi = r[axis].Hi
+		}
+	}
+	return lo, hi
+}
+
+// sortCandidates insertion-sorts holder positions by (send load,
+// device, canonical position) — a total order, so the result is
+// deterministic regardless of input order. Candidate lists are small;
+// insertion sort avoids sort.Slice's closure allocation.
+func sortCandidates(cands []int32, ti *tensorIndex, load []int64) {
+	for i := 1; i < len(cands); i++ {
+		for j := i; j > 0 && candLess(ti, load, cands[j], cands[j-1]); j-- {
+			cands[j], cands[j-1] = cands[j-1], cands[j]
+		}
+	}
+}
+
+func candLess(ti *tensorIndex, load []int64, p, q int32) bool {
+	hp, hq := &ti.holders[p], &ti.holders[q]
+	if load[hp.rank] != load[hq.rank] {
+		return load[hp.rank] < load[hq.rank]
+	}
+	if hp.dev != hq.dev {
+		return hp.dev < hq.dev
+	}
+	return p < q
+}
+
+// sortFetches stable-sorts fetches by wanted region. Fetch lists are
+// small; insertion sort is stable and allocation-free.
+func sortFetches(fs []Fetch) {
+	for i := 1; i < len(fs); i++ {
+		for j := i; j > 0 && regionLess(fs[j].Want, fs[j-1].Want); j-- {
+			fs[j], fs[j-1] = fs[j-1], fs[j]
+		}
+	}
 }
 
 // sourceTier ranks a source device relative to the destination:
@@ -318,21 +584,39 @@ func (p *Plan) Ops() []string {
 // tile its region with no gaps, every device fetch stays inside its
 // declared source region, and destination regions match the target PTC.
 func (p *Plan) Validate() error {
-	want := map[cluster.DeviceID]map[string]bool{}
+	// Outstanding target sub-tensors, keyed by (device, tensor): the
+	// few regions per key are matched by value, avoiding a string key
+	// per sub-tensor.
+	type placeKey struct {
+		dev cluster.DeviceID
+		t   TensorID
+	}
+	want := map[placeKey][]tensor.Region{}
 	for _, d := range p.To.Devices {
-		want[d] = map[string]bool{}
 		for _, s := range p.To.Place[d] {
-			want[d][string(s.Tensor)+s.Region.String()] = true
+			k := placeKey{d, s.Tensor}
+			want[k] = append(want[k], s.Region)
 		}
 	}
+	regs := make([]tensor.Region, 0, 16)
 	for _, a := range p.Assignments {
-		key := string(a.Tensor) + a.Region.String()
-		if !want[a.Device][key] {
-			return fmt.Errorf("core: plan: assignment %q on dev %d not in target PTC", key, a.Device)
+		k := placeKey{a.Device, a.Tensor}
+		outstanding := want[k]
+		found := -1
+		for i, r := range outstanding {
+			if r.Equal(a.Region) {
+				found = i
+				break
+			}
 		}
-		delete(want[a.Device], key)
+		if found < 0 {
+			return fmt.Errorf("core: plan: assignment %q on dev %d not in target PTC",
+				string(a.Tensor)+a.Region.String(), a.Device)
+		}
+		outstanding[found] = outstanding[len(outstanding)-1]
+		want[k] = outstanding[:len(outstanding)-1]
 
-		var regs []tensor.Region
+		regs = regs[:0]
 		for _, f := range a.Fetch {
 			if !a.Region.Contains(f.Want) {
 				return fmt.Errorf("core: plan: fetch %v outside assignment %v of %q", f.Want, a.Region, a.Tensor)
@@ -346,9 +630,10 @@ func (p *Plan) Validate() error {
 			return fmt.Errorf("core: plan: fetches do not cover %v of %q on dev %d", a.Region, a.Tensor, a.Device)
 		}
 	}
-	for d, rest := range want {
-		for key := range rest {
-			return fmt.Errorf("core: plan: target sub-tensor %q on dev %d has no assignment", key, d)
+	for k, rest := range want {
+		for _, r := range rest {
+			return fmt.Errorf("core: plan: target sub-tensor %q on dev %d has no assignment",
+				string(k.t)+r.String(), k.dev)
 		}
 	}
 	return nil

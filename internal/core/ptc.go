@@ -115,23 +115,20 @@ func (p *PTC) Slices(id TensorID) []tensor.Region {
 	var out []tensor.Region
 	for _, d := range p.Devices {
 		for _, s := range p.Place[d] {
-			if s.Tensor != id {
-				continue
-			}
-			dup := false
-			for _, r := range out {
-				if r.Equal(s.Region) {
-					dup = true
-					break
-				}
-			}
-			if !dup {
+			if s.Tensor == id {
 				out = append(out, s.Region)
 			}
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return regionLess(out[i], out[j]) })
-	return out
+	k := 0
+	for i, r := range out {
+		if i == 0 || !r.Equal(out[k-1]) {
+			out[k] = r
+			k++
+		}
+	}
+	return out[:k]
 }
 
 // Holders returns the devices that hold a sub-tensor of id whose region
@@ -143,7 +140,7 @@ func (p *PTC) Holders(id TensorID, reg tensor.Region) []cluster.DeviceID {
 			if s.Tensor != id {
 				continue
 			}
-			if _, ok := s.Region.Intersect(reg); ok {
+			if regionsOverlap(s.Region, reg) {
 				out = append(out, d)
 				break
 			}
@@ -175,6 +172,7 @@ func (p *PTC) TotalPlacedBytes() int64 {
 // bounds, and every registered tensor is fully covered by the union of
 // its placed regions (otherwise state would be unrecoverable).
 func (p *PTC) Validate() error {
+	placed := make(map[TensorID][]tensor.Region, len(p.Tensors))
 	for _, d := range p.Devices {
 		for _, s := range p.Place[d] {
 			meta, ok := p.Tensors[s.Tensor]
@@ -185,17 +183,11 @@ func (p *PTC) Validate() error {
 				return fmt.Errorf("core: device %d holds %q with invalid region %v (shape %v)",
 					d, s.Tensor, s.Region, meta.Shape)
 			}
+			placed[s.Tensor] = append(placed[s.Tensor], s.Region)
 		}
 	}
 	for id, meta := range p.Tensors {
-		var regs []tensor.Region
-		for _, d := range p.Devices {
-			for _, s := range p.Place[d] {
-				if s.Tensor == id {
-					regs = append(regs, s.Region)
-				}
-			}
-		}
+		regs := placed[id]
 		if len(regs) == 0 {
 			return fmt.Errorf("core: tensor %q has no placement", id)
 		}
@@ -284,26 +276,136 @@ func subtractRegion(a, b tensor.Region) []tensor.Region {
 	if !ok {
 		return []tensor.Region{a.Clone()}
 	}
-	var out []tensor.Region
-	cur := a.Clone()
+	return appendSubtract(nil, a, inter)
+}
+
+// subtractInto appends the disjoint boxes of a \ b to dst, given the
+// (non-empty) intersection inter = a ∩ b, allocating boxes from al.
+// The common case — b cutting a along a single axis, as every
+// tensor/pipeline/sequence split does — produces at most two boxes
+// without cloning intermediates.
+func subtractInto(dst []tensor.Region, a, inter tensor.Region, al regionAllocator) []tensor.Region {
+	diff, multi := -1, false
+	for d := range a {
+		if inter[d] != a[d] {
+			if diff >= 0 {
+				multi = true
+				break
+			}
+			diff = d
+		}
+	}
+	if diff < 0 {
+		return dst // b covers a entirely
+	}
+	if !multi {
+		// 1-D fast path: boxes differ from a only along diff.
+		if a[diff].Lo < inter[diff].Lo {
+			box := cloneRegion(al, a)
+			box[diff] = tensor.Range{Lo: a[diff].Lo, Hi: inter[diff].Lo}
+			dst = append(dst, box)
+		}
+		if inter[diff].Hi < a[diff].Hi {
+			box := cloneRegion(al, a)
+			box[diff] = tensor.Range{Lo: inter[diff].Hi, Hi: a[diff].Hi}
+			dst = append(dst, box)
+		}
+		return dst
+	}
+	cur := cloneRegion(al, a)
 	for d := range a {
 		if cur[d].Lo < inter[d].Lo {
-			box := cur.Clone()
+			box := cloneRegion(al, cur)
 			box[d] = tensor.Range{Lo: cur[d].Lo, Hi: inter[d].Lo}
-			out = append(out, box)
+			dst = append(dst, box)
 		}
 		if inter[d].Hi < cur[d].Hi {
-			box := cur.Clone()
+			box := cloneRegion(al, cur)
 			box[d] = tensor.Range{Lo: inter[d].Hi, Hi: cur[d].Hi}
-			out = append(out, box)
+			dst = append(dst, box)
 		}
 		cur[d] = inter[d]
 	}
-	return out
+	return dst
+}
+
+// appendSubtract is subtractInto on the heap.
+func appendSubtract(dst []tensor.Region, a, inter tensor.Region) []tensor.Region {
+	return subtractInto(dst, a, inter, heapRegions{})
 }
 
 // covers reports whether the union of regs covers all of full.
+//
+// The common case — every reg constraining full along the same single
+// axis (or not at all), which is what TP/PP/DP/sequence splits produce —
+// reduces to 1-D interval coverage and avoids the quadratic
+// subtract-everything fallback.
 func covers(full tensor.Region, regs []tensor.Region) bool {
+	if len(regs) == 0 {
+		return false
+	}
+	axis := -1
+	for _, r := range regs {
+		if len(r) != len(full) {
+			return coversGeneral(full, regs)
+		}
+		diff := -1
+		for k := range full {
+			if r[k].Lo <= full[k].Lo && r[k].Hi >= full[k].Hi {
+				continue // r spans this whole dimension of full
+			}
+			if diff >= 0 {
+				diff = -2 // constrains more than one dimension
+				break
+			}
+			diff = k
+		}
+		switch {
+		case diff == -2:
+			return coversGeneral(full, regs)
+		case diff < 0:
+			return true // r covers full entirely
+		case axis < 0:
+			axis = diff
+		case axis != diff:
+			return coversGeneral(full, regs)
+		}
+	}
+	return coversAxis(full[axis], regs, axis)
+}
+
+// coversAxis checks 1-D interval coverage of full by regs' extents
+// along axis, clamped to full.
+func coversAxis(full tensor.Range, regs []tensor.Region, axis int) bool {
+	iv := make([]tensor.Range, 0, len(regs))
+	for _, r := range regs {
+		rng := r[axis]
+		if rng.Lo < full.Lo {
+			rng.Lo = full.Lo
+		}
+		if rng.Hi > full.Hi {
+			rng.Hi = full.Hi
+		}
+		if rng.Lo < rng.Hi {
+			iv = append(iv, rng)
+		}
+	}
+	sort.Slice(iv, func(i, j int) bool { return iv[i].Lo < iv[j].Lo })
+	reach := full.Lo
+	for _, r := range iv {
+		if r.Lo > reach {
+			return false
+		}
+		if r.Hi > reach {
+			reach = r.Hi
+		}
+	}
+	return reach >= full.Hi
+}
+
+// coversGeneral is the exact region-subtraction fallback for irregular
+// tilings.
+func coversGeneral(full tensor.Region, regs []tensor.Region) bool {
 	remaining := []tensor.Region{full}
 	for _, r := range regs {
 		var next []tensor.Region
