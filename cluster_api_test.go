@@ -1,0 +1,53 @@
+package tenplex
+
+import (
+	"reflect"
+	"testing"
+
+	"tenplex/internal/cluster"
+	"tenplex/internal/model"
+)
+
+// TestClusterMultiJob exercises the public multi-job control-plane API:
+// three jobs share 16 devices, one device fails mid-run, and every job
+// completes with verified state.
+func TestClusterMultiJob(t *testing.T) {
+	c, err := NewCluster(ClusterConfig{Topology: cluster.OnPrem16()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := model.GPTCustom(4, 16, 2, 32, 8)
+	jobs := []ClusterJob{
+		{Name: "a", Model: g, ArrivalMin: 0, DurationMin: 60, GPUs: 8, MinGPUs: 4, MaxGPUs: 16, Seed: 1},
+		{Name: "b", Model: g, ArrivalMin: 5, DurationMin: 40, GPUs: 8, MinGPUs: 4, MaxGPUs: 8, Seed: 2},
+		{Name: "c", Model: model.MoECustom(3, 16, 4), ArrivalMin: 10, DurationMin: 30, GPUs: 4, MinGPUs: 2, MaxGPUs: 4, Seed: 3},
+	}
+	failures := []ClusterFailure{{TimeMin: 20, Device: 1}}
+	res, err := c.Run(jobs, failures)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, res.Render())
+	}
+	for _, js := range res.Jobs {
+		if !js.Completed {
+			t.Errorf("job %s did not complete:\n%s", js.Name, res.Render())
+		}
+	}
+	if res.PlansValidated == 0 || res.InvariantChecks == 0 || res.MakespanMin <= 0 {
+		t.Fatalf("implausible result: %+v", res)
+	}
+
+	// The public API inherits the coordinator's determinism.
+	res2, err := c.Run(jobs, failures)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Timeline, res2.Timeline) {
+		t.Fatal("same inputs produced different timelines")
+	}
+}
+
+func TestNewClusterNeedsTopology(t *testing.T) {
+	if _, err := NewCluster(ClusterConfig{}); err == nil {
+		t.Fatal("nil topology accepted")
+	}
+}

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"time"
+
+	"tenplex/internal/coordinator"
+	"tenplex/internal/experiments"
+)
+
+// The -coordjson mode emits a machine-readable BENCH_*.json record of
+// the multi-job coordinator scenario (see EXPERIMENTS.md): makespan,
+// aggregate reconfiguration time, and mean cluster utilization, plus
+// the wall-clock cost of running the control plane itself — so the
+// coordinator's behavior and performance can be tracked across commits
+// alongside the planner records.
+
+// coordRecord is the top-level coordinator BENCH_*.json document.
+type coordRecord struct {
+	Schema      string  `json:"schema"`
+	GeneratedAt string  `json:"generated_at"`
+	GoVersion   string  `json:"go_version"`
+	MaxProcs    int     `json:"gomaxprocs"`
+	Seed        int64   `json:"seed"`
+	Devices     int     `json:"devices"`
+	Jobs        int     `json:"jobs"`
+	Completed   int     `json:"jobs_completed"`
+	MakespanMin float64 `json:"makespan_min"`
+	// ReconfigSec is the aggregate netsim-priced reconfiguration time
+	// across all jobs.
+	ReconfigSec float64 `json:"aggregate_reconfig_seconds"`
+	// MeanUtilization is leased device-time over total device-time.
+	MeanUtilization float64 `json:"mean_cluster_utilization"`
+	TimelineEvents  int     `json:"timeline_events"`
+	PlansValidated  int     `json:"plans_validated"`
+	// WallNs is the real time one simulation run took — the cost of the
+	// control plane, not of the simulated cluster.
+	WallNs int64 `json:"wall_ns_per_run"`
+
+	PerJob []coordJobStats `json:"per_job"`
+}
+
+// coordJobStats is one job's outcome in the record.
+type coordJobStats struct {
+	Name        string  `json:"name"`
+	Model       string  `json:"model"`
+	GPUs        int     `json:"requested_gpus"`
+	ArrivalMin  float64 `json:"arrival_min"`
+	AdmitMin    float64 `json:"admit_min"`
+	DoneMin     float64 `json:"done_min"`
+	Resizes     int     `json:"resizes"`
+	ReconfigSec float64 `json:"reconfig_seconds"`
+	MovedBytes  int64   `json:"moved_bytes"`
+	Completed   bool    `json:"completed"`
+}
+
+// writeCoordJSON runs the shared 32-device multi-job scenario and
+// writes the record to path ("-" for stdout).
+func writeCoordJSON(path string) error {
+	topo, specs, failures := experiments.MultiJobScenario(32, 12, experiments.MultiJobSeed)
+	t0 := time.Now()
+	res, err := coordinator.Run(topo, specs, failures, coordinator.Options{})
+	wall := time.Since(t0)
+	if err != nil {
+		return err
+	}
+	rec := coordRecord{
+		Schema:          "tenplex-bench/coordinator/v1",
+		GeneratedAt:     time.Now().UTC().Format(time.RFC3339),
+		GoVersion:       runtime.Version(),
+		MaxProcs:        runtime.GOMAXPROCS(0),
+		Seed:            experiments.MultiJobSeed,
+		Devices:         topo.NumDevices(),
+		Jobs:            len(specs),
+		MakespanMin:     res.MakespanMin,
+		ReconfigSec:     res.ReconfigSecTotal,
+		MeanUtilization: res.MeanUtilization,
+		TimelineEvents:  len(res.Timeline),
+		PlansValidated:  res.PlansValidated,
+		WallNs:          wall.Nanoseconds(),
+	}
+	for _, js := range res.Jobs {
+		if js.Completed {
+			rec.Completed++
+		}
+		rec.PerJob = append(rec.PerJob, coordJobStats{
+			Name:        js.Name,
+			Model:       js.Model,
+			GPUs:        js.GPUs,
+			ArrivalMin:  js.ArrivalMin,
+			AdmitMin:    js.AdmitMin,
+			DoneMin:     js.DoneMin,
+			Resizes:     js.Resizes,
+			ReconfigSec: js.ReconfigSec,
+			MovedBytes:  js.MovedBytes,
+			Completed:   js.Completed,
+		})
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}

@@ -7,6 +7,7 @@
 //	tenplex-bench -fig fig10           # one experiment
 //	tenplex-bench -list                # available experiment IDs
 //	tenplex-bench -json BENCH_plan.json  # planner perf record ("-" = stdout)
+//	tenplex-bench -coordjson BENCH_coordinator.json  # multi-job coordinator record
 package main
 
 import (
@@ -32,6 +33,10 @@ var all = map[string]func() experiments.Table{
 	"fig14": func() experiments.Table { _, t := experiments.Fig14ParallelizationType(); return t },
 	"fig15": func() experiments.Table { _, t := experiments.Fig15ClusterSize(); return t },
 	"fig16": func() experiments.Table { _, t := experiments.Fig16Convergence(); return t },
+	"multijob": func() experiments.Table {
+		_, t := experiments.MultiJobCluster()
+		return t
+	},
 	"ablations": func() experiments.Table {
 		_, t, err := experiments.Ablations()
 		if err != nil {
@@ -56,11 +61,19 @@ func main() {
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	jsonOut := flag.String("json", "", "write a BENCH_*.json planner perf record to this path (\"-\" for stdout) and exit")
 	jsonBudget := flag.Duration("json-budget", 200*time.Millisecond, "per-scenario measurement budget for -json")
+	coordOut := flag.String("coordjson", "", "write a BENCH_*.json multi-job coordinator record to this path (\"-\" for stdout) and exit")
 	flag.Parse()
 
 	if *jsonOut != "" {
 		if err := writeBenchJSON(*jsonOut, *jsonBudget); err != nil {
 			fmt.Fprintf(os.Stderr, "tenplex-bench: json: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *coordOut != "" {
+		if err := writeCoordJSON(*coordOut); err != nil {
+			fmt.Fprintf(os.Stderr, "tenplex-bench: coordjson: %v\n", err)
 			os.Exit(1)
 		}
 		return

@@ -11,7 +11,8 @@ import (
 func TestExperimentRegistry(t *testing.T) {
 	want := []string{
 		"tab1", "fig2a", "fig2b", "fig3", "fig9", "fig10",
-		"fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "ablations",
+		"fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
+		"ablations", "multijob",
 	}
 	for _, id := range want {
 		if _, ok := all[id]; !ok {
@@ -78,5 +79,37 @@ func TestWriteBenchJSON(t *testing.T) {
 		if !names[want] {
 			t.Fatalf("scenario %q missing from record", want)
 		}
+	}
+}
+
+// TestWriteCoordJSON verifies the -coordjson record: parseable,
+// versioned, and carrying plausible multi-job metrics.
+func TestWriteCoordJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_coordinator.json")
+	if err := writeCoordJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec coordRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		t.Fatalf("record not valid JSON: %v", err)
+	}
+	if rec.Schema != "tenplex-bench/coordinator/v1" {
+		t.Fatalf("schema = %q", rec.Schema)
+	}
+	if rec.Devices != 32 || rec.Jobs < 8 || rec.Completed < 8 {
+		t.Fatalf("scenario shape: devices=%d jobs=%d completed=%d", rec.Devices, rec.Jobs, rec.Completed)
+	}
+	if rec.MakespanMin <= 0 || rec.MeanUtilization <= 0 || rec.MeanUtilization > 1 {
+		t.Fatalf("implausible metrics: %+v", rec)
+	}
+	if rec.ReconfigSec < 0 || rec.WallNs <= 0 || rec.TimelineEvents == 0 || rec.PlansValidated == 0 {
+		t.Fatalf("implausible metrics: %+v", rec)
+	}
+	if len(rec.PerJob) != rec.Jobs {
+		t.Fatalf("%d per-job rows for %d jobs", len(rec.PerJob), rec.Jobs)
 	}
 }

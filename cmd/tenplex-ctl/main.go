@@ -1,12 +1,14 @@
-// Command tenplex-ctl is a client for a tenplex-store daemon. It can
-// upload deterministic test tensors, read tensors (or sub-tensor ranges)
-// back, and inspect the store tree:
+// Command tenplex-ctl is a client for a tenplex-store daemon plus a
+// front-end for the multi-job cluster coordinator. It can upload
+// deterministic test tensors, read tensors (or sub-tensor ranges)
+// back, inspect the store tree, and run a coordinator simulation:
 //
 //	tenplex-ctl -addr http://127.0.0.1:7070 put  -path /w -dtype float32 -shape 4,6
 //	tenplex-ctl -addr http://127.0.0.1:7070 get  -path /w -range "[:,2:4]"
 //	tenplex-ctl -addr http://127.0.0.1:7070 stat -path /w
 //	tenplex-ctl -addr http://127.0.0.1:7070 ls   -path /
 //	tenplex-ctl -addr http://127.0.0.1:7070 rm   -path /w
+//	tenplex-ctl sim -devices 32 -jobs 12 -seed 42 -fail 60:7
 package main
 
 import (
@@ -16,12 +18,15 @@ import (
 	"strconv"
 	"strings"
 
+	"tenplex/internal/cluster"
+	"tenplex/internal/coordinator"
+	"tenplex/internal/experiments"
 	"tenplex/internal/store"
 	"tenplex/internal/tensor"
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: tenplex-ctl [-addr URL] {put|get|stat|ls|rm} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: tenplex-ctl [-addr URL] {put|get|stat|ls|rm|sim} [flags]")
 	os.Exit(2)
 }
 
@@ -86,9 +91,75 @@ func main() {
 		_ = fs.Parse(flag.Args()[1:])
 		die(c.Delete(*path))
 		fmt.Printf("rm %s\n", *path)
+	case "sim":
+		devices := fs.Int("devices", 32, "cluster size (multiple of 4)")
+		jobs := fs.Int("jobs", 12, "jobs in the arrival trace")
+		seed := fs.Int64("seed", 42, "workload seed (simulation is deterministic per seed)")
+		failStr := fs.String("fail", "", "injected failures, 'min:dev[,min:dev...]' (default: the scenario's)")
+		defrag := fs.Float64("defrag-max", 0, "cost ceiling in seconds for defrag redeploys (0 = default, <0 disables)")
+		_ = fs.Parse(flag.Args()[1:])
+		die(runSim(*devices, *jobs, *seed, *failStr, *defrag))
 	default:
 		usage()
 	}
+}
+
+// runSim executes a multi-job coordinator simulation and prints the
+// per-job timeline and cluster summary.
+func runSim(devices, jobs int, seed int64, failStr string, defragMax float64) error {
+	if devices < 4 || devices%4 != 0 {
+		return fmt.Errorf("-devices must be a positive multiple of 4, got %d", devices)
+	}
+	topo, specs, failures := experiments.MultiJobScenario(devices, jobs, seed)
+	if failStr != "" {
+		var err error
+		if failures, err = parseFailures(failStr, devices); err != nil {
+			return err
+		}
+	}
+	res, err := coordinator.Run(topo, specs, failures, coordinator.Options{DefragMaxSec: defragMax})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("cluster %s: %d jobs, seed %d\n", topo.Name, len(specs), seed)
+	for _, e := range res.Timeline {
+		fmt.Println(e)
+	}
+	fmt.Printf("\n%-8s %-22s %8s %9s %9s %8s %10s %9s\n",
+		"job", "model", "req-GPUs", "admit-min", "done-min", "resizes", "reconfig-s", "moved-MB")
+	for _, js := range res.Jobs {
+		done := fmt.Sprintf("%.1f", js.DoneMin)
+		if !js.Completed {
+			done = "-"
+		}
+		fmt.Printf("%-8s %-22s %8d %9.1f %9s %8d %10.3f %9.1f\n",
+			js.Name, js.Model, js.GPUs, js.AdmitMin, done, js.Resizes,
+			js.ReconfigSec, float64(js.MovedBytes)/1e6)
+	}
+	fmt.Printf("\nmakespan %.1f min, mean utilization %.2f, aggregate reconfig %.3f s, %d plans validated, %d invariant sweeps\n",
+		res.MakespanMin, res.MeanUtilization, res.ReconfigSecTotal, res.PlansValidated, res.InvariantChecks)
+	return nil
+}
+
+// parseFailures parses "min:dev[,min:dev...]" into failure injections.
+func parseFailures(s string, devices int) ([]coordinator.FailureSpec, error) {
+	var out []coordinator.FailureSpec
+	for _, part := range strings.Split(s, ",") {
+		bits := strings.SplitN(strings.TrimSpace(part), ":", 2)
+		if len(bits) != 2 {
+			return nil, fmt.Errorf("bad failure %q, want min:dev", part)
+		}
+		min, err := strconv.ParseFloat(bits[0], 64)
+		if err != nil || min < 0 {
+			return nil, fmt.Errorf("bad failure time %q", bits[0])
+		}
+		dev, err := strconv.Atoi(bits[1])
+		if err != nil || dev < 0 || dev >= devices {
+			return nil, fmt.Errorf("bad failure device %q for %d devices", bits[1], devices)
+		}
+		out = append(out, coordinator.FailureSpec{TimeMin: min, Device: cluster.DeviceID(dev)})
+	}
+	return out, nil
 }
 
 func parseShape(s string) ([]int, error) {

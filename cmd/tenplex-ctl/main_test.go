@@ -30,3 +30,29 @@ func TestParseShape(t *testing.T) {
 		}
 	}
 }
+
+func TestParseFailures(t *testing.T) {
+	got, err := parseFailures("60:7, 120:3", 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].TimeMin != 60 || got[0].Device != 7 || got[1].Device != 3 {
+		t.Fatalf("parseFailures = %+v", got)
+	}
+	for _, bad := range []string{"60", "x:7", "60:x", "-1:7", "60:99", "60:-1", ""} {
+		if _, err := parseFailures(bad, 32); err == nil {
+			t.Errorf("parseFailures(%q) accepted", bad)
+		}
+	}
+}
+
+// TestRunSim smoke-tests the coordinator front-end end to end on a
+// small deterministic workload.
+func TestRunSim(t *testing.T) {
+	if err := runSim(8, 3, 1, "30:1", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := runSim(7, 3, 1, "", 0); err == nil {
+		t.Fatal("non-multiple-of-4 device count accepted")
+	}
+}

@@ -1,0 +1,838 @@
+// Package coordinator is a multi-job elastic cluster control plane for
+// Tenplex jobs sharing one cluster.Topology — the cluster-side half of
+// the paper's scenario, where a scheduler reallocates GPUs among many
+// competing DL jobs and each job reconfigures its PTC in response
+// (§2, §5.4).
+//
+// The coordinator keeps a device Ledger that leases and reclaims GPUs
+// with no double-allocation, admits jobs from a Philly-derived arrival
+// trace through a FIFO queue, picks each job's (T, P, D) for its
+// current lease with a memoized perfmodel search, and prices every
+// reconfiguration with netsim before committing it. A deterministic
+// event loop handles job arrival and completion, elastic scale-up/down
+// arbitration between jobs, defragmenting redeployments onto fewer
+// workers, and fail-stop device failures. Every allocation change runs
+// through the affected job's real state-management path: core plan
+// generation and the distributed State Transformer over per-device
+// Tensor Stores.
+package coordinator
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"tenplex/internal/cluster"
+	"tenplex/internal/core"
+	"tenplex/internal/model"
+	"tenplex/internal/perfmodel"
+	"tenplex/internal/sched"
+	"tenplex/internal/tensor"
+)
+
+// JobSpec describes one job submitted to the coordinator.
+type JobSpec struct {
+	// Name identifies the job; must be unique within a run.
+	Name string
+	// Model is the job's state catalog. Reduced-scale catalogs (e.g.
+	// model.GPTCustom) keep simulations cheap while still moving real
+	// bytes through the Tensor Stores.
+	Model *model.Model
+	// ArrivalMin is the submission time in minutes.
+	ArrivalMin float64
+	// DurationMin is the service time once admitted.
+	DurationMin float64
+	// GPUs is the requested lease size; MinGPUs/MaxGPUs bound elastic
+	// resizing (zero values default to GPUs, i.e. a rigid job).
+	GPUs             int
+	MinGPUs, MaxGPUs int
+	// Seed drives the job's deterministic initial tensors.
+	Seed int64
+}
+
+// SpecsFromArrivals converts a sched multi-job arrival trace into
+// coordinator job specs, assigning each job the model pick(i) returns.
+func SpecsFromArrivals(arrivals []sched.JobArrival, pick func(i int) *model.Model) []JobSpec {
+	out := make([]JobSpec, 0, len(arrivals))
+	for i, a := range arrivals {
+		out = append(out, JobSpec{
+			Name:        a.Name,
+			Model:       pick(i),
+			ArrivalMin:  a.ArrivalMin,
+			DurationMin: a.DurationMin,
+			GPUs:        a.GPUs,
+			MinGPUs:     a.MinGPUs,
+			MaxGPUs:     a.MaxGPUs,
+			Seed:        int64(i)*1009 + 1,
+		})
+	}
+	return out
+}
+
+// FailureSpec injects a fail-stop device failure at a point in time.
+type FailureSpec struct {
+	TimeMin float64
+	Device  cluster.DeviceID
+}
+
+// Options tunes a coordinator run.
+type Options struct {
+	// Perf is the cost model for placement decisions; the zero value
+	// uses a reduced-scale default (no memory feasibility check, batch
+	// 64) suited to the materialized mini models simulations run.
+	Perf perfmodel.Params
+	// DefragMaxSec is the netsim-priced cost ceiling for voluntary
+	// defragmenting redeployments: a compaction whose predicted
+	// reconfiguration time exceeds it is not committed. Zero means the
+	// default (30 s); negative disables defragmentation.
+	DefragMaxSec float64
+}
+
+// DefaultPerf returns the placement cost model used when Options.Perf
+// is zero.
+func DefaultPerf() perfmodel.Params {
+	p := perfmodel.DefaultParams()
+	p.GlobalBatch = 64
+	p.DeviceMemGB = 0 // reduced-scale catalogs: skip the memory check
+	return p
+}
+
+// Timeline event kinds.
+const (
+	EvSubmit   = "submit"
+	EvAdmit    = "admit"
+	EvReject   = "reject"
+	EvScaleOut = "scale-out"
+	EvScaleIn  = "scale-in"
+	EvRedeploy = "redeploy"
+	EvFailure  = "device-failure"
+	EvRecover  = "recover"
+	EvLost     = "lost"
+	EvComplete = "complete"
+)
+
+// TimelineEvent is one entry of the per-job cluster timeline.
+type TimelineEvent struct {
+	TimeMin float64
+	Job     string
+	Kind    string
+	// GPUs is the job's lease size after the event.
+	GPUs int
+	// Config is the job's (T, P, D) after the event, when placed.
+	Config string
+	// SimSec is the netsim-priced reconfiguration time charged as
+	// downtime for this event.
+	SimSec float64
+	// MovedBytes crossed a device boundary during the change.
+	MovedBytes int64
+	Note       string
+}
+
+func (e TimelineEvent) String() string {
+	s := fmt.Sprintf("t=%7.1f min  %-8s %-14s %2d GPUs", e.TimeMin, e.Job, e.Kind, e.GPUs)
+	if e.Config != "" {
+		s += " as " + e.Config
+	}
+	if e.SimSec > 0 {
+		s += fmt.Sprintf(", %.3fs reconfig", e.SimSec)
+	}
+	if e.Note != "" {
+		s += "  (" + e.Note + ")"
+	}
+	return s
+}
+
+// JobSummary aggregates one job's run.
+type JobSummary struct {
+	Name        string
+	Model       string
+	GPUs        int // requested
+	ArrivalMin  float64
+	AdmitMin    float64
+	DoneMin     float64
+	Resizes     int
+	ReconfigSec float64
+	MovedBytes  int64
+	Completed   bool
+}
+
+// Result is the outcome of a coordinator simulation.
+type Result struct {
+	Timeline []TimelineEvent
+	Jobs     []JobSummary
+	// MakespanMin is the time of the last event.
+	MakespanMin float64
+	// ReconfigSecTotal is the aggregate netsim-priced reconfiguration
+	// time across all jobs.
+	ReconfigSecTotal float64
+	// MeanUtilization is leased device-time over total device-time.
+	MeanUtilization float64
+	// PlansValidated counts reconfiguration plans generated and
+	// validated during the run (every resize, redeploy and recovery).
+	PlansValidated int
+	// InvariantChecks counts full ledger+PTC invariant sweeps (one per
+	// processed event).
+	InvariantChecks int
+}
+
+// Render formats the timeline and summary as text.
+func (r Result) Render() string {
+	s := ""
+	for _, e := range r.Timeline {
+		s += e.String() + "\n"
+	}
+	s += fmt.Sprintf("makespan %.1f min, mean utilization %.2f, aggregate reconfig %.3f s, %d plans validated\n",
+		r.MakespanMin, r.MeanUtilization, r.ReconfigSecTotal, r.PlansValidated)
+	return s
+}
+
+// --- event queue ---
+
+type evKind int
+
+const (
+	evArrival evKind = iota
+	evFailure
+	evComplete
+)
+
+type event struct {
+	time float64
+	seq  int
+	kind evKind
+	job  string
+	dev  cluster.DeviceID
+	ver  int // completion version; stale versions are skipped
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)        { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// --- simulation state ---
+
+type jobState int
+
+const (
+	jobQueued jobState = iota
+	jobRunning
+	jobDone
+	jobRejected
+	jobLost
+)
+
+type simJob struct {
+	spec JobSpec
+	rt   *jobRuntime
+	init map[core.TensorID]*tensor.Tensor
+
+	state       jobState
+	admitMin    float64
+	doneMin     float64
+	complAt     float64
+	ver         int
+	resizes     int
+	reconfigSec float64
+	movedBytes  int64
+}
+
+type sim struct {
+	topo   *cluster.Topology
+	opts   Options
+	ledger *Ledger
+	cache  *perfmodel.Cache
+
+	jobs  map[string]*simJob
+	order []string // submission order
+	queue []string // admission FIFO
+
+	evq eventHeap
+	seq int
+	now float64
+
+	timeline     []TimelineEvent
+	plans        int
+	checks       int
+	reconfigSec  float64
+	utilIntegral float64 // leased device-minutes
+}
+
+// Run executes a deterministic coordinator simulation: the jobs arrive,
+// compete for the topology's devices, resize elastically, survive the
+// injected failures, and complete. It returns the per-job timeline and
+// aggregate metrics, or the first invariant or state-management error.
+func Run(topo *cluster.Topology, specs []JobSpec, failures []FailureSpec, opts Options) (Result, error) {
+	if topo == nil || topo.NumDevices() == 0 {
+		return Result{}, fmt.Errorf("coordinator: run needs a topology")
+	}
+	if opts.Perf.GlobalBatch == 0 {
+		opts.Perf = DefaultPerf()
+	}
+	if opts.DefragMaxSec == 0 {
+		opts.DefragMaxSec = 30
+	}
+	s := &sim{
+		topo:   topo,
+		opts:   opts,
+		ledger: NewLedger(topo),
+		cache:  perfmodel.NewCache(),
+		jobs:   map[string]*simJob{},
+	}
+	for i := range specs {
+		spec := specs[i]
+		if err := normalizeSpec(&spec); err != nil {
+			return Result{}, err
+		}
+		if _, dup := s.jobs[spec.Name]; dup {
+			return Result{}, fmt.Errorf("coordinator: duplicate job name %q", spec.Name)
+		}
+		// The initial tensors are materialized lazily at admission, so
+		// queued and rejected jobs cost no state memory.
+		j := &simJob{
+			spec: spec,
+			rt:   newJobRuntime(spec.Name, spec.Model, topo),
+		}
+		s.jobs[spec.Name] = j
+		s.order = append(s.order, spec.Name)
+		s.push(event{time: spec.ArrivalMin, kind: evArrival, job: spec.Name})
+	}
+	for _, f := range failures {
+		if int(f.Device) < 0 || int(f.Device) >= topo.NumDevices() {
+			return Result{}, fmt.Errorf("coordinator: failure of unknown device %d", f.Device)
+		}
+		s.push(event{time: f.TimeMin, kind: evFailure, dev: f.Device})
+	}
+
+	for s.evq.Len() > 0 {
+		e := heap.Pop(&s.evq).(event)
+		if e.kind == evComplete {
+			j := s.jobs[e.job]
+			if j.state != jobRunning || j.ver != e.ver {
+				continue // superseded by a resize or a failure
+			}
+		}
+		s.advance(e.time)
+		var err error
+		switch e.kind {
+		case evArrival:
+			err = s.onArrival(e.job)
+		case evComplete:
+			err = s.onComplete(e.job)
+		case evFailure:
+			err = s.onFailure(e.dev)
+		}
+		if err != nil {
+			return s.result(), err
+		}
+		if err := s.checkInvariants(); err != nil {
+			return s.result(), err
+		}
+	}
+	// Anything still queued could never be placed on this cluster.
+	for _, name := range s.queue {
+		j := s.jobs[name]
+		j.state = jobRejected
+		s.record(TimelineEvent{TimeMin: s.now, Job: name, Kind: EvReject,
+			Note: "never admitted: insufficient capacity"})
+	}
+	return s.result(), nil
+}
+
+func normalizeSpec(spec *JobSpec) error {
+	if spec.Name == "" || spec.Model == nil {
+		return fmt.Errorf("coordinator: job spec needs Name and Model")
+	}
+	if spec.GPUs < 1 || spec.DurationMin <= 0 || spec.ArrivalMin < 0 {
+		return fmt.Errorf("coordinator: job %s: bad GPUs/duration/arrival", spec.Name)
+	}
+	if spec.MinGPUs == 0 {
+		spec.MinGPUs = spec.GPUs
+	}
+	if spec.MaxGPUs == 0 {
+		spec.MaxGPUs = spec.GPUs
+	}
+	if spec.MinGPUs < 1 || spec.MinGPUs > spec.GPUs || spec.MaxGPUs < spec.GPUs {
+		return fmt.Errorf("coordinator: job %s: bounds [%d, %d] around %d",
+			spec.Name, spec.MinGPUs, spec.MaxGPUs, spec.GPUs)
+	}
+	return nil
+}
+
+func (s *sim) push(e event) {
+	e.seq = s.seq
+	s.seq++
+	heap.Push(&s.evq, e)
+}
+
+// advance moves the clock to t, integrating leased device-time for the
+// utilization metric.
+func (s *sim) advance(t float64) {
+	if t < s.now {
+		t = s.now // reconfiguration downtime may push completions past later events
+	}
+	s.utilIntegral += float64(s.ledger.LeasedCount()) * (t - s.now)
+	s.now = t
+}
+
+func (s *sim) record(e TimelineEvent) {
+	s.timeline = append(s.timeline, e)
+}
+
+// running returns the running jobs in submission order.
+func (s *sim) running() []*simJob {
+	var out []*simJob
+	for _, name := range s.order {
+		if j := s.jobs[name]; j.state == jobRunning {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// bestAtMost returns the largest feasible lease size n in [low, high]
+// with its configuration.
+func (s *sim) bestAtMost(m *model.Model, high, low int) (int, perfmodel.Estimate, bool) {
+	if low < 1 {
+		low = 1
+	}
+	for n := high; n >= low; n-- {
+		if est, err := s.cache.Best(m, s.topo, n, s.opts.Perf); err == nil {
+			return n, est, true
+		}
+	}
+	return 0, perfmodel.Estimate{}, false
+}
+
+// --- event handlers ---
+
+func (s *sim) onArrival(name string) error {
+	j := s.jobs[name]
+	j.state = jobQueued
+	s.queue = append(s.queue, name)
+	s.record(TimelineEvent{TimeMin: s.now, Job: name, Kind: EvSubmit,
+		Note: fmt.Sprintf("wants %d GPUs [%d, %d], %.0f min",
+			j.spec.GPUs, j.spec.MinGPUs, j.spec.MaxGPUs, j.spec.DurationMin)})
+	if err := s.admitQueued(); err != nil {
+		return err
+	}
+	return s.expandJobs()
+}
+
+func (s *sim) onComplete(name string) error {
+	j := s.jobs[name]
+	if err := j.rt.verifyState(j.init); err != nil {
+		return err
+	}
+	s.record(TimelineEvent{TimeMin: s.now, Job: name, Kind: EvComplete,
+		GPUs: 0, Note: fmt.Sprintf("state verified intact after %d resizes", j.resizes)})
+	s.ledger.ReleaseAll(name)
+	j.state = jobDone
+	j.doneMin = s.now
+	if err := s.admitQueued(); err != nil {
+		return err
+	}
+	if err := s.expandJobs(); err != nil {
+		return err
+	}
+	return s.defragJobs()
+}
+
+func (s *sim) onFailure(dev cluster.DeviceID) error {
+	if s.ledger.Failed(dev) {
+		return nil // already dead
+	}
+	owner := s.ledger.MarkFailed(dev)
+	s.record(TimelineEvent{TimeMin: s.now, Job: owner, Kind: EvFailure,
+		Note: fmt.Sprintf("device %d failed on worker %d", dev, s.topo.WorkerOf(dev))})
+	if owner == "" {
+		return nil
+	}
+	j := s.jobs[owner]
+	if j.state != jobRunning {
+		return nil
+	}
+	survivors := s.ledger.Allocation(owner) // dev already removed
+	full := append(cluster.Allocation(nil), survivors...)
+	var repl []cluster.DeviceID
+	if got, ok := s.ledger.Pick(1, survivors); ok {
+		repl = got
+		full = append(full, got...)
+	}
+	n, est, ok := s.bestAtMost(j.spec.Model, len(full), 1)
+	if !ok || n == 0 {
+		// No devices left to recover onto: the job is lost.
+		s.ledger.ReleaseAll(owner)
+		j.state = jobLost
+		j.doneMin = s.now
+		j.ver++
+		s.record(TimelineEvent{TimeMin: s.now, Job: owner, Kind: EvLost,
+			Note: "no healthy devices to recover onto"})
+		return nil
+	}
+	alloc := full[:n]
+	note := fmt.Sprintf("recovered from loss of device %d", dev)
+	if len(repl) > 0 && alloc.Contains(repl[0]) {
+		note += fmt.Sprintf(", replacement device %d", repl[0])
+	}
+	if err := s.applyChange(j, est, alloc, []cluster.DeviceID{dev}, EvRecover, note); err != nil {
+		return err
+	}
+	// A size-constrained recovery may have released healthy devices;
+	// let the queue and the other jobs use them.
+	if err := s.admitQueued(); err != nil {
+		return err
+	}
+	return s.expandJobs()
+}
+
+// --- scheduling policies ---
+
+// admitQueued places queued jobs FIFO. When free capacity is short it
+// arbitrates: elastic running jobs above their minimum are shrunk
+// (largest surplus first) until the head job's minimum fits. Head-of-
+// line blocking is deliberate — admission order stays fair and the
+// simulation deterministic.
+func (s *sim) admitQueued() error {
+	reclaimTried := map[string]bool{}
+	for len(s.queue) > 0 {
+		j := s.jobs[s.queue[0]]
+		if j.spec.MinGPUs > s.ledger.Healthy() {
+			j.state = jobRejected
+			s.queue = s.queue[1:]
+			s.record(TimelineEvent{TimeMin: s.now, Job: j.spec.Name, Kind: EvReject,
+				Note: fmt.Sprintf("min %d GPUs exceeds %d healthy devices", j.spec.MinGPUs, s.ledger.Healthy())})
+			continue
+		}
+		high := j.spec.GPUs
+		if free := s.ledger.FreeCount(); free < high {
+			high = free
+		}
+		n, est, ok := s.bestAtMost(j.spec.Model, high, j.spec.MinGPUs)
+		if !ok {
+			if reclaimTried[j.spec.Name] {
+				break
+			}
+			reclaimTried[j.spec.Name] = true
+			if !s.reclaimFor(j) {
+				break
+			}
+			continue // retry the head with the reclaimed capacity
+		}
+		devs, got := s.ledger.Pick(n, nil)
+		if !got {
+			return fmt.Errorf("coordinator: pick(%d) failed with %d free", n, s.ledger.FreeCount())
+		}
+		if err := s.ledger.Lease(j.spec.Name, devs...); err != nil {
+			return err
+		}
+		if j.init == nil {
+			j.init = initState(j.spec.Model, j.spec.Seed)
+		}
+		if err := j.rt.deploy(est.Config, devs, j.init); err != nil {
+			return err
+		}
+		j.state = jobRunning
+		j.admitMin = s.now
+		j.complAt = s.now + j.spec.DurationMin
+		j.ver++
+		s.push(event{time: j.complAt, kind: evComplete, job: j.spec.Name, ver: j.ver})
+		s.queue = s.queue[1:]
+		s.record(TimelineEvent{TimeMin: s.now, Job: j.spec.Name, Kind: EvAdmit,
+			GPUs: n, Config: est.Config.String()})
+	}
+	return nil
+}
+
+// reclaimFor shrinks running jobs (largest surplus over their minimum
+// first) until at least j's minimum lease is free. It reports whether
+// enough capacity was freed. Each shrink is a real reconfiguration of
+// the victim job.
+func (s *sim) reclaimFor(j *simJob) bool {
+	// Don't shrink anyone unless the minimum is actually reachable:
+	// partial preemption would only be undone by the next expansion.
+	// Each victim counts only what shrinking to its smallest *feasible*
+	// size at or above its minimum would free.
+	achievable := s.ledger.FreeCount()
+	for _, r := range s.running() {
+		if n, ok := s.minFeasible(r.spec.Model, r.spec.MinGPUs, len(r.rt.alloc)); ok {
+			achievable += len(r.rt.alloc) - n
+		}
+	}
+	if achievable < j.spec.MinGPUs {
+		return false
+	}
+	excluded := map[string]bool{} // victims with no feasible shrink left
+	for s.ledger.FreeCount() < j.spec.MinGPUs {
+		var victim *simJob
+		surplus := 0
+		for _, r := range s.running() {
+			if excluded[r.spec.Name] {
+				continue
+			}
+			if sp := len(r.rt.alloc) - r.spec.MinGPUs; sp > surplus {
+				surplus, victim = sp, r
+			}
+		}
+		if victim == nil {
+			return false
+		}
+		need := j.spec.MinGPUs - s.ledger.FreeCount()
+		give := surplus
+		if give > need {
+			give = need
+		}
+		cur := len(victim.rt.alloc)
+		n, est, ok := s.bestAtMost(victim.spec.Model, cur-give, victim.spec.MinGPUs)
+		if !ok || n >= cur {
+			excluded[victim.spec.Name] = true
+			continue
+		}
+		alloc := append(cluster.Allocation(nil), victim.rt.alloc[:n]...)
+		note := fmt.Sprintf("preempted for %s", j.spec.Name)
+		if err := s.applyChange(victim, est, alloc, nil, EvScaleIn, note); err != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// minFeasible returns the smallest feasible lease size in [low, high].
+func (s *sim) minFeasible(m *model.Model, low, high int) (int, bool) {
+	if low < 1 {
+		low = 1
+	}
+	for n := low; n <= high; n++ {
+		if _, err := s.cache.Best(m, s.topo, n, s.opts.Perf); err == nil {
+			return n, true
+		}
+	}
+	return 0, false
+}
+
+// expandJobs grows elastic running jobs into free capacity: first back
+// towards their requested size (most-starved first), then — only when
+// the admission queue is empty — up to their elastic maximum.
+func (s *sim) expandJobs() error {
+	stuck := map[string]bool{} // jobs with no feasible larger lease right now
+	for {
+		free := s.ledger.FreeCount()
+		if free == 0 {
+			return nil
+		}
+		var pick *simJob
+		var pickRatio float64
+		limitOf := func(r *simJob) int {
+			if len(s.queue) == 0 {
+				return r.spec.MaxGPUs
+			}
+			return r.spec.GPUs
+		}
+		for _, r := range s.running() {
+			if stuck[r.spec.Name] || len(r.rt.alloc) >= limitOf(r) {
+				continue
+			}
+			ratio := float64(len(r.rt.alloc)) / float64(r.spec.GPUs)
+			if pick == nil || ratio < pickRatio {
+				pick, pickRatio = r, ratio
+			}
+		}
+		if pick == nil {
+			return nil
+		}
+		cur := len(pick.rt.alloc)
+		high := cur + free
+		if limit := limitOf(pick); high > limit {
+			high = limit
+		}
+		n, est, ok := s.bestAtMost(pick.spec.Model, high, cur+1)
+		if !ok || n <= cur {
+			stuck[pick.spec.Name] = true
+			continue
+		}
+		extra, got := s.ledger.Pick(n-cur, pick.rt.alloc)
+		if !got {
+			return nil
+		}
+		alloc := append(append(cluster.Allocation(nil), pick.rt.alloc...), extra...)
+		if err := s.applyChange(pick, est, alloc, nil, EvScaleOut, ""); err != nil {
+			return err
+		}
+	}
+}
+
+// defragJobs redeploys fragmented jobs onto fewer workers when a
+// compact placement exists and its netsim-priced cost stays under the
+// configured ceiling — the paper's redeployment scenario (§6.3) driven
+// by the cluster, not the user.
+func (s *sim) defragJobs() error {
+	if s.opts.DefragMaxSec < 0 {
+		return nil
+	}
+	for _, j := range s.running() {
+		cur := j.rt.alloc
+		curWorkers := len(cur.Workers(s.topo))
+		candidate, ok := s.pickCompact(j.spec.Name, len(cur))
+		if !ok {
+			continue
+		}
+		if len(cluster.Allocation(candidate).Workers(s.topo)) >= curWorkers {
+			continue
+		}
+		// Same device count, so the job keeps its current (T, P, D);
+		// price the move before committing it.
+		ch, err := j.rt.planChange(j.rt.cfg, candidate, nil)
+		if err != nil {
+			return err
+		}
+		s.plans++
+		if ch.simSec > s.opts.DefragMaxSec {
+			continue
+		}
+		note := fmt.Sprintf("defragmented %d -> %d workers", curWorkers,
+			len(cluster.Allocation(candidate).Workers(s.topo)))
+		if err := s.commitChange(j, ch, EvRedeploy, note); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// pickCompact selects n devices for job as if its own lease were free,
+// yielding the most compact placement the cluster currently allows.
+func (s *sim) pickCompact(job string, n int) ([]cluster.DeviceID, bool) {
+	own := s.ledger.Allocation(job)
+	avail := append(append(cluster.Allocation(nil), own...), s.ledger.Free()...)
+	return packCompact(s.topo, avail, n, nil)
+}
+
+// applyChange plans, prices, commits and books one allocation change of
+// a running job. Callers that need to inspect the price before deciding
+// (the defrag gate) call planChange and commitChange themselves.
+func (s *sim) applyChange(j *simJob, est perfmodel.Estimate, alloc cluster.Allocation,
+	failed []cluster.DeviceID, kind, note string) error {
+	ch, err := j.rt.planChange(est.Config, alloc, failed)
+	if err != nil {
+		return err
+	}
+	s.plans++
+	return s.commitChange(j, ch, kind, note)
+}
+
+// commitChange executes a costed change: lease the new devices, run the
+// transformer, release the vacated ones, and charge the downtime.
+func (s *sim) commitChange(j *simJob, ch *change, kind, note string) error {
+	name := j.spec.Name
+	held := map[cluster.DeviceID]bool{}
+	for _, d := range s.ledger.Allocation(name) {
+		held[d] = true
+	}
+	var fresh []cluster.DeviceID
+	inNew := map[cluster.DeviceID]bool{}
+	for _, d := range ch.alloc {
+		inNew[d] = true
+		if !held[d] {
+			fresh = append(fresh, d)
+		}
+	}
+	var vacate []cluster.DeviceID
+	for d := range held {
+		if !inNew[d] {
+			vacate = append(vacate, d)
+		}
+	}
+	sort.Slice(vacate, func(i, j int) bool { return vacate[i] < vacate[j] })
+	if len(fresh) > 0 {
+		if err := s.ledger.Lease(name, fresh...); err != nil {
+			return err
+		}
+	}
+	if err := j.rt.commit(ch); err != nil {
+		return err
+	}
+	if len(vacate) > 0 {
+		if err := s.ledger.Release(name, vacate...); err != nil {
+			return err
+		}
+	}
+	j.resizes++
+	j.reconfigSec += ch.simSec
+	j.movedBytes += ch.stats.MovedBytes
+	s.reconfigSec += ch.simSec
+	// Downtime delays the job's completion.
+	j.complAt += ch.simSec / 60
+	j.ver++
+	s.push(event{time: j.complAt, kind: evComplete, job: name, ver: j.ver})
+	s.record(TimelineEvent{TimeMin: s.now, Job: name, Kind: kind,
+		GPUs: len(ch.alloc), Config: ch.cfg.String(),
+		SimSec: ch.simSec, MovedBytes: ch.stats.MovedBytes, Note: note})
+	return nil
+}
+
+// checkInvariants asserts, after every event, that the ledger is
+// consistent, that each running job's runtime allocation matches its
+// lease exactly, and that its PTC is valid.
+func (s *sim) checkInvariants() error {
+	s.checks++
+	if err := s.ledger.Validate(); err != nil {
+		return err
+	}
+	for _, j := range s.running() {
+		lease := s.ledger.Allocation(j.spec.Name)
+		if len(lease) != len(j.rt.alloc) {
+			return fmt.Errorf("coordinator: %s lease has %d devices, runtime %d",
+				j.spec.Name, len(lease), len(j.rt.alloc))
+		}
+		onLease := map[cluster.DeviceID]bool{}
+		for _, d := range lease {
+			onLease[d] = true
+		}
+		for _, d := range j.rt.alloc {
+			if !onLease[d] {
+				return fmt.Errorf("coordinator: %s runtime uses device %d outside its lease",
+					j.spec.Name, d)
+			}
+		}
+		if err := j.rt.ptc.Validate(); err != nil {
+			return fmt.Errorf("coordinator: %s: %w", j.spec.Name, err)
+		}
+	}
+	return nil
+}
+
+func (s *sim) result() Result {
+	res := Result{
+		Timeline:         s.timeline,
+		MakespanMin:      s.now,
+		ReconfigSecTotal: s.reconfigSec,
+		PlansValidated:   s.plans,
+		InvariantChecks:  s.checks,
+	}
+	if s.now > 0 {
+		res.MeanUtilization = s.utilIntegral / (float64(s.topo.NumDevices()) * s.now)
+	}
+	for _, name := range s.order {
+		j := s.jobs[name]
+		res.Jobs = append(res.Jobs, JobSummary{
+			Name:        name,
+			Model:       j.spec.Model.Name,
+			GPUs:        j.spec.GPUs,
+			ArrivalMin:  j.spec.ArrivalMin,
+			AdmitMin:    j.admitMin,
+			DoneMin:     j.doneMin,
+			Resizes:     j.resizes,
+			ReconfigSec: j.reconfigSec,
+			MovedBytes:  j.movedBytes,
+			Completed:   j.state == jobDone,
+		})
+	}
+	return res
+}

@@ -1,0 +1,259 @@
+package coordinator
+
+import (
+	"fmt"
+	"sort"
+
+	"tenplex/internal/cluster"
+)
+
+// Ledger is the coordinator's device ownership book: every GPU of the
+// shared topology is free, leased to exactly one job, or failed. All
+// mutations go through Lease / Release / MarkFailed, which reject any
+// transition that would double-allocate a device; Validate cross-checks
+// the two internal views so the event loop can assert the invariant
+// after every event. The Ledger is mutated only by the coordinator's
+// event loop and is therefore not internally locked.
+type Ledger struct {
+	topo   *cluster.Topology
+	owner  map[cluster.DeviceID]string // "" or absent = free
+	failed map[cluster.DeviceID]bool
+	leases map[string]cluster.Allocation // per-job devices, lease order
+}
+
+// NewLedger starts with every device of the topology free and healthy.
+func NewLedger(topo *cluster.Topology) *Ledger {
+	return &Ledger{
+		topo:   topo,
+		owner:  map[cluster.DeviceID]string{},
+		failed: map[cluster.DeviceID]bool{},
+		leases: map[string]cluster.Allocation{},
+	}
+}
+
+// Free returns the healthy, unleased devices in ID order.
+func (l *Ledger) Free() []cluster.DeviceID {
+	var out []cluster.DeviceID
+	for _, d := range l.topo.Devices {
+		if l.owner[d.ID] == "" && !l.failed[d.ID] {
+			out = append(out, d.ID)
+		}
+	}
+	return out
+}
+
+// FreeCount returns the number of healthy, unleased devices.
+func (l *Ledger) FreeCount() int { return len(l.Free()) }
+
+// Healthy returns the number of non-failed devices.
+func (l *Ledger) Healthy() int {
+	n := 0
+	for _, d := range l.topo.Devices {
+		if !l.failed[d.ID] {
+			n++
+		}
+	}
+	return n
+}
+
+// LeasedCount returns the number of devices currently leased to jobs.
+func (l *Ledger) LeasedCount() int {
+	n := 0
+	for _, a := range l.leases {
+		n += len(a)
+	}
+	return n
+}
+
+// Owner returns the job holding device d, if any.
+func (l *Ledger) Owner(d cluster.DeviceID) (string, bool) {
+	job := l.owner[d]
+	return job, job != ""
+}
+
+// Allocation returns a copy of the job's leased devices in lease order.
+func (l *Ledger) Allocation(job string) cluster.Allocation {
+	return append(cluster.Allocation(nil), l.leases[job]...)
+}
+
+// Lease assigns the given devices to job. It fails atomically — without
+// leasing anything — if any device is already owned, failed, out of
+// range, or listed twice.
+func (l *Ledger) Lease(job string, devs ...cluster.DeviceID) error {
+	if job == "" {
+		return fmt.Errorf("coordinator: lease needs a job name")
+	}
+	seen := map[cluster.DeviceID]bool{}
+	for _, d := range devs {
+		if int(d) < 0 || int(d) >= l.topo.NumDevices() {
+			return fmt.Errorf("coordinator: lease of unknown device %d", d)
+		}
+		if seen[d] {
+			return fmt.Errorf("coordinator: device %d listed twice in lease for %s", d, job)
+		}
+		seen[d] = true
+		if l.failed[d] {
+			return fmt.Errorf("coordinator: device %d is failed", d)
+		}
+		if o := l.owner[d]; o != "" {
+			return fmt.Errorf("coordinator: device %d already leased to %s", d, o)
+		}
+	}
+	for _, d := range devs {
+		l.owner[d] = job
+	}
+	l.leases[job] = append(l.leases[job], devs...)
+	return nil
+}
+
+// Release returns the given devices from job to the free pool. It fails
+// atomically if any device is not held by job.
+func (l *Ledger) Release(job string, devs ...cluster.DeviceID) error {
+	drop := map[cluster.DeviceID]bool{}
+	for _, d := range devs {
+		if l.owner[d] != job {
+			return fmt.Errorf("coordinator: device %d not leased to %s", d, job)
+		}
+		if drop[d] {
+			return fmt.Errorf("coordinator: device %d listed twice in release for %s", d, job)
+		}
+		drop[d] = true
+	}
+	for _, d := range devs {
+		delete(l.owner, d)
+	}
+	kept := l.leases[job][:0]
+	for _, d := range l.leases[job] {
+		if !drop[d] {
+			kept = append(kept, d)
+		}
+	}
+	if len(kept) == 0 {
+		delete(l.leases, job)
+	} else {
+		l.leases[job] = kept
+	}
+	return nil
+}
+
+// ReleaseAll returns every device the job holds.
+func (l *Ledger) ReleaseAll(job string) {
+	for _, d := range l.leases[job] {
+		delete(l.owner, d)
+	}
+	delete(l.leases, job)
+}
+
+// MarkFailed removes device d from service (fail-stop) and returns the
+// job that was holding it, if any. The device leaves the owner's lease
+// and never re-enters the free pool.
+func (l *Ledger) MarkFailed(d cluster.DeviceID) string {
+	job := l.owner[d]
+	l.failed[d] = true
+	if job != "" {
+		delete(l.owner, d)
+		kept := l.leases[job][:0]
+		for _, h := range l.leases[job] {
+			if h != d {
+				kept = append(kept, h)
+			}
+		}
+		l.leases[job] = kept
+	}
+	return job
+}
+
+// Failed reports whether device d has failed.
+func (l *Ledger) Failed(d cluster.DeviceID) bool { return l.failed[d] }
+
+// Validate cross-checks the owner map against the per-job leases: every
+// leased device is owned by exactly the job whose lease lists it, no
+// device appears in two leases, and no failed device is leased. It is
+// the no-double-allocation invariant the event loop asserts after every
+// event.
+func (l *Ledger) Validate() error {
+	fromLeases := map[cluster.DeviceID]string{}
+	jobs := make([]string, 0, len(l.leases))
+	for job := range l.leases {
+		jobs = append(jobs, job)
+	}
+	sort.Strings(jobs)
+	for _, job := range jobs {
+		for _, d := range l.leases[job] {
+			if prev, ok := fromLeases[d]; ok {
+				return fmt.Errorf("coordinator: device %d leased to both %s and %s", d, prev, job)
+			}
+			fromLeases[d] = job
+			if l.failed[d] {
+				return fmt.Errorf("coordinator: failed device %d leased to %s", d, job)
+			}
+			if l.owner[d] != job {
+				return fmt.Errorf("coordinator: device %d owner %q disagrees with lease of %s", d, l.owner[d], job)
+			}
+		}
+	}
+	for d, job := range l.owner {
+		if job != "" && fromLeases[d] != job {
+			return fmt.Errorf("coordinator: owner map has %d -> %s without a matching lease", d, job)
+		}
+	}
+	return nil
+}
+
+// Pick selects n free devices for a lease, minimizing worker spread:
+// workers already hosting devices of prefer come first, then workers
+// with the most free devices (so whole machines fill up before the
+// allocation fragments), ties broken by worker ID. Within a worker,
+// devices are taken in ID order. The choice is deterministic. ok is
+// false when fewer than n devices are free.
+func (l *Ledger) Pick(n int, prefer cluster.Allocation) ([]cluster.DeviceID, bool) {
+	preferred := map[int]bool{}
+	for _, d := range prefer {
+		preferred[l.topo.WorkerOf(d)] = true
+	}
+	return packCompact(l.topo, l.Free(), n, preferred)
+}
+
+// packCompact greedily packs n of the available devices onto as few
+// workers as possible: preferred workers first, then workers offering
+// the most devices, ties broken by worker ID; devices in ID order
+// within a worker. It is the one placement heuristic shared by lease
+// picking and defragmentation, so both always agree on what "compact"
+// means.
+func packCompact(topo *cluster.Topology, avail []cluster.DeviceID, n int, preferred map[int]bool) ([]cluster.DeviceID, bool) {
+	if len(avail) < n {
+		return nil, false
+	}
+	byWorker := map[int][]cluster.DeviceID{}
+	var workers []int
+	for _, d := range avail {
+		w := topo.WorkerOf(d)
+		if len(byWorker[w]) == 0 {
+			workers = append(workers, w)
+		}
+		byWorker[w] = append(byWorker[w], d)
+	}
+	for _, devs := range byWorker {
+		sort.Slice(devs, func(i, j int) bool { return devs[i] < devs[j] })
+	}
+	sort.Slice(workers, func(i, j int) bool {
+		wi, wj := workers[i], workers[j]
+		if preferred[wi] != preferred[wj] {
+			return preferred[wi]
+		}
+		if len(byWorker[wi]) != len(byWorker[wj]) {
+			return len(byWorker[wi]) > len(byWorker[wj])
+		}
+		return wi < wj
+	})
+	out := make([]cluster.DeviceID, 0, n)
+	for _, w := range workers {
+		for _, d := range byWorker[w] {
+			if len(out) == n {
+				return out, true
+			}
+			out = append(out, d)
+		}
+	}
+	return out, len(out) == n
+}

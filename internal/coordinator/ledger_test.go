@@ -1,0 +1,163 @@
+package coordinator
+
+import (
+	"testing"
+
+	"tenplex/internal/cluster"
+)
+
+func TestLedgerLeaseReleaseLifecycle(t *testing.T) {
+	topo := cluster.OnPrem16()
+	l := NewLedger(topo)
+	if l.FreeCount() != 16 || l.Healthy() != 16 || l.LeasedCount() != 0 {
+		t.Fatalf("fresh ledger: free=%d healthy=%d leased=%d", l.FreeCount(), l.Healthy(), l.LeasedCount())
+	}
+	if err := l.Lease("a", 0, 1, 2, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Lease("b", 4, 5); err != nil {
+		t.Fatal(err)
+	}
+	if l.FreeCount() != 10 || l.LeasedCount() != 6 {
+		t.Fatalf("after leases: free=%d leased=%d", l.FreeCount(), l.LeasedCount())
+	}
+	if owner, ok := l.Owner(2); !ok || owner != "a" {
+		t.Fatalf("owner of 2 = %q, %v", owner, ok)
+	}
+	if got := l.Allocation("a"); len(got) != 4 || got[0] != 0 || got[3] != 3 {
+		t.Fatalf("allocation of a = %v", got)
+	}
+	if err := l.Release("a", 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Allocation("a"); len(got) != 2 || got[0] != 0 || got[1] != 3 {
+		t.Fatalf("allocation of a after partial release = %v", got)
+	}
+	l.ReleaseAll("b")
+	if l.FreeCount() != 14 {
+		t.Fatalf("free after releases = %d", l.FreeCount())
+	}
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLedgerRejectsDoubleAllocation(t *testing.T) {
+	l := NewLedger(cluster.OnPrem16())
+	if err := l.Lease("a", 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Another job must not get a device a holds.
+	if err := l.Lease("b", 1, 2); err == nil {
+		t.Fatal("double allocation accepted")
+	}
+	// The failed lease must be atomic: device 2 stays free.
+	if owner, ok := l.Owner(2); ok {
+		t.Fatalf("device 2 leaked to %q by a rejected lease", owner)
+	}
+	// Re-leasing to the same job is also a double allocation.
+	if err := l.Lease("a", 1); err == nil {
+		t.Fatal("re-lease of a held device accepted")
+	}
+	// Duplicate devices within one request.
+	if err := l.Lease("b", 3, 3); err == nil {
+		t.Fatal("duplicate device in lease accepted")
+	}
+	if err := l.Lease("", 4); err == nil {
+		t.Fatal("empty job name accepted")
+	}
+	if err := l.Lease("b", 99); err == nil {
+		t.Fatal("unknown device accepted")
+	}
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLedgerFailures(t *testing.T) {
+	l := NewLedger(cluster.OnPrem16())
+	if err := l.Lease("a", 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if owner := l.MarkFailed(1); owner != "a" {
+		t.Fatalf("failed device owner = %q", owner)
+	}
+	if got := l.Allocation("a"); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("allocation after failure = %v", got)
+	}
+	if owner := l.MarkFailed(5); owner != "" {
+		t.Fatalf("free device failure reported owner %q", owner)
+	}
+	if l.Healthy() != 14 {
+		t.Fatalf("healthy = %d", l.Healthy())
+	}
+	// Failed devices can never be leased again.
+	if err := l.Lease("b", 1); err == nil {
+		t.Fatal("leased a failed device")
+	}
+	if err := l.Release("a", 1); err == nil {
+		t.Fatal("released a device the job no longer holds")
+	}
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLedgerValidateDetectsCorruption(t *testing.T) {
+	l := NewLedger(cluster.OnPrem16())
+	if err := l.Lease("a", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Lease("b", 1); err != nil {
+		t.Fatal(err)
+	}
+	// Force the double-allocation the API refuses, and require Validate
+	// to catch it.
+	l.leases["b"] = append(l.leases["b"], 0)
+	if err := l.Validate(); err == nil {
+		t.Fatal("validate missed a double allocation")
+	}
+	l.leases["b"] = l.leases["b"][:1]
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Owner map disagreeing with the lease list.
+	l.owner[1] = "a"
+	if err := l.Validate(); err == nil {
+		t.Fatal("validate missed an owner mismatch")
+	}
+	l.owner[1] = "b"
+	// A failed device inside a lease.
+	l.failed[0] = true
+	if err := l.Validate(); err == nil {
+		t.Fatal("validate missed a failed leased device")
+	}
+}
+
+func TestLedgerPickCompact(t *testing.T) {
+	topo := cluster.OnPrem16() // 4 workers x 4 devices
+	l := NewLedger(topo)
+	// A 4-device pick fills exactly one worker.
+	devs, ok := l.Pick(4, nil)
+	if !ok || len(devs) != 4 {
+		t.Fatalf("pick(4) = %v, %v", devs, ok)
+	}
+	if w := (cluster.Allocation(devs)).Workers(topo); len(w) != 1 {
+		t.Fatalf("pick(4) spans workers %v", w)
+	}
+	if err := l.Lease("a", devs...); err != nil {
+		t.Fatal(err)
+	}
+	// Preference pulls the pick towards the job's current workers.
+	if err := l.Release("a", devs[3]); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := l.Pick(1, l.Allocation("a"))
+	if !ok || len(got) != 1 || got[0] != devs[3] {
+		t.Fatalf("preferred pick = %v, want %v", got, devs[3])
+	}
+	// Too large a pick fails.
+	if _, ok := l.Pick(17, nil); ok {
+		t.Fatal("pick(17) of 16 devices succeeded")
+	}
+}

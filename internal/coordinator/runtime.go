@@ -1,0 +1,176 @@
+package coordinator
+
+import (
+	"fmt"
+
+	"tenplex/internal/checkpoint"
+	"tenplex/internal/cluster"
+	"tenplex/internal/core"
+	"tenplex/internal/model"
+	"tenplex/internal/netsim"
+	"tenplex/internal/parallel"
+	"tenplex/internal/store"
+	"tenplex/internal/tensor"
+	"tenplex/internal/transform"
+)
+
+// jobRuntime is one managed job's Tenplex state-management stack inside
+// the coordinator: per-device Tensor Stores, a blob store standing in
+// for remote checkpoint storage, and the current PTC. Every allocation
+// change the coordinator decides flows through the same path a
+// standalone tenplex.Job uses — parallel.BuildPTC, core.AlignDevices +
+// core.GeneratePlan, and transform.Transformer over the stores — so the
+// control plane exercises the real reconfiguration machinery, not a
+// model of it.
+type jobRuntime struct {
+	name    string
+	model   *model.Model
+	topo    *cluster.Topology
+	stores  map[cluster.DeviceID]store.Access
+	storage store.Local
+
+	ptc   *core.PTC
+	cfg   parallel.Config
+	alloc cluster.Allocation
+	step  int
+}
+
+func newJobRuntime(name string, m *model.Model, topo *cluster.Topology) *jobRuntime {
+	r := &jobRuntime{
+		name:    name,
+		model:   m,
+		topo:    topo,
+		stores:  map[cluster.DeviceID]store.Access{},
+		storage: store.Local{FS: store.NewMemFS()},
+	}
+	for _, d := range topo.Devices {
+		r.stores[d.ID] = store.Local{FS: store.NewMemFS()}
+	}
+	return r
+}
+
+// initState builds the job's deterministic initial tensors from seed.
+func initState(m *model.Model, seed int64) map[core.TensorID]*tensor.Tensor {
+	init := map[core.TensorID]*tensor.Tensor{}
+	for i, lp := range m.StateParams() {
+		t := tensor.New(lp.Param.DType, lp.Param.Shape...)
+		t.FillRand(seed+int64(i), 0.05)
+		init[core.TensorID(lp.Path())] = t
+	}
+	return init
+}
+
+// deploy places the job on its first lease and persists a baseline
+// checkpoint so a later fail-stop recovery always has a storage
+// fallback for ranges whose replicas are all lost.
+func (r *jobRuntime) deploy(cfg parallel.Config, alloc cluster.Allocation, init map[core.TensorID]*tensor.Tensor) error {
+	ptc, err := parallel.BuildPTC(r.model, cfg, alloc)
+	if err != nil {
+		return fmt.Errorf("coordinator: deploy %s: %w", r.name, err)
+	}
+	if err := transform.LoadPTC(r.name, ptc, r.stores, init); err != nil {
+		return fmt.Errorf("coordinator: deploy %s: %w", r.name, err)
+	}
+	r.ptc, r.cfg, r.alloc = ptc, cfg, append(cluster.Allocation(nil), alloc...)
+	if err := checkpoint.Save(r.storage, r.name, r.step, r.ptc, r.stores); err != nil {
+		return fmt.Errorf("coordinator: checkpoint %s: %w", r.name, err)
+	}
+	return nil
+}
+
+// change is a costed, validated, not-yet-applied allocation change: the
+// coordinator prices it with netsim, decides, and only then commits.
+type change struct {
+	cfg    parallel.Config
+	alloc  cluster.Allocation
+	from   *core.PTC
+	to     *core.PTC
+	plan   *core.Plan
+	stats  core.Stats
+	simSec float64
+	// storageOK marks a recovery plan that may read lost ranges back
+	// from the latest checkpoint.
+	storageOK bool
+}
+
+// planChange computes and prices the reconfiguration onto (cfg, alloc)
+// without touching any store. When failed is non-empty the source PTC
+// is degraded to the surviving replicas and the plan may fall back to
+// checkpoint reads (fail-stop recovery). The returned plan has been
+// validated.
+func (r *jobRuntime) planChange(cfg parallel.Config, alloc cluster.Allocation, failed []cluster.DeviceID) (*change, error) {
+	if r.ptc == nil {
+		return nil, fmt.Errorf("coordinator: job %s not deployed", r.name)
+	}
+	from := r.ptc
+	storageOK := false
+	if len(failed) > 0 {
+		from = r.ptc.WithoutDevices(failed...)
+		storageOK = true
+	}
+	to, err := parallel.BuildPTC(r.model, cfg, alloc)
+	if err != nil {
+		return nil, fmt.Errorf("coordinator: plan %s: %w", r.name, err)
+	}
+	to = core.AlignDevices(from, to)
+	plan, err := core.GeneratePlan(from, to, core.PlanOptions{Topo: r.topo, StorageFallback: storageOK})
+	if err != nil {
+		return nil, fmt.Errorf("coordinator: plan %s: %w", r.name, err)
+	}
+	if err := plan.Validate(); err != nil {
+		return nil, fmt.Errorf("coordinator: plan %s invalid: %w", r.name, err)
+	}
+	return &change{
+		cfg:       cfg,
+		alloc:     append(cluster.Allocation(nil), alloc...),
+		from:      from,
+		to:        to,
+		plan:      plan,
+		stats:     plan.Stats(r.topo),
+		simSec:    netsim.Simulate(r.topo, plan.Flows(r.topo)).Seconds,
+		storageOK: storageOK,
+	}, nil
+}
+
+// commit executes a previously costed change through the State
+// Transformer and re-checkpoints the new placement, so the next
+// failure recovers against the current layout.
+func (r *jobRuntime) commit(ch *change) error {
+	tr := &transform.Transformer{Job: r.name, Stores: r.stores}
+	if ch.storageOK {
+		if step, err := checkpoint.Latest(r.storage, r.name); err == nil {
+			if rd, err := checkpoint.Open(r.storage, r.name, step); err == nil {
+				tr.Storage = rd
+			}
+		}
+	}
+	if _, err := tr.Apply(ch.plan); err != nil {
+		return fmt.Errorf("coordinator: transform %s: %w", r.name, err)
+	}
+	r.ptc, r.cfg, r.alloc = ch.to, ch.cfg, ch.alloc
+	r.step++
+	if err := checkpoint.Save(r.storage, r.name, r.step, r.ptc, r.stores); err != nil {
+		return fmt.Errorf("coordinator: checkpoint %s: %w", r.name, err)
+	}
+	return nil
+}
+
+// verifyState reassembles the job's full logical tensors and checks
+// them against the initial state — the end-to-end correctness oracle
+// run at job completion.
+func (r *jobRuntime) verifyState(init map[core.TensorID]*tensor.Tensor) error {
+	got, err := transform.ReadPTC(r.name, r.ptc, r.stores)
+	if err != nil {
+		return fmt.Errorf("coordinator: read state of %s: %w", r.name, err)
+	}
+	for id, want := range init {
+		t, ok := got[id]
+		if !ok {
+			return fmt.Errorf("coordinator: %s lost tensor %s", r.name, id)
+		}
+		if !t.Equal(want) {
+			return fmt.Errorf("coordinator: %s corrupted tensor %s", r.name, id)
+		}
+	}
+	return nil
+}

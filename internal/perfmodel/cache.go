@@ -1,0 +1,78 @@
+package perfmodel
+
+import (
+	"sync"
+
+	"tenplex/internal/cluster"
+	"tenplex/internal/model"
+)
+
+// Cache memoizes the best-configuration search per (model, topology,
+// device count, params). The multi-job coordinator asks for the best
+// (T, P, D) of the same handful of models at every admission, resize
+// and recovery decision; a full Sweep enumerates and prices every
+// configuration each time, which is wasteful for queries that repeat
+// thousands of times per simulation. Keys use pointer identity for the
+// model and topology, so callers must reuse their catalog and topology
+// values — which Tenplex jobs do by construction.
+//
+// Cache is safe for concurrent use. Concurrent misses for the same key
+// may both compute the sweep; the result is identical (Sweep is pure),
+// so last-write-wins is harmless.
+type Cache struct {
+	mu     sync.Mutex
+	m      map[cacheKey]cacheEntry
+	hits   int64
+	misses int64
+}
+
+type cacheKey struct {
+	model *model.Model
+	topo  *cluster.Topology
+	n     int
+	p     Params
+}
+
+type cacheEntry struct {
+	est Estimate
+	err error
+}
+
+// NewCache returns an empty memoizing wrapper around Best.
+func NewCache() *Cache { return &Cache{m: map[cacheKey]cacheEntry{}} }
+
+// Best returns Best(m, topo, n, p), serving repeated queries from the
+// cache. Infeasible device counts (Best errors) are cached too, so the
+// coordinator's downward search for a feasible lease size stays cheap.
+func (c *Cache) Best(m *model.Model, topo *cluster.Topology, n int, p Params) (Estimate, error) {
+	k := cacheKey{model: m, topo: topo, n: n, p: p}
+	c.mu.Lock()
+	e, ok := c.m[k]
+	if ok {
+		c.hits++
+	}
+	c.mu.Unlock()
+	if ok {
+		return e.est, e.err
+	}
+	est, err := Best(m, topo, n, p)
+	c.mu.Lock()
+	c.misses++
+	c.m[k] = cacheEntry{est: est, err: err}
+	c.mu.Unlock()
+	return est, err
+}
+
+// Stats reports cache hits and misses since creation.
+func (c *Cache) Stats() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Len returns the number of cached (model, topology, n, params) keys.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}

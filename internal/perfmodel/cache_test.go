@@ -1,0 +1,127 @@
+package perfmodel
+
+import (
+	"sync"
+	"testing"
+
+	"tenplex/internal/cluster"
+	"tenplex/internal/model"
+)
+
+func TestCacheBestMatchesBest(t *testing.T) {
+	m := model.GPT3XL()
+	topo := cluster.OnPrem16()
+	p := DefaultParams()
+	c := NewCache()
+	for _, n := range []int{4, 8, 16, 8, 4, 16} {
+		want, werr := Best(m, topo, n, p)
+		got, gerr := c.Best(m, topo, n, p)
+		if (werr == nil) != (gerr == nil) {
+			t.Fatalf("n=%d: err %v vs %v", n, gerr, werr)
+		}
+		if got.Config != want.Config || got.SamplesSec != want.SamplesSec {
+			t.Fatalf("n=%d: cached %+v, direct %+v", n, got.Config, want.Config)
+		}
+	}
+	hits, misses := c.Stats()
+	if misses != 3 || hits != 3 {
+		t.Fatalf("hits=%d misses=%d, want 3/3", hits, misses)
+	}
+	if c.Len() != 3 {
+		t.Fatalf("cache holds %d keys, want 3", c.Len())
+	}
+}
+
+func TestCacheBestCachesErrors(t *testing.T) {
+	m := model.GPT3_6B7() // needs several devices to fit in memory
+	topo := cluster.OnPrem16()
+	c := NewCache()
+	if _, err := c.Best(m, topo, 1, DefaultParams()); err == nil {
+		t.Skip("1-device placement unexpectedly feasible")
+	}
+	if _, err := c.Best(m, topo, 1, DefaultParams()); err == nil {
+		t.Fatal("cached error lost")
+	}
+	if hits, misses := c.Stats(); hits != 1 || misses != 1 {
+		t.Fatalf("hits=%d misses=%d, want 1/1", hits, misses)
+	}
+}
+
+func TestCacheDistinguishesParams(t *testing.T) {
+	m := model.GPT3XL()
+	topo := cluster.OnPrem16()
+	c := NewCache()
+	p1 := DefaultParams()
+	p2 := DefaultParams()
+	p2.GlobalBatch = 256
+	if _, err := c.Best(m, topo, 16, p1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Best(m, topo, 16, p2); err != nil {
+		t.Fatal(err)
+	}
+	if _, misses := c.Stats(); misses != 2 {
+		t.Fatalf("params change did not miss: %d misses", misses)
+	}
+}
+
+func TestCacheConcurrent(t *testing.T) {
+	m := model.GPT3XL()
+	topo := cluster.OnPrem16()
+	p := DefaultParams()
+	c := NewCache()
+	want, err := Best(m, topo, 16, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				got, err := c.Best(m, topo, 16, p)
+				if err != nil || got.Config != want.Config {
+					t.Errorf("concurrent Best: %+v, %v", got.Config, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// BenchmarkCacheBestHit measures the coordinator's steady-state
+// placement query: the sweep already memoized, only the map lookup
+// remains.
+func BenchmarkCacheBestHit(b *testing.B) {
+	m := model.GPT3XL()
+	topo := cluster.OnPrem16()
+	p := DefaultParams()
+	c := NewCache()
+	if _, err := c.Best(m, topo, 16, p); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Best(m, topo, 16, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBestUncached is the baseline the cache short-circuits: a
+// full enumerate-and-price sweep per query.
+func BenchmarkBestUncached(b *testing.B) {
+	m := model.GPT3XL()
+	topo := cluster.OnPrem16()
+	p := DefaultParams()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Best(m, topo, 16, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

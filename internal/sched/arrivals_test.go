@@ -1,0 +1,124 @@
+package sched
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestArrivalsShape(t *testing.T) {
+	p := DefaultArrivalParams()
+	p.Jobs = 400
+	arr, err := Arrivals(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arr) != p.Jobs {
+		t.Fatalf("%d arrivals, want %d", len(arr), p.Jobs)
+	}
+	sizes := map[int]bool{}
+	for _, s := range p.Sizes {
+		sizes[s] = true
+	}
+	prev := -1.0
+	var gapSum, durSum float64
+	for i, a := range arr {
+		if a.ArrivalMin < prev {
+			t.Fatalf("arrival %d out of order (%.1f after %.1f)", i, a.ArrivalMin, prev)
+		}
+		if i > 0 {
+			gapSum += a.ArrivalMin - prev
+		}
+		prev = a.ArrivalMin
+		if !sizes[a.GPUs] {
+			t.Fatalf("job %s size %d outside %v", a.Name, a.GPUs, p.Sizes)
+		}
+		if a.DurationMin < p.MinDurationMin {
+			t.Fatalf("job %s duration %.1f below floor %.1f", a.Name, a.DurationMin, p.MinDurationMin)
+		}
+		durSum += a.DurationMin
+		if a.MinGPUs < 1 || a.MinGPUs > a.GPUs || a.MaxGPUs < a.GPUs {
+			t.Fatalf("job %s bounds [%d, %d] around %d", a.Name, a.MinGPUs, a.MaxGPUs, a.GPUs)
+		}
+		if a.Elastic() && (a.MinGPUs != max(1, a.GPUs/2) || a.MaxGPUs != 2*a.GPUs) {
+			t.Fatalf("job %s elastic bounds [%d, %d] for size %d", a.Name, a.MinGPUs, a.MaxGPUs, a.GPUs)
+		}
+	}
+	// Mean inter-arrival and duration track the parameters (exponential
+	// draws, so allow a generous band at n = 400).
+	if mean := gapSum / float64(p.Jobs-1); math.Abs(mean-p.MeanInterArrivalMin) > 8 {
+		t.Fatalf("mean inter-arrival %.1f, want ≈ %.0f", mean, p.MeanInterArrivalMin)
+	}
+	if mean := durSum / float64(p.Jobs); math.Abs(mean-p.MeanDurationMin) > 25 {
+		t.Fatalf("mean duration %.1f, want ≈ %.0f", mean, p.MeanDurationMin)
+	}
+	// Small sizes dominate, per the Philly shape.
+	small, large := 0, 0
+	for _, a := range arr {
+		if a.GPUs <= 4 {
+			small++
+		}
+		if a.GPUs == 16 {
+			large++
+		}
+	}
+	if small <= 2*large {
+		t.Fatalf("size skew lost: %d small vs %d large", small, large)
+	}
+	// Elastic fraction is respected.
+	elastic := 0
+	for _, a := range arr {
+		if a.Elastic() {
+			elastic++
+		}
+	}
+	if f := float64(elastic) / float64(p.Jobs); math.Abs(f-p.ElasticFrac) > 0.12 {
+		t.Fatalf("elastic fraction %.2f, want ≈ %.2f", f, p.ElasticFrac)
+	}
+}
+
+func TestArrivalsDeterministic(t *testing.T) {
+	p := DefaultArrivalParams()
+	a1, err := Arrivals(p, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := Arrivals(p, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a1, a2) {
+		t.Fatal("same seed produced different traces")
+	}
+	a3, err := Arrivals(p, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a1, a3) {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestArrivalParamsValidate(t *testing.T) {
+	bad := []func(*ArrivalParams){
+		func(p *ArrivalParams) { p.Jobs = 0 },
+		func(p *ArrivalParams) { p.MeanInterArrivalMin = 0 },
+		func(p *ArrivalParams) { p.MeanDurationMin = 0 },
+		func(p *ArrivalParams) { p.MinDurationMin = p.MeanDurationMin },
+		func(p *ArrivalParams) { p.SizeWeights = p.SizeWeights[1:] },
+		func(p *ArrivalParams) { p.Sizes = nil; p.SizeWeights = nil },
+		func(p *ArrivalParams) { p.Sizes[0] = 0 },
+		func(p *ArrivalParams) { p.SizeWeights[0] = -1 },
+		func(p *ArrivalParams) { p.ElasticFrac = 1.5 },
+	}
+	for i, mutate := range bad {
+		p := DefaultArrivalParams()
+		mutate(&p)
+		if _, err := Arrivals(p, 1); err == nil {
+			t.Errorf("bad params %d accepted", i)
+		}
+	}
+	if err := DefaultArrivalParams().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

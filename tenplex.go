@@ -13,6 +13,12 @@
 // split/move/merge plan (internal/core), and executes it with the
 // distributed State Transformer (internal/transform).
 //
+// Beyond the single-job API, Cluster exposes the multi-job control
+// plane (internal/coordinator): a device ledger, admission queue and
+// arbitration policy that reallocate one shared topology among many
+// competing elastic jobs, reconfiguring each through the same planner
+// and transformer path.
+//
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // paper-vs-measured record of every reproduced table and figure.
 package tenplex
@@ -22,6 +28,7 @@ import (
 
 	"tenplex/internal/checkpoint"
 	"tenplex/internal/cluster"
+	"tenplex/internal/coordinator"
 	"tenplex/internal/core"
 	"tenplex/internal/dataset"
 	"tenplex/internal/model"
@@ -288,4 +295,53 @@ func (j *Job) HandleEvent(e sched.Event) (ReconfigReport, error) {
 	default:
 		return j.Reconfigure(e.GPUs)
 	}
+}
+
+// ClusterJob, ClusterFailure and ClusterResult are the public names of
+// the coordinator's job spec, failure injection and simulation result.
+type (
+	ClusterJob     = coordinator.JobSpec
+	ClusterFailure = coordinator.FailureSpec
+	ClusterResult  = coordinator.Result
+)
+
+// ClusterConfig describes a multi-job cluster to coordinate.
+type ClusterConfig struct {
+	// Topology is the shared cluster all jobs compete for.
+	Topology *cluster.Topology
+	// Perf tunes the placement cost model; the zero value uses the
+	// coordinator's reduced-scale default.
+	Perf perfmodel.Params
+	// DefragMaxSec caps the netsim-priced cost of voluntary
+	// defragmenting redeployments (0 = default, negative = disabled).
+	DefragMaxSec float64
+}
+
+// Cluster is the multi-job elastic control plane: a device ledger, an
+// admission queue and an arbitration policy that manage a fleet of
+// concurrent Tenplex jobs on one shared topology, reconfiguring each
+// job's PTC through the planner and State Transformer as its GPU
+// allocation changes. It complements the single-job Job API with the
+// cluster-side half of the paper's scenario.
+type Cluster struct {
+	cfg ClusterConfig
+}
+
+// NewCluster prepares a coordinator for the topology.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	if cfg.Topology == nil || cfg.Topology.NumDevices() == 0 {
+		return nil, fmt.Errorf("tenplex: ClusterConfig needs a Topology")
+	}
+	return &Cluster{cfg: cfg}, nil
+}
+
+// Run executes a deterministic multi-job simulation: jobs arrive, are
+// admitted and placed, resize elastically under contention, survive
+// the injected failures, and complete with their state verified. It
+// returns the per-job timeline and aggregate cluster metrics.
+func (c *Cluster) Run(jobs []ClusterJob, failures []ClusterFailure) (ClusterResult, error) {
+	return coordinator.Run(c.cfg.Topology, jobs, failures, coordinator.Options{
+		Perf:         c.cfg.Perf,
+		DefragMaxSec: c.cfg.DefragMaxSec,
+	})
 }
