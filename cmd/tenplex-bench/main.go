@@ -8,6 +8,7 @@
 //	tenplex-bench -list                # available experiment IDs
 //	tenplex-bench -json BENCH_plan.json  # planner perf record ("-" = stdout)
 //	tenplex-bench -coordjson BENCH_coordinator.json  # multi-job coordinator record
+//	tenplex-bench -datapathjson BENCH_datapath.json  # state-transformer datapath record
 package main
 
 import (
@@ -37,6 +38,7 @@ var all = map[string]func() experiments.Table{
 		_, t := experiments.MultiJobCluster()
 		return t
 	},
+	"datapath": renderDatapath,
 	"ablations": func() experiments.Table {
 		_, t, err := experiments.Ablations()
 		if err != nil {
@@ -62,11 +64,19 @@ func main() {
 	jsonOut := flag.String("json", "", "write a BENCH_*.json planner perf record to this path (\"-\" for stdout) and exit")
 	jsonBudget := flag.Duration("json-budget", 200*time.Millisecond, "per-scenario measurement budget for -json")
 	coordOut := flag.String("coordjson", "", "write a BENCH_*.json multi-job coordinator record to this path (\"-\" for stdout) and exit")
+	datapathOut := flag.String("datapathjson", "", "write a BENCH_*.json state-transformer datapath record to this path (\"-\" for stdout) and exit")
 	flag.Parse()
 
 	if *jsonOut != "" {
 		if err := writeBenchJSON(*jsonOut, *jsonBudget); err != nil {
 			fmt.Fprintf(os.Stderr, "tenplex-bench: json: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *datapathOut != "" {
+		if err := writeDatapathJSON(*datapathOut, *jsonBudget); err != nil {
+			fmt.Fprintf(os.Stderr, "tenplex-bench: datapathjson: %v\n", err)
 			os.Exit(1)
 		}
 		return

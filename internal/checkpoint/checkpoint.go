@@ -9,6 +9,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"sort"
+	"sync"
 
 	"tenplex/internal/cluster"
 	"tenplex/internal/core"
@@ -113,8 +114,9 @@ func Latest(storage store.Access, job string) (int, error) {
 type Reader struct {
 	Storage store.Access
 	Meta    Meta
-	// metas caches tensor metadata discovered from pieces.
-	shapes map[core.TensorID][]int
+	// dtypes caches element types discovered by probing pieces; guarded
+	// by mu because the transformer reads ranges concurrently.
+	mu     sync.Mutex
 	dtypes map[core.TensorID]tensor.DType
 }
 
@@ -138,45 +140,108 @@ func Open(storage store.Access, job string, step int) (*Reader, error) {
 }
 
 var _ transform.StorageReader = (*Reader)(nil)
+var _ transform.StorageRangeWriter = (*Reader)(nil)
 
-// ReadRange implements transform.StorageReader.
-func (r *Reader) ReadRange(id core.TensorID, want tensor.Region) (*tensor.Tensor, error) {
+// ReadRangeInto implements transform.StorageRangeWriter: the requested
+// range lands directly in the sub-region at of dst (nil for all of
+// dst). Ranges spanning partition boundaries are filled piecewise, each
+// intersection range-read from storage straight into its final offset —
+// no per-piece sub-tensor and no assembly step. It returns the payload
+// bytes written into dst.
+func (r *Reader) ReadRangeInto(id core.TensorID, want tensor.Region, dst *tensor.Tensor, at tensor.Region) (int64, error) {
 	pieces, ok := r.Meta.Pieces[string(id)]
 	if !ok {
-		return nil, fmt.Errorf("checkpoint: tensor %q not in checkpoint (step %d)", id, r.Meta.Step)
+		return 0, fmt.Errorf("checkpoint: tensor %q not in checkpoint (step %d)", id, r.Meta.Step)
 	}
-	var parts []tensor.Piece
-	var dt tensor.DType
+	if at == nil {
+		at = tensor.FullRegion(dst.Shape())
+	}
+	if !tensor.ShapeEqual(want.Shape(), at.Shape()) {
+		return 0, fmt.Errorf("checkpoint: range %v does not fit destination region %v", want, at)
+	}
+	var written int64
+	covered := 0
 	for _, p := range pieces {
 		reg, err := tensor.ParseRegion(p.Range, nil)
 		if err != nil {
-			return nil, fmt.Errorf("checkpoint: corrupt range %q: %w", p.Range, err)
+			return written, fmt.Errorf("checkpoint: corrupt range %q: %w", p.Range, err)
 		}
 		inter, overlap := reg.Intersect(want)
 		if !overlap {
 			continue
 		}
-		sub, err := r.Storage.Query(p.Path, inter.Translate(reg.Offset()))
+		// inter in the piece's local coordinates, and its destination
+		// inside dst: re-based against want, then shifted to at.
+		target := inter.Translate(want.Offset()).Shift(at.Offset())
+		n, err := r.Storage.QueryInto(p.Path, inter.Translate(reg.Offset()), dst, target)
 		if err != nil {
-			return nil, fmt.Errorf("checkpoint: read %q: %w", p.Path, err)
+			return written, fmt.Errorf("checkpoint: read %q: %w", p.Path, err)
 		}
-		dt = sub.DType()
-		parts = append(parts, tensor.Piece{Region: inter.Translate(want.Offset()), Data: sub})
+		written += n
+		covered += inter.NumElems()
 	}
-	if len(parts) == 0 {
-		return nil, fmt.Errorf("checkpoint: range %v of %q not covered", want, id)
+	if covered < want.NumElems() {
+		return written, fmt.Errorf("checkpoint: range %v of %q not covered (%d of %d elements)",
+			want, id, covered, want.NumElems())
 	}
-	out, err := tensor.Assemble(dt, want.Shape(), parts)
+	return written, nil
+}
+
+// ReadRange implements transform.StorageReader by allocating the range
+// once and streaming into it; retained for callers that need an owned
+// tensor. The dtype comes from the first intersecting piece's stored
+// tensor.
+func (r *Reader) ReadRange(id core.TensorID, want tensor.Region) (*tensor.Tensor, error) {
+	dt, err := r.dtypeOf(id)
 	if err != nil {
-		return nil, fmt.Errorf("checkpoint: assemble %q%v: %w", id, want, err)
+		return nil, err
+	}
+	out := tensor.New(dt, want.Shape()...)
+	if _, err := r.ReadRangeInto(id, want, out, nil); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
 
+// dtypeOf discovers (and caches) the element type of a checkpointed
+// tensor by querying the smallest corner of its first piece.
+func (r *Reader) dtypeOf(id core.TensorID) (tensor.DType, error) {
+	r.mu.Lock()
+	dt, ok := r.dtypes[id]
+	r.mu.Unlock()
+	if ok {
+		return dt, nil
+	}
+	pieces, ok := r.Meta.Pieces[string(id)]
+	if !ok || len(pieces) == 0 {
+		return tensor.Invalid, fmt.Errorf("checkpoint: tensor %q not in checkpoint (step %d)", id, r.Meta.Step)
+	}
+	reg, err := tensor.ParseRegion(pieces[0].Range, nil)
+	if err != nil {
+		return tensor.Invalid, fmt.Errorf("checkpoint: corrupt range %q: %w", pieces[0].Range, err)
+	}
+	corner := make(tensor.Region, len(reg))
+	for i := range reg {
+		corner[i] = tensor.Range{Lo: 0, Hi: 1}
+	}
+	probe, err := r.Storage.Query(pieces[0].Path, corner)
+	if err != nil {
+		return tensor.Invalid, fmt.Errorf("checkpoint: probe %q: %w", pieces[0].Path, err)
+	}
+	r.mu.Lock()
+	if r.dtypes == nil {
+		r.dtypes = map[core.TensorID]tensor.DType{}
+	}
+	r.dtypes[id] = probe.DType()
+	r.mu.Unlock()
+	return probe.DType(), nil
+}
+
 // Restore loads a full checkpoint into the stores of a (possibly
-// different) PTC: every destination sub-tensor is read as a range from
-// the checkpoint — the "load partitioned checkpoints under a new
-// parallelization" path.
+// different) PTC: every destination sub-tensor is allocated once, its
+// range streamed in from the checkpoint pieces, and uploaded — the
+// "load partitioned checkpoints under a new parallelization" path on
+// the zero-copy pipeline.
 func Restore(r *Reader, job string, ptc *core.PTC, stores map[cluster.DeviceID]store.Access) error {
 	for _, d := range ptc.Devices {
 		acc, ok := stores[d]
@@ -184,8 +249,12 @@ func Restore(r *Reader, job string, ptc *core.PTC, stores map[cluster.DeviceID]s
 			return fmt.Errorf("checkpoint: no store for device %d", d)
 		}
 		for _, s := range ptc.Place[d] {
-			t, err := r.ReadRange(s.Tensor, s.Region)
-			if err != nil {
+			meta, ok := ptc.Tensors[s.Tensor]
+			if !ok {
+				return fmt.Errorf("checkpoint: no metadata for %q", s.Tensor)
+			}
+			t := tensor.New(meta.DType, s.Region.Shape()...)
+			if _, err := r.ReadRangeInto(s.Tensor, s.Region, t, nil); err != nil {
 				return err
 			}
 			if err := acc.Upload(transform.ModelPath(job, d, s.Tensor), t); err != nil {

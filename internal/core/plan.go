@@ -60,6 +60,13 @@ type Assignment struct {
 type Plan struct {
 	From, To    *PTC
 	Assignments []Assignment
+	// validated caches a successful Validate. Plans are immutable after
+	// generation (mutating Assignments afterwards is unsupported), so
+	// executors re-applying or re-checking the same plan (retry after a
+	// transient store fault, benchmarks, the coordinator pricing then
+	// executing) skip the full invariant sweep. Atomic so concurrent
+	// executors sharing one plan stay race-free.
+	validated atomic.Bool
 }
 
 // PlanOptions tunes plan generation.
@@ -584,6 +591,9 @@ func (p *Plan) Ops() []string {
 // tile its region with no gaps, every device fetch stays inside its
 // declared source region, and destination regions match the target PTC.
 func (p *Plan) Validate() error {
+	if p.validated.Load() {
+		return nil
+	}
 	// Outstanding target sub-tensors, keyed by (device, tensor): the
 	// few regions per key are matched by value, avoiding a string key
 	// per sub-tensor.
@@ -636,5 +646,6 @@ func (p *Plan) Validate() error {
 				string(k.t)+r.String(), k.dev)
 		}
 	}
+	p.validated.Store(true)
 	return nil
 }

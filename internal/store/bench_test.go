@@ -59,6 +59,51 @@ func BenchmarkRESTRangeQuery(b *testing.B) {
 	}
 }
 
+// BenchmarkMemFSQueryInto measures the zero-copy local read path: the
+// range lands in the caller's buffer with one strided copy and no
+// allocation.
+func BenchmarkMemFSQueryInto(b *testing.B) {
+	l := Local{FS: NewMemFS()}
+	x := tensor.New(tensor.Float32, 1024, 1024)
+	if err := l.Upload("/w", x); err != nil {
+		b.Fatal(err)
+	}
+	reg := tensor.Region{{Lo: 0, Hi: 1024}, {Lo: 128, Hi: 256}}
+	dst := tensor.New(tensor.Float32, 1024, 128)
+	b.SetBytes(reg.NumBytes(tensor.Float32))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.QueryInto("/w", reg, dst, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRESTQueryInto measures the streamed wire read: the response
+// payload scatter-writes from the socket straight into the destination
+// buffer.
+func BenchmarkRESTQueryInto(b *testing.B) {
+	srv := NewServer(NewMemFS())
+	hs := httptest.NewServer(srv)
+	defer hs.Close()
+	c := &Client{Base: hs.URL, HTTP: hs.Client()}
+	x := tensor.New(tensor.Float32, 512, 512)
+	if err := c.Upload("/w", x); err != nil {
+		b.Fatal(err)
+	}
+	reg := tensor.Region{{Lo: 0, Hi: 512}, {Lo: 0, Hi: 64}}
+	dst := tensor.New(tensor.Float32, 512, 64)
+	b.SetBytes(reg.NumBytes(tensor.Float32))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.QueryInto("/w", reg, dst, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkRESTUpload(b *testing.B) {
 	srv := NewServer(NewMemFS())
 	hs := httptest.NewServer(srv)

@@ -2,11 +2,13 @@ package store
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"net/url"
+	"time"
 
 	"tenplex/internal/tensor"
 )
@@ -15,12 +17,30 @@ import (
 // Tensor Stores. The State Transformer operates through it, so a plan
 // executes identically whether sub-tensors live on this worker or
 // another.
+//
+// The streaming pair QueryInto/UploadFrom is the zero-copy data path:
+// range reads land directly in a caller-owned destination buffer at
+// their final strided offsets, and uploads stream from any io.Reader
+// without materializing an intermediate tensor. Query and Upload remain
+// as whole-tensor conveniences layered on the same machinery.
 type Access interface {
 	// Query returns the tensor at path, optionally sliced to reg (nil
 	// for the whole tensor).
 	Query(path string, reg tensor.Region) (*tensor.Tensor, error)
+	// QueryInto copies the range reg (nil for the whole tensor) of the
+	// tensor at path directly into the sub-region at of dst (nil for
+	// all of dst). The two region shapes must match, as must dtypes. It
+	// returns the payload bytes written into dst; for an in-process
+	// store that is one copy, for a remote store the bytes go from the
+	// response stream straight into dst's buffer.
+	QueryInto(path string, reg tensor.Region, dst *tensor.Tensor, at tensor.Region) (int64, error)
 	// Upload stores t at path.
 	Upload(path string, t *tensor.Tensor) error
+	// UploadFrom stores a tensor of the given dtype and shape at path,
+	// streaming its row-major payload from r (exactly
+	// tensor.ShapeNumBytes(dt, shape) bytes) without buffering the
+	// whole body.
+	UploadFrom(path string, dt tensor.DType, shape []int, r io.Reader) error
 	// Delete removes the file or tree at path.
 	Delete(path string) error
 	// List returns directory children.
@@ -29,6 +49,12 @@ type Access interface {
 	// used to commit staged state.
 	Rename(src, dst string) error
 }
+
+// RefUploader is implemented by Access implementations whose Upload
+// retains the tensor by reference instead of copying its bytes
+// (in-process MemFS-backed stores). The transformer uses it to account
+// copy amplification precisely.
+type RefUploader interface{ UploadsByReference() bool }
 
 // Local adapts a MemFS to the Access interface.
 type Local struct{ FS *MemFS }
@@ -45,8 +71,24 @@ func (l Local) Query(path string, reg tensor.Region) (*tensor.Tensor, error) {
 	return l.FS.GetSlice(path, reg)
 }
 
+// QueryInto implements Access: a single strided copy from the stored
+// tensor's buffer into dst.
+func (l Local) QueryInto(path string, reg tensor.Region, dst *tensor.Tensor, at tensor.Region) (int64, error) {
+	return l.FS.ReadRegionInto(path, reg, dst, at)
+}
+
 // Upload implements Access.
 func (l Local) Upload(path string, t *tensor.Tensor) error { return l.FS.PutTensor(path, t) }
+
+// UploadFrom implements Access: the payload streams directly into the
+// freshly allocated tensor's buffer.
+func (l Local) UploadFrom(path string, dt tensor.DType, shape []int, r io.Reader) error {
+	return l.FS.PutTensorFrom(path, dt, shape, r)
+}
+
+// UploadsByReference implements RefUploader: Local stores the uploaded
+// tensor pointer without copying its bytes.
+func (l Local) UploadsByReference() bool { return true }
 
 // Delete implements Access.
 func (l Local) Delete(path string) error { return l.FS.Delete(path) }
@@ -64,12 +106,27 @@ func (l Local) PutBlob(path string, data []byte) error { return l.FS.PutBlob(pat
 // GetBlob fetches raw bytes; it mirrors Client.GetBlob.
 func (l Local) GetBlob(path string) ([]byte, error) { return l.FS.GetBlob(path) }
 
-// Client talks to a remote Tensor Store server.
+// DefaultTimeout bounds every Client request when neither
+// Client.Timeout nor a caller context supplies a tighter deadline. It
+// covers the whole transfer (connection + body), so it is sized for
+// bulk sub-tensor movement, not just round trips; callers streaming
+// very large state over slow links should raise Timeout or set it
+// negative and bound requests with their own contexts.
+const DefaultTimeout = 5 * time.Minute
+
+// Client talks to a remote Tensor Store server. Query and Upload
+// stream: response payloads decode incrementally into a single
+// destination allocation, and upload bodies read straight out of the
+// tensor's backing buffer, so no whole-body intermediate copy exists on
+// either side of the wire.
 type Client struct {
 	// Base is the server address, e.g. "http://10.0.0.2:7070".
 	Base string
 	// HTTP is the client to use; http.DefaultClient when nil.
 	HTTP *http.Client
+	// Timeout bounds each request (connection + transfer). Zero means
+	// DefaultTimeout; negative disables the bound.
+	Timeout time.Duration
 }
 
 var _ Access = (*Client)(nil)
@@ -82,23 +139,58 @@ func (c *Client) http() *http.Client {
 	return http.DefaultClient
 }
 
-func (c *Client) do(method, endpoint string, params url.Values, body io.Reader) ([]byte, error) {
+// reqContext applies the configured timeout to ctx; the returned cancel
+// must run once the response body is fully consumed.
+func (c *Client) reqContext(ctx context.Context) (context.Context, context.CancelFunc) {
+	d := c.Timeout
+	if d == 0 {
+		d = DefaultTimeout
+	}
+	if d < 0 {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, d)
+}
+
+// doStream issues the request and returns the 2xx response with its
+// body still open; the caller must Close it and then call cancel.
+// contentLength < 0 leaves the transfer chunked.
+func (c *Client) doStream(ctx context.Context, method, endpoint string, params url.Values,
+	body io.Reader, contentLength int64) (*http.Response, context.CancelFunc, error) {
+	rctx, cancel := c.reqContext(ctx)
 	u := fmt.Sprintf("%s%s?%s", c.Base, endpoint, params.Encode())
-	req, err := http.NewRequest(method, u, body)
+	req, err := http.NewRequestWithContext(rctx, method, u, body)
 	if err != nil {
-		return nil, fmt.Errorf("store client: %w", err)
+		cancel()
+		return nil, nil, fmt.Errorf("store client: %w", err)
+	}
+	if contentLength >= 0 {
+		req.ContentLength = contentLength
 	}
 	resp, err := c.http().Do(req)
 	if err != nil {
-		return nil, fmt.Errorf("store client: %s %s: %w", method, endpoint, err)
+		cancel()
+		return nil, nil, fmt.Errorf("store client: %s %s: %w", method, endpoint, err)
 	}
+	if resp.StatusCode/100 != 2 {
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		resp.Body.Close()
+		cancel()
+		return nil, nil, fmt.Errorf("store client: %s %s: %s: %s", method, endpoint, resp.Status, trimStatus(data))
+	}
+	return resp, cancel, nil
+}
+
+func (c *Client) do(ctx context.Context, method, endpoint string, params url.Values, body io.Reader) ([]byte, error) {
+	resp, cancel, err := c.doStream(ctx, method, endpoint, params, body, -1)
+	if err != nil {
+		return nil, err
+	}
+	defer cancel()
 	defer resp.Body.Close()
 	data, err := io.ReadAll(resp.Body)
 	if err != nil {
 		return nil, fmt.Errorf("store client: read response: %w", err)
-	}
-	if resp.StatusCode/100 != 2 {
-		return nil, fmt.Errorf("store client: %s %s: %s: %s", method, endpoint, resp.Status, trimStatus(data))
 	}
 	return data, nil
 }
@@ -107,32 +199,113 @@ func (c *Client) do(method, endpoint string, params url.Values, body io.Reader) 
 // non-nil region is sent as a range attribute so only those bytes cross
 // the network.
 func (c *Client) Query(path string, reg tensor.Region) (*tensor.Tensor, error) {
+	return c.QueryContext(context.Background(), path, reg)
+}
+
+// QueryContext is Query under a caller-supplied context; the payload
+// decodes incrementally off the response stream into one allocation.
+func (c *Client) QueryContext(ctx context.Context, path string, reg tensor.Region) (*tensor.Tensor, error) {
 	params := url.Values{"path": {path}}
 	if reg != nil {
 		params.Set("range", reg.String())
 	}
-	data, err := c.do(http.MethodGet, "/query", params, nil)
+	resp, cancel, err := c.doStream(ctx, http.MethodGet, "/query", params, nil, -1)
 	if err != nil {
 		return nil, err
 	}
-	return tensor.Decode(data)
+	defer cancel()
+	defer resp.Body.Close()
+	t, err := tensor.DecodeFrom(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("store client: query %s: %w", path, err)
+	}
+	return t, nil
 }
 
-// Upload implements Access.
+// QueryInto implements Access: the response payload scatter-writes
+// straight from the socket into dst's buffer at its final strided
+// offsets — no intermediate tensor on the client side.
+func (c *Client) QueryInto(path string, reg tensor.Region, dst *tensor.Tensor, at tensor.Region) (int64, error) {
+	return c.QueryIntoContext(context.Background(), path, reg, dst, at)
+}
+
+// QueryIntoContext is QueryInto under a caller-supplied context.
+func (c *Client) QueryIntoContext(ctx context.Context, path string, reg tensor.Region,
+	dst *tensor.Tensor, at tensor.Region) (int64, error) {
+	if at == nil {
+		at = tensor.FullRegion(dst.Shape())
+	}
+	params := url.Values{"path": {path}}
+	if reg != nil {
+		params.Set("range", reg.String())
+	}
+	resp, cancel, err := c.doStream(ctx, http.MethodGet, "/query", params, nil, -1)
+	if err != nil {
+		return 0, err
+	}
+	defer cancel()
+	defer resp.Body.Close()
+	dt, shape, err := tensor.DecodeHeaderFrom(resp.Body)
+	if err != nil {
+		return 0, fmt.Errorf("store client: query %s: %w", path, err)
+	}
+	if dt != dst.DType() {
+		return 0, fmt.Errorf("store client: query %s: dtype %s != destination %s", path, dt, dst.DType())
+	}
+	if !tensor.ShapeEqual(shape, at.Shape()) {
+		return 0, fmt.Errorf("store client: query %s: payload shape %v != destination region %v", path, shape, at)
+	}
+	n, err := dst.WriteRegion(at, resp.Body)
+	if err != nil {
+		return n, fmt.Errorf("store client: query %s: %w", path, err)
+	}
+	return n, nil
+}
+
+// Upload implements Access. The request body streams the wire header
+// followed by the tensor's backing bytes; nothing is re-encoded into an
+// intermediate buffer.
 func (c *Client) Upload(path string, t *tensor.Tensor) error {
-	_, err := c.do(http.MethodPost, "/upload", url.Values{"path": {path}}, bytes.NewReader(t.Encode()))
-	return err
+	return c.UploadContext(context.Background(), path, t)
+}
+
+// UploadContext is Upload under a caller-supplied context.
+func (c *Client) UploadContext(ctx context.Context, path string, t *tensor.Tensor) error {
+	header := tensor.EncodeHeader(t.DType(), t.Shape())
+	body := io.MultiReader(bytes.NewReader(header), bytes.NewReader(t.Data()))
+	resp, cancel, err := c.doStream(ctx, http.MethodPost, "/upload", url.Values{"path": {path}},
+		body, int64(len(header)+t.NumBytes()))
+	if err != nil {
+		return err
+	}
+	cancel()
+	return resp.Body.Close()
+}
+
+// UploadFrom implements Access: the payload is forwarded from r to the
+// server in chunks.
+func (c *Client) UploadFrom(path string, dt tensor.DType, shape []int, r io.Reader) error {
+	header := tensor.EncodeHeader(dt, shape)
+	payload := tensor.ShapeNumBytes(dt, shape)
+	body := io.MultiReader(bytes.NewReader(header), io.LimitReader(r, payload))
+	resp, cancel, err := c.doStream(context.Background(), http.MethodPost, "/upload",
+		url.Values{"path": {path}}, body, int64(len(header))+payload)
+	if err != nil {
+		return err
+	}
+	cancel()
+	return resp.Body.Close()
 }
 
 // Delete implements Access.
 func (c *Client) Delete(path string) error {
-	_, err := c.do(http.MethodDelete, "/delete", url.Values{"path": {path}}, nil)
+	_, err := c.do(context.Background(), http.MethodDelete, "/delete", url.Values{"path": {path}}, nil)
 	return err
 }
 
 // List implements Access.
 func (c *Client) List(path string) ([]string, error) {
-	data, err := c.do(http.MethodGet, "/list", url.Values{"path": {path}}, nil)
+	data, err := c.do(context.Background(), http.MethodGet, "/list", url.Values{"path": {path}}, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -145,18 +318,18 @@ func (c *Client) List(path string) ([]string, error) {
 
 // Rename implements Access.
 func (c *Client) Rename(src, dst string) error {
-	_, err := c.do(http.MethodPost, "/rename", url.Values{"src": {src}, "dst": {dst}}, nil)
+	_, err := c.do(context.Background(), http.MethodPost, "/rename", url.Values{"src": {src}, "dst": {dst}}, nil)
 	return err
 }
 
 // GetBlob fetches raw bytes from the server.
 func (c *Client) GetBlob(path string) ([]byte, error) {
-	return c.do(http.MethodGet, "/blob", url.Values{"path": {path}}, nil)
+	return c.do(context.Background(), http.MethodGet, "/blob", url.Values{"path": {path}}, nil)
 }
 
 // PutBlob stores raw bytes on the server.
 func (c *Client) PutBlob(path string, data []byte) error {
-	_, err := c.do(http.MethodPost, "/blob", url.Values{"path": {path}}, bytes.NewReader(data))
+	_, err := c.do(context.Background(), http.MethodPost, "/blob", url.Values{"path": {path}}, bytes.NewReader(data))
 	return err
 }
 
@@ -171,7 +344,7 @@ type StatResult struct {
 
 // Stat fetches file metadata.
 func (c *Client) Stat(path string) (StatResult, error) {
-	data, err := c.do(http.MethodGet, "/stat", url.Values{"path": {path}}, nil)
+	data, err := c.do(context.Background(), http.MethodGet, "/stat", url.Values{"path": {path}}, nil)
 	if err != nil {
 		return StatResult{}, err
 	}

@@ -9,6 +9,7 @@ package store
 
 import (
 	"fmt"
+	"io"
 	"sort"
 	"strings"
 	"sync"
@@ -23,9 +24,12 @@ type MemFS struct {
 	root *node
 }
 
+// node maps are created lazily on first insert (reads of nil maps are
+// valid in Go), so growing a deep staging tree costs one allocation per
+// directory instead of three.
 type node struct {
 	dirs  map[string]*node
-	files map[string]*entry
+	files map[string]entry
 }
 
 type entry struct {
@@ -33,82 +37,94 @@ type entry struct {
 	blob []byte
 }
 
-func newNode() *node {
-	return &node{dirs: map[string]*node{}, files: map[string]*entry{}}
+func newNode() *node { return &node{} }
+
+func (n *node) putDir(name string, d *node) {
+	if n.dirs == nil {
+		n.dirs = map[string]*node{}
+	}
+	n.dirs[name] = d
+}
+
+func (n *node) putFile(name string, e entry) {
+	if n.files == nil {
+		n.files = map[string]entry{}
+	}
+	n.files[name] = e
 }
 
 // NewMemFS returns an empty file system.
 func NewMemFS() *MemFS { return &MemFS{root: newNode()} }
 
-// splitPath normalizes "/a/b/c" into components, rejecting empty paths.
-func splitPath(path string) ([]string, error) {
-	var parts []string
-	for _, p := range strings.Split(path, "/") {
-		if p == "" {
-			continue
-		}
-		if p == "." || p == ".." {
-			return nil, fmt.Errorf("store: path %q contains %q", path, p)
-		}
-		parts = append(parts, p)
-	}
-	if len(parts) == 0 {
-		return nil, fmt.Errorf("store: empty path %q", path)
-	}
-	return parts, nil
-}
-
-// lookup walks to the parent directory of path; if create is set,
-// missing directories are created. Returns the parent node and the leaf
-// name.
-func (fs *MemFS) lookup(parts []string, create bool) (*node, string, error) {
+// lookupPath walks to the parent directory of path without allocating
+// (components are substrings of path; no intermediate slice is built).
+// If create is set, missing directories are created. Returns the parent
+// node and the leaf name. The store sits on the transformer's per-fetch
+// hot path, so the walk being allocation-free matters.
+func (fs *MemFS) lookupPath(path string, create bool) (*node, string, error) {
 	n := fs.root
-	for _, p := range parts[:len(parts)-1] {
-		child, ok := n.dirs[p]
-		if !ok {
-			if !create {
-				return nil, "", fmt.Errorf("store: directory %q not found", p)
-			}
-			if _, isFile := n.files[p]; isFile {
-				return nil, "", fmt.Errorf("store: %q is a file, not a directory", p)
-			}
-			child = newNode()
-			n.dirs[p] = child
+	var prev string
+	seen := false
+	for i := 0; i < len(path); {
+		for i < len(path) && path[i] == '/' {
+			i++
 		}
-		n = child
+		if i >= len(path) {
+			break
+		}
+		j := i
+		for j < len(path) && path[j] != '/' {
+			j++
+		}
+		comp := path[i:j]
+		i = j
+		if comp == "." || comp == ".." {
+			return nil, "", fmt.Errorf("store: path %q contains %q", path, comp)
+		}
+		if seen {
+			child, ok := n.dirs[prev]
+			if !ok {
+				if !create {
+					return nil, "", fmt.Errorf("store: directory %q not found", prev)
+				}
+				if _, isFile := n.files[prev]; isFile {
+					return nil, "", fmt.Errorf("store: %q is a file, not a directory", prev)
+				}
+				child = newNode()
+				n.putDir(prev, child)
+			}
+			n = child
+		}
+		prev = comp
+		seen = true
 	}
-	return n, parts[len(parts)-1], nil
+	if !seen {
+		return nil, "", fmt.Errorf("store: empty path %q", path)
+	}
+	return n, prev, nil
 }
 
 // PutTensor stores t at path, overwriting any existing file.
 func (fs *MemFS) PutTensor(path string, t *tensor.Tensor) error {
-	parts, err := splitPath(path)
-	if err != nil {
-		return err
-	}
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
-	dir, name, err := fs.lookup(parts, true)
+	dir, name, err := fs.lookupPath(path, true)
 	if err != nil {
 		return err
 	}
 	if _, isDir := dir.dirs[name]; isDir {
 		return fmt.Errorf("store: %q is a directory", path)
 	}
-	dir.files[name] = &entry{t: t}
+	dir.putFile(name, entry{t: t})
 	return nil
 }
 
 // PutBlob stores raw bytes (e.g. checkpoint metadata, dataset chunks) at
 // path.
 func (fs *MemFS) PutBlob(path string, data []byte) error {
-	parts, err := splitPath(path)
-	if err != nil {
-		return err
-	}
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
-	dir, name, err := fs.lookup(parts, true)
+	dir, name, err := fs.lookupPath(path, true)
 	if err != nil {
 		return err
 	}
@@ -117,19 +133,15 @@ func (fs *MemFS) PutBlob(path string, data []byte) error {
 	}
 	cp := make([]byte, len(data))
 	copy(cp, data)
-	dir.files[name] = &entry{blob: cp}
+	dir.putFile(name, entry{blob: cp})
 	return nil
 }
 
 // GetTensor returns the tensor stored at path.
 func (fs *MemFS) GetTensor(path string) (*tensor.Tensor, error) {
-	parts, err := splitPath(path)
-	if err != nil {
-		return nil, err
-	}
 	fs.mu.RLock()
 	defer fs.mu.RUnlock()
-	dir, name, err := fs.lookup(parts, false)
+	dir, name, err := fs.lookupPath(path, false)
 	if err != nil {
 		return nil, err
 	}
@@ -159,15 +171,67 @@ func (fs *MemFS) GetSlice(path string, reg tensor.Region) (*tensor.Tensor, error
 	return t.Slice(reg), nil
 }
 
+// GetView returns a zero-copy read-only view over the range reg (nil
+// for the whole tensor) of the tensor at path. The view aliases the
+// stored buffer; because stored tensors are replaced, never mutated,
+// handing it out without holding the lock is safe.
+func (fs *MemFS) GetView(path string, reg tensor.Region) (tensor.View, error) {
+	t, err := fs.GetTensor(path)
+	if err != nil {
+		return tensor.View{}, err
+	}
+	if reg == nil {
+		return t.FullView(), nil
+	}
+	if !reg.Valid(t.Shape()) {
+		return tensor.View{}, fmt.Errorf("store: range %v invalid for %q (shape %v)", reg, path, t.Shape())
+	}
+	return t.View(reg), nil
+}
+
+// ReadRegionInto copies the range reg (nil for the whole tensor) of the
+// tensor at path directly into the sub-region at of dst (nil for all of
+// dst) — the single-copy read path: bytes move from the stored buffer
+// to their final strided destination offsets exactly once.
+func (fs *MemFS) ReadRegionInto(path string, reg tensor.Region, dst *tensor.Tensor, at tensor.Region) (int64, error) {
+	t, err := fs.GetTensor(path)
+	if err != nil {
+		return 0, err
+	}
+	if reg == nil {
+		reg = tensor.FullRegion(t.Shape())
+	}
+	if at == nil {
+		at = tensor.FullRegion(dst.Shape())
+	}
+	// CopyRegion validates both regions in place (no allocation), which
+	// keeps this hot path free of per-call garbage.
+	n, err := tensor.CopyRegion(dst, at, t, reg)
+	if err != nil {
+		return 0, fmt.Errorf("store: read %q into region: %w", path, err)
+	}
+	return n, nil
+}
+
+// PutTensorFrom stores a tensor of the given dtype and shape at path,
+// reading exactly its payload from r directly into the new tensor's
+// backing buffer (one allocation, one copy).
+func (fs *MemFS) PutTensorFrom(path string, dt tensor.DType, shape []int, r io.Reader) error {
+	if !dt.Valid() {
+		return fmt.Errorf("store: put %q: invalid dtype", path)
+	}
+	t := tensor.New(dt, shape...)
+	if _, err := io.ReadFull(r, t.Data()); err != nil {
+		return fmt.Errorf("store: put %q: payload: %w", path, err)
+	}
+	return fs.PutTensor(path, t)
+}
+
 // GetBlob returns the raw bytes stored at path.
 func (fs *MemFS) GetBlob(path string) ([]byte, error) {
-	parts, err := splitPath(path)
-	if err != nil {
-		return nil, err
-	}
 	fs.mu.RLock()
 	defer fs.mu.RUnlock()
-	dir, name, err := fs.lookup(parts, false)
+	dir, name, err := fs.lookupPath(path, false)
 	if err != nil {
 		return nil, err
 	}
@@ -194,13 +258,9 @@ type Stat struct {
 
 // Stat returns metadata for the file at path.
 func (fs *MemFS) Stat(path string) (Stat, error) {
-	parts, err := splitPath(path)
-	if err != nil {
-		return Stat{}, err
-	}
 	fs.mu.RLock()
 	defer fs.mu.RUnlock()
-	dir, name, err := fs.lookup(parts, false)
+	dir, name, err := fs.lookupPath(path, false)
 	if err != nil {
 		return Stat{}, err
 	}
@@ -243,13 +303,9 @@ func (fs *MemFS) List(path string) ([]string, error) {
 
 // Delete removes the file or directory tree at path.
 func (fs *MemFS) Delete(path string) error {
-	parts, err := splitPath(path)
-	if err != nil {
-		return err
-	}
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
-	dir, name, err := fs.lookup(parts, false)
+	dir, name, err := fs.lookupPath(path, false)
 	if err != nil {
 		return err
 	}
@@ -268,30 +324,23 @@ func (fs *MemFS) Delete(path string) error {
 // overwriting dst. The State Transformer uses it to commit a staged
 // model partition ("model.next" -> "model") once all fetches complete.
 func (fs *MemFS) Rename(src, dst string) error {
-	sp, err := splitPath(src)
-	if err != nil {
-		return err
-	}
-	dp, err := splitPath(dst)
-	if err != nil {
-		return err
-	}
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
-	sDir, sName, err := fs.lookup(sp, false)
+	sDir, sName, err := fs.lookupPath(src, false)
 	if err != nil {
 		return err
 	}
 	var moveDir *node
-	var moveFile *entry
+	var moveFile entry
+	isFile := false
 	if d, ok := sDir.dirs[sName]; ok {
 		moveDir = d
 	} else if f, ok := sDir.files[sName]; ok {
-		moveFile = f
+		moveFile, isFile = f, true
 	} else {
 		return fmt.Errorf("store: %q not found", src)
 	}
-	dDir, dName, err := fs.lookup(dp, true)
+	dDir, dName, err := fs.lookupPath(dst, true)
 	if err != nil {
 		return err
 	}
@@ -299,10 +348,10 @@ func (fs *MemFS) Rename(src, dst string) error {
 	delete(sDir.files, sName)
 	delete(dDir.dirs, dName)
 	delete(dDir.files, dName)
-	if moveDir != nil {
-		dDir.dirs[dName] = moveDir
+	if !isFile {
+		dDir.putDir(dName, moveDir)
 	} else {
-		dDir.files[dName] = moveFile
+		dDir.putFile(dName, moveFile)
 	}
 	return nil
 }

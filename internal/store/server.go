@@ -95,22 +95,24 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, "%v", err)
 		return
 	}
+	// The response streams straight out of the stored tensor's buffer:
+	// no sub-tensor is materialized for range reads, and whole-tensor
+	// reads write the backing bytes after a small header. The view is
+	// built from the tensor already in hand, so the range validates
+	// against exactly the snapshot being served.
+	v := t.FullView()
 	if rangeStr := r.URL.Query().Get("range"); rangeStr != "" {
 		reg, err := tensor.ParseRegion(rangeStr, t.Shape())
 		if err != nil {
 			httpError(w, http.StatusBadRequest, "%v", err)
 			return
 		}
-		t, err = s.FS.GetSlice(path, reg)
-		if err != nil {
-			httpError(w, http.StatusBadRequest, "%v", err)
-			return
-		}
+		v = t.View(reg)
 	}
 	w.Header().Set("Content-Type", "application/x-tenplex-tensor")
-	buf := t.Encode()
-	s.bytesOut.Add(int64(len(buf)))
-	_, _ = w.Write(buf)
+	w.Header().Set("Content-Length", fmt.Sprint(v.EncodedSize()))
+	n, _ := v.Encode(w)
+	s.bytesOut.Add(n)
 }
 
 func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
@@ -122,22 +124,53 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	body, err := io.ReadAll(r.Body)
-	if err != nil {
-		httpError(w, http.StatusBadRequest, "read body: %v", err)
-		return
-	}
-	t, err := tensor.Decode(body)
+	// Decode incrementally: the header sizes one allocation and the
+	// payload streams from the request body directly into it — the
+	// server never buffers the full encoded body.
+	cr := &countingReader{r: r.Body}
+	dt, shape, err := tensor.DecodeHeaderFrom(cr)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// The header is untrusted: before allocating, require the declared
+	// payload to match the announced body size (clients always set
+	// Content-Length; chunked uploads are bounded by the read below).
+	payload := tensor.ShapeNumBytes(dt, shape)
+	if want := int64(tensor.HeaderSize(len(shape))) + payload; r.ContentLength >= 0 && r.ContentLength != want {
+		httpError(w, http.StatusBadRequest, "upload body %d bytes, header declares %d", r.ContentLength, want)
+		return
+	}
+	t := tensor.New(dt, shape...)
+	if _, err := io.ReadFull(cr, t.Data()); err != nil {
+		httpError(w, http.StatusBadRequest, "upload payload: %v", err)
+		return
+	}
+	// Reject trailing bytes (e.g. two concatenated tensors) before
+	// storing, mirroring the strictness of the old whole-body decode.
+	var extra [1]byte
+	if n, _ := io.ReadFull(cr, extra[:]); n != 0 {
+		httpError(w, http.StatusBadRequest, "trailing bytes after encoded tensor")
 		return
 	}
 	if err := s.FS.PutTensor(path, t); err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	s.bytesIn.Add(int64(len(body)))
+	s.bytesIn.Add(cr.n)
 	w.WriteHeader(http.StatusNoContent)
+}
+
+// countingReader counts the bytes read through it.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
 }
 
 func (s *Server) handleBlob(w http.ResponseWriter, r *http.Request) {

@@ -44,10 +44,119 @@ func (t *Tensor) Encode() []byte {
 	return append(buf, t.data...)
 }
 
-// WriteTo streams the encoded form of t to w.
+// EncodeHeader serializes just the wire-format header for a tensor of
+// the given dtype and shape. Streaming writers emit it and then stream
+// the payload bytes straight out of a backing buffer, avoiding the full
+// intermediate copy Encode makes.
+func EncodeHeader(dt DType, shape []int) []byte {
+	buf := make([]byte, 0, HeaderSize(len(shape)))
+	var scratch [8]byte
+	binary.LittleEndian.PutUint32(scratch[:4], wireMagic)
+	buf = append(buf, scratch[:4]...)
+	binary.LittleEndian.PutUint16(scratch[:2], wireVersion)
+	buf = append(buf, scratch[:2]...)
+	binary.LittleEndian.PutUint16(scratch[:2], uint16(dt))
+	buf = append(buf, scratch[:2]...)
+	binary.LittleEndian.PutUint32(scratch[:4], uint32(len(shape)))
+	buf = append(buf, scratch[:4]...)
+	for _, d := range shape {
+		binary.LittleEndian.PutUint64(scratch[:8], uint64(d))
+		buf = append(buf, scratch[:8]...)
+	}
+	return buf
+}
+
+// HeaderSize returns the wire-format header length for a given rank.
+func HeaderSize(rank int) int { return 4 + 2 + 2 + 4 + 8*rank }
+
+// WriteTo streams the encoded form of t to w: the header followed by
+// the backing bytes, with no intermediate full-size buffer.
 func (t *Tensor) WriteTo(w io.Writer) (int64, error) {
-	n, err := w.Write(t.Encode())
-	return int64(n), err
+	n, err := w.Write(EncodeHeader(t.dtype, t.shape))
+	if err != nil {
+		return int64(n), err
+	}
+	m, err := w.Write(t.data)
+	return int64(n + m), err
+}
+
+// EncodedSize returns the number of bytes v.Encode will produce.
+func (v View) EncodedSize() int {
+	return HeaderSize(len(v.reg)) + v.NumBytes()
+}
+
+// Encode streams the wire format of the viewed region to w — header
+// describing the region's shape, then the payload read run-by-run out
+// of the source buffer. This is how the Tensor Store server answers
+// range queries without materializing a sub-tensor.
+func (v View) Encode(w io.Writer) (int64, error) {
+	n, err := w.Write(EncodeHeader(v.t.dtype, v.reg.Shape()))
+	if err != nil {
+		return int64(n), err
+	}
+	m, err := v.WriteTo(w)
+	return int64(n) + m, err
+}
+
+// DecodeHeaderFrom reads exactly one wire-format header from r and
+// returns the payload's dtype and shape; the next ShapeNumBytes(dt,
+// shape) bytes of r are the row-major payload. Streaming readers use it
+// to size a destination buffer before scatter-reading the payload.
+func DecodeHeaderFrom(r io.Reader) (DType, []int, error) {
+	fixed := make([]byte, HeaderSize(0))
+	if _, err := io.ReadFull(r, fixed); err != nil {
+		return Invalid, nil, fmt.Errorf("tensor: decode header: %w", err)
+	}
+	if m := binary.LittleEndian.Uint32(fixed[0:]); m != wireMagic {
+		return Invalid, nil, fmt.Errorf("tensor: decode: bad magic %#x", m)
+	}
+	if v := binary.LittleEndian.Uint16(fixed[4:]); v != wireVersion {
+		return Invalid, nil, fmt.Errorf("tensor: decode: unsupported version %d", v)
+	}
+	dt := DType(binary.LittleEndian.Uint16(fixed[6:]))
+	if !dt.Valid() {
+		return Invalid, nil, fmt.Errorf("tensor: decode: invalid dtype %d", dt)
+	}
+	rank := int(binary.LittleEndian.Uint32(fixed[8:]))
+	if rank < 0 || rank > 16 {
+		return Invalid, nil, fmt.Errorf("tensor: decode: implausible rank %d", rank)
+	}
+	shapeBuf := make([]byte, 8*rank)
+	if _, err := io.ReadFull(r, shapeBuf); err != nil {
+		return Invalid, nil, fmt.Errorf("tensor: decode: truncated shape: %w", err)
+	}
+	shape := make([]int, rank)
+	elems := int64(1)
+	for i := 0; i < rank; i++ {
+		d := int64(binary.LittleEndian.Uint64(shapeBuf[8*i:]))
+		if d <= 0 {
+			return Invalid, nil, fmt.Errorf("tensor: decode: non-positive dim %d", d)
+		}
+		// The header is untrusted input: reject element counts whose
+		// byte size cannot be represented, before any allocation.
+		if elems > (1<<62)/d/int64(dt.Size()) {
+			return Invalid, nil, fmt.Errorf("tensor: decode: implausible shape (element count overflows)")
+		}
+		elems *= d
+		shape[i] = int(d)
+	}
+	return dt, shape, nil
+}
+
+// DecodeFrom reads one encoded tensor from r incrementally: the header
+// sizes the allocation, then the payload is read directly into the
+// tensor's backing buffer — one allocation, one copy, regardless of how
+// the stream is chunked.
+func DecodeFrom(r io.Reader) (*Tensor, error) {
+	dt, shape, err := DecodeHeaderFrom(r)
+	if err != nil {
+		return nil, err
+	}
+	t := &Tensor{dtype: dt, shape: shape, data: make([]byte, ShapeNumElems(shape)*dt.Size())}
+	if _, err := io.ReadFull(r, t.data); err != nil {
+		return nil, fmt.Errorf("tensor: decode: payload: %w", err)
+	}
+	return t, nil
 }
 
 // Decode reconstructs a tensor from the wire format.
@@ -95,11 +204,15 @@ func Decode(buf []byte) (*Tensor, error) {
 }
 
 // ReadFrom decodes one tensor from r, which must contain exactly one
-// encoded tensor (it reads to EOF).
+// encoded tensor (trailing bytes are an error).
 func ReadFrom(r io.Reader) (*Tensor, error) {
-	buf, err := io.ReadAll(r)
+	t, err := DecodeFrom(r)
 	if err != nil {
 		return nil, fmt.Errorf("tensor: read: %w", err)
 	}
-	return Decode(buf)
+	var extra [1]byte
+	if n, _ := io.ReadFull(r, extra[:]); n != 0 {
+		return nil, fmt.Errorf("tensor: read: trailing bytes after encoded tensor")
+	}
+	return t, nil
 }

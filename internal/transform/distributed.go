@@ -37,6 +37,14 @@ func planFor(plan *core.Plan, devices map[cluster.DeviceID]bool) *core.Plan {
 // distributed execution model.
 func ApplyDistributed(job string, plan *core.Plan, topo *cluster.Topology,
 	stores map[cluster.DeviceID]store.Access, storage StorageReader) (Stats, error) {
+	return ApplyDistributedPipeline(job, plan, topo, stores, storage, Streamed)
+}
+
+// ApplyDistributedPipeline is ApplyDistributed with an explicit data
+// path, letting benchmarks compare the streamed pipeline against the
+// materialized reference under the distributed execution shape.
+func ApplyDistributedPipeline(job string, plan *core.Plan, topo *cluster.Topology,
+	stores map[cluster.DeviceID]store.Access, storage StorageReader, pipeline Pipeline) (Stats, error) {
 	if err := plan.Validate(); err != nil {
 		return Stats{}, fmt.Errorf("transform: invalid plan: %w", err)
 	}
@@ -61,7 +69,7 @@ func ApplyDistributed(job string, plan *core.Plan, topo *cluster.Topology,
 		wg.Add(1)
 		go func(w int, devs map[cluster.DeviceID]bool) {
 			defer wg.Done()
-			tr := &Transformer{Job: job, Stores: stores, Storage: storage}
+			tr := &Transformer{Job: job, Stores: stores, Storage: storage, Pipeline: pipeline}
 			sub := planFor(plan, devs)
 			st, err := tr.applyNoCommit(sub)
 			mu.Lock()
@@ -72,13 +80,14 @@ func ApplyDistributed(job string, plan *core.Plan, topo *cluster.Topology,
 			}
 			total.Assignments += st.Assignments
 			total.Noops += st.Noops
-			total.LocalBytes += st.LocalBytes
-			total.PeerBytes += st.PeerBytes
-			total.StorageBytes += st.StorageBytes
+			total.merge(st)
 		}(w, devs)
 	}
 	wg.Wait()
 	if len(errs) > 0 {
+		// Remove partial staging everywhere before reporting failure.
+		tr := &Transformer{Job: job, Stores: stores}
+		tr.cleanupStaging(plan)
 		return total, fmt.Errorf("transform: distributed apply: %w", errors.Join(errs...))
 	}
 
@@ -109,9 +118,7 @@ func (tr *Transformer) applyNoCommit(plan *core.Plan) (Stats, error) {
 		if a.IsNoop() {
 			st.Noops++
 		}
-		st.LocalBytes += s.LocalBytes
-		st.PeerBytes += s.PeerBytes
-		st.StorageBytes += s.StorageBytes
+		st.merge(s)
 	}
 	return st, nil
 }

@@ -2,6 +2,7 @@ package transform
 
 import (
 	"fmt"
+	"io"
 	"sync/atomic"
 	"testing"
 
@@ -37,11 +38,23 @@ func (f *flakyAccess) Query(path string, reg tensor.Region) (*tensor.Tensor, err
 	}
 	return f.inner.Query(path, reg)
 }
+func (f *flakyAccess) QueryInto(path string, reg tensor.Region, dst *tensor.Tensor, at tensor.Region) (int64, error) {
+	if err := f.maybeFail("queryinto"); err != nil {
+		return 0, err
+	}
+	return f.inner.QueryInto(path, reg, dst, at)
+}
 func (f *flakyAccess) Upload(path string, t *tensor.Tensor) error {
 	if err := f.maybeFail("upload"); err != nil {
 		return err
 	}
 	return f.inner.Upload(path, t)
+}
+func (f *flakyAccess) UploadFrom(path string, dt tensor.DType, shape []int, r io.Reader) error {
+	if err := f.maybeFail("uploadfrom"); err != nil {
+		return err
+	}
+	return f.inner.UploadFrom(path, dt, shape, r)
 }
 func (f *flakyAccess) Delete(path string) error { return f.inner.Delete(path) }
 func (f *flakyAccess) List(path string) ([]string, error) {
@@ -100,4 +113,52 @@ func TestApplyFaultInjectionPreservesOldState(t *testing.T) {
 		}
 		verifyAgainstGolden(t, job, to, stores, golden)
 	}
+}
+
+// TestApplyMidFailureCleansStaging: when a store error hits partway
+// through Apply, the live model tree must be untouched and the staging
+// root must be removed from every destination device (no partially
+// staged state left behind).
+func TestApplyMidFailureCleansStaging(t *testing.T) {
+	m := model.GPTCustom(4, 16, 2, 64, 8)
+	const job = "job0"
+	from := buildPTC(t, m, parallel.Config{TP: 2, PP: 1, DP: 1}, alloc(2))
+	to := buildPTC(t, m, parallel.Config{TP: 4, PP: 1, DP: 1}, alloc(4))
+	golden := goldenState(from)
+
+	plain := localStores(alloc(4))
+	if err := LoadPTC(job, from, plain, golden); err != nil {
+		t.Fatal(err)
+	}
+	wrapped := map[int]*flakyAccess{}
+	flaky := localStores(alloc(4))
+	for d, acc := range plain {
+		fa := &flakyAccess{inner: acc, failEvery: 5}
+		wrapped[int(d)] = fa
+		flaky[d] = fa
+	}
+	plan, err := core.GeneratePlan(from, to, core.PlanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := &Transformer{Job: job, Stores: flaky, Parallelism: 4}
+	if _, err := tr.Apply(plan); err == nil {
+		t.Fatal("Apply succeeded despite injected faults")
+	}
+	for _, d := range to.Devices {
+		// No staging root may remain anywhere.
+		if _, err := flaky[d].List(stagingRoot(job)); err == nil {
+			t.Fatalf("device %d still holds a staging tree after failed apply", d)
+		}
+	}
+	// The live model tree is exactly the pre-apply state.
+	verifyAgainstGolden(t, job, from, plain, golden)
+	// A clean retry completes and commits.
+	for _, fa := range wrapped {
+		fa.failEvery = 0
+	}
+	if _, err := tr.Apply(plan); err != nil {
+		t.Fatalf("retry failed: %v", err)
+	}
+	verifyAgainstGolden(t, job, to, flaky, golden)
 }

@@ -4,12 +4,22 @@
 // sub-tensor ranges the plan requires (splits are range-reads, merges
 // are local assembly), stage the new partitions next to the old ones,
 // and atomically commit when every assignment has landed.
+//
+// The production data path is streamed and zero-copy: each destination
+// sub-tensor is allocated exactly once and every plan range is fetched
+// *into* its final strided offset (local ranges are a pure copy,
+// peer/storage ranges scatter straight off the wire), so a byte moves
+// from source holder to destination buffer exactly once. The previous
+// materialize-then-assemble pipeline is retained as a reference
+// implementation (Pipeline == Materialized) and property-tested
+// byte-identical to the streamed path.
 package transform
 
 import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -26,20 +36,45 @@ type StorageReader interface {
 	ReadRange(id core.TensorID, reg tensor.Region) (*tensor.Tensor, error)
 }
 
+// StorageRangeWriter is optionally implemented by StorageReaders that
+// can scatter a checkpointed range directly into a destination buffer
+// (checkpoint.Reader does). When available, storage-fallback recovery
+// rides the same single-copy path as device fetches; otherwise the
+// transformer falls back to ReadRange plus one extra copy.
+type StorageRangeWriter interface {
+	ReadRangeInto(id core.TensorID, reg tensor.Region, dst *tensor.Tensor, at tensor.Region) (int64, error)
+}
+
 // ModelPath returns the canonical Tensor Store path of a model-state
 // tensor: the hierarchy mirrors the layered model structure, scoped by
-// job and device (cf. "/2/embedding/weight" in §5.2).
+// job and device (cf. "/2/embedding/weight" in §5.2). Built by
+// concatenation, not fmt — it runs once per fetch on the hot path.
 func ModelPath(job string, dev cluster.DeviceID, id core.TensorID) string {
-	return fmt.Sprintf("/job/%s/model/dev%d/%s", job, dev, id)
+	return "/job/" + job + "/model/dev" + strconv.Itoa(int(dev)) + "/" + string(id)
 }
 
 // stagingPath is where new partitions accumulate before commit.
 func stagingPath(job string, dev cluster.DeviceID, id core.TensorID) string {
-	return fmt.Sprintf("/job/%s/model.next/dev%d/%s", job, dev, id)
+	return "/job/" + job + "/model.next/dev" + strconv.Itoa(int(dev)) + "/" + string(id)
 }
 
-func modelRoot(job string) string   { return fmt.Sprintf("/job/%s/model", job) }
-func stagingRoot(job string) string { return fmt.Sprintf("/job/%s/model.next", job) }
+func modelRoot(job string) string   { return "/job/" + job + "/model" }
+func stagingRoot(job string) string { return "/job/" + job + "/model.next" }
+
+// Pipeline selects the transformer's data-path implementation.
+type Pipeline int
+
+const (
+	// Streamed is the production zero-copy pipeline: one destination
+	// allocation per assignment, every range fetched into its final
+	// offset.
+	Streamed Pipeline = iota
+	// Materialized is the retained reference pipeline: every fetched
+	// range becomes a fresh sub-tensor which is then assembled into the
+	// destination. It exists for equivalence tests and for measuring
+	// copy amplification; production callers leave Pipeline zero.
+	Materialized
+)
 
 // Transformer executes plans. One logical Transformer drives all
 // devices here; in a real deployment each worker runs one instance and
@@ -56,6 +91,9 @@ type Transformer struct {
 	Storage StorageReader
 	// Parallelism bounds concurrent assignment execution; <= 0 means 8.
 	Parallelism int
+	// Pipeline selects the data path; the zero value is the streamed
+	// production pipeline.
+	Pipeline Pipeline
 }
 
 // Stats reports what an Apply did.
@@ -65,13 +103,46 @@ type Stats struct {
 	LocalBytes   int64 // fetched from the destination device itself
 	PeerBytes    int64 // fetched from other devices' stores
 	StorageBytes int64 // fetched from checkpoint storage
-	Duration     time.Duration
+	// BytesCopied counts every byte the transformer physically copied
+	// between buffers (store reads into destinations, assembly copies,
+	// upload copies into non-reference stores). The ratio
+	// BytesCopied/PlanBytes is the data path's copy amplification: 1.0
+	// means every byte moved exactly once.
+	BytesCopied int64
+	// AllocBytes counts tensor buffer bytes allocated on the data path
+	// (destination sub-tensors plus, in the materialized reference,
+	// every intermediate fetch tensor).
+	AllocBytes int64
+	Duration   time.Duration
 }
 
-// Apply executes the plan: every destination sub-tensor is assembled in
+// PlanBytes returns the bytes the plan asked to move: every fetched
+// range counted once, whatever its source.
+func (s Stats) PlanBytes() int64 { return s.LocalBytes + s.PeerBytes + s.StorageBytes }
+
+// CopyAmplification returns BytesCopied per plan byte (0 when the plan
+// moved nothing).
+func (s Stats) CopyAmplification() float64 {
+	if pb := s.PlanBytes(); pb > 0 {
+		return float64(s.BytesCopied) / float64(pb)
+	}
+	return 0
+}
+
+// merge folds the byte counters of o into s.
+func (s *Stats) merge(o Stats) {
+	s.LocalBytes += o.LocalBytes
+	s.PeerBytes += o.PeerBytes
+	s.StorageBytes += o.StorageBytes
+	s.BytesCopied += o.BytesCopied
+	s.AllocBytes += o.AllocBytes
+}
+
+// Apply executes the plan: every destination sub-tensor is built in
 // the staging area of its device's store, and once all assignments
 // succeed the staged tree replaces the live model state on every
-// destination device. On error nothing is committed.
+// destination device. On error nothing is committed and any partially
+// staged state is removed.
 func (tr *Transformer) Apply(plan *core.Plan) (Stats, error) {
 	start := time.Now()
 	var st Stats
@@ -91,36 +162,45 @@ func (tr *Transformer) Apply(plan *core.Plan) (Stats, error) {
 	if par <= 0 {
 		par = 8
 	}
+	if par > len(plan.Assignments) {
+		par = len(plan.Assignments)
+	}
+	// A fixed pool of workers drains the assignment queue; this bounds
+	// goroutine count by Parallelism instead of plan size.
 	var (
 		mu   sync.Mutex
 		errs []error
 		wg   sync.WaitGroup
-		sem  = make(chan struct{}, par)
+		work = make(chan core.Assignment)
 	)
-	for _, a := range plan.Assignments {
+	for i := 0; i < par; i++ {
 		wg.Add(1)
-		go func(a core.Assignment) {
+		go func() {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			s, err := tr.applyAssignment(plan, a)
-			mu.Lock()
-			defer mu.Unlock()
-			if err != nil {
-				errs = append(errs, err)
-				return
+			for a := range work {
+				s, err := tr.applyAssignment(plan, a)
+				mu.Lock()
+				if err != nil {
+					errs = append(errs, err)
+					mu.Unlock()
+					continue
+				}
+				st.Assignments++
+				if a.IsNoop() {
+					st.Noops++
+				}
+				st.merge(s)
+				mu.Unlock()
 			}
-			st.Assignments++
-			if a.IsNoop() {
-				st.Noops++
-			}
-			st.LocalBytes += s.LocalBytes
-			st.PeerBytes += s.PeerBytes
-			st.StorageBytes += s.StorageBytes
-		}(a)
+		}()
 	}
+	for _, a := range plan.Assignments {
+		work <- a
+	}
+	close(work)
 	wg.Wait()
 	if len(errs) > 0 {
+		tr.cleanupStaging(plan)
 		sort.Slice(errs, func(i, j int) bool { return errs[i].Error() < errs[j].Error() })
 		return st, fmt.Errorf("transform: %d assignments failed: %w", len(errs), errors.Join(errs...))
 	}
@@ -132,8 +212,159 @@ func (tr *Transformer) Apply(plan *core.Plan) (Stats, error) {
 	return st, nil
 }
 
-// applyAssignment assembles one destination sub-tensor in staging.
+// applyAssignment builds one destination sub-tensor in staging through
+// the selected pipeline.
 func (tr *Transformer) applyAssignment(plan *core.Plan, a core.Assignment) (Stats, error) {
+	if tr.Pipeline == Materialized {
+		return tr.applyAssignmentMaterialized(plan, a)
+	}
+	return tr.applyAssignmentStreamed(plan, a)
+}
+
+// applyAssignmentStreamed is the zero-copy pipeline: the destination
+// sub-tensor is allocated once and every plan range is fetched directly
+// into its final strided offset. Independent ranges of one assignment
+// fetch concurrently (they are disjoint by plan construction; overlap
+// forces a sequential pass). Noop assignments against reference-
+// retaining stores move the existing tensor by pointer — no bytes are
+// copied or allocated at all.
+func (tr *Transformer) applyAssignmentStreamed(plan *core.Plan, a core.Assignment) (Stats, error) {
+	var st Stats
+	meta := plan.To.Tensors[a.Tensor]
+	dst := tr.Stores[a.Device]
+
+	if a.IsNoop() && !uploadCopies(dst) {
+		if t, err := dst.Query(ModelPath(tr.Job, a.Device, a.Tensor), nil); err == nil {
+			if err := dst.Upload(stagingPath(tr.Job, a.Device, a.Tensor), t); err != nil {
+				return st, fmt.Errorf("transform: stage %s on dev %d: %w", a.Tensor, a.Device, err)
+			}
+			st.LocalBytes += a.Region.NumBytes(meta.DType)
+			return st, nil
+		}
+		// The sub-tensor is unexpectedly absent; fall through so the
+		// general path reports the fetch error.
+	}
+
+	out := tensor.NewFromRegion(meta.DType, a.Region)
+	st.AllocBytes += int64(out.NumBytes())
+
+	covered := 0
+	for i := range a.Fetch {
+		covered += a.Fetch[i].Want.NumElems()
+	}
+	if covered < a.Region.NumElems() {
+		return st, fmt.Errorf("transform: assemble %s%v: fetches cover %d of %d elements",
+			a.Tensor, a.Region, covered, a.Region.NumElems())
+	}
+
+	if len(a.Fetch) > 1 && disjointTargets(a.Fetch) {
+		var (
+			mu   sync.Mutex
+			errs []error
+			wg   sync.WaitGroup
+		)
+		for _, f := range a.Fetch {
+			wg.Add(1)
+			go func(f core.Fetch) {
+				defer wg.Done()
+				fs, err := tr.fetchInto(a, f, meta.DType, out)
+				mu.Lock()
+				defer mu.Unlock()
+				if err != nil {
+					errs = append(errs, err)
+					return
+				}
+				st.merge(fs)
+			}(f)
+		}
+		wg.Wait()
+		if len(errs) > 0 {
+			sort.Slice(errs, func(i, j int) bool { return errs[i].Error() < errs[j].Error() })
+			return st, errs[0]
+		}
+	} else {
+		for _, f := range a.Fetch {
+			fs, err := tr.fetchInto(a, f, meta.DType, out)
+			if err != nil {
+				return st, err
+			}
+			st.merge(fs)
+		}
+	}
+
+	if err := dst.Upload(stagingPath(tr.Job, a.Device, a.Tensor), out); err != nil {
+		return st, fmt.Errorf("transform: stage %s on dev %d: %w", a.Tensor, a.Device, err)
+	}
+	if uploadCopies(dst) {
+		st.BytesCopied += int64(out.NumBytes())
+	}
+	return st, nil
+}
+
+// fetchInto streams one plan range into its final offset inside out.
+// The target and (for device sources) source-local regions share one
+// backing allocation; everything else on this path is allocation-free
+// up to the store call.
+func (tr *Transformer) fetchInto(a core.Assignment, f core.Fetch, dt tensor.DType, out *tensor.Tensor) (Stats, error) {
+	var fs Stats
+	bytes := f.Want.NumBytes(dt)
+	rank := len(f.Want)
+	regs := make(tensor.Region, 2*rank)
+	target, local := regs[:rank:rank], regs[rank:]
+	for i := range f.Want {
+		target[i] = tensor.Range{Lo: f.Want[i].Lo - a.Region[i].Lo, Hi: f.Want[i].Hi - a.Region[i].Lo}
+	}
+	switch f.Src.Kind {
+	case core.FromDevice:
+		src, ok := tr.Stores[f.Src.Device]
+		if !ok {
+			return fs, fmt.Errorf("transform: no store for source device %d", f.Src.Device)
+		}
+		for i := range f.Want {
+			local[i] = tensor.Range{Lo: f.Want[i].Lo - f.Src.Region[i].Lo, Hi: f.Want[i].Hi - f.Src.Region[i].Lo}
+		}
+		n, err := src.QueryInto(ModelPath(tr.Job, f.Src.Device, a.Tensor), local, out, target)
+		if err != nil {
+			return fs, fmt.Errorf("transform: fetch %s%v from dev %d: %w", a.Tensor, f.Want, f.Src.Device, err)
+		}
+		fs.BytesCopied += n
+		if f.Src.Device == a.Device {
+			fs.LocalBytes += bytes
+		} else {
+			fs.PeerBytes += bytes
+		}
+	case core.FromStorage:
+		if tr.Storage == nil {
+			return fs, fmt.Errorf("transform: plan needs storage for %s%v but no StorageReader configured", a.Tensor, f.Want)
+		}
+		if rw, ok := tr.Storage.(StorageRangeWriter); ok {
+			n, err := rw.ReadRangeInto(a.Tensor, f.Want, out, target)
+			if err != nil {
+				return fs, fmt.Errorf("transform: storage read %s%v: %w", a.Tensor, f.Want, err)
+			}
+			fs.BytesCopied += n
+		} else {
+			t, err := tr.Storage.ReadRange(a.Tensor, f.Want)
+			if err != nil {
+				return fs, fmt.Errorf("transform: storage read %s%v: %w", a.Tensor, f.Want, err)
+			}
+			n, err := tensor.CopyRegion(out, target, t, tensor.FullRegion(t.Shape()))
+			if err != nil {
+				return fs, fmt.Errorf("transform: storage scatter %s%v: %w", a.Tensor, f.Want, err)
+			}
+			fs.AllocBytes += int64(t.NumBytes())
+			fs.BytesCopied += int64(t.NumBytes()) + n
+		}
+		fs.StorageBytes += bytes
+	}
+	return fs, nil
+}
+
+// applyAssignmentMaterialized is the retained reference pipeline: every
+// fetched range materializes as a fresh sub-tensor, the destination is
+// assembled from the pieces, and the result is uploaded — each byte is
+// copied at least twice before staging.
+func (tr *Transformer) applyAssignmentMaterialized(plan *core.Plan, a core.Assignment) (Stats, error) {
 	var st Stats
 	meta := plan.To.Tensors[a.Tensor]
 	dst := tr.Stores[a.Device]
@@ -169,6 +400,8 @@ func (tr *Transformer) applyAssignment(plan *core.Plan, a core.Assignment) (Stat
 			}
 			st.StorageBytes += bytes
 		}
+		st.BytesCopied += bytes // materializing the sub-tensor
+		st.AllocBytes += bytes
 		pieces = append(pieces, tensor.Piece{
 			Region: f.Want.Translate(a.Region.Offset()),
 			Data:   data,
@@ -178,10 +411,50 @@ func (tr *Transformer) applyAssignment(plan *core.Plan, a core.Assignment) (Stat
 	if err != nil {
 		return st, fmt.Errorf("transform: assemble %s%v: %w", a.Tensor, a.Region, err)
 	}
+	st.AllocBytes += int64(merged.NumBytes())
+	for _, p := range pieces {
+		st.BytesCopied += int64(p.Data.NumBytes()) // assembly copy
+	}
 	if err := dst.Upload(stagingPath(tr.Job, a.Device, a.Tensor), merged); err != nil {
 		return st, fmt.Errorf("transform: stage %s on dev %d: %w", a.Tensor, a.Device, err)
 	}
+	if uploadCopies(dst) {
+		st.BytesCopied += int64(merged.NumBytes())
+	}
 	return st, nil
+}
+
+// disjointTargets reports whether the fetched ranges are pairwise
+// non-overlapping, which makes concurrent scatter-writes into the
+// shared destination buffer safe.
+func disjointTargets(fetches []core.Fetch) bool {
+	for i := 0; i < len(fetches); i++ {
+		for j := i + 1; j < len(fetches); j++ {
+			if _, overlap := fetches[i].Want.Intersect(fetches[j].Want); overlap {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// uploadCopies reports whether uploading to acc copies the tensor's
+// bytes (remote stores) rather than retaining them by reference
+// (in-process stores).
+func uploadCopies(acc store.Access) bool {
+	ru, ok := acc.(store.RefUploader)
+	return !(ok && ru.UploadsByReference())
+}
+
+// cleanupStaging removes partially staged state from every destination
+// device after a failed apply, so the live tree is all that remains and
+// a retry starts clean.
+func (tr *Transformer) cleanupStaging(plan *core.Plan) {
+	for _, d := range plan.To.Devices {
+		if acc, ok := tr.Stores[d]; ok {
+			_ = acc.Delete(stagingRoot(tr.Job)) // may not exist
+		}
+	}
 }
 
 // commit swaps the staged tree into place on every destination device
@@ -221,9 +494,10 @@ func (tr *Transformer) commit(plan *core.Plan) error {
 // path). Every parallelization the parallel package produces satisfies
 // it.
 func (tr *Transformer) checkOneRegionPerTensor(plan *core.Plan) error {
+	seen := map[core.TensorID]bool{}
 	for _, ptc := range []*core.PTC{plan.From, plan.To} {
 		for _, d := range ptc.Devices {
-			seen := map[core.TensorID]bool{}
+			clear(seen)
 			for _, s := range ptc.Place[d] {
 				if seen[s.Tensor] {
 					return fmt.Errorf("transform: device %d holds multiple regions of %q; unsupported store layout", d, s.Tensor)
@@ -235,9 +509,10 @@ func (tr *Transformer) checkOneRegionPerTensor(plan *core.Plan) error {
 	return nil
 }
 
-// LoadPTC materializes PTC state into the stores: every device uploads
-// its sub-tensors sliced from the provided full tensors. Tests,
-// examples and the checkpoint path use it to seed initial state.
+// LoadPTC materializes PTC state into the stores: every device's
+// sub-tensors stream out of the provided full tensors straight into
+// each store (a region view feeds UploadFrom, so no intermediate
+// sub-tensor is sliced out).
 func LoadPTC(job string, ptc *core.PTC, stores map[cluster.DeviceID]store.Access,
 	full map[core.TensorID]*tensor.Tensor) error {
 	for _, d := range ptc.Devices {
@@ -250,7 +525,8 @@ func LoadPTC(job string, ptc *core.PTC, stores map[cluster.DeviceID]store.Access
 			if !ok {
 				return fmt.Errorf("transform: no source tensor for %q", s.Tensor)
 			}
-			if err := acc.Upload(ModelPath(job, d, s.Tensor), src.Slice(s.Region)); err != nil {
+			v := src.View(s.Region)
+			if err := acc.UploadFrom(ModelPath(job, d, s.Tensor), src.DType(), v.Shape(), v.Reader()); err != nil {
 				return err
 			}
 		}
@@ -258,14 +534,16 @@ func LoadPTC(job string, ptc *core.PTC, stores map[cluster.DeviceID]store.Access
 	return nil
 }
 
-// ReadPTC gathers the full tensors of a PTC back out of the stores by
-// assembling every tensor from the sub-tensors of its holders — the
-// inverse of LoadPTC, used to hand a resumed job its merged state and
-// by tests to verify reconfigurations end to end.
+// ReadPTC gathers the full tensors of a PTC back out of the stores —
+// the inverse of LoadPTC, used to hand a resumed job its merged state
+// and by tests to verify reconfigurations end to end. Each full tensor
+// is allocated once and every holder's sub-tensor is range-read
+// directly into its offset.
 func ReadPTC(job string, ptc *core.PTC, stores map[cluster.DeviceID]store.Access) (map[core.TensorID]*tensor.Tensor, error) {
 	out := map[core.TensorID]*tensor.Tensor{}
 	for id, meta := range ptc.Tensors {
-		var pieces []tensor.Piece
+		full := tensor.New(meta.DType, meta.Shape...)
+		covered := 0
 		seen := map[string]bool{}
 		for _, d := range ptc.Devices {
 			for _, s := range ptc.Place[d] {
@@ -276,17 +554,15 @@ func ReadPTC(job string, ptc *core.PTC, stores map[cluster.DeviceID]store.Access
 				if !ok {
 					return nil, fmt.Errorf("transform: no store for device %d", d)
 				}
-				t, err := acc.Query(ModelPath(job, d, id), nil)
-				if err != nil {
+				if _, err := acc.QueryInto(ModelPath(job, d, id), nil, full, s.Region); err != nil {
 					return nil, fmt.Errorf("transform: read %q from dev %d: %w", id, d, err)
 				}
-				pieces = append(pieces, tensor.Piece{Region: s.Region, Data: t})
+				covered += s.Region.NumElems()
 				seen[s.Region.String()] = true
 			}
 		}
-		full, err := tensor.Assemble(meta.DType, meta.Shape, pieces)
-		if err != nil {
-			return nil, fmt.Errorf("transform: assemble %q: %w", id, err)
+		if covered < full.NumElems() {
+			return nil, fmt.Errorf("transform: assemble %q: holders cover %d of %d elements", id, covered, full.NumElems())
 		}
 		out[id] = full
 	}
