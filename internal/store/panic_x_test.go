@@ -1,0 +1,26 @@
+package store
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"tenplex/internal/tensor"
+)
+
+func TestEmptyRangePanic(t *testing.T) {
+	fs := NewMemFS()
+	tt := tensor.New(tensor.Float32, 4, 4)
+	if err := fs.PutTensor("/a", tt); err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(fs)
+	req := httptest.NewRequest("GET", "/query?path=/a&range=[]", nil)
+	w := httptest.NewRecorder()
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("handler panicked: %v", r)
+		}
+	}()
+	srv.Handler().ServeHTTP(w, req)
+	t.Logf("status %d body %s", w.Code, w.Body.String())
+}
