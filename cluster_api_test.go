@@ -3,6 +3,7 @@ package tenplex
 import (
 	"reflect"
 	"testing"
+	"time"
 
 	"tenplex/internal/cluster"
 	"tenplex/internal/model"
@@ -49,5 +50,63 @@ func TestClusterMultiJob(t *testing.T) {
 func TestNewClusterNeedsTopology(t *testing.T) {
 	if _, err := NewCluster(ClusterConfig{}); err == nil {
 		t.Fatal("nil topology accepted")
+	}
+	if _, err := NewCluster(ClusterConfig{Topology: cluster.OnPrem16(), Policy: "lottery"}); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}
+
+// TestClusterPoliciesAndWallClock drives the public API through every
+// scheduling policy and the wall-clock runtime: all must complete the
+// workload, and the paced parallel run must reproduce the
+// deterministic timeline exactly.
+func TestClusterPoliciesAndWallClock(t *testing.T) {
+	topo := cluster.OnPrem16()
+	g := model.GPTCustom(4, 16, 2, 32, 8)
+	jobs := []ClusterJob{
+		{Name: "a", Model: g, ArrivalMin: 0, DurationMin: 60, GPUs: 8, MinGPUs: 4, MaxGPUs: 16, Priority: 1, Seed: 1},
+		{Name: "b", Model: g, ArrivalMin: 5, DurationMin: 40, GPUs: 8, MinGPUs: 4, MaxGPUs: 8, Seed: 2},
+		{Name: "c", Model: model.MoECustom(3, 16, 4), ArrivalMin: 10, DurationMin: 30, GPUs: 4, MinGPUs: 2, MaxGPUs: 4, Priority: 2, Seed: 3},
+	}
+	for _, policy := range []string{"fifo", "drf", "priority"} {
+		c, err := NewCluster(ClusterConfig{Topology: topo, Policy: policy})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := c.Run(jobs, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", policy, err)
+		}
+		if res.Policy != policy {
+			t.Fatalf("result policy %q, want %q", res.Policy, policy)
+		}
+		for _, js := range res.Jobs {
+			if !js.Completed {
+				t.Errorf("%s: job %s did not complete", policy, js.Name)
+			}
+		}
+	}
+
+	sim, err := NewCluster(ClusterConfig{Topology: topo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	simRes, err := sim.Run(jobs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wall, err := NewCluster(ClusterConfig{Topology: topo, WallClock: true, Workers: 8, WallScale: time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wallRes, err := wall.Run(jobs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(simRes.Timeline, wallRes.Timeline) {
+		t.Fatal("wall-clock timeline diverged from the deterministic mode")
+	}
+	if wallRes.WallNs <= 0 {
+		t.Fatal("wall-clock run reported no elapsed time")
 	}
 }

@@ -1,0 +1,266 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"tenplex/internal/experiments"
+)
+
+// The -check mode is the bench-regression gate: it re-runs the
+// planner, datapath and coordinator benchmarks and compares them
+// against the committed BENCH_*.json baselines. Two classes of checks
+// apply:
+//
+//   - structural metrics (plan shapes, moved bytes, copy
+//     amplification, simulated times, timeline shapes) are
+//     deterministic per seed and must match the baseline exactly —
+//     any drift is a behavioral regression, not noise;
+//   - timing metrics (ns/op, MB/s, paced wall-clock makespans) are
+//     re-measured on the checking machine and gated with a relative
+//     tolerance, since the committed numbers may come from different
+//     hardware.
+//
+// CI runs `tenplex-bench -check` on every PR, so neither the planner
+// and datapath perf wins nor the coordinator's parallel-runtime
+// behavior can silently regress.
+
+// checkTolerance is the default relative slack for timing metrics:
+// fail when throughput drops (or latency grows) by more than this
+// fraction versus the committed baseline. Absolute timings vary a lot
+// across machines and with background load (the baselines may come
+// from different hardware than the checker), so the default only
+// rejects >2x regressions; the structural checks, the speedup floor
+// and trace equality are exact and machine-independent. Tighten with
+// -check-tolerance on a quiet, baseline-matched machine.
+const checkTolerance = 1.0
+
+// speedupFloor gates the paced wall-clock comparison: the parallel
+// runtime must never be meaningfully slower than the serialized loop.
+// On multi-core hosts it is typically well above 1; on a single-core
+// host the two converge (and an oversubscribed GOMAXPROCS adds
+// scheduler thrash), so the floor only rejects real regressions — a
+// lock or serialization bug shows up as parallel >> serial.
+const speedupFloor = 0.85
+
+type checkFailure struct {
+	file string
+	msg  string
+}
+
+// runCheck loads the BENCH baselines from dir and verifies the current
+// tree against them. It returns the number of baselines checked.
+func runCheck(dir string, tol float64, budget time.Duration) (int, []checkFailure, error) {
+	var fails []checkFailure
+	checked := 0
+	for _, pat := range []string{"BENCH_planner*.json", "BENCH_datapath*.json", "BENCH_coordinator*.json"} {
+		matches, err := filepath.Glob(filepath.Join(dir, pat))
+		if err != nil {
+			return checked, nil, err
+		}
+		if len(matches) == 0 {
+			continue
+		}
+		sort.Strings(matches)
+		path := matches[len(matches)-1] // date-stamped names: lexically last is newest
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return checked, nil, err
+		}
+		var head struct {
+			Schema string `json:"schema"`
+		}
+		if err := json.Unmarshal(data, &head); err != nil {
+			return checked, nil, fmt.Errorf("%s: %w", path, err)
+		}
+		var fs []string
+		switch head.Schema {
+		case "tenplex-bench/planner/v1":
+			fs, err = checkPlanner(data, tol, budget)
+		case "tenplex-bench/datapath/v1":
+			fs, err = checkDatapath(data, tol, budget)
+		case "tenplex-bench/coordinator/v2":
+			fs, err = checkCoordinator(data, tol)
+		default:
+			err = fmt.Errorf("unknown schema %q", head.Schema)
+		}
+		if err != nil {
+			return checked, nil, fmt.Errorf("%s: %w", path, err)
+		}
+		checked++
+		name := filepath.Base(path)
+		for _, m := range fs {
+			fails = append(fails, checkFailure{file: name, msg: m})
+		}
+		if len(fs) == 0 {
+			fmt.Printf("check PASS %s (%s)\n", name, head.Schema)
+		}
+	}
+	if checked == 0 {
+		return 0, nil, fmt.Errorf("no BENCH_*.json baselines found in %s", dir)
+	}
+	return checked, fails, nil
+}
+
+func relWorse(measured, baseline float64) float64 {
+	if baseline == 0 {
+		return 0
+	}
+	return measured/baseline - 1
+}
+
+// checkPlanner re-measures every planner scenario and compares plan
+// shape exactly and latency within tolerance.
+func checkPlanner(data []byte, tol float64, budget time.Duration) ([]string, error) {
+	var base benchRecord
+	if err := json.Unmarshal(data, &base); err != nil {
+		return nil, err
+	}
+	want := map[string]scenarioStats{}
+	for _, sc := range base.Scenarios {
+		want[sc.Name] = sc
+	}
+	var fails []string
+	seen := 0
+	for _, sc := range experiments.PlannerScenarios() {
+		b, ok := want[sc.Name]
+		if !ok {
+			continue // new scenario, no baseline yet
+		}
+		seen++
+		got, err := measureScenario(sc, budget, 2)
+		if err != nil {
+			return nil, err
+		}
+		structural := [][3]any{
+			{"assignments", got.Assignments, b.Assignments},
+			{"noops", got.Noops, b.Noops},
+			{"fetches", got.Fetches, b.Fetches},
+			{"splits", got.Splits, b.Splits},
+			{"merges", got.Merges, b.Merges},
+			{"moved_bytes", got.MovedBytes, b.MovedBytes},
+			{"storage_bytes", got.Storage, b.Storage},
+		}
+		for _, f := range structural {
+			if fmt.Sprint(f[1]) != fmt.Sprint(f[2]) {
+				fails = append(fails, fmt.Sprintf("planner %s: %s = %v, baseline %v (deterministic drift)",
+					sc.Name, f[0], f[1], f[2]))
+			}
+		}
+		if math.Abs(got.ReconfigSec-b.ReconfigSec) > 1e-9 {
+			fails = append(fails, fmt.Sprintf("planner %s: simulated_reconfig_seconds = %v, baseline %v",
+				sc.Name, got.ReconfigSec, b.ReconfigSec))
+		}
+		if w := relWorse(float64(got.NsPerOp), float64(b.NsPerOp)); w > tol {
+			fails = append(fails, fmt.Sprintf("planner %s: ns_per_op %d is %.0f%% above baseline %d",
+				sc.Name, got.NsPerOp, w*100, b.NsPerOp))
+		}
+	}
+	if seen == 0 {
+		fails = append(fails, "planner: no baseline scenario matches the current tree")
+	}
+	return fails, nil
+}
+
+// checkDatapath re-measures the transformer pipelines and compares
+// copy amplification exactly and throughput within tolerance.
+func checkDatapath(data []byte, tol float64, budget time.Duration) ([]string, error) {
+	var base datapathRecord
+	if err := json.Unmarshal(data, &base); err != nil {
+		return nil, err
+	}
+	type key struct{ w, p string }
+	want := map[key]experiments.DatapathRow{}
+	for _, r := range base.Rows {
+		want[key{r.Workload, r.Pipeline}] = r
+	}
+	rows, _, err := experiments.DatapathComparison(budget)
+	if err != nil {
+		return nil, err
+	}
+	var fails []string
+	seen := 0
+	for _, got := range rows {
+		b, ok := want[key{got.Workload, got.Pipeline}]
+		if !ok {
+			continue
+		}
+		seen++
+		// Copy amplification is a deterministic property of the plan
+		// and the pipeline: any increase is a real regression of the
+		// zero-copy path, not measurement noise.
+		if got.CopyAmp > b.CopyAmp*1.01 {
+			fails = append(fails, fmt.Sprintf("datapath %s/%s: copy_amplification %.3f above baseline %.3f",
+				got.Workload, got.Pipeline, got.CopyAmp, b.CopyAmp))
+		}
+		if got.PlanBytes != b.PlanBytes {
+			fails = append(fails, fmt.Sprintf("datapath %s/%s: plan_bytes %d, baseline %d (deterministic drift)",
+				got.Workload, got.Pipeline, got.PlanBytes, b.PlanBytes))
+		}
+		if w := relWorse(b.MBPerSecond, got.MBPerSecond); w > tol {
+			fails = append(fails, fmt.Sprintf("datapath %s/%s: throughput %.0f MB/s is a %.0f%% slowdown vs baseline %.0f",
+				got.Workload, got.Pipeline, got.MBPerSecond, w*100, b.MBPerSecond))
+		}
+	}
+	if seen == 0 {
+		fails = append(fails, "datapath: no baseline row matches the current tree")
+	}
+	return fails, nil
+}
+
+// checkCoordinator re-runs the multi-job scenario and compares the
+// deterministic cluster metrics exactly, then re-measures the paced
+// wall-clock comparison on this machine.
+func checkCoordinator(data []byte, tol float64) ([]string, error) {
+	var base coordRecord
+	if err := json.Unmarshal(data, &base); err != nil {
+		return nil, err
+	}
+	got, err := measureCoord()
+	if err != nil {
+		return nil, err
+	}
+	var fails []string
+	exact := [][3]any{
+		{"policy", got.Policy, base.Policy},
+		{"jobs_completed", got.Completed, base.Completed},
+		{"preemptions", got.Preemptions, base.Preemptions},
+		{"timeline_events", got.TimelineEvents, base.TimelineEvents},
+		{"plans_validated", got.PlansValidated, base.PlansValidated},
+	}
+	for _, f := range exact {
+		if fmt.Sprint(f[1]) != fmt.Sprint(f[2]) {
+			fails = append(fails, fmt.Sprintf("coordinator: %s = %v, baseline %v (deterministic drift)",
+				f[0], f[1], f[2]))
+		}
+	}
+	for _, f := range [][3]float64{
+		{got.MakespanMin, base.MakespanMin, 1e-6},
+		{got.MeanUtilization, base.MeanUtilization, 1e-6},
+		{got.ReconfigSec, base.ReconfigSec, 1e-9},
+	} {
+		if math.Abs(f[0]-f[1]) > f[2] {
+			fails = append(fails, fmt.Sprintf("coordinator: simulated metric %v drifted from baseline %v", f[0], f[1]))
+		}
+	}
+	if !got.WallClock.TraceMatchesSim {
+		fails = append(fails, "coordinator: paced wall-clock runs no longer reproduce the sim-mode trace "+
+			"(nondeterminism leaked into the runtime)")
+	}
+	if got.WallClock.Speedup < speedupFloor {
+		fails = append(fails, fmt.Sprintf(
+			"coordinator: parallel wall-clock runtime is slower than the serialized loop (speedup %.2f < %.2f; serial %.1fms, parallel %.1fms)",
+			got.WallClock.Speedup, speedupFloor,
+			float64(got.WallClock.SerialWallNs)/1e6, float64(got.WallClock.ParallelWallNs)/1e6))
+	}
+	if w := relWorse(float64(got.WallNs), float64(base.WallNs)); w > tol {
+		fails = append(fails, fmt.Sprintf("coordinator: wall_ns_per_run %.1fms is %.0f%% above baseline %.1fms",
+			float64(got.WallNs)/1e6, w*100, float64(base.WallNs)/1e6))
+	}
+	return fails, nil
+}

@@ -3,6 +3,7 @@ package main
 import (
 	"encoding/json"
 	"os"
+	"reflect"
 	"runtime"
 	"time"
 
@@ -15,7 +16,26 @@ import (
 // aggregate reconfiguration time, and mean cluster utilization, plus
 // the wall-clock cost of running the control plane itself — so the
 // coordinator's behavior and performance can be tracked across commits
-// alongside the planner records.
+// alongside the planner records. Since schema v2 it also measures the
+// wall-clock execution mode: the same scenario paced on the real
+// clock, once with the fully serialized single-threaded event loop
+// (Workers=1) and once with the parallel runtime (bounded worker pool,
+// overlapping independent jobs' plan+transform work), recording both
+// makespans and the speedup. Both paced runs must reproduce the
+// deterministic sim-mode trace exactly (trace_matches_sim).
+
+// coordWallWorkers is the pool size of the parallel wall-clock run.
+const coordWallWorkers = 8
+
+// coordWallScale paces the wall-clock runs: one simulated minute of
+// schedule per 100µs of real time. At this pace the 12-job scenario's
+// schedule is shorter than its total state-management work, so the
+// single-threaded loop goes work-bound — every transform delays the
+// clock — while the parallel runtime keeps the heap on schedule by
+// overlapping independent jobs' work across the pool. The resulting
+// speedup scales with the host's cores (on a single-core host the two
+// converge, which the -check gate accounts for).
+const coordWallScale = 100 * time.Microsecond
 
 // coordRecord is the top-level coordinator BENCH_*.json document.
 type coordRecord struct {
@@ -26,6 +46,7 @@ type coordRecord struct {
 	Seed        int64   `json:"seed"`
 	Devices     int     `json:"devices"`
 	Jobs        int     `json:"jobs"`
+	Policy      string  `json:"policy"`
 	Completed   int     `json:"jobs_completed"`
 	MakespanMin float64 `json:"makespan_min"`
 	// ReconfigSec is the aggregate netsim-priced reconfiguration time
@@ -33,13 +54,58 @@ type coordRecord struct {
 	ReconfigSec float64 `json:"aggregate_reconfig_seconds"`
 	// MeanUtilization is leased device-time over total device-time.
 	MeanUtilization float64 `json:"mean_cluster_utilization"`
+	Preemptions     int     `json:"preemptions"`
 	TimelineEvents  int     `json:"timeline_events"`
 	PlansValidated  int     `json:"plans_validated"`
-	// WallNs is the real time one simulation run took — the cost of the
-	// control plane, not of the simulated cluster.
+	// WallNs is the real time one deterministic sim-mode run took — the
+	// cost of the control plane, not of the simulated cluster.
 	WallNs int64 `json:"wall_ns_per_run"`
 
+	// WallClock compares the serialized and parallel runtimes with the
+	// event heap paced on the real clock.
+	WallClock coordWallClock `json:"wall_clock"`
+	// Baseline preserves the single-threaded event loop's sim-mode cost
+	// measured before the parallel runtime landed.
+	Baseline coordBaseline `json:"seed_baseline"`
+
 	PerJob []coordJobStats `json:"per_job"`
+}
+
+// coordWallClock records the paced serial-vs-parallel comparison.
+type coordWallClock struct {
+	// ScaleUsPerSimMin is the pacing: real µs per simulated minute.
+	ScaleUsPerSimMin float64 `json:"time_scale_us_per_sim_min"`
+	Workers          int     `json:"workers"`
+	// SerialWallNs is the paced makespan of the single-threaded loop
+	// (Workers=1, every transform blocks the clock), best of 3.
+	SerialWallNs int64 `json:"serial_wall_ns"`
+	// ParallelWallNs is the paced makespan with the bounded worker
+	// pool overlapping independent jobs' work, best of 3.
+	ParallelWallNs int64 `json:"parallel_wall_ns"`
+	Speedup        float64 `json:"speedup"`
+	// TraceMatchesSim asserts both paced runs reproduced the
+	// deterministic sim-mode timeline event for event.
+	TraceMatchesSim bool `json:"trace_matches_sim"`
+}
+
+// coordBaseline pins the pre-parallel-runtime cost for provenance.
+type coordBaseline struct {
+	Provenance  string `json:"provenance"`
+	WallNs      int64  `json:"wall_ns_per_run"`
+	Description string `json:"description"`
+}
+
+// seedCoordBaseline is the PR 2 runtime's sim-mode cost, measured at
+// the pre-parallel tree with `tenplex-bench -coordjson`.
+func seedCoordBaseline() coordBaseline {
+	return coordBaseline{
+		Provenance: "commit 94967f2 (serialized event loop, pre-parallel runtime), go1.24, GOMAXPROCS=1",
+		WallNs:     72071304,
+		Description: "single-threaded deterministic event loop executing every " +
+			"plan+transform inline; wall_ns_per_run of the 32-device/12-job scenario, " +
+			"single run (the current record is best of 3 in-process runs, so a few ms " +
+			"of the gap vs this baseline are methodology; compare trends, not the delta)",
+	}
 }
 
 // coordJobStats is one job's outcome in the record.
@@ -56,30 +122,68 @@ type coordJobStats struct {
 	Completed   bool    `json:"completed"`
 }
 
-// writeCoordJSON runs the shared 32-device multi-job scenario and
-// writes the record to path ("-" for stdout).
-func writeCoordJSON(path string) error {
+// measureCoord runs the shared 32-device multi-job scenario in every
+// mode and assembles the record.
+func measureCoord() (coordRecord, error) {
 	topo, specs, failures := experiments.MultiJobScenario(32, 12, experiments.MultiJobSeed)
-	t0 := time.Now()
-	res, err := coordinator.Run(topo, specs, failures, coordinator.Options{})
-	wall := time.Since(t0)
-	if err != nil {
-		return err
+	// bestOf keeps the run with the smallest WallNs over 3 attempts —
+	// the one measurement policy every figure in the record shares.
+	bestOf := func(opts coordinator.Options) (coordinator.Result, error) {
+		var best coordinator.Result
+		for i := 0; i < 3; i++ {
+			r, err := coordinator.Run(topo, specs, failures, opts)
+			if err != nil {
+				return best, err
+			}
+			if i == 0 || r.WallNs < best.WallNs {
+				best = r
+			}
+		}
+		return best, nil
 	}
+	res, err := bestOf(coordinator.Options{})
+	if err != nil {
+		return coordRecord{}, err
+	}
+	serial, err := bestOf(coordinator.Options{
+		Mode: coordinator.ModeWall, Workers: 1, WallScale: coordWallScale,
+	})
+	if err != nil {
+		return coordRecord{}, err
+	}
+	parallel, err := bestOf(coordinator.Options{
+		Mode: coordinator.ModeWall, Workers: coordWallWorkers, WallScale: coordWallScale,
+	})
+	if err != nil {
+		return coordRecord{}, err
+	}
+
 	rec := coordRecord{
-		Schema:          "tenplex-bench/coordinator/v1",
+		Schema:          "tenplex-bench/coordinator/v2",
 		GeneratedAt:     time.Now().UTC().Format(time.RFC3339),
 		GoVersion:       runtime.Version(),
 		MaxProcs:        runtime.GOMAXPROCS(0),
 		Seed:            experiments.MultiJobSeed,
 		Devices:         topo.NumDevices(),
 		Jobs:            len(specs),
+		Policy:          res.Policy,
 		MakespanMin:     res.MakespanMin,
 		ReconfigSec:     res.ReconfigSecTotal,
 		MeanUtilization: res.MeanUtilization,
+		Preemptions:     res.Preemptions,
 		TimelineEvents:  len(res.Timeline),
 		PlansValidated:  res.PlansValidated,
-		WallNs:          wall.Nanoseconds(),
+		WallNs:          res.WallNs,
+		WallClock: coordWallClock{
+			ScaleUsPerSimMin: float64(coordWallScale) / float64(time.Microsecond),
+			Workers:          coordWallWorkers,
+			SerialWallNs:     serial.WallNs,
+			ParallelWallNs:   parallel.WallNs,
+			Speedup:          float64(serial.WallNs) / float64(parallel.WallNs),
+			TraceMatchesSim: reflect.DeepEqual(res.Timeline, serial.Timeline) &&
+				reflect.DeepEqual(res.Timeline, parallel.Timeline),
+		},
+		Baseline: seedCoordBaseline(),
 	}
 	for _, js := range res.Jobs {
 		if js.Completed {
@@ -97,6 +201,16 @@ func writeCoordJSON(path string) error {
 			MovedBytes:  js.MovedBytes,
 			Completed:   js.Completed,
 		})
+	}
+	return rec, nil
+}
+
+// writeCoordJSON runs the shared 32-device multi-job scenario and
+// writes the record to path ("-" for stdout).
+func writeCoordJSON(path string) error {
+	rec, err := measureCoord()
+	if err != nil {
+		return err
 	}
 	data, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {

@@ -9,6 +9,7 @@
 //	tenplex-bench -json BENCH_plan.json  # planner perf record ("-" = stdout)
 //	tenplex-bench -coordjson BENCH_coordinator.json  # multi-job coordinator record
 //	tenplex-bench -datapathjson BENCH_datapath.json  # state-transformer datapath record
+//	tenplex-bench -check               # bench-regression gate vs committed BENCH_*.json
 package main
 
 import (
@@ -39,6 +40,14 @@ var all = map[string]func() experiments.Table{
 		return t
 	},
 	"datapath": renderDatapath,
+	"policies": func() experiments.Table {
+		_, t, err := experiments.PolicyComparison()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tenplex-bench: policies: %v\n", err)
+			os.Exit(1)
+		}
+		return t
+	},
 	"ablations": func() experiments.Table {
 		_, t, err := experiments.Ablations()
 		if err != nil {
@@ -65,7 +74,27 @@ func main() {
 	jsonBudget := flag.Duration("json-budget", 200*time.Millisecond, "per-scenario measurement budget for -json")
 	coordOut := flag.String("coordjson", "", "write a BENCH_*.json multi-job coordinator record to this path (\"-\" for stdout) and exit")
 	datapathOut := flag.String("datapathjson", "", "write a BENCH_*.json state-transformer datapath record to this path (\"-\" for stdout) and exit")
+	check := flag.Bool("check", false, "re-run the benchmarks and fail on regression vs the committed BENCH_*.json baselines")
+	checkDir := flag.String("check-dir", ".", "directory holding the BENCH_*.json baselines for -check")
+	checkTol := flag.Float64("check-tolerance", checkTolerance, "relative slack for timing metrics in -check (structural metrics are always exact)")
 	flag.Parse()
+
+	if *check {
+		n, fails, err := runCheck(*checkDir, *checkTol, *jsonBudget)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tenplex-bench: check: %v\n", err)
+			os.Exit(1)
+		}
+		if len(fails) > 0 {
+			for _, f := range fails {
+				fmt.Fprintf(os.Stderr, "check FAIL %s: %s\n", f.file, f.msg)
+			}
+			fmt.Fprintf(os.Stderr, "tenplex-bench: check: %d regression(s) against %d baseline(s)\n", len(fails), n)
+			os.Exit(1)
+		}
+		fmt.Printf("tenplex-bench: check: %d baseline(s) clean\n", n)
+		return
+	}
 
 	if *jsonOut != "" {
 		if err := writeBenchJSON(*jsonOut, *jsonBudget); err != nil {

@@ -12,7 +12,7 @@ func TestExperimentRegistry(t *testing.T) {
 	want := []string{
 		"tab1", "fig2a", "fig2b", "fig3", "fig9", "fig10",
 		"fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
-		"ablations", "multijob", "datapath",
+		"ablations", "multijob", "datapath", "policies",
 	}
 	for _, id := range want {
 		if _, ok := all[id]; !ok {
@@ -97,11 +97,14 @@ func TestWriteCoordJSON(t *testing.T) {
 	if err := json.Unmarshal(data, &rec); err != nil {
 		t.Fatalf("record not valid JSON: %v", err)
 	}
-	if rec.Schema != "tenplex-bench/coordinator/v1" {
+	if rec.Schema != "tenplex-bench/coordinator/v2" {
 		t.Fatalf("schema = %q", rec.Schema)
 	}
 	if rec.Devices != 32 || rec.Jobs < 8 || rec.Completed < 8 {
 		t.Fatalf("scenario shape: devices=%d jobs=%d completed=%d", rec.Devices, rec.Jobs, rec.Completed)
+	}
+	if rec.Policy != "fifo" {
+		t.Fatalf("policy = %q", rec.Policy)
 	}
 	if rec.MakespanMin <= 0 || rec.MeanUtilization <= 0 || rec.MeanUtilization > 1 {
 		t.Fatalf("implausible metrics: %+v", rec)
@@ -111,5 +114,65 @@ func TestWriteCoordJSON(t *testing.T) {
 	}
 	if len(rec.PerJob) != rec.Jobs {
 		t.Fatalf("%d per-job rows for %d jobs", len(rec.PerJob), rec.Jobs)
+	}
+	wc := rec.WallClock
+	if wc.SerialWallNs <= 0 || wc.ParallelWallNs <= 0 || wc.Workers < 2 || wc.ScaleUsPerSimMin <= 0 {
+		t.Fatalf("implausible wall-clock block: %+v", wc)
+	}
+	if !wc.TraceMatchesSim {
+		t.Fatal("paced runs did not reproduce the sim-mode trace")
+	}
+	if rec.Baseline.WallNs <= 0 || rec.Baseline.Provenance == "" {
+		t.Fatalf("seed baseline missing provenance: %+v", rec.Baseline)
+	}
+}
+
+// TestCheckGate: a freshly generated baseline set passes -check, and a
+// tampered deterministic metric fails it.
+func TestCheckGate(t *testing.T) {
+	dir := t.TempDir()
+	if err := writeBenchJSON(filepath.Join(dir, "BENCH_planner_x.json"), time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	// The millisecond budget makes timings pure noise; a huge tolerance
+	// pins this test to the structural checks, which are exact.
+	const noTimingTol = 1e9
+	n, fails, err := runCheck(dir, noTimingTol, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 || len(fails) != 0 {
+		t.Fatalf("fresh baseline: %d checked, failures %v", n, fails)
+	}
+
+	// Tamper a structural metric: the gate must flag deterministic
+	// drift regardless of timing tolerance.
+	path := filepath.Join(dir, "BENCH_planner_x.json")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec benchRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		t.Fatal(err)
+	}
+	rec.Scenarios[0].MovedBytes += 4096
+	tampered, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, tampered, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, fails, err = runCheck(dir, noTimingTol, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fails) == 0 {
+		t.Fatal("tampered moved_bytes not flagged as deterministic drift")
+	}
+
+	if _, _, err := runCheck(t.TempDir(), noTimingTol, time.Millisecond); err == nil {
+		t.Fatal("empty baseline dir accepted")
 	}
 }

@@ -9,6 +9,9 @@
 //	tenplex-ctl -addr http://127.0.0.1:7070 ls   -path /
 //	tenplex-ctl -addr http://127.0.0.1:7070 rm   -path /w
 //	tenplex-ctl sim -devices 32 -jobs 12 -seed 42 -fail 60:7
+//	tenplex-ctl sim -policy drf                    # DRF-style fairness
+//	tenplex-ctl sim -policy priority               # priority classes + gang admission
+//	tenplex-ctl sim -mode wall -workers 8          # paced wall-clock parallel runtime
 package main
 
 import (
@@ -97,8 +100,11 @@ func main() {
 		seed := fs.Int64("seed", 42, "workload seed (simulation is deterministic per seed)")
 		failStr := fs.String("fail", "", "injected failures, 'min:dev[,min:dev...]' (default: the scenario's)")
 		defrag := fs.Float64("defrag-max", 0, "cost ceiling in seconds for defrag redeploys (0 = default, <0 disables)")
+		policy := fs.String("policy", "fifo", "scheduling policy: fifo, drf or priority")
+		mode := fs.String("mode", "sim", "execution mode: sim (deterministic) or wall (paced on the real clock)")
+		workers := fs.Int("workers", 0, "worker pool bound for plan/transform execution (0 = GOMAXPROCS, 1 = serialized loop)")
 		_ = fs.Parse(flag.Args()[1:])
-		die(runSim(*devices, *jobs, *seed, *failStr, *defrag))
+		die(runSim(*devices, *jobs, *seed, *failStr, *defrag, *policy, *mode, *workers))
 	default:
 		usage()
 	}
@@ -106,22 +112,42 @@ func main() {
 
 // runSim executes a multi-job coordinator simulation and prints the
 // per-job timeline and cluster summary.
-func runSim(devices, jobs int, seed int64, failStr string, defragMax float64) error {
+func runSim(devices, jobs int, seed int64, failStr string, defragMax float64, policyName, mode string, workers int) error {
 	if devices < 4 || devices%4 != 0 {
 		return fmt.Errorf("-devices must be a positive multiple of 4, got %d", devices)
 	}
+	policy, err := coordinator.PolicyByName(policyName)
+	if err != nil {
+		return err
+	}
+	opts := coordinator.Options{DefragMaxSec: defragMax, Policy: policy, Workers: workers}
+	switch mode {
+	case "", "sim":
+	case "wall":
+		opts.Mode = coordinator.ModeWall
+	default:
+		return fmt.Errorf("-mode must be sim or wall, got %q", mode)
+	}
 	topo, specs, failures := experiments.MultiJobScenario(devices, jobs, seed)
+	// Priority classes rotate deterministically so the priority policy
+	// has classes to arbitrate; fifo and drf ignore the field.
+	specs = experiments.PolicyPriorities(specs)
 	if failStr != "" {
-		var err error
 		if failures, err = parseFailures(failStr, devices); err != nil {
 			return err
 		}
 	}
-	res, err := coordinator.Run(topo, specs, failures, coordinator.Options{DefragMaxSec: defragMax})
+	res, err := coordinator.Run(topo, specs, failures, opts)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("cluster %s: %d jobs, seed %d\n", topo.Name, len(specs), seed)
+	// The default invocation's output stays byte-identical across the
+	// runtime rewrite (the determinism CI step diffs two runs of it);
+	// non-default runtimes announce themselves.
+	if res.Policy != "fifo" || mode == "wall" {
+		fmt.Printf("policy %s, mode %s, %.1f ms wall\n", res.Policy, mode, float64(res.WallNs)/1e6)
+	}
 	for _, e := range res.Timeline {
 		fmt.Println(e)
 	}

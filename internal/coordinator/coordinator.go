@@ -6,25 +6,41 @@
 //
 // The coordinator keeps a device Ledger that leases and reclaims GPUs
 // with no double-allocation, admits jobs from a Philly-derived arrival
-// trace through a FIFO queue, picks each job's (T, P, D) for its
-// current lease with a memoized perfmodel search, and prices every
-// reconfiguration with netsim before committing it. A deterministic
-// event loop handles job arrival and completion, elastic scale-up/down
+// trace through a pluggable Policy (FIFO+surplus, DRF-style fairness,
+// or priority classes with gang admission), picks each job's (T, P, D)
+// for its current lease with a memoized perfmodel search, and prices
+// every reconfiguration with netsim before committing it. The event
+// loop handles job arrival and completion, elastic scale-up/down
 // arbitration between jobs, defragmenting redeployments onto fewer
 // workers, and fail-stop device failures. Every allocation change runs
 // through the affected job's real state-management path: core plan
 // generation and the distributed State Transformer over per-device
 // Tensor Stores.
+//
+// The runtime is split into a single-threaded decision plane and a
+// parallel execution plane: the event loop owns the ledger, the event
+// heap and every scheduling choice, while independent jobs'
+// reconfiguration work — plan generation, transform.Apply,
+// checkpointing and state verification — fans out over a bounded
+// worker pool as per-job task chains (see exec.go). Two execution
+// modes share the same API: deterministic simulated time (ModeSim, the
+// default — traces are reproducible bit for bit and, under the FIFO
+// policy, byte-identical to the original serial loop), and wall-clock
+// mode (ModeWall), which paces the event heap on the real clock so
+// reconfigurations of different jobs genuinely overlap in time.
 package coordinator
 
 import (
 	"container/heap"
 	"fmt"
+	"runtime"
 	"sort"
+	"time"
 
 	"tenplex/internal/cluster"
 	"tenplex/internal/core"
 	"tenplex/internal/model"
+	"tenplex/internal/parallel"
 	"tenplex/internal/perfmodel"
 	"tenplex/internal/sched"
 	"tenplex/internal/tensor"
@@ -46,6 +62,9 @@ type JobSpec struct {
 	// resizing (zero values default to GPUs, i.e. a rigid job).
 	GPUs             int
 	MinGPUs, MaxGPUs int
+	// Priority is the job's class for priority-aware policies (higher
+	// runs first); FIFO and DRF ignore it.
+	Priority int
 	// Seed drives the job's deterministic initial tensors.
 	Seed int64
 }
@@ -75,6 +94,20 @@ type FailureSpec struct {
 	Device  cluster.DeviceID
 }
 
+// ExecMode selects how the runtime advances time.
+type ExecMode int
+
+const (
+	// ModeSim is deterministic simulated time: the event heap drives
+	// the clock and the run is reproducible bit for bit.
+	ModeSim ExecMode = iota
+	// ModeWall paces the event heap on the real clock (Options.WallScale
+	// real time per simulated minute), so independent jobs'
+	// reconfigurations genuinely overlap. Decisions — and therefore the
+	// timeline — are identical to ModeSim; only real execution differs.
+	ModeWall
+)
+
 // Options tunes a coordinator run.
 type Options struct {
 	// Perf is the cost model for placement decisions; the zero value
@@ -86,6 +119,21 @@ type Options struct {
 	// reconfiguration time exceeds it is not committed. Zero means the
 	// default (30 s); negative disables defragmentation.
 	DefragMaxSec float64
+	// Policy decides admission order, preemption victims and expansion
+	// order. nil means FIFO{} — the original behavior, with sim traces
+	// byte-identical to the pre-Policy coordinator.
+	Policy Policy
+	// Mode selects deterministic simulated time (default) or wall-clock
+	// pacing.
+	Mode ExecMode
+	// Workers bounds the worker pool executing per-job reconfiguration
+	// work. 0 means GOMAXPROCS; 1 means the fully serialized
+	// single-threaded event loop (every task runs inline at its
+	// decision point, the original runtime).
+	Workers int
+	// WallScale is the real duration of one simulated minute in
+	// ModeWall; zero means the default 250µs.
+	WallScale time.Duration
 }
 
 // DefaultPerf returns the placement cost model used when Options.Perf
@@ -160,6 +208,8 @@ type JobSummary struct {
 type Result struct {
 	Timeline []TimelineEvent
 	Jobs     []JobSummary
+	// Policy is the name of the scheduling policy that ran.
+	Policy string
 	// MakespanMin is the time of the last event.
 	MakespanMin float64
 	// ReconfigSecTotal is the aggregate netsim-priced reconfiguration
@@ -167,12 +217,18 @@ type Result struct {
 	ReconfigSecTotal float64
 	// MeanUtilization is leased device-time over total device-time.
 	MeanUtilization float64
+	// Preemptions counts forced scale-ins of running jobs on behalf of
+	// queued ones.
+	Preemptions int
 	// PlansValidated counts reconfiguration plans generated and
 	// validated during the run (every resize, redeploy and recovery).
 	PlansValidated int
 	// InvariantChecks counts full ledger+PTC invariant sweeps (one per
 	// processed event).
 	InvariantChecks int
+	// WallNs is the real time the run took — the cost of executing the
+	// control plane plus (in ModeWall) the paced schedule.
+	WallNs int64
 }
 
 // Render formats the timeline and summary as text.
@@ -214,9 +270,15 @@ func (h eventHeap) Less(i, j int) bool {
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)        { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
 
 // --- simulation state ---
 
@@ -232,8 +294,18 @@ const (
 
 type simJob struct {
 	spec JobSpec
+	idx  int // submission order
 	rt   *jobRuntime
+	// init holds the job's deterministic initial tensors. It is
+	// written by the deploy task and read by the verify task — both on
+	// the job's chain, never by the event loop.
 	init map[core.TensorID]*tensor.Tensor
+
+	// Decision-plane mirrors of the runtime's placement. The event
+	// loop reads and writes these at decision time; rt.alloc/rt.cfg
+	// catch up when the job's chain executes.
+	alloc cluster.Allocation
+	cfg   parallel.Config
 
 	state       jobState
 	admitMin    float64
@@ -245,31 +317,54 @@ type simJob struct {
 	movedBytes  int64
 }
 
+// pendingChange is one decided allocation change whose plan+transform
+// is in flight on the job's chain. The event loop finalizes it — fills
+// the timeline entry's price and schedules the delayed completion —
+// once the plan is available.
+type pendingChange struct {
+	j      *simJob
+	cfg    parallel.Config
+	alloc  cluster.Allocation
+	failed []cluster.DeviceID
+	seq    int // reserved event sequence number for the completion push
+	ver    int
+	tlIdx  int // timeline placeholder index
+	ch     *change
+}
+
 type sim struct {
 	topo   *cluster.Topology
 	opts   Options
+	policy Policy
 	ledger *Ledger
 	cache  *perfmodel.Cache
+	pool   *pool // nil when Workers == 1: tasks run inline
 
 	jobs  map[string]*simJob
 	order []string // submission order
-	queue []string // admission FIFO
+	queue []string // admission queue, arrival order
 
 	evq eventHeap
 	seq int
 	now float64
 
+	pending []*pendingChange
+
 	timeline     []TimelineEvent
 	plans        int
 	checks       int
+	preemptions  int
 	reconfigSec  float64
 	utilIntegral float64 // leased device-minutes
 }
 
-// Run executes a deterministic coordinator simulation: the jobs arrive,
-// compete for the topology's devices, resize elastically, survive the
-// injected failures, and complete. It returns the per-job timeline and
-// aggregate metrics, or the first invariant or state-management error.
+// Run executes a coordinator run: the jobs arrive, compete for the
+// topology's devices under the configured Policy, resize elastically,
+// survive the injected failures, and complete. In ModeSim (default)
+// the run is deterministic; in ModeWall the event heap is paced on the
+// real clock and independent jobs' reconfigurations overlap. It
+// returns the per-job timeline and aggregate metrics, or the first
+// invariant or state-management error.
 func Run(topo *cluster.Topology, specs []JobSpec, failures []FailureSpec, opts Options) (Result, error) {
 	if topo == nil || topo.NumDevices() == 0 {
 		return Result{}, fmt.Errorf("coordinator: run needs a topology")
@@ -280,12 +375,25 @@ func Run(topo *cluster.Topology, specs []JobSpec, failures []FailureSpec, opts O
 	if opts.DefragMaxSec == 0 {
 		opts.DefragMaxSec = 30
 	}
+	if opts.Policy == nil {
+		opts.Policy = FIFO{}
+	}
+	if opts.Workers == 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.WallScale == 0 {
+		opts.WallScale = 250 * time.Microsecond
+	}
 	s := &sim{
 		topo:   topo,
 		opts:   opts,
+		policy: opts.Policy,
 		ledger: NewLedger(topo),
 		cache:  perfmodel.NewCache(),
 		jobs:   map[string]*simJob{},
+	}
+	if opts.Workers > 1 {
+		s.pool = newPool(opts.Workers)
 	}
 	for i := range specs {
 		spec := specs[i]
@@ -299,6 +407,7 @@ func Run(topo *cluster.Topology, specs []JobSpec, failures []FailureSpec, opts O
 		// queued and rejected jobs cost no state memory.
 		j := &simJob{
 			spec: spec,
+			idx:  i,
 			rt:   newJobRuntime(spec.Name, spec.Model, topo),
 		}
 		s.jobs[spec.Name] = j
@@ -312,12 +421,22 @@ func Run(topo *cluster.Topology, specs []JobSpec, failures []FailureSpec, opts O
 		s.push(event{time: f.TimeMin, kind: evFailure, dev: f.Device})
 	}
 
+	start := time.Now()
 	for s.evq.Len() > 0 {
 		e := heap.Pop(&s.evq).(event)
 		if e.kind == evComplete {
 			j := s.jobs[e.job]
 			if j.state != jobRunning || j.ver != e.ver {
 				continue // superseded by a resize or a failure
+			}
+		}
+		if opts.Mode == ModeWall {
+			// Pace the heap on the real clock: one simulated minute is
+			// WallScale of real time. In-flight chains keep executing
+			// while the loop waits — that overlap is the mode's point.
+			due := start.Add(time.Duration(e.time * float64(opts.WallScale)))
+			if d := time.Until(due); d > 0 {
+				time.Sleep(d)
 			}
 		}
 		s.advance(e.time)
@@ -330,12 +449,28 @@ func Run(topo *cluster.Topology, specs []JobSpec, failures []FailureSpec, opts O
 		case evFailure:
 			err = s.onFailure(e.dev)
 		}
+		if err == nil {
+			err = s.flush()
+		}
+		if err == nil {
+			err = s.checkInvariants()
+		}
 		if err != nil {
-			return s.result(), err
+			if s.pool != nil {
+				s.pool.drainAll() // quiesce chains before reporting
+			}
+			return s.result(start), err
 		}
-		if err := s.checkInvariants(); err != nil {
-			return s.result(), err
+	}
+	// Wall mode leaves verification (and possibly trailing commits) in
+	// flight; join them before judging the run.
+	if s.pool != nil {
+		if err := s.pool.drainAll(); err != nil {
+			return s.result(start), err
 		}
+	}
+	if err := s.auditAll(); err != nil {
+		return s.result(start), err
 	}
 	// Anything still queued could never be placed on this cluster.
 	for _, name := range s.queue {
@@ -344,7 +479,7 @@ func Run(topo *cluster.Topology, specs []JobSpec, failures []FailureSpec, opts O
 		s.record(TimelineEvent{TimeMin: s.now, Job: name, Kind: EvReject,
 			Note: "never admitted: insufficient capacity"})
 	}
-	return s.result(), nil
+	return s.result(start), nil
 }
 
 func normalizeSpec(spec *JobSpec) error {
@@ -368,8 +503,22 @@ func normalizeSpec(spec *JobSpec) error {
 }
 
 func (s *sim) push(e event) {
-	e.seq = s.seq
+	e.seq = s.reserveSeq()
+	heap.Push(&s.evq, e)
+}
+
+// reserveSeq hands out the next event sequence number. Changes whose
+// completion push is deferred until their plan is priced reserve their
+// seq at decision time, so the heap order is independent of when the
+// push actually happens.
+func (s *sim) reserveSeq() int {
+	n := s.seq
 	s.seq++
+	return n
+}
+
+func (s *sim) pushReserved(e event, seq int) {
+	e.seq = seq
 	heap.Push(&s.evq, e)
 }
 
@@ -396,6 +545,97 @@ func (s *sim) running() []*simJob {
 		}
 	}
 	return out
+}
+
+// --- task plumbing ---
+
+// submit schedules fn on job's task chain; with Workers == 1 it runs
+// inline at the decision point (the serialized runtime) and returns
+// fn's error directly.
+func (s *sim) submit(job string, fn func() error) error {
+	if s.pool == nil {
+		return fn()
+	}
+	s.pool.submit(job, fn)
+	return nil
+}
+
+// drainJob waits for job's chain to go idle, so the event loop may
+// read or plan against the job's runtime state.
+func (s *sim) drainJob(job string) error {
+	if s.pool == nil {
+		return nil
+	}
+	s.pool.drain(job)
+	return s.pool.firstErr()
+}
+
+// flush finalizes the event's decided changes: it waits for their
+// plans (in ModeSim the whole batch executes here, fanned out across
+// jobs; in ModeWall plans were priced at decision time and only
+// transforms remain in flight), then — in decision order — charges
+// each job's downtime, schedules the delayed completion under the seq
+// reserved at decision time, and fills the timeline placeholders.
+func (s *sim) flush() error {
+	if s.pool != nil && s.opts.Mode == ModeSim {
+		if err := s.pool.drainAll(); err != nil {
+			return err
+		}
+	}
+	for _, p := range s.pending {
+		ch := p.ch
+		if ch == nil {
+			if s.pool != nil {
+				if err := s.pool.firstErr(); err != nil {
+					return err
+				}
+			}
+			return fmt.Errorf("coordinator: change for %s has no plan", p.j.spec.Name)
+		}
+		j := p.j
+		j.reconfigSec += ch.simSec
+		j.movedBytes += ch.stats.MovedBytes
+		s.reconfigSec += ch.simSec
+		// Downtime delays the job's completion.
+		j.complAt += ch.simSec / 60
+		s.pushReserved(event{time: j.complAt, kind: evComplete, job: j.spec.Name, ver: p.ver}, p.seq)
+		s.timeline[p.tlIdx].SimSec = ch.simSec
+		s.timeline[p.tlIdx].MovedBytes = ch.stats.MovedBytes
+	}
+	s.pending = s.pending[:0]
+	return nil
+}
+
+// --- policy views ---
+
+func (s *sim) viewOf(j *simJob) *JobView {
+	return &JobView{
+		Name:       j.spec.Name,
+		Priority:   j.spec.Priority,
+		GPUs:       j.spec.GPUs,
+		MinGPUs:    j.spec.MinGPUs,
+		MaxGPUs:    j.spec.MaxGPUs,
+		ArrivalMin: j.spec.ArrivalMin,
+		SubmitIdx:  j.idx,
+		Alloc:      len(j.alloc),
+		Spread:     len(j.alloc.Workers(s.topo)),
+	}
+}
+
+func (s *sim) view() *ClusterView {
+	v := &ClusterView{
+		Devices: s.topo.NumDevices(),
+		Workers: s.topo.NumWorkers(),
+		Free:    s.ledger.FreeCount(),
+		Healthy: s.ledger.Healthy(),
+	}
+	for _, name := range s.queue {
+		v.Queued = append(v.Queued, s.viewOf(s.jobs[name]))
+	}
+	for _, j := range s.running() {
+		v.Running = append(v.Running, s.viewOf(j))
+	}
+	return v
 }
 
 // bestAtMost returns the largest feasible lease size n in [low, high]
@@ -429,7 +669,15 @@ func (s *sim) onArrival(name string) error {
 
 func (s *sim) onComplete(name string) error {
 	j := s.jobs[name]
-	if err := j.rt.verifyState(j.init); err != nil {
+	rt, init := j.rt, &j.init
+	// The end-to-end correctness oracle: reassemble the job's state and
+	// compare it bit for bit against the initial tensors. It runs on
+	// the job's chain, after every committed change. With a pool, a
+	// verification failure surfaces at the next flush/drain — the run
+	// still errors out, but the timeline returned alongside that error
+	// may already hold this completion event (on-error timelines are
+	// provisional; only an error-free Run vouches for them).
+	if err := s.submit(name, func() error { return rt.verifyState(*init) }); err != nil {
 		return err
 	}
 	s.record(TimelineEvent{TimeMin: s.now, Job: name, Kind: EvComplete,
@@ -461,6 +709,7 @@ func (s *sim) onFailure(dev cluster.DeviceID) error {
 		return nil
 	}
 	survivors := s.ledger.Allocation(owner) // dev already removed
+	j.alloc = append(cluster.Allocation(nil), survivors...)
 	full := append(cluster.Allocation(nil), survivors...)
 	var repl []cluster.DeviceID
 	if got, ok := s.ledger.Pick(1, survivors); ok {
@@ -494,115 +743,166 @@ func (s *sim) onFailure(dev cluster.DeviceID) error {
 	return s.expandJobs()
 }
 
-// --- scheduling policies ---
+// --- scheduling engine (mechanism; choices delegated to the Policy) ---
 
-// admitQueued places queued jobs FIFO. When free capacity is short it
-// arbitrates: elastic running jobs above their minimum are shrunk
-// (largest surplus first) until the head job's minimum fits. Head-of-
-// line blocking is deliberate — admission order stays fair and the
-// simulation deterministic.
+// admitQueued places queued jobs in the Policy's order. When free
+// capacity is short it arbitrates: the Policy picks running victims to
+// shrink until the candidate's minimum acceptable lease fits. Whether
+// an unadmittable job blocks those behind it (head-of-line) is also
+// the Policy's call, via NextQueued.
 func (s *sim) admitQueued() error {
+	attempted := map[string]bool{}
 	reclaimTried := map[string]bool{}
 	for len(s.queue) > 0 {
-		j := s.jobs[s.queue[0]]
-		if j.spec.MinGPUs > s.ledger.Healthy() {
+		name := s.policy.NextQueued(s.view(), attempted)
+		if name == "" {
+			return nil
+		}
+		j := s.jobs[name]
+		if j == nil || j.state != jobQueued {
+			return fmt.Errorf("coordinator: policy %s picked non-queued job %q", s.policy.Name(), name)
+		}
+		low, high := s.policy.AdmitBounds(s.view(), s.viewOf(j))
+		if low < 1 || high < low {
+			return fmt.Errorf("coordinator: policy %s: bad admit bounds [%d, %d] for %s",
+				s.policy.Name(), low, high, name)
+		}
+		if low > s.ledger.Healthy() {
 			j.state = jobRejected
-			s.queue = s.queue[1:]
-			s.record(TimelineEvent{TimeMin: s.now, Job: j.spec.Name, Kind: EvReject,
-				Note: fmt.Sprintf("min %d GPUs exceeds %d healthy devices", j.spec.MinGPUs, s.ledger.Healthy())})
+			s.dequeue(name)
+			s.record(TimelineEvent{TimeMin: s.now, Job: name, Kind: EvReject,
+				Note: fmt.Sprintf("min %d GPUs exceeds %d healthy devices", low, s.ledger.Healthy())})
 			continue
 		}
-		high := j.spec.GPUs
 		if free := s.ledger.FreeCount(); free < high {
 			high = free
 		}
-		n, est, ok := s.bestAtMost(j.spec.Model, high, j.spec.MinGPUs)
+		n, est, ok := s.bestAtMost(j.spec.Model, high, low)
 		if !ok {
-			if reclaimTried[j.spec.Name] {
-				break
+			if !reclaimTried[name] {
+				reclaimTried[name] = true
+				freed, err := s.reclaimFor(j, low)
+				if err != nil {
+					return err
+				}
+				if freed {
+					continue // retry with the reclaimed capacity
+				}
 			}
-			reclaimTried[j.spec.Name] = true
-			if !s.reclaimFor(j) {
-				break
-			}
-			continue // retry the head with the reclaimed capacity
+			attempted[name] = true
+			continue
 		}
 		devs, got := s.ledger.Pick(n, nil)
 		if !got {
 			return fmt.Errorf("coordinator: pick(%d) failed with %d free", n, s.ledger.FreeCount())
 		}
-		if err := s.ledger.Lease(j.spec.Name, devs...); err != nil {
+		if err := s.ledger.Lease(name, devs...); err != nil {
 			return err
 		}
-		if j.init == nil {
-			j.init = initState(j.spec.Model, j.spec.Seed)
-		}
-		if err := j.rt.deploy(est.Config, devs, j.init); err != nil {
-			return err
-		}
+		j.alloc = append(cluster.Allocation(nil), devs...)
+		j.cfg = est.Config
 		j.state = jobRunning
 		j.admitMin = s.now
 		j.complAt = s.now + j.spec.DurationMin
 		j.ver++
-		s.push(event{time: j.complAt, kind: evComplete, job: j.spec.Name, ver: j.ver})
-		s.queue = s.queue[1:]
-		s.record(TimelineEvent{TimeMin: s.now, Job: j.spec.Name, Kind: EvAdmit,
+		s.push(event{time: j.complAt, kind: evComplete, job: name, ver: j.ver})
+		s.dequeue(name)
+		s.record(TimelineEvent{TimeMin: s.now, Job: name, Kind: EvAdmit,
 			GPUs: n, Config: est.Config.String()})
+		// First placement: materialize the initial tensors, load them
+		// into the Tensor Stores and persist the baseline checkpoint —
+		// all on the job's chain.
+		rt, spec := j.rt, j.spec
+		cfg, alloc := est.Config, j.alloc
+		if err := s.submit(name, func() error {
+			if j.init == nil {
+				j.init = initState(spec.Model, spec.Seed)
+			}
+			return rt.deploy(cfg, alloc, j.init)
+		}); err != nil {
+			return err
+		}
 	}
 	return nil
 }
 
-// reclaimFor shrinks running jobs (largest surplus over their minimum
-// first) until at least j's minimum lease is free. It reports whether
-// enough capacity was freed. Each shrink is a real reconfiguration of
-// the victim job.
-func (s *sim) reclaimFor(j *simJob) bool {
-	// Don't shrink anyone unless the minimum is actually reachable:
-	// partial preemption would only be undone by the next expansion.
-	// Each victim counts only what shrinking to its smallest *feasible*
-	// size at or above its minimum would free.
-	achievable := s.ledger.FreeCount()
-	for _, r := range s.running() {
-		if n, ok := s.minFeasible(r.spec.Model, r.spec.MinGPUs, len(r.rt.alloc)); ok {
-			achievable += len(r.rt.alloc) - n
+// dequeue removes name from the admission queue, preserving order.
+func (s *sim) dequeue(name string) {
+	for i, q := range s.queue {
+		if q == name {
+			s.queue = append(s.queue[:i], s.queue[i+1:]...)
+			return
 		}
 	}
-	if achievable < j.spec.MinGPUs {
-		return false
+}
+
+// reclaimFor shrinks running jobs — the Policy picks the victims —
+// until at least target devices are free for j. It reports whether
+// enough capacity was freed. Each shrink is a real reconfiguration of
+// the victim job.
+func (s *sim) reclaimFor(j *simJob, target int) (bool, error) {
+	// Don't shrink anyone unless the target is actually reachable:
+	// partial preemption would only be undone by the next expansion.
+	// Each victim counts only what shrinking to its smallest *feasible*
+	// size at or above the policy's floor would free.
+	reqView := s.viewOf(j)
+	achievable := s.ledger.FreeCount()
+	for _, r := range s.running() {
+		floor := s.policy.PreemptFloor(reqView, s.viewOf(r))
+		if floor >= len(r.alloc) {
+			continue
+		}
+		if n, ok := s.minFeasible(r.spec.Model, floor, len(r.alloc)); ok {
+			achievable += len(r.alloc) - n
+		}
+	}
+	if achievable < target {
+		return false, nil
 	}
 	excluded := map[string]bool{} // victims with no feasible shrink left
-	for s.ledger.FreeCount() < j.spec.MinGPUs {
-		var victim *simJob
-		surplus := 0
+	for s.ledger.FreeCount() < target {
+		view := s.view()
+		var cands []*JobView
+		floors := map[string]int{}
 		for _, r := range s.running() {
 			if excluded[r.spec.Name] {
 				continue
 			}
-			if sp := len(r.rt.alloc) - r.spec.MinGPUs; sp > surplus {
-				surplus, victim = sp, r
+			rv := s.viewOf(r)
+			floor := s.policy.PreemptFloor(reqView, rv)
+			if sp := len(r.alloc) - floor; sp > 0 {
+				rv.Surplus = sp
+				floors[r.spec.Name] = floor
+				cands = append(cands, rv)
 			}
 		}
-		if victim == nil {
-			return false
+		pick := s.policy.PickVictim(view, reqView, cands)
+		if pick == nil {
+			return false, nil
 		}
-		need := j.spec.MinGPUs - s.ledger.FreeCount()
-		give := surplus
+		victim := s.jobs[pick.Name]
+		if victim == nil || victim.state != jobRunning || excluded[pick.Name] {
+			return false, fmt.Errorf("coordinator: policy %s picked invalid victim %q", s.policy.Name(), pick.Name)
+		}
+		need := target - s.ledger.FreeCount()
+		give := len(victim.alloc) - floors[pick.Name]
 		if give > need {
 			give = need
 		}
-		cur := len(victim.rt.alloc)
-		n, est, ok := s.bestAtMost(victim.spec.Model, cur-give, victim.spec.MinGPUs)
+		cur := len(victim.alloc)
+		n, est, ok := s.bestAtMost(victim.spec.Model, cur-give, floors[pick.Name])
 		if !ok || n >= cur {
-			excluded[victim.spec.Name] = true
+			excluded[pick.Name] = true
 			continue
 		}
-		alloc := append(cluster.Allocation(nil), victim.rt.alloc[:n]...)
+		alloc := append(cluster.Allocation(nil), victim.alloc[:n]...)
 		note := fmt.Sprintf("preempted for %s", j.spec.Name)
+		s.preemptions++
 		if err := s.applyChange(victim, est, alloc, nil, EvScaleIn, note); err != nil {
-			return false
+			return false, err
 		}
 	}
-	return true
+	return true, nil
 }
 
 // minFeasible returns the smallest feasible lease size in [low, high].
@@ -618,9 +918,10 @@ func (s *sim) minFeasible(m *model.Model, low, high int) (int, bool) {
 	return 0, false
 }
 
-// expandJobs grows elastic running jobs into free capacity: first back
-// towards their requested size (most-starved first), then — only when
-// the admission queue is empty — up to their elastic maximum.
+// expandJobs grows elastic running jobs into free capacity — the
+// Policy orders the candidates: first back towards their requested
+// size, then — only when the admission queue is empty — up to their
+// elastic maximum.
 func (s *sim) expandJobs() error {
 	stuck := map[string]bool{} // jobs with no feasible larger lease right now
 	for {
@@ -628,27 +929,28 @@ func (s *sim) expandJobs() error {
 		if free == 0 {
 			return nil
 		}
-		var pick *simJob
-		var pickRatio float64
 		limitOf := func(r *simJob) int {
 			if len(s.queue) == 0 {
 				return r.spec.MaxGPUs
 			}
 			return r.spec.GPUs
 		}
+		var cands []*JobView
 		for _, r := range s.running() {
-			if stuck[r.spec.Name] || len(r.rt.alloc) >= limitOf(r) {
+			if stuck[r.spec.Name] || len(r.alloc) >= limitOf(r) {
 				continue
 			}
-			ratio := float64(len(r.rt.alloc)) / float64(r.spec.GPUs)
-			if pick == nil || ratio < pickRatio {
-				pick, pickRatio = r, ratio
-			}
+			cands = append(cands, s.viewOf(r))
 		}
-		if pick == nil {
+		pickView := s.policy.PickExpand(s.view(), cands)
+		if pickView == nil {
 			return nil
 		}
-		cur := len(pick.rt.alloc)
+		pick := s.jobs[pickView.Name]
+		if pick == nil || pick.state != jobRunning || stuck[pickView.Name] {
+			return fmt.Errorf("coordinator: policy %s picked invalid expansion %q", s.policy.Name(), pickView.Name)
+		}
+		cur := len(pick.alloc)
 		high := cur + free
 		if limit := limitOf(pick); high > limit {
 			high = limit
@@ -658,11 +960,11 @@ func (s *sim) expandJobs() error {
 			stuck[pick.spec.Name] = true
 			continue
 		}
-		extra, got := s.ledger.Pick(n-cur, pick.rt.alloc)
+		extra, got := s.ledger.Pick(n-cur, pick.alloc)
 		if !got {
 			return nil
 		}
-		alloc := append(append(cluster.Allocation(nil), pick.rt.alloc...), extra...)
+		alloc := append(append(cluster.Allocation(nil), pick.alloc...), extra...)
 		if err := s.applyChange(pick, est, alloc, nil, EvScaleOut, ""); err != nil {
 			return err
 		}
@@ -672,13 +974,15 @@ func (s *sim) expandJobs() error {
 // defragJobs redeploys fragmented jobs onto fewer workers when a
 // compact placement exists and its netsim-priced cost stays under the
 // configured ceiling — the paper's redeployment scenario (§6.3) driven
-// by the cluster, not the user.
+// by the cluster, not the user. The cost gate needs the plan before
+// the decision, so defrag prices synchronously (after the job's chain
+// drains) and fans out only the commit.
 func (s *sim) defragJobs() error {
 	if s.opts.DefragMaxSec < 0 {
 		return nil
 	}
 	for _, j := range s.running() {
-		cur := j.rt.alloc
+		cur := j.alloc
 		curWorkers := len(cur.Workers(s.topo))
 		candidate, ok := s.pickCompact(j.spec.Name, len(cur))
 		if !ok {
@@ -689,6 +993,9 @@ func (s *sim) defragJobs() error {
 		}
 		// Same device count, so the job keeps its current (T, P, D);
 		// price the move before committing it.
+		if err := s.drainJob(j.spec.Name); err != nil {
+			return err
+		}
 		ch, err := j.rt.planChange(j.rt.cfg, candidate, nil)
 		if err != nil {
 			return err
@@ -699,7 +1006,7 @@ func (s *sim) defragJobs() error {
 		}
 		note := fmt.Sprintf("defragmented %d -> %d workers", curWorkers,
 			len(cluster.Allocation(candidate).Workers(s.topo)))
-		if err := s.commitChange(j, ch, EvRedeploy, note); err != nil {
+		if err := s.applyPlanned(j, ch, EvRedeploy, note); err != nil {
 			return err
 		}
 	}
@@ -714,22 +1021,58 @@ func (s *sim) pickCompact(job string, n int) ([]cluster.DeviceID, bool) {
 	return packCompact(s.topo, avail, n, nil)
 }
 
-// applyChange plans, prices, commits and books one allocation change of
-// a running job. Callers that need to inspect the price before deciding
-// (the defrag gate) call planChange and commitChange themselves.
+// applyChange decides one allocation change of a running job: ledger
+// mutations and bookkeeping happen immediately on the event loop; the
+// plan and the State Transformer execute on the job's task chain. In
+// ModeWall the plan is priced synchronously (its netsim cost schedules
+// the job's completion) and only the transform fans out.
 func (s *sim) applyChange(j *simJob, est perfmodel.Estimate, alloc cluster.Allocation,
 	failed []cluster.DeviceID, kind, note string) error {
-	ch, err := j.rt.planChange(est.Config, alloc, failed)
+	s.plans++
+	p, err := s.decideChange(j, est.Config, alloc, kind, note)
 	if err != nil {
 		return err
 	}
-	s.plans++
-	return s.commitChange(j, ch, kind, note)
+	p.failed = failed
+	rt := j.rt
+	if s.opts.Mode == ModeWall && s.pool != nil {
+		if err := s.drainJob(j.spec.Name); err != nil {
+			return err
+		}
+		ch, err := rt.planChange(p.cfg, p.alloc, p.failed)
+		if err != nil {
+			return err
+		}
+		p.ch = ch
+		s.pool.submit(j.spec.Name, func() error { return rt.commit(ch) })
+		return nil
+	}
+	return s.submit(j.spec.Name, func() error {
+		ch, err := rt.planChange(p.cfg, p.alloc, p.failed)
+		if err != nil {
+			return err
+		}
+		p.ch = ch
+		return rt.commit(ch)
+	})
 }
 
-// commitChange executes a costed change: lease the new devices, run the
-// transformer, release the vacated ones, and charge the downtime.
-func (s *sim) commitChange(j *simJob, ch *change, kind, note string) error {
+// applyPlanned commits an already-priced change (the defrag path).
+func (s *sim) applyPlanned(j *simJob, ch *change, kind, note string) error {
+	p, err := s.decideChange(j, ch.cfg, ch.alloc, kind, note)
+	if err != nil {
+		return err
+	}
+	p.ch = ch
+	rt := j.rt
+	return s.submit(j.spec.Name, func() error { return rt.commit(ch) })
+}
+
+// decideChange books one allocation change at decision time: it moves
+// the lease (new devices in, vacated ones out), updates the
+// decision-plane mirrors, reserves the completion event's sequence
+// number and appends the timeline placeholder flush will finalize.
+func (s *sim) decideChange(j *simJob, cfg parallel.Config, alloc cluster.Allocation, kind, note string) (*pendingChange, error) {
 	name := j.spec.Name
 	held := map[cluster.DeviceID]bool{}
 	for _, d := range s.ledger.Allocation(name) {
@@ -737,7 +1080,7 @@ func (s *sim) commitChange(j *simJob, ch *change, kind, note string) error {
 	}
 	var fresh []cluster.DeviceID
 	inNew := map[cluster.DeviceID]bool{}
-	for _, d := range ch.alloc {
+	for _, d := range alloc {
 		inNew[d] = true
 		if !held[d] {
 			fresh = append(fresh, d)
@@ -752,34 +1095,37 @@ func (s *sim) commitChange(j *simJob, ch *change, kind, note string) error {
 	sort.Slice(vacate, func(i, j int) bool { return vacate[i] < vacate[j] })
 	if len(fresh) > 0 {
 		if err := s.ledger.Lease(name, fresh...); err != nil {
-			return err
+			return nil, err
 		}
-	}
-	if err := j.rt.commit(ch); err != nil {
-		return err
 	}
 	if len(vacate) > 0 {
 		if err := s.ledger.Release(name, vacate...); err != nil {
-			return err
+			return nil, err
 		}
 	}
+	j.alloc = append(cluster.Allocation(nil), alloc...)
+	j.cfg = cfg
 	j.resizes++
-	j.reconfigSec += ch.simSec
-	j.movedBytes += ch.stats.MovedBytes
-	s.reconfigSec += ch.simSec
-	// Downtime delays the job's completion.
-	j.complAt += ch.simSec / 60
 	j.ver++
-	s.push(event{time: j.complAt, kind: evComplete, job: name, ver: j.ver})
+	p := &pendingChange{
+		j:     j,
+		cfg:   cfg,
+		alloc: j.alloc,
+		seq:   s.reserveSeq(),
+		ver:   j.ver,
+		tlIdx: len(s.timeline),
+	}
 	s.record(TimelineEvent{TimeMin: s.now, Job: name, Kind: kind,
-		GPUs: len(ch.alloc), Config: ch.cfg.String(),
-		SimSec: ch.simSec, MovedBytes: ch.stats.MovedBytes, Note: note})
-	return nil
+		GPUs: len(alloc), Config: cfg.String(), Note: note})
+	s.pending = append(s.pending, p)
+	return p, nil
 }
 
 // checkInvariants asserts, after every event, that the ledger is
-// consistent, that each running job's runtime allocation matches its
-// lease exactly, and that its PTC is valid.
+// consistent and that each running job's decided allocation matches
+// its lease exactly. In ModeSim — where flush has just joined every
+// chain — it additionally checks that the runtime caught up with the
+// decision plane and that each PTC is valid.
 func (s *sim) checkInvariants() error {
 	s.checks++
 	if err := s.ledger.Validate(); err != nil {
@@ -787,34 +1133,81 @@ func (s *sim) checkInvariants() error {
 	}
 	for _, j := range s.running() {
 		lease := s.ledger.Allocation(j.spec.Name)
-		if len(lease) != len(j.rt.alloc) {
+		if len(lease) != len(j.alloc) {
 			return fmt.Errorf("coordinator: %s lease has %d devices, runtime %d",
-				j.spec.Name, len(lease), len(j.rt.alloc))
+				j.spec.Name, len(lease), len(j.alloc))
 		}
 		onLease := map[cluster.DeviceID]bool{}
 		for _, d := range lease {
 			onLease[d] = true
 		}
-		for _, d := range j.rt.alloc {
+		for _, d := range j.alloc {
 			if !onLease[d] {
 				return fmt.Errorf("coordinator: %s runtime uses device %d outside its lease",
 					j.spec.Name, d)
 			}
 		}
-		if err := j.rt.ptc.Validate(); err != nil {
-			return fmt.Errorf("coordinator: %s: %w", j.spec.Name, err)
+		if s.opts.Mode == ModeSim && j.rt.ptc != nil {
+			if err := auditRuntime(j); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
 }
 
-func (s *sim) result() Result {
+// auditRuntime asserts that a job's execution plane caught up with the
+// decision plane exactly — same devices, not just the same count — and
+// that its PTC is valid. It may only run while the job's chain is
+// idle: after a ModeSim flush, or after the terminal drain.
+func auditRuntime(j *simJob) error {
+	if len(j.rt.alloc) != len(j.alloc) {
+		return fmt.Errorf("coordinator: %s runtime alloc has %d devices, decided %d",
+			j.spec.Name, len(j.rt.alloc), len(j.alloc))
+	}
+	decided := map[cluster.DeviceID]bool{}
+	for _, d := range j.alloc {
+		decided[d] = true
+	}
+	for _, d := range j.rt.alloc {
+		if !decided[d] {
+			return fmt.Errorf("coordinator: %s runtime holds device %d outside its decided allocation",
+				j.spec.Name, d)
+		}
+	}
+	if err := j.rt.ptc.Validate(); err != nil {
+		return fmt.Errorf("coordinator: %s: %w", j.spec.Name, err)
+	}
+	return nil
+}
+
+// auditAll is the terminal sweep after the final drain: every job that
+// ever deployed must have its runtime consistent with its last decided
+// placement — ModeWall skips per-event runtime audits (chains are in
+// flight), so this is where a placement divergence would surface.
+func (s *sim) auditAll() error {
+	for _, name := range s.order {
+		j := s.jobs[name]
+		if j.rt.ptc == nil || j.state == jobLost {
+			continue // never deployed, or runtime intentionally abandoned
+		}
+		if err := auditRuntime(j); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *sim) result(start time.Time) Result {
 	res := Result{
 		Timeline:         s.timeline,
+		Policy:           s.policy.Name(),
 		MakespanMin:      s.now,
 		ReconfigSecTotal: s.reconfigSec,
+		Preemptions:      s.preemptions,
 		PlansValidated:   s.plans,
 		InvariantChecks:  s.checks,
+		WallNs:           time.Since(start).Nanoseconds(),
 	}
 	if s.now > 0 {
 		res.MeanUtilization = s.utilIntegral / (float64(s.topo.NumDevices()) * s.now)

@@ -1,0 +1,90 @@
+package coordinator
+
+import "sync"
+
+// pool executes per-job task chains on a bounded set of workers. The
+// event loop owns all decisions and ledger mutations and stays
+// single-threaded; what fans out here is each job's state-management
+// work — plan generation, the State Transformer, checkpointing and
+// final verification. Tasks for the same job run strictly in
+// submission order (a job's reconfigurations are causally dependent);
+// tasks for different jobs run concurrently, since every job owns its
+// own Tensor Stores, checkpoint storage and PTC.
+type pool struct {
+	sem  chan struct{}
+	wg   sync.WaitGroup
+	mu   sync.Mutex
+	tail map[string]chan struct{} // per-job: done channel of the last submitted task
+
+	errMu sync.Mutex
+	err   error // first task error; later tasks are skipped
+}
+
+// newPool builds a pool running at most workers tasks at once. workers
+// must be >= 2; a serialized runtime (workers == 1) executes inline in
+// the event loop and uses no pool at all.
+func newPool(workers int) *pool {
+	return &pool{
+		sem:  make(chan struct{}, workers),
+		tail: map[string]chan struct{}{},
+	}
+}
+
+// submit appends fn to job's task chain. It never blocks: the task
+// starts once its predecessor in the chain has finished and a worker
+// slot is free. Only the event-loop goroutine may call submit.
+func (p *pool) submit(job string, fn func() error) {
+	p.mu.Lock()
+	prev := p.tail[job]
+	done := make(chan struct{})
+	p.tail[job] = done
+	p.mu.Unlock()
+	p.wg.Add(1)
+	go func() {
+		defer close(done)
+		defer p.wg.Done()
+		if prev != nil {
+			<-prev
+		}
+		if p.firstErr() != nil {
+			return // the run is aborting; don't touch more state
+		}
+		p.sem <- struct{}{}
+		err := fn()
+		<-p.sem
+		if err != nil {
+			p.fail(err)
+		}
+	}()
+}
+
+// drain blocks until job's chain is idle (all submitted tasks done).
+func (p *pool) drain(job string) {
+	p.mu.Lock()
+	done := p.tail[job]
+	p.mu.Unlock()
+	if done != nil {
+		<-done
+	}
+}
+
+// drainAll blocks until every chain is idle and returns the first task
+// error, if any. Only the event-loop goroutine may call it.
+func (p *pool) drainAll() error {
+	p.wg.Wait()
+	return p.firstErr()
+}
+
+func (p *pool) fail(err error) {
+	p.errMu.Lock()
+	if p.err == nil {
+		p.err = err
+	}
+	p.errMu.Unlock()
+}
+
+func (p *pool) firstErr() error {
+	p.errMu.Lock()
+	defer p.errMu.Unlock()
+	return p.err
+}

@@ -1,0 +1,268 @@
+package coordinator
+
+import "fmt"
+
+// A Policy makes the coordinator's admission, preemption and expansion
+// choices. The event loop owns all mechanism — the ledger, feasibility
+// search, reconfiguration planning and execution — and consults the
+// policy only at decision points, always with a read-only snapshot of
+// the cluster. Policies must be deterministic functions of that
+// snapshot: the simulation's reproducibility (and the wall-clock
+// runtime's trace equality with sim mode) depends on it.
+type Policy interface {
+	// Name identifies the policy in results and BENCH records.
+	Name() string
+	// NextQueued picks the queued job to try admitting next. attempted
+	// holds the jobs already found unadmittable in this pass; returning
+	// "" ends the pass. A policy with head-of-line blocking returns ""
+	// as soon as its first choice is in attempted.
+	NextQueued(v *ClusterView, attempted map[string]bool) string
+	// AdmitBounds returns the [low, high] lease sizes acceptable for
+	// admitting j. low is also the capacity target preemption tries to
+	// free, and a job whose low exceeds the healthy device count is
+	// rejected outright.
+	AdmitBounds(v *ClusterView, j *JobView) (low, high int)
+	// PreemptFloor is the smallest lease preemption may shrink victim
+	// to on behalf of req. Any value >= victim.Alloc marks the victim
+	// as not preemptible by req.
+	PreemptFloor(req, victim *JobView) int
+	// PickVictim chooses the next job to shrink from cands (each has a
+	// positive preemptible Surplus, listed in submission order). nil
+	// gives up on preemption for req.
+	PickVictim(v *ClusterView, req *JobView, cands []*JobView) *JobView
+	// PickExpand chooses which running job grows into free capacity
+	// next, from cands in submission order. nil stops expansion.
+	PickExpand(v *ClusterView, cands []*JobView) *JobView
+}
+
+// JobView is the read-only per-job state a Policy sees.
+type JobView struct {
+	Name     string
+	Priority int
+	// GPUs is the requested size, MinGPUs/MaxGPUs the elastic bounds.
+	GPUs, MinGPUs, MaxGPUs int
+	ArrivalMin             float64
+	// SubmitIdx is the job's submission order (ties are broken by it).
+	SubmitIdx int
+	// Alloc is the current lease size (0 while queued) and Spread the
+	// number of workers the lease spans.
+	Alloc, Spread int
+	// Surplus is the preemptible slack above the policy's floor; only
+	// set on PickVictim candidates.
+	Surplus int
+}
+
+// ClusterView is the read-only cluster state a Policy sees.
+type ClusterView struct {
+	Devices, Workers int
+	Free, Healthy    int
+	// Queued is the admission queue in arrival order; Running the
+	// placed jobs in submission order.
+	Queued, Running []*JobView
+}
+
+// DominantShare is the job's dominant resource share: the larger of its
+// device share and its worker-spread share — the quantity DRF
+// equalizes.
+func (j *JobView) DominantShare(v *ClusterView) float64 {
+	ds := float64(j.Alloc) / float64(v.Devices)
+	ws := 0.0
+	if v.Workers > 0 {
+		ws = float64(j.Spread) / float64(v.Workers)
+	}
+	if ws > ds {
+		return ws
+	}
+	return ds
+}
+
+// PolicyByName resolves a policy from its CLI name: "fifo" (default),
+// "drf", or "priority".
+func PolicyByName(name string) (Policy, error) {
+	switch name {
+	case "", "fifo":
+		return FIFO{}, nil
+	case "drf":
+		return DRF{}, nil
+	case "priority":
+		return PriorityGang{}, nil
+	}
+	return nil, fmt.Errorf("coordinator: unknown policy %q (want fifo, drf or priority)", name)
+}
+
+// --- FIFO + largest surplus (the default) ---
+
+// FIFO is the original coordinator policy: strict arrival-order
+// admission with deliberate head-of-line blocking, largest-surplus
+// preemption, and most-starved-first expansion. Sim-mode traces under
+// FIFO are byte-identical to the pre-Policy coordinator.
+type FIFO struct{}
+
+func (FIFO) Name() string { return "fifo" }
+
+func (FIFO) NextQueued(v *ClusterView, attempted map[string]bool) string {
+	if len(v.Queued) == 0 || attempted[v.Queued[0].Name] {
+		return ""
+	}
+	return v.Queued[0].Name
+}
+
+func (FIFO) AdmitBounds(v *ClusterView, j *JobView) (int, int) { return j.MinGPUs, j.GPUs }
+
+func (FIFO) PreemptFloor(req, victim *JobView) int { return victim.MinGPUs }
+
+func (FIFO) PickVictim(v *ClusterView, req *JobView, cands []*JobView) *JobView {
+	var pick *JobView
+	surplus := 0
+	for _, c := range cands {
+		if c.Surplus > surplus {
+			surplus, pick = c.Surplus, c
+		}
+	}
+	return pick
+}
+
+func (FIFO) PickExpand(v *ClusterView, cands []*JobView) *JobView {
+	var pick *JobView
+	ratio := 0.0
+	for _, c := range cands {
+		r := float64(c.Alloc) / float64(c.GPUs)
+		if pick == nil || r < ratio {
+			pick, ratio = c, r
+		}
+	}
+	return pick
+}
+
+// --- DRF-style dominant-resource fairness ---
+
+// DRF approximates dominant-resource fairness over two dimensions:
+// device share and worker-spread share. Admission favors the job whose
+// admission costs the smallest prospective dominant share (progressive
+// filling), without head-of-line blocking; preemption shrinks the job
+// with the largest dominant share first; expansion grows the job with
+// the smallest dominant share first.
+type DRF struct{}
+
+func (DRF) Name() string { return "drf" }
+
+func (DRF) NextQueued(v *ClusterView, attempted map[string]bool) string {
+	var pick *JobView
+	var share float64
+	for _, q := range v.Queued {
+		if attempted[q.Name] {
+			continue
+		}
+		// Prospective dominant share at the requested size: the larger
+		// of the device share and the worker-spread share under the
+		// densest possible packing (ceil over uniform workers).
+		s := float64(q.GPUs) / float64(v.Devices)
+		if v.Workers > 0 && v.Devices >= v.Workers {
+			perWorker := v.Devices / v.Workers
+			spread := (q.GPUs + perWorker - 1) / perWorker
+			if ws := float64(spread) / float64(v.Workers); ws > s {
+				s = ws
+			}
+		}
+		if pick == nil || s < share || (s == share && q.SubmitIdx < pick.SubmitIdx) {
+			pick, share = q, s
+		}
+	}
+	if pick == nil {
+		return ""
+	}
+	return pick.Name
+}
+
+func (DRF) AdmitBounds(v *ClusterView, j *JobView) (int, int) { return j.MinGPUs, j.GPUs }
+
+func (DRF) PreemptFloor(req, victim *JobView) int { return victim.MinGPUs }
+
+func (DRF) PickVictim(v *ClusterView, req *JobView, cands []*JobView) *JobView {
+	var pick *JobView
+	var share float64
+	for _, c := range cands {
+		s := c.DominantShare(v)
+		if pick == nil || s > share || (s == share && c.Surplus > pick.Surplus) {
+			pick, share = c, s
+		}
+	}
+	return pick
+}
+
+func (DRF) PickExpand(v *ClusterView, cands []*JobView) *JobView {
+	var pick *JobView
+	var share float64
+	for _, c := range cands {
+		s := c.DominantShare(v)
+		if pick == nil || s < share {
+			pick, share = c, s
+		}
+	}
+	return pick
+}
+
+// --- priority classes with gang admission ---
+
+// PriorityGang implements priority classes with gang admission: jobs
+// are admitted strictly at their full requested size (all-or-nothing,
+// the gang), higher priority classes first, with backfill — a gang
+// that does not fit right now stays queued without blocking smaller or
+// lower-priority jobs behind it. Preemption may shrink only strictly
+// lower-priority jobs, lowest class first; expansion favors the
+// highest class.
+type PriorityGang struct{}
+
+func (PriorityGang) Name() string { return "priority" }
+
+func (PriorityGang) NextQueued(v *ClusterView, attempted map[string]bool) string {
+	var pick *JobView
+	for _, q := range v.Queued {
+		if attempted[q.Name] {
+			continue
+		}
+		if pick == nil || q.Priority > pick.Priority ||
+			(q.Priority == pick.Priority && q.SubmitIdx < pick.SubmitIdx) {
+			pick = q
+		}
+	}
+	if pick == nil {
+		return ""
+	}
+	return pick.Name
+}
+
+// AdmitBounds pins both bounds to the requested size: the gang is
+// placed whole or not at all.
+func (PriorityGang) AdmitBounds(v *ClusterView, j *JobView) (int, int) { return j.GPUs, j.GPUs }
+
+func (PriorityGang) PreemptFloor(req, victim *JobView) int {
+	if victim.Priority < req.Priority {
+		return victim.MinGPUs
+	}
+	return victim.Alloc // equal or higher class: not preemptible
+}
+
+func (PriorityGang) PickVictim(v *ClusterView, req *JobView, cands []*JobView) *JobView {
+	var pick *JobView
+	for _, c := range cands {
+		if pick == nil || c.Priority < pick.Priority ||
+			(c.Priority == pick.Priority && c.Surplus > pick.Surplus) {
+			pick = c
+		}
+	}
+	return pick
+}
+
+func (PriorityGang) PickExpand(v *ClusterView, cands []*JobView) *JobView {
+	var pick *JobView
+	var ratio float64
+	for _, c := range cands {
+		r := float64(c.Alloc) / float64(c.GPUs)
+		if pick == nil || c.Priority > pick.Priority ||
+			(c.Priority == pick.Priority && r < ratio) {
+			pick, ratio = c, r
+		}
+	}
+	return pick
+}

@@ -1,0 +1,229 @@
+package coordinator
+
+import (
+	"strings"
+	"testing"
+
+	"tenplex/internal/cluster"
+)
+
+func admitOrder(res Result) []string {
+	var out []string
+	for _, e := range res.Timeline {
+		if e.Kind == EvAdmit {
+			out = append(out, e.Job)
+		}
+	}
+	return out
+}
+
+func TestPolicyByName(t *testing.T) {
+	for name, want := range map[string]string{
+		"": "fifo", "fifo": "fifo", "drf": "drf", "priority": "priority",
+	} {
+		p, err := PolicyByName(name)
+		if err != nil {
+			t.Fatalf("%q: %v", name, err)
+		}
+		if p.Name() != want {
+			t.Fatalf("PolicyByName(%q).Name() = %q", name, p.Name())
+		}
+	}
+	if _, err := PolicyByName("lottery"); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}
+
+// TestDRFAdmissionOrder: with a big and a small job queued behind a
+// full cluster, FIFO admits in arrival order while DRF's progressive
+// filling admits the cheaper (smaller prospective dominant share) job
+// first.
+func TestDRFAdmissionOrder(t *testing.T) {
+	topo := cluster.OnPrem16()
+	specs := []JobSpec{
+		{Name: "hog", Model: tinyGPT(), ArrivalMin: 0, DurationMin: 30, GPUs: 16, Seed: 1},
+		{Name: "big", Model: tinyGPT(), ArrivalMin: 1, DurationMin: 20, GPUs: 8, Seed: 2},
+		{Name: "small", Model: tinyGPT(), ArrivalMin: 2, DurationMin: 20, GPUs: 2, Seed: 3},
+	}
+	fifo, err := Run(topo, specs, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	drf, err := Run(topo, specs, nil, Options{Policy: DRF{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if drf.Policy != "drf" || fifo.Policy != "fifo" {
+		t.Fatalf("policy names: fifo=%q drf=%q", fifo.Policy, drf.Policy)
+	}
+	fo, do := admitOrder(fifo), admitOrder(drf)
+	if len(fo) != 3 || fo[1] != "big" || fo[2] != "small" {
+		t.Fatalf("fifo admit order %v", fo)
+	}
+	if len(do) != 3 || do[1] != "small" || do[2] != "big" {
+		t.Fatalf("drf admit order %v, want small before big", do)
+	}
+	for _, js := range drf.Jobs {
+		if !js.Completed {
+			t.Errorf("drf: job %s did not complete", js.Name)
+		}
+	}
+}
+
+// TestGangAdmissionAllOrNothing: under PriorityGang a job is placed at
+// its full requested size or not at all — no shrink-to-fit admission —
+// and a gang that does not fit backfills instead of blocking the queue.
+func TestGangAdmissionAllOrNothing(t *testing.T) {
+	topo := cluster.OnPrem16()
+	specs := []JobSpec{
+		// A rigid job pins 8 devices, leaving 8 free.
+		{Name: "pin", Model: tinyGPT(), ArrivalMin: 0, DurationMin: 40, GPUs: 8, Seed: 1},
+		// The gang wants the full 16 (min 4): FIFO would admit it
+		// shrunk into the 8 free devices; gang admission keeps it
+		// queued until the pin completes.
+		{Name: "gang", Model: tinyGPT(), ArrivalMin: 1, DurationMin: 20, GPUs: 16, MinGPUs: 4, MaxGPUs: 16, Seed: 2},
+		// A later small job backfills free devices past the blocked
+		// gang and completes before the pin does.
+		{Name: "fill", Model: tinyGPT(), ArrivalMin: 2, DurationMin: 10, GPUs: 4, Seed: 3},
+	}
+	fifo, err := Run(topo, specs, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gang, err := Run(topo, specs, nil, Options{Policy: PriorityGang{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range fifo.Timeline {
+		if e.Kind == EvAdmit && e.Job == "gang" && e.GPUs != 8 {
+			t.Fatalf("fifo admitted the gang at %d GPUs, want shrunk into the 8 free", e.GPUs)
+		}
+	}
+	var gangAdmit, fillAdmit, pinDone float64
+	for _, e := range gang.Timeline {
+		switch {
+		case e.Kind == EvAdmit && e.Job == "gang":
+			gangAdmit = e.TimeMin
+			if e.GPUs != 16 {
+				t.Fatalf("gang admitted at %d GPUs, want all-or-nothing 16\n%s", e.GPUs, gang.Render())
+			}
+		case e.Kind == EvAdmit && e.Job == "fill":
+			fillAdmit = e.TimeMin
+		case e.Kind == EvComplete && e.Job == "pin":
+			pinDone = e.TimeMin
+		}
+	}
+	if gangAdmit < pinDone {
+		t.Fatalf("gang admitted at %.1f before the pin completed at %.1f", gangAdmit, pinDone)
+	}
+	if fillAdmit >= gangAdmit {
+		t.Fatalf("backfill job admitted at %.1f, not before the blocked gang at %.1f\n%s",
+			fillAdmit, gangAdmit, gang.Render())
+	}
+	for _, js := range gang.Jobs {
+		if !js.Completed {
+			t.Errorf("job %s did not complete", js.Name)
+		}
+	}
+}
+
+// TestGangAdmissionNeverSatisfied: a full-cluster gang is blocked
+// behind a rigid, non-preemptible peer — no partial preemption may
+// happen while it waits — and once a fail-stop failure shrinks the
+// cluster below the gang size, the gang is rejected outright instead
+// of wedging the queue.
+func TestGangAdmissionNeverSatisfied(t *testing.T) {
+	topo := cluster.OnPrem16()
+	specs := []JobSpec{
+		// Not preemptible (MinGPUs == GPUs): while it runs, the
+		// full-cluster gang's target is unreachable.
+		{Name: "rigid", Model: tinyGPT(), ArrivalMin: 0, DurationMin: 40, GPUs: 8, Seed: 1},
+		{Name: "gang", Model: tinyGPT(), ArrivalMin: 1, DurationMin: 20, GPUs: 16, MinGPUs: 2, MaxGPUs: 16, Priority: 1, Seed: 2},
+	}
+	// A free device dies at t=2, capping the cluster at 15 healthy
+	// devices for good.
+	failures := []FailureSpec{{TimeMin: 2, Device: 15}}
+	res, err := Run(topo, specs, failures, Options{Policy: PriorityGang{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rejected := false
+	for _, e := range res.Timeline {
+		if e.Kind == EvReject && e.Job == "gang" && strings.Contains(e.Note, "healthy devices") {
+			rejected = true
+		}
+		if e.Kind == EvAdmit && e.Job == "gang" {
+			t.Fatalf("unsatisfiable gang admitted:\n%s", res.Render())
+		}
+	}
+	if !rejected {
+		t.Fatalf("unsatisfiable gang not rejected:\n%s", res.Render())
+	}
+	if res.Preemptions != 0 {
+		t.Fatalf("%d partial preemptions despite unreachable gang target", res.Preemptions)
+	}
+}
+
+// TestPriorityPreemptsLowerClass: a high-priority gang shrinks a
+// lower-class elastic job to fit, and never touches an equal-class one.
+func TestPriorityPreemptsLowerClass(t *testing.T) {
+	topo := cluster.OnPrem16()
+	specs := []JobSpec{
+		{Name: "low", Model: tinyGPT(), ArrivalMin: 0, DurationMin: 100, GPUs: 8, MinGPUs: 2, MaxGPUs: 16, Priority: 0, Seed: 1},
+		{Name: "peer", Model: tinyGPT(), ArrivalMin: 0, DurationMin: 100, GPUs: 4, MinGPUs: 2, MaxGPUs: 4, Priority: 2, Seed: 2},
+		{Name: "vip", Model: tinyGPT(), ArrivalMin: 5, DurationMin: 10, GPUs: 8, Priority: 2, Seed: 3},
+	}
+	res, err := Run(topo, specs, nil, Options{Policy: PriorityGang{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	preempted := map[string]bool{}
+	for _, e := range res.Timeline {
+		if e.Kind == EvScaleIn && strings.Contains(e.Note, "preempted for vip") {
+			preempted[e.Job] = true
+		}
+	}
+	if !preempted["low"] {
+		t.Fatalf("vip did not preempt the lower class:\n%s", res.Render())
+	}
+	if preempted["peer"] {
+		t.Fatalf("vip preempted an equal-priority job:\n%s", res.Render())
+	}
+	if res.Preemptions == 0 {
+		t.Fatal("preemption counter not incremented")
+	}
+	for _, js := range res.Jobs {
+		if !js.Completed {
+			t.Errorf("job %s did not complete", js.Name)
+		}
+	}
+}
+
+// TestPoliciesDeterministic: every policy yields identical traces on
+// repeated runs, serialized or pooled.
+func TestPoliciesDeterministic(t *testing.T) {
+	topo := cluster.OnPrem16()
+	specs, failures := contendedSpecs()
+	for i := range specs {
+		specs[i].Priority = i % 3
+	}
+	for _, p := range []Policy{FIFO{}, DRF{}, PriorityGang{}} {
+		a, err := Run(topo, specs, failures, Options{Policy: p, Workers: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		b, err := Run(topo, specs, failures, Options{Policy: p, Workers: 4})
+		if err != nil {
+			t.Fatalf("%s pooled: %v", p.Name(), err)
+		}
+		if len(a.Timeline) == 0 {
+			t.Fatalf("%s produced an empty timeline", p.Name())
+		}
+		for i := range a.Timeline {
+			if a.Timeline[i] != b.Timeline[i] {
+				t.Fatalf("%s: pooled trace diverged at %d:\n%s\nvs\n%s",
+					p.Name(), i, a.Timeline[i], b.Timeline[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package coordinator
+
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package coordinator
+
+// raceEnabled disables wall-clock timing assertions under the race
+// detector, whose instrumentation overhead swamps the paced schedule.
+const raceEnabled = true

@@ -50,11 +50,14 @@ func newJobRuntime(name string, m *model.Model, topo *cluster.Topology) *jobRunt
 }
 
 // initState builds the job's deterministic initial tensors from seed.
+// FillRandDense keeps the per-tensor RNG setup off the admission path:
+// a job materializes its whole state here, and with many jobs deploying
+// the generator cost is a measurable slice of the control plane.
 func initState(m *model.Model, seed int64) map[core.TensorID]*tensor.Tensor {
 	init := map[core.TensorID]*tensor.Tensor{}
 	for i, lp := range m.StateParams() {
 		t := tensor.New(lp.Param.DType, lp.Param.Shape...)
-		t.FillRand(seed+int64(i), 0.05)
+		t.FillRandDense(seed+int64(i), 0.05)
 		init[core.TensorID(lp.Path())] = t
 	}
 	return init

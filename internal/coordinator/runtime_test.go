@@ -1,0 +1,205 @@
+package coordinator
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"tenplex/internal/cluster"
+	"tenplex/internal/model"
+	"tenplex/internal/sched"
+)
+
+// contendedSpecs is a 16-device workload with admission contention,
+// preemptive scale-ins, elastic scale-outs, a defrag redeploy and a
+// mid-run device failure — every change kind the runtime supports.
+func contendedSpecs() ([]JobSpec, []FailureSpec) {
+	g := tinyGPT()
+	specs := []JobSpec{
+		{Name: "a", Model: g, ArrivalMin: 0, DurationMin: 100, GPUs: 4, Seed: 1},
+		{Name: "b", Model: g, ArrivalMin: 0, DurationMin: 20, GPUs: 4, Seed: 2},
+		{Name: "c", Model: tinyMoE(), ArrivalMin: 0, DurationMin: 30, GPUs: 4, Seed: 3},
+		{Name: "d", Model: g, ArrivalMin: 0, DurationMin: 100, GPUs: 4, MinGPUs: 2, MaxGPUs: 8, Seed: 4},
+		{Name: "e", Model: g, ArrivalMin: 1, DurationMin: 100, GPUs: 2, Seed: 5},
+	}
+	return specs, []FailureSpec{{TimeMin: 15, Device: 2}}
+}
+
+// TestParallelRuntimeTraceIdentical is the parallel runtime's core
+// determinism property: fanning the plan+transform work out over a
+// worker pool — and even pacing the heap on the real clock — must not
+// change a single timeline byte relative to the serialized loop.
+func TestParallelRuntimeTraceIdentical(t *testing.T) {
+	topo := cluster.OnPrem16()
+	specs, failures := contendedSpecs()
+	serial, err := Run(topo, specs, failures, Options{Workers: 1})
+	if err != nil {
+		t.Fatalf("serial: %v", err)
+	}
+	for name, opts := range map[string]Options{
+		"sim-pool-4":  {Workers: 4},
+		"sim-pool-16": {Workers: 16},
+		"wall-serial": {Workers: 1, Mode: ModeWall, WallScale: time.Microsecond},
+		"wall-pool-8": {Workers: 8, Mode: ModeWall, WallScale: time.Microsecond},
+	} {
+		res, err := Run(topo, specs, failures, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !reflect.DeepEqual(serial.Timeline, res.Timeline) {
+			t.Fatalf("%s timeline diverged from the serialized loop:\n--- serial ---\n%s--- %s ---\n%s",
+				name, serial.Render(), name, res.Render())
+		}
+		if !reflect.DeepEqual(serial.Jobs, res.Jobs) {
+			t.Fatalf("%s job summaries diverged", name)
+		}
+		if serial.ReconfigSecTotal != res.ReconfigSecTotal || serial.PlansValidated != res.PlansValidated {
+			t.Fatalf("%s aggregates diverged", name)
+		}
+	}
+}
+
+// TestParallelRuntimeMultiJobScenario runs a larger arrival-trace
+// workload through the pooled runtime and cross-checks it against the
+// serialized loop, so the determinism property is exercised beyond
+// hand-crafted specs.
+func TestParallelRuntimeMultiJobScenario(t *testing.T) {
+	topo := cluster.Cloud32()
+	arrivals, err := sched.Arrivals(sched.DefaultArrivalParams(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	models := []*model.Model{tinyGPT(), tinyMoE()}
+	specs := SpecsFromArrivals(arrivals, func(i int) *model.Model { return models[i%len(models)] })
+	failures := []FailureSpec{{TimeMin: 30, Device: 5}}
+	serial, err := Run(topo, specs, failures, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pooled, err := Run(topo, specs, failures, Options{Workers: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial.Timeline, pooled.Timeline) {
+		t.Fatalf("pooled timeline diverged:\n--- serial ---\n%s--- pooled ---\n%s",
+			serial.Render(), pooled.Render())
+	}
+}
+
+// TestWallClockFailStop injects a fail-stop failure while the runtime
+// is paced on the real clock with a worker pool: recovery must drain
+// the victim's in-flight chain, replan against the degraded PTC, and
+// leave every job's state bit-verified — with the exact trace sim mode
+// produces.
+func TestWallClockFailStop(t *testing.T) {
+	topo := cluster.OnPrem16()
+	specs := []JobSpec{
+		{Name: "a", Model: tinyGPT(), ArrivalMin: 0, DurationMin: 60, GPUs: 8, MinGPUs: 4, MaxGPUs: 8, Seed: 1},
+		{Name: "b", Model: tinyMoE(), ArrivalMin: 0, DurationMin: 60, GPUs: 4, Seed: 2},
+	}
+	failures := []FailureSpec{{TimeMin: 10, Device: 2}}
+	sim, err := Run(topo, specs, failures, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wall, err := Run(topo, specs, failures, Options{Mode: ModeWall, Workers: 8, WallScale: 5 * time.Microsecond})
+	if err != nil {
+		t.Fatalf("wall-clock run: %v\n%s", err, wall.Render())
+	}
+	if countKind(wall, EvFailure) != 1 || countKind(wall, EvRecover) != 1 {
+		t.Fatalf("failure/recover events missing\n%s", wall.Render())
+	}
+	for _, js := range wall.Jobs {
+		if !js.Completed {
+			t.Errorf("job %s did not complete after the wall-clock failure", js.Name)
+		}
+	}
+	if !reflect.DeepEqual(sim.Timeline, wall.Timeline) {
+		t.Fatal("wall-clock trace diverged from sim mode")
+	}
+	if wall.WallNs <= 0 {
+		t.Fatal("wall-clock run reported no elapsed time")
+	}
+}
+
+// TestPreemptionMidReconfiguration preempts the same elastic victim
+// twice in quick succession — in wall-clock mode the second shrink is
+// decided while the first one's transform may still be in flight on
+// the victim's chain — and expects chained, ordered reconfigurations
+// and intact state.
+func TestPreemptionMidReconfiguration(t *testing.T) {
+	topo := cluster.OnPrem16()
+	specs := []JobSpec{
+		// The victim holds the whole cluster and shrinks down to 4 as
+		// rigid jobs arrive back to back.
+		{Name: "victim", Model: tinyGPT(), ArrivalMin: 0, DurationMin: 200, GPUs: 16, MinGPUs: 4, MaxGPUs: 16, Seed: 1},
+		{Name: "r1", Model: tinyGPT(), ArrivalMin: 1, DurationMin: 50, GPUs: 4, Seed: 2},
+		{Name: "r2", Model: tinyGPT(), ArrivalMin: 1.01, DurationMin: 50, GPUs: 4, Seed: 3},
+		{Name: "r3", Model: tinyMoE(), ArrivalMin: 1.02, DurationMin: 50, GPUs: 4, Seed: 4},
+	}
+	for _, opts := range []Options{
+		{Workers: 4},
+		{Workers: 4, Mode: ModeWall, WallScale: time.Microsecond},
+	} {
+		res, err := Run(topo, specs, nil, opts)
+		if err != nil {
+			t.Fatalf("mode %v: %v\n%s", opts.Mode, err, res.Render())
+		}
+		shrinks := 0
+		for _, e := range res.Timeline {
+			if e.Kind == EvScaleIn && e.Job == "victim" && strings.Contains(e.Note, "preempted for") {
+				shrinks++
+			}
+		}
+		if shrinks < 2 {
+			t.Fatalf("mode %v: victim preempted %d times, want >= 2\n%s", opts.Mode, shrinks, res.Render())
+		}
+		if res.Preemptions != shrinks {
+			t.Fatalf("mode %v: Preemptions = %d, %d preemptive scale-ins on the timeline",
+				opts.Mode, res.Preemptions, shrinks)
+		}
+		for _, js := range res.Jobs {
+			if !js.Completed {
+				t.Fatalf("mode %v: job %s did not complete", opts.Mode, js.Name)
+			}
+		}
+	}
+}
+
+// TestWallClockOverlapBeatsSerial is the runtime's reason to exist:
+// with the heap paced on the real clock, fanning reconfiguration work
+// out must finish the same scenario in less wall time than the
+// single-threaded loop, which blocks the clock during every transform.
+func TestWallClockOverlapBeatsSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive")
+	}
+	if raceEnabled {
+		t.Skip("race-detector overhead swamps the paced schedule")
+	}
+	topo := cluster.OnPrem16()
+	specs, failures := contendedSpecs()
+	scale := 400 * time.Microsecond
+	best := func(opts Options) int64 {
+		var min int64
+		for i := 0; i < 3; i++ {
+			res, err := Run(topo, specs, failures, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if min == 0 || res.WallNs < min {
+				min = res.WallNs
+			}
+		}
+		return min
+	}
+	serial := best(Options{Workers: 1, Mode: ModeWall, WallScale: scale})
+	parallel := best(Options{Workers: 8, Mode: ModeWall, WallScale: scale})
+	// Generous bound: the CI box may be slow or single-core, but the
+	// overlap win must not vanish entirely.
+	if float64(parallel) > float64(serial)*1.05 {
+		t.Fatalf("parallel wall-clock runtime (%.1fms) did not beat the serialized loop (%.1fms)",
+			float64(parallel)/1e6, float64(serial)/1e6)
+	}
+}

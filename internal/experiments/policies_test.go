@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"testing"
+
+	"tenplex/internal/coordinator"
+)
+
+func TestPolicyComparison(t *testing.T) {
+	rows, tab, err := PolicyComparison()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 || len(tab.Rows) != 3 {
+		t.Fatalf("want 3 policy rows, got %d/%d", len(rows), len(tab.Rows))
+	}
+	want := []string{"fifo", "drf", "priority"}
+	for i, r := range rows {
+		if r.Policy != want[i] {
+			t.Fatalf("row %d policy %q, want %q", i, r.Policy, want[i])
+		}
+		if r.MakespanMin <= 0 || r.MeanUtilization <= 0 || r.MeanUtilization > 1 {
+			t.Fatalf("%s: implausible metrics %+v", r.Policy, r)
+		}
+		if r.Completed < 8 {
+			t.Fatalf("%s: only %d jobs completed", r.Policy, r.Completed)
+		}
+	}
+
+	// The FIFO row must match the single-policy multijob experiment
+	// exactly — the Policy extraction may not change the default path.
+	res, _ := MultiJobCluster()
+	if rows[0].MakespanMin != res.MakespanMin ||
+		rows[0].MeanUtilization != res.MeanUtilization ||
+		rows[0].ReconfigSec != res.ReconfigSecTotal {
+		t.Fatalf("fifo row %+v diverges from the multijob experiment (makespan %.3f, util %.4f, reconfig %.4f)",
+			rows[0], res.MakespanMin, res.MeanUtilization, res.ReconfigSecTotal)
+	}
+
+	// The policies must actually behave differently on this contended
+	// scenario — otherwise the comparison is vacuous.
+	if rows[0].MakespanMin == rows[1].MakespanMin && rows[0].MakespanMin == rows[2].MakespanMin &&
+		rows[0].Preemptions == rows[1].Preemptions && rows[0].Preemptions == rows[2].Preemptions {
+		t.Fatalf("all policies produced identical outcomes:\n%s", tab.Render())
+	}
+}
+
+func TestPolicyPriorities(t *testing.T) {
+	specs := []coordinator.JobSpec{{Name: "a"}, {Name: "b"}, {Name: "c"}, {Name: "d"}}
+	got := PolicyPriorities(specs)
+	for i, s := range got {
+		if s.Priority != i%3 {
+			t.Fatalf("job %d priority %d, want %d", i, s.Priority, i%3)
+		}
+	}
+	if specs[3].Priority != 0 {
+		t.Fatal("PolicyPriorities mutated its input")
+	}
+}

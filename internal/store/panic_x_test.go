@@ -21,6 +21,6 @@ func TestEmptyRangePanic(t *testing.T) {
 			t.Fatalf("handler panicked: %v", r)
 		}
 	}()
-	srv.Handler().ServeHTTP(w, req)
+	srv.ServeHTTP(w, req)
 	t.Logf("status %d body %s", w.Code, w.Body.String())
 }

@@ -107,7 +107,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			httpError(w, http.StatusBadRequest, "%v", err)
 			return
 		}
-		v = t.View(reg)
+		// "[]" parses to an empty region, which means the whole tensor
+		// (the same convention Client.Query uses); building a View from
+		// it would panic on rank mismatch.
+		if len(reg) > 0 {
+			v = t.View(reg)
+		}
 	}
 	w.Header().Set("Content-Type", "application/x-tenplex-tensor")
 	w.Header().Set("Content-Length", fmt.Sprint(v.EncodedSize()))

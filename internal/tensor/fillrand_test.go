@@ -1,0 +1,42 @@
+package tensor
+
+import "testing"
+
+// TestFillRandDense: deterministic per seed, different per seed, values
+// bounded by scale, and every dtype path covered.
+func TestFillRandDense(t *testing.T) {
+	for _, dt := range []DType{Float32, Float64, Float16} {
+		a := New(dt, 8, 3)
+		b := New(dt, 8, 3)
+		a.FillRandDense(7, 0.05)
+		b.FillRandDense(7, 0.05)
+		if !a.Equal(b) {
+			t.Fatalf("%v: same seed produced different tensors", dt)
+		}
+		b.FillRandDense(8, 0.05)
+		if a.Equal(b) {
+			t.Fatalf("%v: different seeds produced identical tensors", dt)
+		}
+		for i, v := range a.Float64s() {
+			if v < -0.06 || v >= 0.06 {
+				t.Fatalf("%v: element %d = %v out of [-scale, scale)", dt, i, v)
+			}
+		}
+	}
+}
+
+func BenchmarkFillRandDense(b *testing.B) {
+	t := New(Float32, 256, 256)
+	b.SetBytes(int64(len(t.data)))
+	for i := 0; i < b.N; i++ {
+		t.FillRandDense(int64(i), 0.05)
+	}
+}
+
+func BenchmarkFillRand(b *testing.B) {
+	t := New(Float32, 256, 256)
+	b.SetBytes(int64(len(t.data)))
+	for i := 0; i < b.N; i++ {
+		t.FillRand(int64(i), 0.05)
+	}
+}

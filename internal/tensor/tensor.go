@@ -238,6 +238,42 @@ func (t *Tensor) FillRand(seed int64, scale float64) {
 	}
 }
 
+// FillRandDense fills t with deterministic pseudo-random values in
+// [-scale, scale) from a splitmix64 stream. It has the same
+// deterministic-per-seed contract as FillRand but avoids math/rand's
+// expensive per-call source seeding and interface dispatch, so callers
+// that materialize whole model states (many tensors per job) stay off
+// the RNG setup cost. The two generators produce different streams.
+func (t *Tensor) FillRandDense(seed int64, scale float64) {
+	x := uint64(seed)
+	next := func() float64 {
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z ^= z >> 30
+		z *= 0xbf58476d1ce4e5b9
+		z ^= z >> 27
+		z *= 0x94d049bb133111eb
+		z ^= z >> 31
+		// 53 random bits to [0, 1), then to [-scale, scale).
+		return (float64(z>>11)/(1<<53)*2 - 1) * scale
+	}
+	n := t.NumElems()
+	switch t.dtype {
+	case Float32:
+		for i := 0; i < n; i++ {
+			binary.LittleEndian.PutUint32(t.data[i*4:], math.Float32bits(float32(next())))
+		}
+	case Float64:
+		for i := 0; i < n; i++ {
+			binary.LittleEndian.PutUint64(t.data[i*8:], math.Float64bits(next()))
+		}
+	default:
+		for i := 0; i < n; i++ {
+			t.setFloat64Flat(i, next())
+		}
+	}
+}
+
 // Float64s returns all elements converted to float64 in row-major order.
 func (t *Tensor) Float64s() []float64 {
 	out := make([]float64, t.NumElems())

@@ -25,6 +25,7 @@ package tenplex
 
 import (
 	"fmt"
+	"time"
 
 	"tenplex/internal/checkpoint"
 	"tenplex/internal/cluster"
@@ -315,6 +316,23 @@ type ClusterConfig struct {
 	// DefragMaxSec caps the netsim-priced cost of voluntary
 	// defragmenting redeployments (0 = default, negative = disabled).
 	DefragMaxSec float64
+	// Policy selects the scheduling policy: "" or "fifo" (arrival
+	// order, head-of-line blocking, largest-surplus preemption), "drf"
+	// (dominant-resource fairness), or "priority" (priority classes
+	// with gang admission, driven by ClusterJob.Priority).
+	Policy string
+	// WallClock switches the runtime from deterministic simulated time
+	// to the wall-clock mode: the event heap is paced on the real
+	// clock (WallScale per simulated minute) and independent jobs'
+	// reconfigurations overlap on the worker pool. Decisions — and the
+	// returned timeline — are identical to the deterministic mode.
+	WallClock bool
+	// Workers bounds the pool executing per-job plan/transform/verify
+	// work (0 = GOMAXPROCS, 1 = fully serialized event loop).
+	Workers int
+	// WallScale is the real duration of one simulated minute in
+	// wall-clock mode (0 = the coordinator default).
+	WallScale time.Duration
 }
 
 // Cluster is the multi-job elastic control plane: a device ledger, an
@@ -332,16 +350,33 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	if cfg.Topology == nil || cfg.Topology.NumDevices() == 0 {
 		return nil, fmt.Errorf("tenplex: ClusterConfig needs a Topology")
 	}
+	if _, err := coordinator.PolicyByName(cfg.Policy); err != nil {
+		return nil, fmt.Errorf("tenplex: %w", err)
+	}
 	return &Cluster{cfg: cfg}, nil
 }
 
-// Run executes a deterministic multi-job simulation: jobs arrive, are
-// admitted and placed, resize elastically under contention, survive
-// the injected failures, and complete with their state verified. It
-// returns the per-job timeline and aggregate cluster metrics.
+// Run executes a multi-job coordinator run: jobs arrive, are admitted
+// and placed under the configured policy, resize elastically under
+// contention, survive the injected failures, and complete with their
+// state verified. It returns the per-job timeline and aggregate
+// cluster metrics. With the default configuration the run is
+// deterministic; WallClock paces it on the real clock with the same
+// timeline.
 func (c *Cluster) Run(jobs []ClusterJob, failures []ClusterFailure) (ClusterResult, error) {
-	return coordinator.Run(c.cfg.Topology, jobs, failures, coordinator.Options{
+	policy, err := coordinator.PolicyByName(c.cfg.Policy)
+	if err != nil {
+		return ClusterResult{}, fmt.Errorf("tenplex: %w", err)
+	}
+	opts := coordinator.Options{
 		Perf:         c.cfg.Perf,
 		DefragMaxSec: c.cfg.DefragMaxSec,
-	})
+		Policy:       policy,
+		Workers:      c.cfg.Workers,
+		WallScale:    c.cfg.WallScale,
+	}
+	if c.cfg.WallClock {
+		opts.Mode = coordinator.ModeWall
+	}
+	return coordinator.Run(c.cfg.Topology, jobs, failures, opts)
 }
