@@ -48,6 +48,14 @@ var all = map[string]func() experiments.Table{
 		}
 		return t
 	},
+	"placement": func() experiments.Table {
+		_, t, err := experiments.PlacementComparison()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tenplex-bench: placement: %v\n", err)
+			os.Exit(1)
+		}
+		return t
+	},
 	"ablations": func() experiments.Table {
 		_, t, err := experiments.Ablations()
 		if err != nil {
@@ -73,6 +81,7 @@ func main() {
 	jsonOut := flag.String("json", "", "write a BENCH_*.json planner perf record to this path (\"-\" for stdout) and exit")
 	jsonBudget := flag.Duration("json-budget", 200*time.Millisecond, "per-scenario measurement budget for -json")
 	coordOut := flag.String("coordjson", "", "write a BENCH_*.json multi-job coordinator record to this path (\"-\" for stdout) and exit")
+	placementOut := flag.String("placementjson", "", "write a BENCH_*.json placement-comparison record to this path (\"-\" for stdout) and exit")
 	datapathOut := flag.String("datapathjson", "", "write a BENCH_*.json state-transformer datapath record to this path (\"-\" for stdout) and exit")
 	check := flag.Bool("check", false, "re-run the benchmarks and fail on regression vs the committed BENCH_*.json baselines")
 	checkDir := flag.String("check-dir", ".", "directory holding the BENCH_*.json baselines for -check")
@@ -113,6 +122,13 @@ func main() {
 	if *coordOut != "" {
 		if err := writeCoordJSON(*coordOut); err != nil {
 			fmt.Fprintf(os.Stderr, "tenplex-bench: coordjson: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *placementOut != "" {
+		if err := writePlacementJSON(*placementOut); err != nil {
+			fmt.Fprintf(os.Stderr, "tenplex-bench: placementjson: %v\n", err)
 			os.Exit(1)
 		}
 		return

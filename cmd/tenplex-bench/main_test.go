@@ -6,13 +6,15 @@ import (
 	"path/filepath"
 	"testing"
 	"time"
+
+	"tenplex/internal/experiments"
 )
 
 func TestExperimentRegistry(t *testing.T) {
 	want := []string{
 		"tab1", "fig2a", "fig2b", "fig3", "fig9", "fig10",
 		"fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
-		"ablations", "multijob", "datapath", "policies",
+		"ablations", "multijob", "datapath", "policies", "placement",
 	}
 	for _, id := range want {
 		if _, ok := all[id]; !ok {
@@ -174,5 +176,76 @@ func TestCheckGate(t *testing.T) {
 
 	if _, _, err := runCheck(t.TempDir(), noTimingTol, time.Millisecond); err == nil {
 		t.Fatal("empty baseline dir accepted")
+	}
+}
+
+// TestWritePlacementJSON verifies the -placementjson record: parseable,
+// versioned, four deterministic cells, and the headline comparison —
+// placement-aware keeps utilization and strictly cuts moved bytes on
+// the contended steady workload.
+func TestWritePlacementJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_placement.json")
+	if err := writePlacementJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec placementRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		t.Fatalf("record not valid JSON: %v", err)
+	}
+	if rec.Schema != "tenplex-bench/placement/v1" {
+		t.Fatalf("schema = %q", rec.Schema)
+	}
+	if len(rec.Rows) != 4 {
+		t.Fatalf("%d rows, want 4", len(rec.Rows))
+	}
+	var count, placed *experiments.PlacementRow
+	for i := range rec.Rows {
+		r := &rec.Rows[i]
+		if r.MakespanMin <= 0 || r.MeanUtilization <= 0 || r.MeanUtilization > 1 || r.Completed < 8 {
+			t.Fatalf("implausible row: %+v", r)
+		}
+		if r.Workload == "steady" && r.Mode == "count" {
+			count = r
+		}
+		if r.Workload == "steady" && r.Mode == "placement" {
+			placed = r
+		}
+	}
+	if count == nil || placed == nil {
+		t.Fatal("steady cells missing")
+	}
+	if placed.MovedBytes >= count.MovedBytes {
+		t.Fatalf("placement moved %d bytes, count-based %d", placed.MovedBytes, count.MovedBytes)
+	}
+	if placed.MeanUtilization < count.MeanUtilization-1e-6 {
+		t.Fatalf("placement utilization %.6f below count-based %.6f",
+			placed.MeanUtilization, count.MeanUtilization)
+	}
+
+	// The check gate accepts the fresh record and flags a tampered one.
+	dir := filepath.Dir(path)
+	n, fails, err := runCheck(dir, 1e9, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 || len(fails) != 0 {
+		t.Fatalf("fresh placement baseline: %d checked, failures %v", n, fails)
+	}
+	rec.Rows[0].MovedBytes += 4096
+	tampered, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, tampered, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, fails, err = runCheck(dir, 1e9, time.Millisecond); err != nil {
+		t.Fatal(err)
+	} else if len(fails) == 0 {
+		t.Fatal("tampered placement moved_bytes not flagged")
 	}
 }

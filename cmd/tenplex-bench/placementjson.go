@@ -1,0 +1,74 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"time"
+
+	"tenplex/internal/experiments"
+)
+
+// The -placementjson mode emits a machine-readable BENCH_*.json record
+// of the placement comparison (see EXPERIMENTS.md "placement"): the
+// shared 32-device/12-job scenario replayed count-based and
+// placement-aware, under steady and bursty arrivals. Every metric in
+// the record is deterministic per seed, so the -check gate compares
+// them exactly — and additionally asserts the experiment's headline:
+// placement-aware scheduling never loses utilization and strictly
+// reduces the aggregate reconfiguration bytes moved on the contended
+// steady workload.
+
+// placementRecord is the top-level placement BENCH_*.json document.
+type placementRecord struct {
+	Schema      string                     `json:"schema"`
+	GeneratedAt string                     `json:"generated_at"`
+	GoVersion   string                     `json:"go_version"`
+	MaxProcs    int                        `json:"gomaxprocs"`
+	Seed        int64                      `json:"seed"`
+	Devices     int                        `json:"devices"`
+	Jobs        int                        `json:"jobs"`
+	Rows        []experiments.PlacementRow `json:"rows"`
+	// WallNs is the real time the four simulation runs took together.
+	WallNs int64 `json:"wall_ns_per_record"`
+}
+
+// measurePlacement runs the placement comparison and assembles the
+// record.
+func measurePlacement() (placementRecord, error) {
+	start := time.Now()
+	rows, err := experiments.ComparePlacement(32, 12, experiments.MultiJobSeed)
+	if err != nil {
+		return placementRecord{}, err
+	}
+	return placementRecord{
+		Schema:      "tenplex-bench/placement/v1",
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		MaxProcs:    runtime.GOMAXPROCS(0),
+		Seed:        experiments.MultiJobSeed,
+		Devices:     32,
+		Jobs:        12,
+		Rows:        rows,
+		WallNs:      time.Since(start).Nanoseconds(),
+	}, nil
+}
+
+// writePlacementJSON runs the placement comparison and writes the
+// record to path ("-" for stdout).
+func writePlacementJSON(path string) error {
+	rec, err := measurePlacement()
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}

@@ -12,6 +12,7 @@
 //	tenplex-ctl sim -policy drf                    # DRF-style fairness
 //	tenplex-ctl sim -policy priority               # priority classes + gang admission
 //	tenplex-ctl sim -mode wall -workers 8          # paced wall-clock parallel runtime
+//	tenplex-ctl sim -placement                     # allocation-aware placement scoring
 package main
 
 import (
@@ -103,8 +104,9 @@ func main() {
 		policy := fs.String("policy", "fifo", "scheduling policy: fifo, drf or priority")
 		mode := fs.String("mode", "sim", "execution mode: sim (deterministic) or wall (paced on the real clock)")
 		workers := fs.Int("workers", 0, "worker pool bound for plan/transform execution (0 = GOMAXPROCS, 1 = serialized loop)")
+		placement := fs.Bool("placement", false, "allocation-aware placement scoring (candidate device sets ranked by the policy)")
 		_ = fs.Parse(flag.Args()[1:])
-		die(runSim(*devices, *jobs, *seed, *failStr, *defrag, *policy, *mode, *workers))
+		die(runSim(*devices, *jobs, *seed, *failStr, *defrag, *policy, *mode, *workers, *placement))
 	default:
 		usage()
 	}
@@ -112,7 +114,7 @@ func main() {
 
 // runSim executes a multi-job coordinator simulation and prints the
 // per-job timeline and cluster summary.
-func runSim(devices, jobs int, seed int64, failStr string, defragMax float64, policyName, mode string, workers int) error {
+func runSim(devices, jobs int, seed int64, failStr string, defragMax float64, policyName, mode string, workers int, placement bool) error {
 	if devices < 4 || devices%4 != 0 {
 		return fmt.Errorf("-devices must be a positive multiple of 4, got %d", devices)
 	}
@@ -120,7 +122,7 @@ func runSim(devices, jobs int, seed int64, failStr string, defragMax float64, po
 	if err != nil {
 		return err
 	}
-	opts := coordinator.Options{DefragMaxSec: defragMax, Policy: policy, Workers: workers}
+	opts := coordinator.Options{DefragMaxSec: defragMax, Policy: policy, Workers: workers, Placement: placement}
 	switch mode {
 	case "", "sim":
 	case "wall":
@@ -143,10 +145,10 @@ func runSim(devices, jobs int, seed int64, failStr string, defragMax float64, po
 	}
 	fmt.Printf("cluster %s: %d jobs, seed %d\n", topo.Name, len(specs), seed)
 	// The default invocation's output stays byte-identical across the
-	// runtime rewrite (the determinism CI step diffs two runs of it);
-	// non-default runtimes announce themselves.
-	if res.Policy != "fifo" || mode == "wall" {
-		fmt.Printf("policy %s, mode %s, %.1f ms wall\n", res.Policy, mode, float64(res.WallNs)/1e6)
+	// runtime rewrite (the committed golden trace pins it); non-default
+	// runtimes announce themselves.
+	if res.Policy != "fifo" || mode == "wall" || placement {
+		fmt.Printf("policy %s, mode %s, placement %v, %.1f ms wall\n", res.Policy, mode, placement, float64(res.WallNs)/1e6)
 	}
 	for _, e := range res.Timeline {
 		fmt.Println(e)

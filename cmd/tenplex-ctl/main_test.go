@@ -49,24 +49,27 @@ func TestParseFailures(t *testing.T) {
 // TestRunSim smoke-tests the coordinator front-end end to end on a
 // small deterministic workload, across policies and runtime modes.
 func TestRunSim(t *testing.T) {
-	if err := runSim(8, 3, 1, "30:1", 0, "fifo", "sim", 0); err != nil {
+	if err := runSim(8, 3, 1, "30:1", 0, "fifo", "sim", 0, false); err != nil {
 		t.Fatal(err)
 	}
 	for _, policy := range []string{"drf", "priority"} {
-		if err := runSim(8, 3, 1, "", 0, policy, "sim", 4); err != nil {
+		if err := runSim(8, 3, 1, "", 0, policy, "sim", 4, false); err != nil {
 			t.Fatalf("policy %s: %v", policy, err)
 		}
 	}
-	if err := runSim(8, 3, 1, "", 0, "fifo", "wall", 4); err != nil {
+	if err := runSim(8, 3, 1, "", 0, "fifo", "wall", 4, false); err != nil {
 		t.Fatalf("wall mode: %v", err)
 	}
-	if err := runSim(7, 3, 1, "", 0, "fifo", "sim", 0); err == nil {
+	if err := runSim(8, 3, 1, "", 0, "fifo", "sim", 0, true); err != nil {
+		t.Fatalf("placement mode: %v", err)
+	}
+	if err := runSim(7, 3, 1, "", 0, "fifo", "sim", 0, false); err == nil {
 		t.Fatal("non-multiple-of-4 device count accepted")
 	}
-	if err := runSim(8, 3, 1, "", 0, "lottery", "sim", 0); err == nil {
+	if err := runSim(8, 3, 1, "", 0, "lottery", "sim", 0, false); err == nil {
 		t.Fatal("unknown policy accepted")
 	}
-	if err := runSim(8, 3, 1, "", 0, "fifo", "warp", 0); err == nil {
+	if err := runSim(8, 3, 1, "", 0, "fifo", "warp", 0, false); err == nil {
 		t.Fatal("unknown mode accepted")
 	}
 }

@@ -10,7 +10,10 @@
 // to estimate training throughput for a parallelization configuration.
 package cluster
 
-import "fmt"
+import (
+	"fmt"
+	"strconv"
+)
 
 // DeviceID identifies a GPU globally within a topology.
 type DeviceID int
@@ -62,10 +65,68 @@ type Topology struct {
 	// MemCopyBW is the host-memory bandwidth available to the State
 	// Transformer for split/merge copies.
 	MemCopyBW float64
+
+	// failed holds the fail-stopped devices and gen counts mutations so
+	// far. Like the coordinator's Ledger, this health state is mutated
+	// only by a scheduler's single-threaded decision plane and is
+	// therefore not locked; everything else in the topology is
+	// immutable after construction, so concurrent readers of the link
+	// structure (netsim flows in flight) are unaffected. Caches that
+	// memoize per topology pointer must include Generation() in their
+	// keys, or they would keep serving results computed for the
+	// pre-mutation cluster.
+	failed map[DeviceID]bool
+	gen    uint64
 }
 
 // NumDevices returns the total device count.
 func (t *Topology) NumDevices() int { return len(t.Devices) }
+
+// Generation counts the topology's mutations so far. A value cached
+// against (topology pointer, generation) is stale once Generation
+// moves.
+func (t *Topology) Generation() uint64 { return t.gen }
+
+// Clone returns a topology sharing the immutable structure (workers,
+// devices, link speeds) but with its own copy of the mutable health
+// state, so a scheduler can mark failures without contaminating the
+// caller's value for later runs. The coordinator clones the topology
+// it is handed at the start of every run.
+func (t *Topology) Clone() *Topology {
+	c := *t
+	c.failed = nil
+	if len(t.failed) > 0 {
+		c.failed = make(map[DeviceID]bool, len(t.failed))
+		for d, f := range t.failed {
+			c.failed[d] = f
+		}
+	}
+	return &c
+}
+
+// MarkFailed records a fail-stop device loss in the topology itself
+// and bumps the generation, invalidating any memoization keyed on it.
+// Link and worker structure are unchanged: the device still occupies
+// its slot, it just must not be placed on. Like all health mutation it
+// may only be called from a scheduler's decision plane, never
+// concurrently with Generation or FailedDevice.
+func (t *Topology) MarkFailed(id DeviceID) {
+	t.Device(id) // range-checks
+	if t.failed[id] {
+		return
+	}
+	if t.failed == nil {
+		t.failed = map[DeviceID]bool{}
+	}
+	t.failed[id] = true
+	t.gen++
+}
+
+// FailedDevice reports whether device id has been marked failed.
+func (t *Topology) FailedDevice(id DeviceID) bool {
+	t.Device(id) // range-checks
+	return t.failed[id]
+}
 
 // NumWorkers returns the machine count.
 func (t *Topology) NumWorkers() int { return len(t.Workers) }
@@ -108,6 +169,20 @@ func (t *Topology) IntraBW(a, b DeviceID) float64 {
 // matters: parallelization configurations map ranks onto devices in
 // allocation order.
 type Allocation []DeviceID
+
+// Signature canonically encodes the ordered allocation, for use as a
+// memoization or deduplication key. Order matters (ranks map onto
+// devices in allocation order), so [0 1] and [1 0] are distinct.
+func (a Allocation) Signature() string {
+	b := make([]byte, 0, 4*len(a))
+	for i, d := range a {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = strconv.AppendInt(b, int64(d), 10)
+	}
+	return string(b)
+}
 
 // Contains reports whether the allocation includes device id.
 func (a Allocation) Contains(id DeviceID) bool {

@@ -113,3 +113,34 @@ func TestPanics(t *testing.T) {
 		}()
 	}
 }
+
+// TestMarkFailedGeneration: fail-stop marking is recorded in the
+// topology, bumps the generation exactly once per device, and leaves
+// the immutable link structure alone.
+func TestMarkFailedGeneration(t *testing.T) {
+	topo := OnPrem16()
+	if topo.Generation() != 0 {
+		t.Fatalf("fresh topology at generation %d", topo.Generation())
+	}
+	if topo.FailedDevice(3) {
+		t.Fatal("fresh topology reports a failed device")
+	}
+	topo.MarkFailed(3)
+	if !topo.FailedDevice(3) || topo.FailedDevice(2) {
+		t.Fatal("failure marking wrong device")
+	}
+	if topo.Generation() != 1 {
+		t.Fatalf("generation %d after one marking, want 1", topo.Generation())
+	}
+	topo.MarkFailed(3) // idempotent: no second bump
+	if topo.Generation() != 1 {
+		t.Fatalf("re-marking bumped the generation to %d", topo.Generation())
+	}
+	topo.MarkFailed(7)
+	if topo.Generation() != 2 {
+		t.Fatalf("generation %d after two distinct markings, want 2", topo.Generation())
+	}
+	if topo.WorkerOf(3) != 0 || topo.NumDevices() != 16 {
+		t.Fatal("marking mutated the topology structure")
+	}
+}

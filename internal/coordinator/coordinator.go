@@ -33,6 +33,7 @@ package coordinator
 import (
 	"container/heap"
 	"fmt"
+	"math"
 	"runtime"
 	"sort"
 	"time"
@@ -123,6 +124,20 @@ type Options struct {
 	// order. nil means FIFO{} — the original behavior, with sim traces
 	// byte-identical to the pre-Policy coordinator.
 	Policy Policy
+	// Placement enables allocation-aware placement scoring: instead of
+	// the single count-based compact pick, the coordinator enumerates
+	// up to PlacementCandidates lease-feasible device sets per
+	// admission and expansion (Ledger.CandidateSets), scores each
+	// concrete set with perfmodel.ScorePlacement (TP-group locality,
+	// worst-link bandwidth, netsim-priced migration of the job's state
+	// from its current allocation), and lets the Policy rank them;
+	// preemption victims are scored by the netsim cost of evicting
+	// them, not just largest surplus. Disabled (the default), sim
+	// traces are byte-identical to the count-based coordinator.
+	Placement bool
+	// PlacementCandidates bounds the candidate sets scored per
+	// decision; 0 means the default (4).
+	PlacementCandidates int
 	// Mode selects deterministic simulated time (default) or wall-clock
 	// pacing.
 	Mode ExecMode
@@ -215,6 +230,10 @@ type Result struct {
 	// ReconfigSecTotal is the aggregate netsim-priced reconfiguration
 	// time across all jobs.
 	ReconfigSecTotal float64
+	// MovedBytesTotal is the aggregate reconfiguration payload that
+	// crossed a device boundary across all jobs — the quantity
+	// placement-aware scheduling exists to shrink.
+	MovedBytesTotal int64
 	// MeanUtilization is leased device-time over total device-time.
 	MeanUtilization float64
 	// Preemptions counts forced scale-ins of running jobs on behalf of
@@ -369,6 +388,11 @@ func Run(topo *cluster.Topology, specs []JobSpec, failures []FailureSpec, opts O
 	if topo == nil || topo.NumDevices() == 0 {
 		return Result{}, fmt.Errorf("coordinator: run needs a topology")
 	}
+	// Fail-stop handling marks devices in the topology (so placement
+	// scoring and memoization generations see the post-failure
+	// cluster); run on a health-isolated clone so repeated runs over
+	// one caller-owned topology stay independent and deterministic.
+	topo = topo.Clone()
 	if opts.Perf.GlobalBatch == 0 {
 		opts.Perf = DefaultPerf()
 	}
@@ -380,6 +404,9 @@ func Run(topo *cluster.Topology, specs []JobSpec, failures []FailureSpec, opts O
 	}
 	if opts.Workers == 0 {
 		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.PlacementCandidates == 0 {
+		opts.PlacementCandidates = 4
 	}
 	if opts.WallScale == 0 {
 		opts.WallScale = 250 * time.Microsecond
@@ -624,10 +651,11 @@ func (s *sim) viewOf(j *simJob) *JobView {
 
 func (s *sim) view() *ClusterView {
 	v := &ClusterView{
-		Devices: s.topo.NumDevices(),
-		Workers: s.topo.NumWorkers(),
-		Free:    s.ledger.FreeCount(),
-		Healthy: s.ledger.Healthy(),
+		Devices:        s.topo.NumDevices(),
+		Workers:        s.topo.NumWorkers(),
+		Free:           s.ledger.FreeCount(),
+		Healthy:        s.ledger.Healthy(),
+		PlacementAware: s.opts.Placement,
 	}
 	for _, name := range s.queue {
 		v.Queued = append(v.Queued, s.viewOf(s.jobs[name]))
@@ -636,6 +664,90 @@ func (s *sim) view() *ClusterView {
 		v.Running = append(v.Running, s.viewOf(j))
 	}
 	return v
+}
+
+// choosePlacement scores up to Options.PlacementCandidates concrete
+// device sets growing (or placing) job j to n devices total under the
+// configuration the parallelizer picked for that size, and asks the
+// Policy to rank them — placement chooses WHICH devices, not the
+// (T, P, D), so placement-aware runs stay comparable to count-based
+// ones decision for decision. cur is the job's current allocation (nil
+// at admission); candidates always contain it, so a grow never moves
+// the job off devices it holds. nil means no candidate could be scored
+// — the caller falls back to the count-based pick.
+func (s *sim) choosePlacement(j *simJob, cfg parallel.Config, n int, cur cluster.Allocation) *PlacementCandidate {
+	extra := n - len(cur)
+	if extra < 1 {
+		return nil
+	}
+	curPl := perfmodel.Placement{Alloc: cur, Config: j.cfg}
+	sets := s.ledger.CandidateSets(extra, s.opts.PlacementCandidates, cur)
+	var cands []*PlacementCandidate
+	for _, set := range sets {
+		full := append(append(cluster.Allocation(nil), cur...), set...)
+		ps := s.cache.ScorePlacement(j.spec.Model, cfg, s.topo, full, curPl, s.opts.Perf)
+		if !ps.Feasible {
+			continue
+		}
+		cands = append(cands, &PlacementCandidate{
+			Devices:        full,
+			Config:         ps.Config,
+			Spread:         len(full.Workers(s.topo)),
+			SamplesSec:     ps.SamplesSec,
+			MigrationSec:   ps.MigrationSec,
+			MigrationBytes: ps.MigrationBytes,
+			Score:          ps.Score,
+		})
+	}
+	if len(cands) == 0 {
+		return nil
+	}
+	pick := s.policy.RankPlacement(s.view(), s.viewOf(j), cands)
+	if pick == nil {
+		pick = cands[0]
+	}
+	return pick
+}
+
+// evictCostFor prices exactly the shrink reclaimFor would commit if it
+// picked this victim next — shrink by min(surplus, need), down to the
+// largest feasible size, under the cheapest feasible reshape — so the
+// prediction and the act agree (victims keep their leading devices;
+// the shrink truncates the allocation, matching applyChange). It
+// returns the netsim-priced cost and the devices that shrink frees; a
+// victim with no feasible shrink right now prices as +Inf.
+func (s *sim) evictCostFor(r *simJob, floor, need int) (float64, int) {
+	give := len(r.alloc) - floor
+	if give > need {
+		give = need
+	}
+	n, _, ok := s.bestAtMost(r.spec.Model, len(r.alloc)-give, floor)
+	if !ok || n >= len(r.alloc) {
+		return math.Inf(1), 0
+	}
+	cps, err := s.cache.CheapestPlacement(r.spec.Model, s.topo, r.alloc[:n],
+		perfmodel.Placement{Alloc: r.alloc, Config: r.cfg}, s.opts.Perf)
+	if err != nil {
+		return math.Inf(1), 0
+	}
+	return cps.MigrationSec, len(r.alloc) - n
+}
+
+// shrinkConfig picks the configuration a forced shrink (preemption or
+// recovery) of job j onto alloc should take. Count-based runs keep the
+// parallelizer's throughput-best pick; placement-aware runs take the
+// cheapest feasible reshape instead — a forced change earns the job
+// nothing, so minimal state movement is the objective.
+func (s *sim) shrinkConfig(j *simJob, est perfmodel.Estimate, alloc cluster.Allocation) parallel.Config {
+	if !s.opts.Placement {
+		return est.Config
+	}
+	cps, err := s.cache.CheapestPlacement(j.spec.Model, s.topo, alloc,
+		perfmodel.Placement{Alloc: j.alloc, Config: j.cfg}, s.opts.Perf)
+	if err != nil {
+		return est.Config
+	}
+	return cps.Config
 }
 
 // bestAtMost returns the largest feasible lease size n in [low, high]
@@ -732,7 +844,7 @@ func (s *sim) onFailure(dev cluster.DeviceID) error {
 	if len(repl) > 0 && alloc.Contains(repl[0]) {
 		note += fmt.Sprintf(", replacement device %d", repl[0])
 	}
-	if err := s.applyChange(j, est, alloc, []cluster.DeviceID{dev}, EvRecover, note); err != nil {
+	if err := s.applyChange(j, s.shrinkConfig(j, est, alloc), alloc, []cluster.DeviceID{dev}, EvRecover, note); err != nil {
 		return err
 	}
 	// A size-constrained recovery may have released healthy devices;
@@ -792,15 +904,25 @@ func (s *sim) admitQueued() error {
 			attempted[name] = true
 			continue
 		}
-		devs, got := s.ledger.Pick(n, nil)
-		if !got {
-			return fmt.Errorf("coordinator: pick(%d) failed with %d free", n, s.ledger.FreeCount())
+		cfg := est.Config
+		var devs []cluster.DeviceID
+		if s.opts.Placement {
+			if pc := s.choosePlacement(j, cfg, n, nil); pc != nil {
+				devs = pc.Devices
+			}
+		}
+		if devs == nil {
+			picked, got := s.ledger.Pick(n, nil)
+			if !got {
+				return fmt.Errorf("coordinator: pick(%d) failed with %d free", n, s.ledger.FreeCount())
+			}
+			devs = picked
 		}
 		if err := s.ledger.Lease(name, devs...); err != nil {
 			return err
 		}
 		j.alloc = append(cluster.Allocation(nil), devs...)
-		j.cfg = est.Config
+		j.cfg = cfg
 		j.state = jobRunning
 		j.admitMin = s.now
 		j.complAt = s.now + j.spec.DurationMin
@@ -808,12 +930,12 @@ func (s *sim) admitQueued() error {
 		s.push(event{time: j.complAt, kind: evComplete, job: name, ver: j.ver})
 		s.dequeue(name)
 		s.record(TimelineEvent{TimeMin: s.now, Job: name, Kind: EvAdmit,
-			GPUs: n, Config: est.Config.String()})
+			GPUs: n, Config: cfg.String()})
 		// First placement: materialize the initial tensors, load them
 		// into the Tensor Stores and persist the baseline checkpoint —
 		// all on the job's chain.
 		rt, spec := j.rt, j.spec
-		cfg, alloc := est.Config, j.alloc
+		alloc := j.alloc
 		if err := s.submit(name, func() error {
 			if j.init == nil {
 				j.init = initState(spec.Model, spec.Seed)
@@ -872,6 +994,9 @@ func (s *sim) reclaimFor(j *simJob, target int) (bool, error) {
 			floor := s.policy.PreemptFloor(reqView, rv)
 			if sp := len(r.alloc) - floor; sp > 0 {
 				rv.Surplus = sp
+				if s.opts.Placement {
+					rv.EvictCostSec, rv.EvictFreed = s.evictCostFor(r, floor, target-s.ledger.FreeCount())
+				}
 				floors[r.spec.Name] = floor
 				cands = append(cands, rv)
 			}
@@ -898,7 +1023,7 @@ func (s *sim) reclaimFor(j *simJob, target int) (bool, error) {
 		alloc := append(cluster.Allocation(nil), victim.alloc[:n]...)
 		note := fmt.Sprintf("preempted for %s", j.spec.Name)
 		s.preemptions++
-		if err := s.applyChange(victim, est, alloc, nil, EvScaleIn, note); err != nil {
+		if err := s.applyChange(victim, s.shrinkConfig(victim, est, alloc), alloc, nil, EvScaleIn, note); err != nil {
 			return false, err
 		}
 	}
@@ -960,12 +1085,21 @@ func (s *sim) expandJobs() error {
 			stuck[pick.spec.Name] = true
 			continue
 		}
-		extra, got := s.ledger.Pick(n-cur, pick.alloc)
-		if !got {
-			return nil
+		cfg := est.Config
+		var alloc cluster.Allocation
+		if s.opts.Placement {
+			if pc := s.choosePlacement(pick, cfg, n, pick.alloc); pc != nil {
+				alloc = pc.Devices
+			}
 		}
-		alloc := append(append(cluster.Allocation(nil), pick.alloc...), extra...)
-		if err := s.applyChange(pick, est, alloc, nil, EvScaleOut, ""); err != nil {
+		if alloc == nil {
+			extra, got := s.ledger.Pick(n-cur, pick.alloc)
+			if !got {
+				return nil
+			}
+			alloc = append(append(cluster.Allocation(nil), pick.alloc...), extra...)
+		}
+		if err := s.applyChange(pick, cfg, alloc, nil, EvScaleOut, ""); err != nil {
 			return err
 		}
 	}
@@ -990,6 +1124,19 @@ func (s *sim) defragJobs() error {
 		}
 		if len(cluster.Allocation(candidate).Workers(s.topo)) >= curWorkers {
 			continue
+		}
+		// In placement mode the worker count alone does not justify a
+		// move: compaction must win on the same migration-amortized
+		// score that placed the job — otherwise defrag would undo a
+		// spread the policy deliberately chose and pay back the
+		// migration that choice avoided.
+		if s.opts.Placement {
+			curPl := perfmodel.Placement{Alloc: cur, Config: j.cfg}
+			have := s.cache.ScorePlacement(j.spec.Model, j.cfg, s.topo, cur, curPl, s.opts.Perf)
+			want := s.cache.ScorePlacement(j.spec.Model, j.cfg, s.topo, candidate, curPl, s.opts.Perf)
+			if !want.Feasible || !have.Feasible || want.Score <= have.Score {
+				continue
+			}
 		}
 		// Same device count, so the job keeps its current (T, P, D);
 		// price the move before committing it.
@@ -1026,10 +1173,10 @@ func (s *sim) pickCompact(job string, n int) ([]cluster.DeviceID, bool) {
 // plan and the State Transformer execute on the job's task chain. In
 // ModeWall the plan is priced synchronously (its netsim cost schedules
 // the job's completion) and only the transform fans out.
-func (s *sim) applyChange(j *simJob, est perfmodel.Estimate, alloc cluster.Allocation,
+func (s *sim) applyChange(j *simJob, cfg parallel.Config, alloc cluster.Allocation,
 	failed []cluster.DeviceID, kind, note string) error {
 	s.plans++
-	p, err := s.decideChange(j, est.Config, alloc, kind, note)
+	p, err := s.decideChange(j, cfg, alloc, kind, note)
 	if err != nil {
 		return err
 	}
@@ -1214,6 +1361,7 @@ func (s *sim) result(start time.Time) Result {
 	}
 	for _, name := range s.order {
 		j := s.jobs[name]
+		res.MovedBytesTotal += j.movedBytes
 		res.Jobs = append(res.Jobs, JobSummary{
 			Name:        name,
 			Model:       j.spec.Model.Name,

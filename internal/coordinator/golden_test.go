@@ -1,0 +1,86 @@
+package coordinator_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"tenplex/internal/coordinator"
+	"tenplex/internal/experiments"
+)
+
+// The golden-trace regression test pins the default coordinator
+// behavior to a committed baseline: the FIFO 32-device/12-job
+// simulation's rendered result must stay byte-identical to
+// testdata/multijob_fifo_32x12.golden — at every worker count, since
+// the parallel runtime may never leak nondeterminism into sim mode.
+// It replaces the ad-hoc CI step that diffed two fresh runs against
+// each other (which caught nondeterminism but not behavioral drift
+// against history).
+//
+// If a PR intentionally changes default scheduling behavior, the
+// fixture is regenerated with:
+//
+//	UPDATE_GOLDEN=1 go test ./internal/coordinator -run TestGoldenTraceFIFO32x12
+//
+// and the diff reviewed like any other behavioral change.
+
+var updateGolden = os.Getenv("UPDATE_GOLDEN") != ""
+
+func TestGoldenTraceFIFO32x12(t *testing.T) {
+	goldenPath := filepath.Join("testdata", "multijob_fifo_32x12.golden")
+	var rendered string
+	for _, workers := range []int{1, 0, 16} {
+		topo, specs, failures := experiments.MultiJobScenario(32, 12, experiments.MultiJobSeed)
+		res, err := coordinator.Run(topo, specs, failures, coordinator.Options{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		got := res.Render()
+		if rendered == "" {
+			rendered = got
+		} else if got != rendered {
+			t.Fatalf("workers=%d: trace diverged from the workers=1 run", workers)
+		}
+	}
+	if updateGolden {
+		if err := os.WriteFile(goldenPath, []byte(rendered), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden trace updated: %s", goldenPath)
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden fixture (set UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	if rendered != string(want) {
+		t.Fatalf("default FIFO sim trace drifted from the committed golden baseline.\n"+
+			"If this change is intentional, regenerate with UPDATE_GOLDEN=1 and review the diff.\n--- got ---\n%s--- want ---\n%s",
+			rendered, want)
+	}
+}
+
+// TestGoldenTracePlacementDiffers documents that the golden fixture
+// covers the DEFAULT mode only: placement-aware runs legitimately
+// diverge from it (that divergence is the experiment), while keeping
+// the same admission shape.
+func TestGoldenTracePlacementDiffers(t *testing.T) {
+	topo, specs, failures := experiments.MultiJobScenario(32, 12, experiments.MultiJobSeed)
+	res, err := coordinator.Run(topo, specs, failures, coordinator.Options{Placement: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", "multijob_fifo_32x12.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Render() == string(want) {
+		t.Fatal("placement-aware run reproduced the count-based trace exactly; scoring is not wired in")
+	}
+	for _, js := range res.Jobs {
+		if !js.Completed {
+			t.Fatalf("job %s did not complete under placement-aware scheduling", js.Name)
+		}
+	}
+}

@@ -12,21 +12,23 @@ import (
 // mutations go through Lease / Release / MarkFailed, which reject any
 // transition that would double-allocate a device; Validate cross-checks
 // the two internal views so the event loop can assert the invariant
-// after every event. The Ledger is mutated only by the coordinator's
-// event loop and is therefore not internally locked.
+// after every event. Failure state lives in the topology itself
+// (cluster.Topology.MarkFailed/FailedDevice) — the one source of truth
+// the ledger, the placement scorer and the perfmodel cache generations
+// all read. The Ledger is mutated only by the coordinator's event loop
+// and is therefore not internally locked.
 type Ledger struct {
 	topo   *cluster.Topology
-	owner  map[cluster.DeviceID]string // "" or absent = free
-	failed map[cluster.DeviceID]bool
+	owner  map[cluster.DeviceID]string   // "" or absent = free
 	leases map[string]cluster.Allocation // per-job devices, lease order
 }
 
-// NewLedger starts with every device of the topology free and healthy.
+// NewLedger starts with every device of the topology free; device
+// health is read from (and written through to) the topology.
 func NewLedger(topo *cluster.Topology) *Ledger {
 	return &Ledger{
 		topo:   topo,
 		owner:  map[cluster.DeviceID]string{},
-		failed: map[cluster.DeviceID]bool{},
 		leases: map[string]cluster.Allocation{},
 	}
 }
@@ -35,7 +37,7 @@ func NewLedger(topo *cluster.Topology) *Ledger {
 func (l *Ledger) Free() []cluster.DeviceID {
 	var out []cluster.DeviceID
 	for _, d := range l.topo.Devices {
-		if l.owner[d.ID] == "" && !l.failed[d.ID] {
+		if l.owner[d.ID] == "" && !l.topo.FailedDevice(d.ID) {
 			out = append(out, d.ID)
 		}
 	}
@@ -49,7 +51,7 @@ func (l *Ledger) FreeCount() int { return len(l.Free()) }
 func (l *Ledger) Healthy() int {
 	n := 0
 	for _, d := range l.topo.Devices {
-		if !l.failed[d.ID] {
+		if !l.topo.FailedDevice(d.ID) {
 			n++
 		}
 	}
@@ -92,7 +94,7 @@ func (l *Ledger) Lease(job string, devs ...cluster.DeviceID) error {
 			return fmt.Errorf("coordinator: device %d listed twice in lease for %s", d, job)
 		}
 		seen[d] = true
-		if l.failed[d] {
+		if l.topo.FailedDevice(d) {
 			return fmt.Errorf("coordinator: device %d is failed", d)
 		}
 		if o := l.owner[d]; o != "" {
@@ -146,10 +148,12 @@ func (l *Ledger) ReleaseAll(job string) {
 
 // MarkFailed removes device d from service (fail-stop) and returns the
 // job that was holding it, if any. The device leaves the owner's lease
-// and never re-enters the free pool.
+// and never re-enters the free pool. The topology itself is marked too
+// (bumping its generation), so placement scoring and any memoization
+// keyed on the topology see the post-failure cluster.
 func (l *Ledger) MarkFailed(d cluster.DeviceID) string {
 	job := l.owner[d]
-	l.failed[d] = true
+	l.topo.MarkFailed(d)
 	if job != "" {
 		delete(l.owner, d)
 		kept := l.leases[job][:0]
@@ -164,7 +168,7 @@ func (l *Ledger) MarkFailed(d cluster.DeviceID) string {
 }
 
 // Failed reports whether device d has failed.
-func (l *Ledger) Failed(d cluster.DeviceID) bool { return l.failed[d] }
+func (l *Ledger) Failed(d cluster.DeviceID) bool { return l.topo.FailedDevice(d) }
 
 // Validate cross-checks the owner map against the per-job leases: every
 // leased device is owned by exactly the job whose lease lists it, no
@@ -184,7 +188,7 @@ func (l *Ledger) Validate() error {
 				return fmt.Errorf("coordinator: device %d leased to both %s and %s", d, prev, job)
 			}
 			fromLeases[d] = job
-			if l.failed[d] {
+			if l.topo.FailedDevice(d) {
 				return fmt.Errorf("coordinator: failed device %d leased to %s", d, job)
 			}
 			if l.owner[d] != job {
@@ -214,6 +218,138 @@ func (l *Ledger) Pick(n int, prefer cluster.Allocation) ([]cluster.DeviceID, boo
 	return packCompact(l.topo, l.Free(), n, preferred)
 }
 
+// CandidateSets enumerates up to k distinct lease-feasible device sets
+// of size n from the free pool, for the placement-aware coordinator to
+// score and rank — instead of committing to the single count-based
+// compact pick. The first candidate is always Pick's choice, so a
+// policy that declines to rank (or a disabled placement mode) degrades
+// exactly to the count-based behavior. The remaining candidates come
+// from deterministic heuristics with different biases: compact packing
+// without worker affinity, best-fit packing that consumes fragmented
+// workers first (leaving whole machines for future gangs), whole
+// single-worker sets (all-NVLink TP groups), and a round-robin spread
+// across workers (one NIC per DP replica). Duplicates are removed; the
+// result is deterministic.
+func (l *Ledger) CandidateSets(n, k int, prefer cluster.Allocation) []cluster.Allocation {
+	if n < 1 || k < 1 {
+		return nil
+	}
+	free := l.Free()
+	if len(free) < n {
+		return nil
+	}
+	preferred := map[int]bool{}
+	for _, d := range prefer {
+		preferred[l.topo.WorkerOf(d)] = true
+	}
+	var out []cluster.Allocation
+	seen := map[string]bool{}
+	add := func(devs []cluster.DeviceID, ok bool) {
+		if !ok || len(out) >= k {
+			return
+		}
+		sig := cluster.Allocation(devs).Signature()
+		if seen[sig] {
+			return
+		}
+		seen[sig] = true
+		out = append(out, append(cluster.Allocation(nil), devs...))
+	}
+	add(packCompact(l.topo, free, n, preferred))
+	add(packCompact(l.topo, free, n, nil))
+	add(packBestFit(l.topo, free, n, preferred))
+	// Whole single-worker sets: the best possible interconnect for a
+	// TP-heavy configuration.
+	byWorker, workers := groupByWorker(l.topo, free)
+	sort.Ints(workers)
+	for _, w := range workers {
+		if len(byWorker[w]) >= n {
+			add(byWorker[w][:n], true)
+		}
+	}
+	add(packSpread(l.topo, free, n))
+	return out
+}
+
+// groupByWorker buckets the available devices per worker (in input
+// order) and returns the workers that have any, in first-seen order.
+func groupByWorker(topo *cluster.Topology, avail []cluster.DeviceID) (map[int][]cluster.DeviceID, []int) {
+	byWorker := map[int][]cluster.DeviceID{}
+	var workers []int
+	for _, d := range avail {
+		w := topo.WorkerOf(d)
+		if len(byWorker[w]) == 0 {
+			workers = append(workers, w)
+		}
+		byWorker[w] = append(byWorker[w], d)
+	}
+	return byWorker, workers
+}
+
+// packBestFit packs n devices consuming the workers with the fewest
+// free devices first (preferred workers still lead): fragments get used
+// up and whole machines stay whole for jobs that need them.
+func packBestFit(topo *cluster.Topology, avail []cluster.DeviceID, n int, preferred map[int]bool) ([]cluster.DeviceID, bool) {
+	if len(avail) < n {
+		return nil, false
+	}
+	byWorker, workers := groupByWorker(topo, avail)
+	sort.Slice(workers, func(i, j int) bool {
+		wi, wj := workers[i], workers[j]
+		if preferred[wi] != preferred[wj] {
+			return preferred[wi]
+		}
+		if len(byWorker[wi]) != len(byWorker[wj]) {
+			return len(byWorker[wi]) < len(byWorker[wj])
+		}
+		return wi < wj
+	})
+	out := make([]cluster.DeviceID, 0, n)
+	for _, w := range workers {
+		for _, d := range byWorker[w] {
+			if len(out) == n {
+				return out, true
+			}
+			out = append(out, d)
+		}
+	}
+	return out, len(out) == n
+}
+
+// packSpread distributes n devices round-robin over the workers with
+// the most free devices — one NIC per data-parallel replica instead of
+// one crowded machine.
+func packSpread(topo *cluster.Topology, avail []cluster.DeviceID, n int) ([]cluster.DeviceID, bool) {
+	if len(avail) < n {
+		return nil, false
+	}
+	byWorker, workers := groupByWorker(topo, avail)
+	sort.Slice(workers, func(i, j int) bool {
+		wi, wj := workers[i], workers[j]
+		if len(byWorker[wi]) != len(byWorker[wj]) {
+			return len(byWorker[wi]) > len(byWorker[wj])
+		}
+		return wi < wj
+	})
+	out := make([]cluster.DeviceID, 0, n)
+	for round := 0; len(out) < n; round++ {
+		took := false
+		for _, w := range workers {
+			if round < len(byWorker[w]) {
+				out = append(out, byWorker[w][round])
+				took = true
+				if len(out) == n {
+					return out, true
+				}
+			}
+		}
+		if !took {
+			break
+		}
+	}
+	return out, len(out) == n
+}
+
 // packCompact greedily packs n of the available devices onto as few
 // workers as possible: preferred workers first, then workers offering
 // the most devices, ties broken by worker ID; devices in ID order
@@ -224,15 +360,7 @@ func packCompact(topo *cluster.Topology, avail []cluster.DeviceID, n int, prefer
 	if len(avail) < n {
 		return nil, false
 	}
-	byWorker := map[int][]cluster.DeviceID{}
-	var workers []int
-	for _, d := range avail {
-		w := topo.WorkerOf(d)
-		if len(byWorker[w]) == 0 {
-			workers = append(workers, w)
-		}
-		byWorker[w] = append(byWorker[w], d)
-	}
+	byWorker, workers := groupByWorker(topo, avail)
 	for _, devs := range byWorker {
 		sort.Slice(devs, func(i, j int) bool { return devs[i] < devs[j] })
 	}

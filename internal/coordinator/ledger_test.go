@@ -127,8 +127,10 @@ func TestLedgerValidateDetectsCorruption(t *testing.T) {
 		t.Fatal("validate missed an owner mismatch")
 	}
 	l.owner[1] = "b"
-	// A failed device inside a lease.
-	l.failed[0] = true
+	// A failed device inside a lease (failure state lives in the
+	// topology; marking it there without releasing the lease is the
+	// corruption).
+	l.topo.MarkFailed(0)
 	if err := l.Validate(); err == nil {
 		t.Fatal("validate missed a failed leased device")
 	}
@@ -159,5 +161,97 @@ func TestLedgerPickCompact(t *testing.T) {
 	// Too large a pick fails.
 	if _, ok := l.Pick(17, nil); ok {
 		t.Fatal("pick(17) of 16 devices succeeded")
+	}
+}
+
+func TestCandidateSets(t *testing.T) {
+	topo := cluster.OnPrem16()
+	l := NewLedger(topo)
+	// Fragment the pool: worker 0 fully busy, worker 1 half busy.
+	if err := l.Lease("a", topo.Workers[0].Devices...); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Lease("b", topo.Workers[1].Devices[:2]...); err != nil {
+		t.Fatal(err)
+	}
+
+	sets := l.CandidateSets(4, 8, nil)
+	if len(sets) == 0 {
+		t.Fatal("no candidate sets for a satisfiable request")
+	}
+	// The first candidate is always the count-based compact pick.
+	pick, ok := l.Pick(4, nil)
+	if !ok {
+		t.Fatal("Pick failed")
+	}
+	if len(sets[0]) != len(pick) {
+		t.Fatalf("first candidate has %d devices, Pick %d", len(sets[0]), len(pick))
+	}
+	for i := range pick {
+		if sets[0][i] != pick[i] {
+			t.Fatalf("first candidate %v differs from the count-based pick %v", sets[0], pick)
+		}
+	}
+	seen := map[string]bool{}
+	free := map[cluster.DeviceID]bool{}
+	for _, d := range l.Free() {
+		free[d] = true
+	}
+	for _, set := range sets {
+		if len(set) != 4 {
+			t.Fatalf("candidate %v has %d devices, want 4", set, len(set))
+		}
+		dup := map[cluster.DeviceID]bool{}
+		for _, d := range set {
+			if !free[d] {
+				t.Fatalf("candidate %v uses non-free device %d", set, d)
+			}
+			if dup[d] {
+				t.Fatalf("candidate %v lists device %d twice", set, d)
+			}
+			dup[d] = true
+		}
+		sig := set.Signature()
+		if seen[sig] {
+			t.Fatalf("duplicate candidate %v", set)
+		}
+		seen[sig] = true
+	}
+	// Deterministic across calls.
+	again := l.CandidateSets(4, 8, nil)
+	if len(again) != len(sets) {
+		t.Fatalf("candidate count changed: %d vs %d", len(again), len(sets))
+	}
+	for i := range sets {
+		for j := range sets[i] {
+			if sets[i][j] != again[i][j] {
+				t.Fatal("CandidateSets not deterministic")
+			}
+		}
+	}
+	// k bounds the enumeration; infeasible sizes yield nothing.
+	if got := l.CandidateSets(4, 1, nil); len(got) != 1 {
+		t.Fatalf("k=1 returned %d candidates", len(got))
+	}
+	if got := l.CandidateSets(11, 4, nil); got != nil {
+		t.Fatalf("11 devices from %d free returned %v", l.FreeCount(), got)
+	}
+	if got := l.CandidateSets(0, 4, nil); got != nil {
+		t.Fatal("n=0 returned candidates")
+	}
+}
+
+// TestCandidateSetsPreferWorkers: candidates honoring the prefer hint
+// lead with the preferred worker's devices, like Pick does.
+func TestCandidateSetsPreferWorkers(t *testing.T) {
+	topo := cluster.OnPrem16()
+	l := NewLedger(topo)
+	prefer := cluster.Allocation{topo.Workers[2].Devices[0]}
+	sets := l.CandidateSets(2, 8, prefer)
+	if len(sets) == 0 {
+		t.Fatal("no candidates")
+	}
+	if w := topo.WorkerOf(sets[0][0]); w != 2 {
+		t.Fatalf("first candidate starts on worker %d, preferred worker 2", w)
 	}
 }

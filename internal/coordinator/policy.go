@@ -1,6 +1,11 @@
 package coordinator
 
-import "fmt"
+import (
+	"fmt"
+
+	"tenplex/internal/cluster"
+	"tenplex/internal/parallel"
+)
 
 // A Policy makes the coordinator's admission, preemption and expansion
 // choices. The event loop owns all mechanism — the ledger, feasibility
@@ -33,6 +38,36 @@ type Policy interface {
 	// PickExpand chooses which running job grows into free capacity
 	// next, from cands in submission order. nil stops expansion.
 	PickExpand(v *ClusterView, cands []*JobView) *JobView
+	// RankPlacement chooses among scored candidate device sets for
+	// placing (or growing) job j. It is consulted only when the
+	// coordinator runs placement-aware (Options.Placement); cands are
+	// in enumeration order — the first is always the count-based
+	// compact pick — and every candidate is feasible with its best
+	// configuration and score attached. Returning nil falls back to
+	// the first candidate.
+	RankPlacement(v *ClusterView, j *JobView, cands []*PlacementCandidate) *PlacementCandidate
+}
+
+// PlacementCandidate is one scored candidate device set a Policy ranks
+// in placement-aware mode.
+type PlacementCandidate struct {
+	// Devices is the candidate allocation, in rank order.
+	Devices cluster.Allocation
+	// Config is the best configuration perfmodel found for the set.
+	Config parallel.Config
+	// Spread is the number of workers the set spans.
+	Spread int
+	// SamplesSec is the modeled training throughput of Config laid out
+	// on exactly these devices.
+	SamplesSec float64
+	// MigrationSec is the netsim-priced cost of moving the job's state
+	// from its current placement onto the candidate (0 for initial
+	// placements), and MigrationBytes its payload.
+	MigrationSec   float64
+	MigrationBytes int64
+	// Score is the migration-amortized throughput score; higher is
+	// better.
+	Score float64
 }
 
 // JobView is the read-only per-job state a Policy sees.
@@ -50,12 +85,24 @@ type JobView struct {
 	// Surplus is the preemptible slack above the policy's floor; only
 	// set on PickVictim candidates.
 	Surplus int
+	// EvictCostSec is the netsim-priced cost of exactly the shrink the
+	// coordinator would commit if this victim were picked next — how
+	// much reconfiguration time (and, correlated, moved bytes) the
+	// eviction would charge the cluster — and EvictFreed the number of
+	// devices that shrink frees. Only set on PickVictim candidates,
+	// and only in placement-aware mode; zero otherwise.
+	EvictCostSec float64
+	EvictFreed   int
 }
 
 // ClusterView is the read-only cluster state a Policy sees.
 type ClusterView struct {
 	Devices, Workers int
 	Free, Healthy    int
+	// PlacementAware reports whether the coordinator scores candidate
+	// device sets (Options.Placement): PickVictim candidates then carry
+	// EvictCostSec and RankPlacement is consulted.
+	PlacementAware bool
 	// Queued is the admission queue in arrival order; Running the
 	// placed jobs in submission order.
 	Queued, Running []*JobView
@@ -112,11 +159,57 @@ func (FIFO) AdmitBounds(v *ClusterView, j *JobView) (int, int) { return j.MinGPU
 func (FIFO) PreemptFloor(req, victim *JobView) int { return victim.MinGPUs }
 
 func (FIFO) PickVictim(v *ClusterView, req *JobView, cands []*JobView) *JobView {
+	if v.PlacementAware {
+		return cheapestVictim(cands)
+	}
 	var pick *JobView
 	surplus := 0
 	for _, c := range cands {
 		if c.Surplus > surplus {
 			surplus, pick = c.Surplus, c
+		}
+	}
+	return pick
+}
+
+// RankPlacement for FIFO keeps the highest migration-amortized score:
+// the device set on which the configuration runs fastest after paying
+// for getting the state there. Ties keep the earlier (more compact)
+// candidate.
+func (FIFO) RankPlacement(v *ClusterView, j *JobView, cands []*PlacementCandidate) *PlacementCandidate {
+	return bestScore(cands)
+}
+
+// bestScore picks the highest-scoring candidate, ties broken towards
+// the earlier (more compact) one.
+func bestScore(cands []*PlacementCandidate) *PlacementCandidate {
+	var pick *PlacementCandidate
+	for _, c := range cands {
+		if pick == nil || c.Score > pick.Score {
+			pick = c
+		}
+	}
+	return pick
+}
+
+// cheapestVictim picks the victim whose eviction moves the least
+// netsim-priced state per device it actually frees (EvictFreed — the
+// priced shrink, not the whole surplus) — the cost-aware counterpart
+// of largest-surplus. Ties fall back to the larger surplus, then
+// earlier submission.
+func cheapestVictim(cands []*JobView) *JobView {
+	var pick *JobView
+	var cost float64
+	for _, c := range cands {
+		freed := c.EvictFreed
+		if freed < 1 {
+			freed = c.Surplus
+		}
+		per := c.EvictCostSec / float64(freed)
+		if pick == nil || per < cost ||
+			(per == cost && (c.Surplus > pick.Surplus ||
+				(c.Surplus == pick.Surplus && c.SubmitIdx < pick.SubmitIdx))) {
+			pick, cost = c, per
 		}
 	}
 	return pick
@@ -183,8 +276,34 @@ func (DRF) PickVictim(v *ClusterView, req *JobView, cands []*JobView) *JobView {
 	var share float64
 	for _, c := range cands {
 		s := c.DominantShare(v)
-		if pick == nil || s > share || (s == share && c.Surplus > pick.Surplus) {
+		better := pick == nil || s > share
+		if !better && s == share {
+			// Fairness stays the primary axis; in placement-aware mode
+			// ties prefer the cheaper eviction, otherwise the larger
+			// surplus.
+			if v.PlacementAware {
+				better = c.EvictCostSec < pick.EvictCostSec
+			} else {
+				better = c.Surplus > pick.Surplus
+			}
+		}
+		if better {
 			pick, share = c, s
+		}
+	}
+	return pick
+}
+
+// RankPlacement for DRF treats worker spread as the second fairness
+// resource: among the scored candidates it keeps the smallest spread,
+// breaking ties by score — a narrow placement leaves more distinct
+// workers for the other jobs' shares.
+func (DRF) RankPlacement(v *ClusterView, j *JobView, cands []*PlacementCandidate) *PlacementCandidate {
+	var pick *PlacementCandidate
+	for _, c := range cands {
+		if pick == nil || c.Spread < pick.Spread ||
+			(c.Spread == pick.Spread && c.Score > pick.Score) {
+			pick = c
 		}
 	}
 	return pick
@@ -246,8 +365,30 @@ func (PriorityGang) PreemptFloor(req, victim *JobView) int {
 func (PriorityGang) PickVictim(v *ClusterView, req *JobView, cands []*JobView) *JobView {
 	var pick *JobView
 	for _, c := range cands {
-		if pick == nil || c.Priority < pick.Priority ||
-			(c.Priority == pick.Priority && c.Surplus > pick.Surplus) {
+		better := pick == nil || c.Priority < pick.Priority
+		if !better && c.Priority == pick.Priority {
+			// Within a class, placement-aware mode evicts the cheapest
+			// state move first; otherwise the largest surplus.
+			if v.PlacementAware {
+				better = c.EvictCostSec < pick.EvictCostSec
+			} else {
+				better = c.Surplus > pick.Surplus
+			}
+		}
+		if better {
+			pick = c
+		}
+	}
+	return pick
+}
+
+// RankPlacement for PriorityGang maximizes raw throughput: gangs are
+// placed whole and rarely move, so the one-time migration term matters
+// less than the steady-state rate the class is promised.
+func (PriorityGang) RankPlacement(v *ClusterView, j *JobView, cands []*PlacementCandidate) *PlacementCandidate {
+	var pick *PlacementCandidate
+	for _, c := range cands {
+		if pick == nil || c.SamplesSec > pick.SamplesSec {
 			pick = c
 		}
 	}

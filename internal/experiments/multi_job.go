@@ -32,11 +32,29 @@ func multiJobModels() []*model.Model {
 	}
 }
 
+// BurstyBurstiness is the sched.ArrivalParams.Burstiness the bursty
+// scenario variant uses: enough clumping to deepen contention (the
+// admission queue keeps arbitrating) while keeping the same offered
+// load as the steady trace.
+const BurstyBurstiness = 0.3
+
 // MultiJobScenario builds the shared multi-job workload on a cloud
 // topology of the given device count (a multiple of 4): the topology,
 // the job specs, and one injected device failure. tenplex-ctl's sim
 // subcommand reuses it with caller-chosen sizes.
 func MultiJobScenario(devices, jobs int, seed int64) (*cluster.Topology, []coordinator.JobSpec, []coordinator.FailureSpec) {
+	return multiJobScenario(devices, jobs, seed, 0)
+}
+
+// MultiJobScenarioBursty is MultiJobScenario under bursty submissions
+// (sched.ArrivalParams.Burstiness = BurstyBurstiness) at the same
+// offered load: arrival clumps deepen the contention the coordinator
+// has to arbitrate.
+func MultiJobScenarioBursty(devices, jobs int, seed int64) (*cluster.Topology, []coordinator.JobSpec, []coordinator.FailureSpec) {
+	return multiJobScenario(devices, jobs, seed, BurstyBurstiness)
+}
+
+func multiJobScenario(devices, jobs int, seed int64, burstiness float64) (*cluster.Topology, []coordinator.JobSpec, []coordinator.FailureSpec) {
 	if jobs < 1 {
 		panic(fmt.Sprintf("experiments: MultiJobScenario with %d jobs", jobs))
 	}
@@ -48,6 +66,7 @@ func MultiJobScenario(devices, jobs int, seed int64) (*cluster.Topology, []coord
 	p.MeanDurationMin = 90
 	p.Sizes = []int{2, 4, 8, 16}
 	p.SizeWeights = []float64{0.25, 0.35, 0.25, 0.15}
+	p.Burstiness = burstiness
 	arrivals, err := sched.Arrivals(p, seed)
 	if err != nil {
 		panic(fmt.Sprintf("experiments: %v", err))

@@ -1,27 +1,36 @@
 package perfmodel
 
 import (
+	"fmt"
 	"sync"
 
 	"tenplex/internal/cluster"
 	"tenplex/internal/model"
+	"tenplex/internal/parallel"
 )
 
 // Cache memoizes the best-configuration search per (model, topology,
-// device count, params). The multi-job coordinator asks for the best
-// (T, P, D) of the same handful of models at every admission, resize
-// and recovery decision; a full Sweep enumerates and prices every
+// device count, params) and the allocation-aware placement search per
+// (model, topology, allocation signature, current-allocation signature,
+// params). The multi-job coordinator asks for the best (T, P, D) of the
+// same handful of models at every admission, resize and recovery
+// decision — and, in placement-aware mode, scores several candidate
+// device sets per decision; a full sweep enumerates and prices every
 // configuration each time, which is wasteful for queries that repeat
 // thousands of times per simulation. Keys use pointer identity for the
 // model and topology, so callers must reuse their catalog and topology
-// values — which Tenplex jobs do by construction.
+// values — which Tenplex jobs do by construction — plus the topology's
+// Generation, so a fail-stop device marking (or any other topology
+// mutation) invalidates every entry computed against the pre-mutation
+// cluster instead of silently serving stale results.
 //
 // Cache is safe for concurrent use. Concurrent misses for the same key
-// may both compute the sweep; the result is identical (Sweep is pure),
-// so last-write-wins is harmless.
+// may both compute the sweep; the result is identical (the sweeps are
+// pure), so last-write-wins is harmless.
 type Cache struct {
 	mu     sync.Mutex
 	m      map[cacheKey]cacheEntry
+	pm     map[placementKey]placementEntry
 	hits   int64
 	misses int64
 }
@@ -29,6 +38,7 @@ type Cache struct {
 type cacheKey struct {
 	model *model.Model
 	topo  *cluster.Topology
+	gen   uint64
 	n     int
 	p     Params
 }
@@ -38,14 +48,31 @@ type cacheEntry struct {
 	err error
 }
 
-// NewCache returns an empty memoizing wrapper around Best.
-func NewCache() *Cache { return &Cache{m: map[cacheKey]cacheEntry{}} }
+type placementKey struct {
+	model *model.Model
+	topo  *cluster.Topology
+	gen   uint64
+	cfg   string // configuration under evaluation
+	alloc string // Allocation.Signature of the candidate set
+	cur   string // current allocation signature plus its configuration
+	p     Params
+}
+
+type placementEntry struct {
+	ps PlacementScore
+}
+
+// NewCache returns an empty memoizing wrapper around Best and
+// BestPlacement.
+func NewCache() *Cache {
+	return &Cache{m: map[cacheKey]cacheEntry{}, pm: map[placementKey]placementEntry{}}
+}
 
 // Best returns Best(m, topo, n, p), serving repeated queries from the
 // cache. Infeasible device counts (Best errors) are cached too, so the
 // coordinator's downward search for a feasible lease size stays cheap.
 func (c *Cache) Best(m *model.Model, topo *cluster.Topology, n int, p Params) (Estimate, error) {
-	k := cacheKey{model: m, topo: topo, n: n, p: p}
+	k := cacheKey{model: m, topo: topo, gen: topo.Generation(), n: n, p: p}
 	c.mu.Lock()
 	e, ok := c.m[k]
 	if ok {
@@ -63,16 +90,87 @@ func (c *Cache) Best(m *model.Model, topo *cluster.Topology, n int, p Params) (E
 	return est, err
 }
 
-// Stats reports cache hits and misses since creation.
+// ScorePlacement returns ScorePlacement(m, cfg, topo, alloc, cur, p),
+// memoized per allocation signature — the placement-aware coordinator
+// scores the same candidate sets repeatedly as the cluster's free pool
+// cycles through a handful of shapes. Infeasible scores are cached
+// like feasible ones.
+func (c *Cache) ScorePlacement(m *model.Model, cfg parallel.Config, topo *cluster.Topology,
+	alloc cluster.Allocation, cur Placement, p Params) PlacementScore {
+	k := placementKey{
+		model: m, topo: topo, gen: topo.Generation(),
+		cfg:   cfg.String(),
+		alloc: alloc.Signature(),
+		cur:   cur.Alloc.Signature() + "|" + cur.Config.String(),
+		p:     p,
+	}
+	c.mu.Lock()
+	e, ok := c.pm[k]
+	if ok {
+		c.hits++
+	}
+	c.mu.Unlock()
+	if ok {
+		return e.ps
+	}
+	ps := ScorePlacement(m, cfg, topo, alloc, cur, p)
+	c.mu.Lock()
+	c.misses++
+	c.pm[k] = placementEntry{ps: ps}
+	c.mu.Unlock()
+	return ps
+}
+
+// cheapestKeyCfg is the placementKey cfg sentinel for memoized
+// CheapestPlacement sweeps; it cannot collide with a Config.String().
+const cheapestKeyCfg = "<cheapest>"
+
+// CheapestPlacement returns CheapestPlacement(m, topo, alloc, cur, p),
+// memoized per allocation signature. A failed sweep (no feasible
+// configuration) is cached as an infeasible score.
+func (c *Cache) CheapestPlacement(m *model.Model, topo *cluster.Topology,
+	alloc cluster.Allocation, cur Placement, p Params) (PlacementScore, error) {
+	k := placementKey{
+		model: m, topo: topo, gen: topo.Generation(),
+		cfg:   cheapestKeyCfg,
+		alloc: alloc.Signature(),
+		cur:   cur.Alloc.Signature() + "|" + cur.Config.String(),
+		p:     p,
+	}
+	c.mu.Lock()
+	e, ok := c.pm[k]
+	if ok {
+		c.hits++
+	}
+	c.mu.Unlock()
+	if !ok {
+		ps, err := CheapestPlacement(m, topo, alloc, cur, p)
+		if err != nil {
+			ps = PlacementScore{Reason: err.Error()}
+		}
+		e = placementEntry{ps: ps}
+		c.mu.Lock()
+		c.misses++
+		c.pm[k] = e
+		c.mu.Unlock()
+	}
+	if !e.ps.Feasible {
+		return PlacementScore{}, fmt.Errorf("perfmodel: %s", e.ps.Reason)
+	}
+	return e.ps, nil
+}
+
+// Stats reports cache hits and misses since creation (count-based and
+// placement queries combined).
 func (c *Cache) Stats() (hits, misses int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.hits, c.misses
 }
 
-// Len returns the number of cached (model, topology, n, params) keys.
+// Len returns the number of cached keys across both query kinds.
 func (c *Cache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return len(c.m)
+	return len(c.m) + len(c.pm)
 }

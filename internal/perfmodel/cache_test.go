@@ -6,6 +6,7 @@ import (
 
 	"tenplex/internal/cluster"
 	"tenplex/internal/model"
+	"tenplex/internal/parallel"
 )
 
 func TestCacheBestMatchesBest(t *testing.T) {
@@ -123,5 +124,73 @@ func BenchmarkBestUncached(b *testing.B) {
 		if _, err := Best(m, topo, 16, p); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// TestCacheInvalidatedByTopologyGeneration is the regression test for
+// the fail-stop staleness bug: cache keys used to ignore topology
+// mutations, so a placement scored before a device failure kept being
+// served after it. Marking a device failed bumps the topology
+// generation, which must invalidate cached entries.
+func TestCacheInvalidatedByTopologyGeneration(t *testing.T) {
+	m := model.GPTCustom(4, 16, 2, 32, 8)
+	topo := cluster.OnPrem16()
+	p := DefaultParams()
+	p.DeviceMemGB = 0
+	c := NewCache()
+	alloc := topo.FirstN(4)
+	cfg := parallel.Config{TP: 1, PP: 2, DP: 2}
+	before := c.ScorePlacement(m, cfg, topo, alloc, Placement{}, p)
+	if !before.Feasible {
+		t.Fatalf("healthy placement infeasible: %s", before.Reason)
+	}
+	// Warm the count-based side too.
+	if _, err := c.Best(m, topo, 4, p); err != nil {
+		t.Fatal(err)
+	}
+	_, missesBefore := c.Stats()
+
+	topo.MarkFailed(alloc[0])
+
+	after := c.ScorePlacement(m, cfg, topo, alloc, Placement{}, p)
+	if after.Feasible {
+		t.Fatal("cache served the pre-failure placement score after the device was marked failed")
+	}
+	if _, err := c.Best(m, topo, 4, p); err != nil {
+		t.Fatal(err)
+	}
+	if _, misses := c.Stats(); misses != missesBefore+2 {
+		t.Fatalf("generation bump did not miss: %d misses before, %d after", missesBefore, misses)
+	}
+	// The post-failure entries are cached under the new generation.
+	hitsBefore, _ := c.Stats()
+	c.ScorePlacement(m, cfg, topo, alloc, Placement{}, p)
+	if hits, _ := c.Stats(); hits != hitsBefore+1 {
+		t.Fatal("post-failure score not served from cache")
+	}
+}
+
+// TestCacheCheapestPlacement: the forced-reshape sweep is memoized and
+// infeasible sweeps cache their error.
+func TestCacheCheapestPlacement(t *testing.T) {
+	m := model.GPTCustom(4, 16, 2, 32, 8)
+	topo := cluster.OnPrem16()
+	p := DefaultParams()
+	p.DeviceMemGB = 0
+	c := NewCache()
+	cur := Placement{Alloc: topo.FirstN(8), Config: parallel.Config{TP: 1, PP: 4, DP: 2}}
+	a, err := c.CheapestPlacement(m, topo, topo.FirstN(4), cur, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.CheapestPlacement(m, topo, topo.FirstN(4), cur, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("memoized cheapest placement differs: %+v vs %+v", a, b)
+	}
+	if hits, misses := c.Stats(); hits != 1 || misses != 1 {
+		t.Fatalf("hits=%d misses=%d, want 1/1", hits, misses)
 	}
 }

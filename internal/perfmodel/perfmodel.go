@@ -54,6 +54,10 @@ type Params struct {
 	// feasibility check (params + grads + optimizer ≈ 16 B/param for
 	// mixed precision with fp32 Adam).
 	StateBytesPerParam int
+	// PlacementHorizonSec amortizes a placement's one-time migration
+	// cost into its score (see ScorePlacement); 0 means the default
+	// (DefaultPlacementHorizonSec).
+	PlacementHorizonSec float64
 }
 
 // DefaultParams mirrors the paper's setup: A6000-class devices at

@@ -53,7 +53,20 @@ type ArrivalParams struct {
 	// ElasticFrac is the fraction of jobs that accept resizing; an
 	// elastic job tolerates [max(1, GPUs/2), 2·GPUs].
 	ElasticFrac float64
+	// Burstiness in [0, 1) clusters submissions into bursts: each gap
+	// is drawn from a short exponential (BurstGapFactor of the mean)
+	// with probability Burstiness and from a stretched one otherwise,
+	// chosen so the OVERALL mean inter-arrival time stays
+	// MeanInterArrivalMin — burstier traces are directly comparable to
+	// Poisson ones at the same load. 0 (the default) is the original
+	// Poisson process, byte-identical trace for byte-identical trace.
+	Burstiness float64
 }
+
+// BurstGapFactor scales the mean of the within-burst inter-arrival
+// gap: a burst submission follows its predecessor after ~10% of the
+// nominal mean gap.
+const BurstGapFactor = 0.1
 
 // DefaultArrivalParams returns the Philly-derived workload shape: most
 // jobs are small (1–4 GPUs), a few are large, submissions arrive every
@@ -103,6 +116,9 @@ func (p ArrivalParams) Validate() error {
 	if p.ElasticFrac < 0 || p.ElasticFrac > 1 {
 		return fmt.Errorf("sched: ElasticFrac %g outside [0,1]", p.ElasticFrac)
 	}
+	if p.Burstiness < 0 || p.Burstiness >= 1 {
+		return fmt.Errorf("sched: Burstiness %g outside [0,1)", p.Burstiness)
+	}
 	return nil
 }
 
@@ -118,11 +134,28 @@ func Arrivals(p ArrivalParams, seed int64) ([]JobArrival, error) {
 	for _, w := range p.SizeWeights {
 		weightSum += w
 	}
+	// The burst mixture preserves the overall mean: a Burstiness
+	// fraction of gaps shrink to BurstGapFactor of the mean, so the
+	// remaining gaps stretch to compensate.
+	stretch := 1.0
+	if p.Burstiness > 0 {
+		stretch = (1 - BurstGapFactor*p.Burstiness) / (1 - p.Burstiness)
+	}
 	out := make([]JobArrival, 0, p.Jobs)
 	t := 0.0
 	for i := 0; i < p.Jobs; i++ {
 		if i > 0 {
-			t += rng.ExpFloat64() * p.MeanInterArrivalMin
+			gap := rng.ExpFloat64() * p.MeanInterArrivalMin
+			// Burstiness == 0 must not touch the RNG stream: traces stay
+			// byte-identical to the pre-burst generator.
+			if p.Burstiness > 0 {
+				if rng.Float64() < p.Burstiness {
+					gap *= BurstGapFactor
+				} else {
+					gap *= stretch
+				}
+			}
+			t += gap
 		}
 		size := p.Sizes[len(p.Sizes)-1]
 		pick := rng.Float64() * weightSum

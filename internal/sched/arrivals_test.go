@@ -122,3 +122,106 @@ func TestArrivalParamsValidate(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// gapStats returns the mean and coefficient of variation of the
+// inter-arrival gaps of a trace.
+func gapStats(arrivals []JobArrival) (mean, cv float64) {
+	var gaps []float64
+	for i := 1; i < len(arrivals); i++ {
+		gaps = append(gaps, arrivals[i].ArrivalMin-arrivals[i-1].ArrivalMin)
+	}
+	for _, g := range gaps {
+		mean += g
+	}
+	mean /= float64(len(gaps))
+	var varsum float64
+	for _, g := range gaps {
+		varsum += (g - mean) * (g - mean)
+	}
+	return mean, math.Sqrt(varsum/float64(len(gaps))) / mean
+}
+
+// TestArrivalsBurstyShape: bursts clump submissions — the gap
+// distribution's coefficient of variation rises well above the
+// exponential's 1 — while the overall mean inter-arrival time (the
+// offered load) stays put.
+func TestArrivalsBurstyShape(t *testing.T) {
+	p := DefaultArrivalParams()
+	p.Jobs = 4000
+	base, err := Arrivals(p, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Burstiness = 0.6
+	bursty, err := Arrivals(p, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meanBase, cvBase := gapStats(base)
+	meanBursty, cvBursty := gapStats(bursty)
+	if math.Abs(meanBursty-meanBase)/meanBase > 0.1 {
+		t.Fatalf("burstiness changed the offered load: mean gap %.2f vs %.2f", meanBursty, meanBase)
+	}
+	if cvBase > 1.2 {
+		t.Fatalf("Poisson gaps should have CV ~1, got %.2f", cvBase)
+	}
+	if cvBursty < cvBase*1.2 {
+		t.Fatalf("bursty gaps not burstier: CV %.2f vs Poisson %.2f", cvBursty, cvBase)
+	}
+	// The size mix is burstiness-independent in distribution: the same
+	// sizes appear with roughly the same frequencies.
+	countOf := func(arr []JobArrival) map[int]int {
+		out := map[int]int{}
+		for _, a := range arr {
+			out[a.GPUs]++
+		}
+		return out
+	}
+	cb, cc := countOf(base), countOf(bursty)
+	for size, n := range cb {
+		if m := cc[size]; math.Abs(float64(m-n)) > 0.2*float64(len(base)) {
+			t.Fatalf("burstiness skewed the size mix: %d GPUs %d vs %d", size, m, n)
+		}
+	}
+}
+
+// TestArrivalsBurstyDeterministic: per-seed determinism, and
+// Burstiness = 0 reproduces the pre-burst generator byte for byte (the
+// zero path must not consume extra RNG draws).
+func TestArrivalsBurstyDeterministic(t *testing.T) {
+	p := DefaultArrivalParams()
+	p.Burstiness = 0.5
+	a, err := Arrivals(p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Arrivals(p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("bursty trace not deterministic per seed")
+	}
+	p.Burstiness = 0
+	zero, err := Arrivals(p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Arrivals(DefaultArrivalParams(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(zero, plain) {
+		t.Fatal("Burstiness=0 diverged from the original generator")
+	}
+}
+
+func TestArrivalsBurstinessValidate(t *testing.T) {
+	for _, b := range []float64{-0.1, 1.0, 1.5} {
+		p := DefaultArrivalParams()
+		p.Burstiness = b
+		if _, err := Arrivals(p, 1); err == nil {
+			t.Errorf("Burstiness %g accepted", b)
+		}
+	}
+}

@@ -321,6 +321,15 @@ type ClusterConfig struct {
 	// (dominant-resource fairness), or "priority" (priority classes
 	// with gang admission, driven by ClusterJob.Priority).
 	Policy string
+	// Placement enables allocation-aware placement scoring: the
+	// coordinator enumerates candidate device sets per admission and
+	// expansion, scores each concrete set (TP-group locality,
+	// worst-link bandwidth, netsim-priced state migration) and lets
+	// the policy rank them; preemption victims are scored by the
+	// netsim cost of evicting them and forced shrinks take the
+	// cheapest feasible reshape. Off (the default), runs are
+	// byte-identical to the count-based coordinator.
+	Placement bool
 	// WallClock switches the runtime from deterministic simulated time
 	// to the wall-clock mode: the event heap is paced on the real
 	// clock (WallScale per simulated minute) and independent jobs'
@@ -372,6 +381,7 @@ func (c *Cluster) Run(jobs []ClusterJob, failures []ClusterFailure) (ClusterResu
 		Perf:         c.cfg.Perf,
 		DefragMaxSec: c.cfg.DefragMaxSec,
 		Policy:       policy,
+		Placement:    c.cfg.Placement,
 		Workers:      c.cfg.Workers,
 		WallScale:    c.cfg.WallScale,
 	}
