@@ -58,7 +58,7 @@ type checkFailure struct {
 func runCheck(dir string, tol float64, budget time.Duration) (int, []checkFailure, error) {
 	var fails []checkFailure
 	checked := 0
-	for _, pat := range []string{"BENCH_planner*.json", "BENCH_datapath*.json", "BENCH_coordinator*.json", "BENCH_placement*.json"} {
+	for _, pat := range []string{"BENCH_planner*.json", "BENCH_datapath*.json", "BENCH_coordinator*.json", "BENCH_placement*.json", "BENCH_hostile*.json"} {
 		matches, err := filepath.Glob(filepath.Join(dir, pat))
 		if err != nil {
 			return checked, nil, err
@@ -88,6 +88,8 @@ func runCheck(dir string, tol float64, budget time.Duration) (int, []checkFailur
 			fs, err = checkCoordinator(data, tol)
 		case "tenplex-bench/placement/v1":
 			fs, err = checkPlacement(data)
+		case "tenplex-bench/hostile/v1":
+			fs, err = checkHostile(data)
 		default:
 			err = fmt.Errorf("unknown schema %q", head.Schema)
 		}
@@ -337,6 +339,90 @@ func checkPlacement(data []byte) ([]string, error) {
 	if placed.MovedBytes >= count.MovedBytes {
 		fails = append(fails, fmt.Sprintf("placement: steady moved_bytes %d not strictly below count-based %d",
 			placed.MovedBytes, count.MovedBytes))
+	}
+	return fails, nil
+}
+
+// checkHostile re-runs the hostile-cluster comparison, compares every
+// (deterministic) cell against the baseline exactly, and re-asserts
+// the experiment's headline: at the highest store fault rate the
+// capped retry budget completes strictly more jobs than the fail-fast
+// policy.
+func checkHostile(data []byte) ([]string, error) {
+	var base hostileRecord
+	if err := json.Unmarshal(data, &base); err != nil {
+		return nil, err
+	}
+	got, err := measureHostile()
+	if err != nil {
+		return nil, err
+	}
+	type key struct {
+		rate   float64
+		policy string
+	}
+	want := map[key]experiments.HostileRow{}
+	for _, r := range base.Rows {
+		want[key{r.FaultRate, r.Policy}] = r
+	}
+	var fails []string
+	if len(got.Rows) != len(base.Rows) {
+		fails = append(fails, fmt.Sprintf("hostile: %d cells measured, baseline has %d",
+			len(got.Rows), len(base.Rows)))
+	}
+	cells := map[key]experiments.HostileRow{}
+	var worst float64
+	for _, g := range got.Rows {
+		cells[key{g.FaultRate, g.Policy}] = g
+		if g.FaultRate > worst {
+			worst = g.FaultRate
+		}
+		b, ok := want[key{g.FaultRate, g.Policy}]
+		if !ok {
+			fails = append(fails, fmt.Sprintf("hostile %.3f/%s: cell missing from the baseline",
+				g.FaultRate, g.Policy))
+			continue
+		}
+		exact := [][3]any{
+			{"jobs_completed", g.Completed, b.Completed},
+			{"retries", g.Retries, b.Retries},
+			{"requeues", g.Requeues, b.Requeues},
+			{"quarantined_devices", g.Quarantined, b.Quarantined},
+			{"moved_bytes", g.MovedBytes, b.MovedBytes},
+			{"retry_bytes", g.RetryBytes, b.RetryBytes},
+		}
+		for _, f := range exact {
+			if fmt.Sprint(f[1]) != fmt.Sprint(f[2]) {
+				fails = append(fails, fmt.Sprintf("hostile %.3f/%s: %s = %v, baseline %v (deterministic drift)",
+					g.FaultRate, g.Policy, f[0], f[1], f[2]))
+			}
+		}
+		for _, f := range [][3]float64{
+			{g.MakespanMin, b.MakespanMin, 1e-6},
+			{g.Goodput, b.Goodput, 1e-9},
+			{g.RecoverySec, b.RecoverySec, 1e-6},
+			{g.MeanRecoverySec, b.MeanRecoverySec, 1e-6},
+		} {
+			if math.Abs(f[0]-f[1]) > f[2] {
+				fails = append(fails, fmt.Sprintf("hostile %.3f/%s: simulated metric %v drifted from baseline %v",
+					g.FaultRate, g.Policy, f[0], f[1]))
+			}
+		}
+	}
+	off, on := cells[key{worst, "retry-off"}], cells[key{worst, "retry-on"}]
+	if off.Policy == "" || on.Policy == "" {
+		fails = append(fails, "hostile: highest-rate rows missing from the comparison")
+		return fails, nil
+	}
+	if on.Completed <= off.Completed {
+		fails = append(fails, fmt.Sprintf(
+			"hostile: at fault rate %.3f retry-on completed %d jobs, not strictly more than retry-off's %d",
+			worst, on.Completed, off.Completed))
+	}
+	if on.Retries == 0 {
+		fails = append(fails, fmt.Sprintf(
+			"hostile: at fault rate %.3f retry-on recorded no retries — the retry budget was never exercised",
+			worst))
 	}
 	return fails, nil
 }

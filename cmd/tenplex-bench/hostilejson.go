@@ -1,0 +1,75 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"time"
+
+	"tenplex/internal/experiments"
+)
+
+// The -hostilejson mode emits a machine-readable BENCH_*.json record
+// of the hostile-cluster comparison (see EXPERIMENTS.md "hostile"):
+// the shared 32-device/12-job scenario replayed under the canonical
+// chaos schedule at each store fault rate, once with a single-attempt
+// recovery policy and once with a capped retry budget. Every metric is
+// simulated and deterministic per (scenario seed, chaos seed), so the
+// -check gate compares cells exactly — and additionally asserts the
+// experiment's headline: at the highest fault rate the retry budget
+// completes strictly more jobs than fail-fast.
+
+// hostileRecord is the top-level hostile BENCH_*.json document.
+type hostileRecord struct {
+	Schema      string                   `json:"schema"`
+	GeneratedAt string                   `json:"generated_at"`
+	GoVersion   string                   `json:"go_version"`
+	MaxProcs    int                      `json:"gomaxprocs"`
+	Seed        int64                    `json:"seed"`
+	ChaosSeed   int64                    `json:"chaos_seed"`
+	Devices     int                      `json:"devices"`
+	Jobs        int                      `json:"jobs"`
+	Rows        []experiments.HostileRow `json:"rows"`
+	// WallNs is the real time the six simulation runs took together.
+	WallNs int64 `json:"wall_ns_per_record"`
+}
+
+// measureHostile runs the hostile comparison and assembles the record.
+func measureHostile() (hostileRecord, error) {
+	start := time.Now()
+	rows, err := experiments.CompareHostile(32, 12, experiments.MultiJobSeed)
+	if err != nil {
+		return hostileRecord{}, err
+	}
+	return hostileRecord{
+		Schema:      "tenplex-bench/hostile/v1",
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		MaxProcs:    runtime.GOMAXPROCS(0),
+		Seed:        experiments.MultiJobSeed,
+		ChaosSeed:   experiments.HostileSeed,
+		Devices:     32,
+		Jobs:        12,
+		Rows:        rows,
+		WallNs:      time.Since(start).Nanoseconds(),
+	}, nil
+}
+
+// writeHostileJSON runs the hostile comparison and writes the record
+// to path ("-" for stdout).
+func writeHostileJSON(path string) error {
+	rec, err := measureHostile()
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}

@@ -9,6 +9,7 @@
 //	tenplex-bench -json BENCH_plan.json  # planner perf record ("-" = stdout)
 //	tenplex-bench -coordjson BENCH_coordinator.json  # multi-job coordinator record
 //	tenplex-bench -datapathjson BENCH_datapath.json  # state-transformer datapath record
+//	tenplex-bench -hostilejson BENCH_hostile.json  # hostile-cluster survival record
 //	tenplex-bench -check               # bench-regression gate vs committed BENCH_*.json
 package main
 
@@ -56,6 +57,14 @@ var all = map[string]func() experiments.Table{
 		}
 		return t
 	},
+	"hostile": func() experiments.Table {
+		_, t, err := experiments.HostileComparison()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tenplex-bench: hostile: %v\n", err)
+			os.Exit(1)
+		}
+		return t
+	},
 	"ablations": func() experiments.Table {
 		_, t, err := experiments.Ablations()
 		if err != nil {
@@ -82,6 +91,7 @@ func main() {
 	jsonBudget := flag.Duration("json-budget", 200*time.Millisecond, "per-scenario measurement budget for -json")
 	coordOut := flag.String("coordjson", "", "write a BENCH_*.json multi-job coordinator record to this path (\"-\" for stdout) and exit")
 	placementOut := flag.String("placementjson", "", "write a BENCH_*.json placement-comparison record to this path (\"-\" for stdout) and exit")
+	hostileOut := flag.String("hostilejson", "", "write a BENCH_*.json hostile-cluster record to this path (\"-\" for stdout) and exit")
 	datapathOut := flag.String("datapathjson", "", "write a BENCH_*.json state-transformer datapath record to this path (\"-\" for stdout) and exit")
 	check := flag.Bool("check", false, "re-run the benchmarks and fail on regression vs the committed BENCH_*.json baselines")
 	checkDir := flag.String("check-dir", ".", "directory holding the BENCH_*.json baselines for -check")
@@ -129,6 +139,13 @@ func main() {
 	if *placementOut != "" {
 		if err := writePlacementJSON(*placementOut); err != nil {
 			fmt.Fprintf(os.Stderr, "tenplex-bench: placementjson: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *hostileOut != "" {
+		if err := writeHostileJSON(*hostileOut); err != nil {
+			fmt.Fprintf(os.Stderr, "tenplex-bench: hostilejson: %v\n", err)
 			os.Exit(1)
 		}
 		return

@@ -15,6 +15,7 @@ func TestExperimentRegistry(t *testing.T) {
 		"tab1", "fig2a", "fig2b", "fig3", "fig9", "fig10",
 		"fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
 		"ablations", "multijob", "datapath", "policies", "placement",
+		"hostile",
 	}
 	for _, id := range want {
 		if _, ok := all[id]; !ok {
@@ -247,5 +248,80 @@ func TestWritePlacementJSON(t *testing.T) {
 		t.Fatal(err)
 	} else if len(fails) == 0 {
 		t.Fatal("tampered placement moved_bytes not flagged")
+	}
+}
+
+// TestWriteHostileJSON verifies the -hostilejson record: parseable,
+// versioned, six deterministic cells, and the headline comparison —
+// at the highest fault rate the retry budget completes strictly more
+// jobs than fail-fast.
+func TestWriteHostileJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_hostile.json")
+	if err := writeHostileJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec hostileRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		t.Fatalf("record not valid JSON: %v", err)
+	}
+	if rec.Schema != "tenplex-bench/hostile/v1" {
+		t.Fatalf("schema = %q", rec.Schema)
+	}
+	if len(rec.Rows) != 2*len(experiments.HostileFaultRates) {
+		t.Fatalf("%d rows, want %d", len(rec.Rows), 2*len(experiments.HostileFaultRates))
+	}
+	worst := experiments.HostileFaultRates[len(experiments.HostileFaultRates)-1]
+	var off, on *experiments.HostileRow
+	for i := range rec.Rows {
+		r := &rec.Rows[i]
+		if r.MakespanMin <= 0 || r.Completed < 1 || r.Completed > rec.Jobs {
+			t.Fatalf("implausible row: %+v", r)
+		}
+		if r.FaultRate == 0 && (r.Retries != 0 || r.Requeues != 0 || r.RecoverySec != 0) {
+			t.Fatalf("fault-free row charged recovery: %+v", r)
+		}
+		if r.FaultRate == worst && r.Policy == "retry-off" {
+			off = r
+		}
+		if r.FaultRate == worst && r.Policy == "retry-on" {
+			on = r
+		}
+	}
+	if off == nil || on == nil {
+		t.Fatal("highest-rate cells missing")
+	}
+	if on.Completed <= off.Completed {
+		t.Fatalf("retry-on completed %d jobs, retry-off %d — retry budget bought nothing",
+			on.Completed, off.Completed)
+	}
+	if on.Retries == 0 || on.RetryBytes == 0 {
+		t.Fatalf("retry-on at rate %v recorded no retry work: %+v", worst, on)
+	}
+
+	// The check gate accepts the fresh record and flags a tampered one.
+	dir := filepath.Dir(path)
+	n, fails, err := runCheck(dir, 1e9, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 || len(fails) != 0 {
+		t.Fatalf("fresh hostile baseline: %d checked, failures %v", n, fails)
+	}
+	rec.Rows[len(rec.Rows)-1].Retries++
+	tampered, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, tampered, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, fails, err = runCheck(dir, 1e9, time.Millisecond); err != nil {
+		t.Fatal(err)
+	} else if len(fails) == 0 {
+		t.Fatal("tampered hostile retries not flagged")
 	}
 }

@@ -1,0 +1,207 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"tenplex/internal/store"
+	"tenplex/internal/tensor"
+)
+
+func memAccess(t *testing.T) store.Access {
+	t.Helper()
+	acc := store.Local{FS: store.NewMemFS()}
+	tt := tensor.New(tensor.Float32, 4)
+	if err := acc.Upload("/x", tt); err != nil {
+		t.Fatalf("seed upload: %v", err)
+	}
+	return acc
+}
+
+// With the zero plan (or while disarmed) the wrapper is a pass-through.
+func TestChaosUnarmedPassThrough(t *testing.T) {
+	in := NewInjector(Plan{Seed: 1, StoreFaultRate: 0.99})
+	acc := in.WrapAccess("job", "dev0", memAccess(t))
+	for i := 0; i < 100; i++ {
+		if _, err := acc.Query("/x", nil); err != nil {
+			t.Fatalf("disarmed query %d failed: %v", i, err)
+		}
+	}
+}
+
+// sequence records the fault decisions of n distinct ops on an armed
+// stream (uploads to distinct paths, so each has its own identity).
+func sequence(in *Injector, job string, key uint64, acc store.Access, n int) []bool {
+	in.BeginAttempt(job, key)
+	defer in.EndAttempt(job)
+	tt := tensor.New(tensor.Float32, 4)
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = acc.Upload(fmt.Sprintf("/p%d", i), tt) != nil
+	}
+	return out
+}
+
+func TestChaosDeterministicStreams(t *testing.T) {
+	plan := Plan{Seed: 7, StoreFaultRate: 0.2}
+	a := NewInjector(plan)
+	b := NewInjector(plan)
+	accA := a.WrapAccess("job", "dev0", memAccess(t))
+	accB := b.WrapAccess("job", "dev0", memAccess(t))
+
+	seqA := sequence(a, "job", 3, accA, 200)
+	seqB := sequence(b, "job", 3, accB, 200)
+	if fmt.Sprint(seqA) != fmt.Sprint(seqB) {
+		t.Fatal("same (seed, job, key) produced different fault decisions")
+	}
+	var faults int
+	for _, f := range seqA {
+		if f {
+			faults++
+		}
+	}
+	if faults == 0 || faults == len(seqA) {
+		t.Fatalf("fault rate 0.2 over 200 ops produced %d faults", faults)
+	}
+
+	// A different attempt key decides every op afresh.
+	seqC := sequence(a, "job", 4, accA, 200)
+	if fmt.Sprint(seqA) == fmt.Sprint(seqC) {
+		t.Fatal("different attempt keys replayed the same decisions")
+	}
+	// Re-arming with the same key replays the attempt exactly.
+	seqD := sequence(a, "job", 3, accA, 200)
+	if fmt.Sprint(seqA) != fmt.Sprint(seqD) {
+		t.Fatal("re-armed attempt did not replay its decisions")
+	}
+	// Replicas of the same path on differently-tagged stores fail
+	// independently — a faulted read must be able to fall back to
+	// another replica.
+	accA2 := a.WrapAccess("job", "dev1", accA.(*faultyAccess).inner)
+	seqE := sequence(a, "job", 3, accA2, 200)
+	if fmt.Sprint(seqA) == fmt.Sprint(seqE) {
+		t.Fatal("different store tags produced identical fault decisions")
+	}
+}
+
+// An operation's fate belongs to the operation — (attempt seed, store
+// tag, op, path) — not to the order concurrent ops happen to draw in.
+// The same work set must produce the same per-op outcomes and the same
+// attempt-level outcome at any parallelism.
+func TestChaosAttemptOutcomeIndependentOfInterleaving(t *testing.T) {
+	plan := Plan{Seed: 11, StoreFaultRate: 0.05}
+	const ops = 60
+	outcome := func(workers int) string {
+		in := NewInjector(plan)
+		acc := in.WrapAccess("job", "dev0", memAccess(t))
+		in.BeginAttempt("job", 9)
+		defer in.EndAttempt("job")
+		tt := tensor.New(tensor.Float32, 4)
+		var (
+			wg   sync.WaitGroup
+			mu   sync.Mutex
+			fate = make([]bool, ops)
+		)
+		work := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range work {
+					err := acc.Upload(fmt.Sprintf("/p%d", i), tt)
+					mu.Lock()
+					fate[i] = err != nil
+					mu.Unlock()
+				}
+			}()
+		}
+		for i := 0; i < ops; i++ {
+			work <- i
+		}
+		close(work)
+		wg.Wait()
+		return fmt.Sprint(fate)
+	}
+	ref := outcome(1)
+	for _, w := range []int{2, 4, 8} {
+		if got := outcome(w); got != ref {
+			t.Fatalf("per-op outcomes changed with %d workers:\n%s\n%s", w, got, ref)
+		}
+	}
+}
+
+func TestChaosErrorsWrapSentinel(t *testing.T) {
+	in := NewInjector(Plan{Seed: 3, StoreFaultRate: 1 - 1e-12})
+	acc := in.WrapAccess("job", "dev0", memAccess(t))
+	in.BeginAttempt("job", 0)
+	defer in.EndAttempt("job")
+	_, err := acc.Query("/x", nil)
+	if err == nil {
+		t.Fatal("fault rate ~1 did not inject")
+	}
+	if !errors.Is(err, Err) {
+		t.Fatalf("injected error %v does not wrap chaos.Err", err)
+	}
+}
+
+func TestChaosPlanValidate(t *testing.T) {
+	bad := []Plan{
+		{StoreFaultRate: 1.5},
+		{Flaps: []DeviceFlap{{Device: 99, FailMin: 1, DownMin: 1}}},
+		{Flaps: []DeviceFlap{{Device: 0, FailMin: 1, DownMin: 0}}},
+		{Reclaims: []SpotReclaim{{Device: 0, NoticeMin: -1}}},
+		{LinkDegrades: []LinkDegrade{{Worker: 0, StartMin: 0, DurationMin: 1, Factor: 0}}},
+		{LinkDegrades: []LinkDegrade{{Worker: 9, StartMin: 0, DurationMin: 1, Factor: 0.5}}},
+	}
+	for i, p := range bad {
+		if err := p.Validate(8, 2); err == nil {
+			t.Errorf("plan %d validated but should not have", i)
+		}
+	}
+	ok := Plan{
+		Seed:           1,
+		StoreFaultRate: 0.01,
+		Flaps:          []DeviceFlap{{Device: 3, FailMin: 10, DownMin: 5, Cycles: 2, PeriodMin: 20}},
+		Reclaims:       []SpotReclaim{{Device: 4, NoticeMin: 30, WindowMin: 2}},
+		LinkDegrades:   []LinkDegrade{{Worker: 1, StartMin: 5, DurationMin: 10, Factor: 0.25}},
+	}
+	if err := ok.Validate(8, 2); err != nil {
+		t.Fatalf("valid plan rejected: %v", err)
+	}
+}
+
+// The HTTP transport wrapper drops requests deterministically and the
+// server middleware injects 500s; both reach the store client as
+// retryable failures.
+func TestChaosTransportAndMiddleware(t *testing.T) {
+	backend := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})
+	in := NewInjector(Plan{Seed: 5, StoreFaultRate: 0.5})
+	srv := httptest.NewServer(in.ServerMiddleware(backend))
+	defer srv.Close()
+
+	client := &http.Client{Transport: in.Transport(nil)}
+	var transportErrs, serverErrs, oks int
+	for i := 0; i < 100; i++ {
+		resp, err := client.Get(srv.URL)
+		if err != nil {
+			transportErrs++
+			continue
+		}
+		if resp.StatusCode == http.StatusInternalServerError {
+			serverErrs++
+		} else {
+			oks++
+		}
+		resp.Body.Close()
+	}
+	if transportErrs == 0 || serverErrs == 0 || oks == 0 {
+		t.Fatalf("want a mix of outcomes, got transport=%d server=%d ok=%d",
+			transportErrs, serverErrs, oks)
+	}
+}

@@ -66,17 +66,18 @@ type Topology struct {
 	// Transformer for split/merge copies.
 	MemCopyBW float64
 
-	// failed holds the fail-stopped devices and gen counts mutations so
-	// far. Like the coordinator's Ledger, this health state is mutated
-	// only by a scheduler's single-threaded decision plane and is
-	// therefore not locked; everything else in the topology is
-	// immutable after construction, so concurrent readers of the link
-	// structure (netsim flows in flight) are unaffected. Caches that
-	// memoize per topology pointer must include Generation() in their
-	// keys, or they would keep serving results computed for the
-	// pre-mutation cluster.
-	failed map[DeviceID]bool
-	gen    uint64
+	// failed holds the fail-stopped devices, netScale holds per-worker
+	// NIC degradation factors, and gen counts mutations so far. Like
+	// the coordinator's Ledger, this health state is mutated only by a
+	// scheduler's single-threaded decision plane and is therefore not
+	// locked; everything else in the topology is immutable after
+	// construction, so concurrent readers of the link structure (netsim
+	// flows in flight) are unaffected. Caches that memoize per topology
+	// pointer must include Generation() in their keys, or they would
+	// keep serving results computed for the pre-mutation cluster.
+	failed   map[DeviceID]bool
+	netScale map[int]float64
+	gen      uint64
 }
 
 // NumDevices returns the total device count.
@@ -101,6 +102,13 @@ func (t *Topology) Clone() *Topology {
 			c.failed[d] = f
 		}
 	}
+	c.netScale = nil
+	if len(t.netScale) > 0 {
+		c.netScale = make(map[int]float64, len(t.netScale))
+		for w, s := range t.netScale {
+			c.netScale[w] = s
+		}
+	}
 	return &c
 }
 
@@ -122,10 +130,58 @@ func (t *Topology) MarkFailed(id DeviceID) {
 	t.gen++
 }
 
+// MarkRecovered clears a device's failed mark (a flapping device
+// re-entering service) and bumps the generation. Like MarkFailed it is
+// decision-plane-only. A no-op for devices not currently failed.
+func (t *Topology) MarkRecovered(id DeviceID) {
+	t.Device(id) // range-checks
+	if !t.failed[id] {
+		return
+	}
+	delete(t.failed, id)
+	t.gen++
+}
+
 // FailedDevice reports whether device id has been marked failed.
 func (t *Topology) FailedDevice(id DeviceID) bool {
 	t.Device(id) // range-checks
 	return t.failed[id]
+}
+
+// SetNetScale sets worker w's NIC bandwidth to scale × nominal (a
+// degraded or recovering link); scale 1 removes the entry. Decision-
+// plane-only, like all health mutation; it bumps the generation so
+// memoized placement scores priced against the old bandwidth are
+// invalidated.
+func (t *Topology) SetNetScale(w int, scale float64) {
+	if w < 0 || w >= len(t.Workers) {
+		panic(fmt.Sprintf("cluster: worker %d out of range", w))
+	}
+	if scale <= 0 {
+		panic(fmt.Sprintf("cluster: net scale %v must be positive", scale))
+	}
+	if scale == 1 {
+		if _, ok := t.netScale[w]; !ok {
+			return
+		}
+		delete(t.netScale, w)
+		t.gen++
+		return
+	}
+	if t.netScale == nil {
+		t.netScale = map[int]float64{}
+	}
+	t.netScale[w] = scale
+	t.gen++
+}
+
+// WorkerNetBW returns worker w's current NIC bandwidth: NetBW scaled by
+// any active link degradation.
+func (t *Topology) WorkerNetBW(w int) float64 {
+	if s, ok := t.netScale[w]; ok {
+		return t.NetBW * s
+	}
+	return t.NetBW
 }
 
 // NumWorkers returns the machine count.

@@ -144,3 +144,56 @@ func TestMarkFailedGeneration(t *testing.T) {
 		t.Fatal("marking mutated the topology structure")
 	}
 }
+
+func TestMarkRecoveredAndNetScale(t *testing.T) {
+	topo := OnPrem16()
+	g0 := topo.Generation()
+
+	// Recovering a healthy device is a no-op.
+	topo.MarkRecovered(3)
+	if topo.Generation() != g0 {
+		t.Fatal("recovering a healthy device bumped the generation")
+	}
+	topo.MarkFailed(3)
+	if !topo.FailedDevice(3) {
+		t.Fatal("MarkFailed(3) did not stick")
+	}
+	topo.MarkRecovered(3)
+	if topo.FailedDevice(3) {
+		t.Fatal("MarkRecovered(3) did not clear the failure")
+	}
+	if topo.Generation() != g0+2 {
+		t.Fatalf("generation = %d after fail+recover, want %d", topo.Generation(), g0+2)
+	}
+
+	// Link degradation scales one worker's NIC and bumps the generation.
+	g1 := topo.Generation()
+	if bw := topo.WorkerNetBW(1); bw != topo.NetBW {
+		t.Fatalf("nominal WorkerNetBW = %v, want NetBW %v", bw, topo.NetBW)
+	}
+	topo.SetNetScale(1, 0.25)
+	if bw := topo.WorkerNetBW(1); bw != topo.NetBW*0.25 {
+		t.Fatalf("degraded WorkerNetBW = %v, want %v", bw, topo.NetBW*0.25)
+	}
+	if bw := topo.WorkerNetBW(0); bw != topo.NetBW {
+		t.Fatal("degradation leaked to another worker")
+	}
+	if topo.Generation() != g1+1 {
+		t.Fatal("SetNetScale did not bump the generation")
+	}
+	// Clones carry the health state but mutate independently.
+	c := topo.Clone()
+	topo.SetNetScale(1, 1) // restore
+	if topo.WorkerNetBW(1) != topo.NetBW {
+		t.Fatal("SetNetScale(w, 1) did not restore nominal bandwidth")
+	}
+	if c.WorkerNetBW(1) != c.NetBW*0.25 {
+		t.Fatal("clone lost or shared the degraded link state")
+	}
+	// Restoring an already-nominal link is a no-op.
+	g2 := topo.Generation()
+	topo.SetNetScale(2, 1)
+	if topo.Generation() != g2 {
+		t.Fatal("no-op SetNetScale bumped the generation")
+	}
+}

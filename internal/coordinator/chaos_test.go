@@ -1,0 +1,274 @@
+package coordinator_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"tenplex/internal/chaos"
+	"tenplex/internal/coordinator"
+	"tenplex/internal/experiments"
+)
+
+// The chaos suite (everything matching -run Chaos, which CI executes
+// under -race with the fixed seeds below) pins the hostile-cluster
+// guarantees: same plan + same seed means bit-identical traces at any
+// worker count, every job ends either bit-verified complete or with an
+// explicit degradation event (no silent loss), and the transactional
+// commit path is free when nothing fails.
+
+// hostilePlan is the canonical hostile fixture (experiments.HostilePlan:
+// per-op store faults during transform attempts, a device that flaps
+// three times, a spot reclamation with a drain window, a worker NIC
+// degraded for two hours) at a mild fault rate, reseeded so the suite
+// can vary the decision streams.
+func hostilePlan(seed int64) *chaos.Plan {
+	p := experiments.HostilePlan(0.004)
+	p.Seed = seed
+	return p
+}
+
+func hostileRecovery() coordinator.RecoveryPolicy {
+	return coordinator.RecoveryPolicy{
+		MaxAttempts:        4,
+		BackoffSec:         2,
+		MaxBackoffSec:      16,
+		MaxRequeues:        3,
+		SuspicionThreshold: 2,
+	}
+}
+
+func runHostile(t *testing.T, workers int, plan *chaos.Plan, pol coordinator.RecoveryPolicy) coordinator.Result {
+	t.Helper()
+	topo, specs, failures := experiments.MultiJobScenario(32, 12, experiments.MultiJobSeed)
+	res, err := coordinator.Run(topo, specs, failures, coordinator.Options{
+		Workers:  workers,
+		Chaos:    plan,
+		Recovery: pol,
+	})
+	if err != nil {
+		t.Fatalf("hostile run (workers=%d): %v", workers, err)
+	}
+	return res
+}
+
+// chaosFingerprint extends Render with the recovery metrics, so trace
+// comparisons also cover the retry/requeue accounting.
+func chaosFingerprint(r coordinator.Result) string {
+	return r.Render() + fmt.Sprintf(
+		"retries=%d requeues=%d quarantined=%d retry-bytes=%d recovery-sec=%.6f\n",
+		r.Retries, r.Requeues, r.QuarantinedDevices, r.RetryBytes, r.RecoverySec)
+}
+
+// TestChaosTraceIdenticalAcrossWorkers is the hostile determinism gate:
+// the same chaos seed must produce a bit-identical trace whether the
+// execution plane is serialized, sized to GOMAXPROCS, or oversized.
+// Fault outcomes may depend only on the decision-plane sequence, never
+// on goroutine interleaving.
+func TestChaosTraceIdenticalAcrossWorkers(t *testing.T) {
+	var base string
+	for _, workers := range []int{1, 0, 16} {
+		res := runHostile(t, workers, hostilePlan(7), hostileRecovery())
+		got := chaosFingerprint(res)
+		if base == "" {
+			base = got
+		} else if got != base {
+			t.Fatalf("workers=%d: hostile trace diverged from the workers=1 run", workers)
+		}
+	}
+}
+
+// TestChaosSeedControlsTrace: equal seeds replay the exact run;
+// changing only the seed changes the injected fault pattern.
+func TestChaosSeedControlsTrace(t *testing.T) {
+	a := chaosFingerprint(runHostile(t, 1, hostilePlan(7), hostileRecovery()))
+	b := chaosFingerprint(runHostile(t, 1, hostilePlan(7), hostileRecovery()))
+	if a != b {
+		t.Fatal("same chaos seed produced different traces")
+	}
+	c := chaosFingerprint(runHostile(t, 1, hostilePlan(8), hostileRecovery()))
+	if c == a {
+		t.Fatal("different chaos seeds produced identical traces; the seed is not reaching the fault streams")
+	}
+}
+
+// TestChaosNoSilentLoss: under the hostile plan every job must end in
+// an explicit state — bit-verified complete, or carrying a lost/reject
+// timeline event. A job that just vanishes is a coordinator bug.
+func TestChaosNoSilentLoss(t *testing.T) {
+	res := runHostile(t, 1, hostilePlan(7), hostileRecovery())
+	terminal := map[string]bool{}
+	for _, e := range res.Timeline {
+		if e.Kind == coordinator.EvLost || e.Kind == coordinator.EvReject {
+			terminal[e.Job] = true
+		}
+	}
+	completed := 0
+	for _, js := range res.Jobs {
+		if js.Completed {
+			completed++
+			continue
+		}
+		if !terminal[js.Name] {
+			t.Errorf("job %s neither completed nor has an explicit lost/reject event", js.Name)
+		}
+	}
+	if completed == 0 {
+		t.Fatal("no job completed under the hostile plan; fault rates are implausibly destructive")
+	}
+}
+
+// TestChaosRetryBudgetBuysCompletions compares retry-off against
+// retry-on under an aggressive store fault rate: the retry budget must
+// convert injected faults into retries (not aborts) and complete at
+// least as many jobs, exercising rollback + requeue on the retry-off
+// side.
+func TestChaosRetryBudgetBuysCompletions(t *testing.T) {
+	plan := hostilePlan(7)
+	plan.StoreFaultRate = 0.02
+
+	off := runHostile(t, 1, plan, coordinator.RecoveryPolicy{
+		MaxAttempts:        1,
+		MaxRequeues:        3,
+		SuspicionThreshold: 2,
+	})
+	on := runHostile(t, 1, plan, hostileRecovery())
+
+	count := func(r coordinator.Result) int {
+		n := 0
+		for _, js := range r.Jobs {
+			if js.Completed {
+				n++
+			}
+		}
+		return n
+	}
+	if on.Retries == 0 {
+		t.Error("retry-enabled run recorded no retries at a 2% fault rate")
+	}
+	if off.Requeues == 0 {
+		t.Error("retry-off run recorded no requeues at a 2% fault rate; aborts are not degrading gracefully")
+	}
+	if count(on) < count(off) {
+		t.Errorf("retry budget lost jobs: %d completed with retries vs %d without", count(on), count(off))
+	}
+	if on.RecoverySec == 0 {
+		t.Error("retry-enabled run charged no recovery time despite retries")
+	}
+}
+
+// TestChaosQuarantineFlappingDevice: a device that flaps past the
+// suspicion threshold must be quarantined at its next recovery instead
+// of re-leased, and counted in the result.
+func TestChaosQuarantineFlappingDevice(t *testing.T) {
+	res := runHostile(t, 1, hostilePlan(7), hostileRecovery())
+	found := false
+	for _, e := range res.Timeline {
+		if e.Kind == coordinator.EvQuarantine {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no quarantine event despite a device flapping past the suspicion threshold")
+	}
+	if res.QuarantinedDevices == 0 {
+		t.Error("Result.QuarantinedDevices is zero")
+	}
+}
+
+// TestChaosHostileEventsPresent: the plan's spot reclamation and link
+// weather must surface in the timeline (notice, degrade and restore),
+// and the flap must produce at least one clean device recovery before
+// quarantine kicks in.
+func TestChaosHostileEventsPresent(t *testing.T) {
+	res := runHostile(t, 1, hostilePlan(7), hostileRecovery())
+	kinds := map[string]int{}
+	for _, e := range res.Timeline {
+		kinds[e.Kind]++
+	}
+	for _, k := range []string{
+		coordinator.EvSpotNotice,
+		coordinator.EvLinkDegrade,
+		coordinator.EvLinkRestore,
+		coordinator.EvDevRecover,
+	} {
+		if kinds[k] == 0 {
+			t.Errorf("timeline has no %q event", k)
+		}
+	}
+}
+
+// TestChaosDeviceDiesDuringRecovery injects a second device failure
+// half a minute after the first — inside the first recovery's downtime
+// window — while a high store fault rate forces retries and aborts
+// during the recovery transforms themselves. The run must still end
+// with every job explicitly accounted, restoring aborted recoveries
+// from the last bit-verified checkpoint.
+func TestChaosDeviceDiesDuringRecovery(t *testing.T) {
+	topo, specs, failures := experiments.MultiJobScenario(32, 12, experiments.MultiJobSeed)
+	plan := &chaos.Plan{
+		Seed:           11,
+		StoreFaultRate: 0.03,
+		Flaps: []chaos.DeviceFlap{
+			// The scenario's base failure hits device 7 at t=60; these
+			// two take out neighboring devices at 60.5 and 61, so
+			// recovery reconfigurations overlap further loss.
+			{Device: 6, FailMin: 60.5, DownMin: 30},
+			{Device: 5, FailMin: 61, DownMin: 30},
+		},
+	}
+	pol := coordinator.RecoveryPolicy{
+		MaxAttempts:        2,
+		BackoffSec:         2,
+		MaxBackoffSec:      8,
+		MaxRequeues:        4,
+		SuspicionThreshold: 3,
+	}
+	res, err := coordinator.Run(topo, specs, failures, coordinator.Options{
+		Chaos:    plan,
+		Recovery: pol,
+	})
+	if err != nil {
+		t.Fatalf("cascading-failure run: %v", err)
+	}
+	if res.Retries == 0 && res.Requeues == 0 {
+		t.Error("3% fault rate with a 2-attempt budget produced neither retries nor requeues")
+	}
+	terminal := map[string]bool{}
+	for _, e := range res.Timeline {
+		if e.Kind == coordinator.EvLost || e.Kind == coordinator.EvReject {
+			terminal[e.Job] = true
+		}
+	}
+	for _, js := range res.Jobs {
+		if !js.Completed && !terminal[js.Name] {
+			t.Errorf("job %s lost silently during cascading failures", js.Name)
+		}
+	}
+}
+
+// TestChaosDisabledKeepsGoldenTrace: a non-zero RecoveryPolicy with no
+// chaos plan must still reproduce the committed golden trace exactly.
+// The transactional commit path (retry loop, outcome plumbing,
+// re-admission machinery) has to be literally free when nothing fails.
+func TestChaosDisabledKeepsGoldenTrace(t *testing.T) {
+	topo, specs, failures := experiments.MultiJobScenario(32, 12, experiments.MultiJobSeed)
+	res, err := coordinator.Run(topo, specs, failures, coordinator.Options{
+		Recovery: hostileRecovery(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", "multijob_fifo_32x12.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Render() != string(want) {
+		t.Fatal("recovery policy without chaos changed the default trace; the transactional path is not zero-cost")
+	}
+	if res.Retries != 0 || res.Requeues != 0 || res.RecoverySec != 0 {
+		t.Fatalf("fault-free run accounted recovery work: retries=%d requeues=%d recovery-sec=%f",
+			res.Retries, res.Requeues, res.RecoverySec)
+	}
+}

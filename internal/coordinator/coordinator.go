@@ -36,8 +36,10 @@ import (
 	"math"
 	"runtime"
 	"sort"
+	"sync/atomic"
 	"time"
 
+	"tenplex/internal/chaos"
 	"tenplex/internal/cluster"
 	"tenplex/internal/core"
 	"tenplex/internal/model"
@@ -149,6 +151,63 @@ type Options struct {
 	// WallScale is the real duration of one simulated minute in
 	// ModeWall; zero means the default 250µs.
 	WallScale time.Duration
+	// Chaos injects deterministic hostility (see internal/chaos):
+	// per-operation store faults during transform attempts, flapping
+	// devices, spot reclamations and link degradations. nil disables
+	// injection entirely and leaves traces byte-identical to a run
+	// without the field.
+	Chaos *chaos.Plan
+	// Recovery tunes transactional reconfiguration and graceful
+	// degradation; the zero value is the legacy fail-fast coordinator.
+	Recovery RecoveryPolicy
+}
+
+// RecoveryPolicy governs how the coordinator survives failing
+// reconfigurations. The zero value reproduces the legacy coordinator:
+// one transform attempt, any commit error aborts the whole run.
+type RecoveryPolicy struct {
+	// MaxAttempts bounds transform attempts per committed change; 0 or
+	// 1 means a single attempt. With chaos enabled even a single failed
+	// attempt degrades gracefully (rollback to checkpoint + requeue)
+	// instead of erroring the run.
+	MaxAttempts int
+	// BackoffSec is the simulated-time wait before the second attempt,
+	// doubling each retry and capped at MaxBackoffSec (uncapped when
+	// MaxBackoffSec is 0). Backoff is charged as job downtime, never
+	// slept.
+	BackoffSec    float64
+	MaxBackoffSec float64
+	// MaxRequeues bounds how many aborted reconfigurations may send one
+	// job back to the admission queue before it is declared lost; 0
+	// means unlimited.
+	MaxRequeues int
+	// SuspicionThreshold is the failure detector: a recovering device
+	// that has failed at least this many times stays quarantined
+	// instead of being re-leased. 0 disables quarantine.
+	SuspicionThreshold int
+}
+
+// backoffSec is the simulated backoff after the n-th failed attempt
+// (n >= 1).
+func (p RecoveryPolicy) backoffSec(n int) float64 {
+	if p.BackoffSec <= 0 {
+		return 0
+	}
+	d := p.BackoffSec * math.Pow(2, float64(n-1))
+	if p.MaxBackoffSec > 0 && d > p.MaxBackoffSec {
+		d = p.MaxBackoffSec
+	}
+	return d
+}
+
+// totalBackoffSec sums the waits a change that ran attempts transform
+// attempts sat through.
+func (p RecoveryPolicy) totalBackoffSec(attempts int) float64 {
+	var sum float64
+	for n := 1; n < attempts; n++ {
+		sum += p.backoffSec(n)
+	}
+	return sum
 }
 
 // DefaultPerf returns the placement cost model used when Options.Perf
@@ -172,6 +231,14 @@ const (
 	EvRecover  = "recover"
 	EvLost     = "lost"
 	EvComplete = "complete"
+
+	// Hostile-cluster events (chaos plans and graceful degradation).
+	EvDevRecover  = "device-recover"
+	EvQuarantine  = "quarantine"
+	EvSpotNotice  = "spot-notice"
+	EvLinkDegrade = "link-degrade"
+	EvLinkRestore = "link-restore"
+	EvRequeue     = "requeue"
 )
 
 // TimelineEvent is one entry of the per-job cluster timeline.
@@ -245,6 +312,22 @@ type Result struct {
 	// InvariantChecks counts full ledger+PTC invariant sweeps (one per
 	// processed event).
 	InvariantChecks int
+	// Retries counts transform attempts beyond each change's first —
+	// work the retry budget bought back from injected faults.
+	Retries int
+	// Requeues counts aborted reconfigurations that sent their job back
+	// to the admission queue (graceful degradation instead of run
+	// failure).
+	Requeues int
+	// QuarantinedDevices counts devices the suspicion-count failure
+	// detector refused to re-admit after a recovery.
+	QuarantinedDevices int
+	// RetryBytes is reconfiguration payload re-moved by attempts beyond
+	// the first — the waste the retry policy pays for survival.
+	RetryBytes int64
+	// RecoverySec is downtime charged beyond first-attempt cost: repeat
+	// transform work, backoff waits and aborted-change work.
+	RecoverySec float64
 	// WallNs is the real time the run took — the cost of executing the
 	// control plane plus (in ModeWall) the paced schedule.
 	WallNs int64
@@ -269,6 +352,11 @@ const (
 	evArrival evKind = iota
 	evFailure
 	evComplete
+	evDevRecover
+	evSpotNotice
+	evSpotDeadline
+	evLinkDegrade
+	evLinkRestore
 )
 
 type event struct {
@@ -278,6 +366,10 @@ type event struct {
 	job  string
 	dev  cluster.DeviceID
 	ver  int // completion version; stale versions are skipped
+	// worker/factor carry link-degradation payloads; factor doubles as
+	// the reclamation window (minutes) on spot-notice events.
+	worker int
+	factor float64
 }
 
 type eventHeap []event
@@ -334,6 +426,15 @@ type simJob struct {
 	resizes     int
 	reconfigSec float64
 	movedBytes  int64
+
+	// Graceful-degradation bookkeeping. deployed marks that the runtime
+	// holds state (so a re-admission must restore from checkpoint, not
+	// deploy fresh); servedMin accumulates service time across requeues
+	// so a resumed job only runs its remaining duration.
+	deployed     bool
+	requeues     int
+	servedMin    float64
+	lastStartMin float64
 }
 
 // pendingChange is one decided allocation change whose plan+transform
@@ -349,6 +450,10 @@ type pendingChange struct {
 	ver    int
 	tlIdx  int // timeline placeholder index
 	ch     *change
+	// out is the transactional commit's outcome, stored by the job's
+	// chain and read by the event loop (hence atomic): attempt count for
+	// downtime accounting, or an abort flush turns into a requeue.
+	out atomic.Pointer[commitOutcome]
 }
 
 type sim struct {
@@ -358,6 +463,7 @@ type sim struct {
 	ledger *Ledger
 	cache  *perfmodel.Cache
 	pool   *pool // nil when Workers == 1: tasks run inline
+	inj    *chaos.Injector
 
 	jobs  map[string]*simJob
 	order []string // submission order
@@ -368,6 +474,10 @@ type sim struct {
 	now float64
 
 	pending []*pendingChange
+	// inflight holds wall-mode changes charged optimistically before
+	// their transform finished; late aborts are resolved at later
+	// flushes.
+	inflight []*pendingChange
 
 	timeline     []TimelineEvent
 	plans        int
@@ -375,6 +485,12 @@ type sim struct {
 	preemptions  int
 	reconfigSec  float64
 	utilIntegral float64 // leased device-minutes
+
+	quarantined map[cluster.DeviceID]bool
+	retries     int
+	requeues    int
+	retryBytes  int64
+	recoverySec float64
 }
 
 // Run executes a coordinator run: the jobs arrive, compete for the
@@ -412,12 +528,13 @@ func Run(topo *cluster.Topology, specs []JobSpec, failures []FailureSpec, opts O
 		opts.WallScale = 250 * time.Microsecond
 	}
 	s := &sim{
-		topo:   topo,
-		opts:   opts,
-		policy: opts.Policy,
-		ledger: NewLedger(topo),
-		cache:  perfmodel.NewCache(),
-		jobs:   map[string]*simJob{},
+		topo:        topo,
+		opts:        opts,
+		policy:      opts.Policy,
+		ledger:      NewLedger(topo),
+		cache:       perfmodel.NewCache(),
+		jobs:        map[string]*simJob{},
+		quarantined: map[cluster.DeviceID]bool{},
 	}
 	if opts.Workers > 1 {
 		s.pool = newPool(opts.Workers)
@@ -447,6 +564,34 @@ func Run(topo *cluster.Topology, specs []JobSpec, failures []FailureSpec, opts O
 		}
 		s.push(event{time: f.TimeMin, kind: evFailure, dev: f.Device})
 	}
+	if opts.Chaos != nil {
+		if err := opts.Chaos.Validate(topo.NumDevices(), topo.NumWorkers()); err != nil {
+			return Result{}, err
+		}
+		s.inj = chaos.NewInjector(*opts.Chaos)
+		for _, j := range s.jobs {
+			j.rt.wrapStores(s.inj)
+		}
+		for _, f := range opts.Chaos.Flaps {
+			cycles := f.Cycles
+			if cycles < 1 {
+				cycles = 1
+			}
+			for c := 0; c < cycles; c++ {
+				at := f.FailMin + float64(c)*f.PeriodMin
+				s.push(event{time: at, kind: evFailure, dev: f.Device})
+				s.push(event{time: at + f.DownMin, kind: evDevRecover, dev: f.Device})
+			}
+		}
+		for _, rc := range opts.Chaos.Reclaims {
+			s.push(event{time: rc.NoticeMin, kind: evSpotNotice, dev: rc.Device, factor: rc.WindowMin})
+			s.push(event{time: rc.NoticeMin + rc.WindowMin, kind: evSpotDeadline, dev: rc.Device})
+		}
+		for _, ld := range opts.Chaos.LinkDegrades {
+			s.push(event{time: ld.StartMin, kind: evLinkDegrade, worker: ld.Worker, factor: ld.Factor})
+			s.push(event{time: ld.StartMin + ld.DurationMin, kind: evLinkRestore, worker: ld.Worker})
+		}
+	}
 
 	start := time.Now()
 	for s.evq.Len() > 0 {
@@ -475,6 +620,16 @@ func Run(topo *cluster.Topology, specs []JobSpec, failures []FailureSpec, opts O
 			err = s.onComplete(e.job)
 		case evFailure:
 			err = s.onFailure(e.dev)
+		case evDevRecover:
+			err = s.onDevRecover(e.dev)
+		case evSpotNotice:
+			err = s.onSpotNotice(e.dev, e.factor)
+		case evSpotDeadline:
+			err = s.onSpotDeadline(e.dev)
+		case evLinkDegrade:
+			err = s.onLinkChange(e.worker, e.factor)
+		case evLinkRestore:
+			err = s.onLinkChange(e.worker, 1)
 		}
 		if err == nil {
 			err = s.flush()
@@ -490,21 +645,37 @@ func Run(topo *cluster.Topology, specs []JobSpec, failures []FailureSpec, opts O
 		}
 	}
 	// Wall mode leaves verification (and possibly trailing commits) in
-	// flight; join them before judging the run.
-	if s.pool != nil {
-		if err := s.pool.drainAll(); err != nil {
+	// flight; join them before judging the run. Commits may have aborted
+	// after their optimistic charge, and resolving those can spawn fresh
+	// restore chains, so drain and flush until everything settles — no
+	// job ends silently inconsistent.
+	for {
+		if s.pool != nil {
+			if err := s.pool.drainAll(); err != nil {
+				return s.result(start), err
+			}
+		}
+		if err := s.flush(); err != nil {
 			return s.result(start), err
+		}
+		if len(s.inflight) == 0 && len(s.pending) == 0 {
+			break
 		}
 	}
 	if err := s.auditAll(); err != nil {
 		return s.result(start), err
 	}
-	// Anything still queued could never be placed on this cluster.
+	// Anything still queued could never be placed on this cluster. Jobs
+	// parked by graceful degradation end explicitly requeued — never
+	// silently lost.
 	for _, name := range s.queue {
 		j := s.jobs[name]
 		j.state = jobRejected
-		s.record(TimelineEvent{TimeMin: s.now, Job: name, Kind: EvReject,
-			Note: "never admitted: insufficient capacity"})
+		note := "never admitted: insufficient capacity"
+		if j.requeues > 0 {
+			note = fmt.Sprintf("requeued %d times after aborted reconfigurations; never re-admitted", j.requeues)
+		}
+		s.record(TimelineEvent{TimeMin: s.now, Job: name, Kind: EvReject, Note: note})
 	}
 	return s.result(start), nil
 }
@@ -603,34 +774,183 @@ func (s *sim) drainJob(job string) error {
 // transforms remain in flight), then — in decision order — charges
 // each job's downtime, schedules the delayed completion under the seq
 // reserved at decision time, and fills the timeline placeholders.
+//
+// With recovery enabled a change may come back aborted: its chain
+// already rolled the runtime back to the last bit-verified checkpoint,
+// and flush degrades gracefully — the job is requeued (or lost), then
+// admission reruns, which may re-admit it from the checkpoint as a
+// fresh pending restore. The loop drains until no decided work
+// remains; with chaos off it makes exactly one charging pass, byte-
+// identical to the legacy flush.
 func (s *sim) flush() error {
-	if s.pool != nil && s.opts.Mode == ModeSim {
-		if err := s.pool.drainAll(); err != nil {
+	for {
+		if s.pool != nil && s.opts.Mode == ModeSim {
+			if err := s.pool.drainAll(); err != nil {
+				return err
+			}
+		}
+		if err := s.resolveInflight(); err != nil {
 			return err
 		}
-	}
-	for _, p := range s.pending {
-		ch := p.ch
-		if ch == nil {
-			if s.pool != nil {
-				if err := s.pool.firstErr(); err != nil {
-					return err
-				}
-			}
-			return fmt.Errorf("coordinator: change for %s has no plan", p.j.spec.Name)
+		if len(s.pending) == 0 {
+			return nil
 		}
-		j := p.j
-		j.reconfigSec += ch.simSec
-		j.movedBytes += ch.stats.MovedBytes
-		s.reconfigSec += ch.simSec
-		// Downtime delays the job's completion.
-		j.complAt += ch.simSec / 60
-		s.pushReserved(event{time: j.complAt, kind: evComplete, job: j.spec.Name, ver: p.ver}, p.seq)
-		s.timeline[p.tlIdx].SimSec = ch.simSec
-		s.timeline[p.tlIdx].MovedBytes = ch.stats.MovedBytes
+		batch := s.pending
+		s.pending = nil
+		degraded := false
+		for _, p := range batch {
+			ch := p.ch
+			if ch == nil {
+				if s.pool != nil {
+					if err := s.pool.firstErr(); err != nil {
+						return err
+					}
+				}
+				return fmt.Errorf("coordinator: change for %s has no plan", p.j.spec.Name)
+			}
+			if p.j.state != jobRunning {
+				continue // superseded by a requeue earlier in the batch
+			}
+			out := p.out.Load()
+			if out == nil {
+				// ModeWall: the transform is still in flight. Charge the
+				// planned cost now; a late abort is resolved at the next
+				// flush, staled by the requeue's version bump.
+				s.inflight = append(s.inflight, p)
+				s.charge(p, ch, 1)
+				continue
+			}
+			if out.aborted {
+				degraded = true
+				s.degrade(p, ch, out)
+				continue
+			}
+			s.charge(p, ch, out.attempts)
+		}
+		if degraded {
+			// Freed capacity (and the requeued jobs themselves) go back
+			// through admission immediately.
+			if err := s.admitQueued(); err != nil {
+				return err
+			}
+			if err := s.expandJobs(); err != nil {
+				return err
+			}
+		}
 	}
-	s.pending = s.pending[:0]
+}
+
+// charge books one committed change against its job: the netsim-priced
+// transform once per attempt plus the policy's backoff waits. With a
+// single attempt the arithmetic is exactly ch.simSec and the timeline
+// note is untouched — the legacy path, byte for byte.
+func (s *sim) charge(p *pendingChange, ch *change, attempts int) {
+	j := p.j
+	down := ch.simSec
+	if attempts > 1 {
+		down = float64(attempts)*ch.simSec + s.opts.Recovery.totalBackoffSec(attempts)
+		s.retries += attempts - 1
+		s.retryBytes += int64(attempts-1) * ch.stats.MovedBytes
+		s.recoverySec += down - ch.simSec
+		s.timeline[p.tlIdx].Note = appendNote(s.timeline[p.tlIdx].Note,
+			fmt.Sprintf("%d attempts", attempts))
+	}
+	j.reconfigSec += down
+	j.movedBytes += ch.stats.MovedBytes
+	s.reconfigSec += down
+	// Downtime delays the job's completion.
+	j.complAt += down / 60
+	s.pushReserved(event{time: j.complAt, kind: evComplete, job: j.spec.Name, ver: p.ver}, p.seq)
+	s.timeline[p.tlIdx].SimSec = down
+	s.timeline[p.tlIdx].MovedBytes = ch.stats.MovedBytes
+}
+
+// degrade handles an aborted change: the chain rolled the runtime back
+// to its last checkpoint, so the decision plane walks back too — the
+// wasted attempts are charged to the recovery metrics (there is no
+// completion to delay) and the job is requeued or, once its requeue
+// budget is spent, declared lost.
+func (s *sim) degrade(p *pendingChange, ch *change, out *commitOutcome) {
+	j := p.j
+	wasted := float64(out.attempts)*ch.simSec + s.opts.Recovery.totalBackoffSec(out.attempts)
+	s.retries += out.attempts - 1
+	s.retryBytes += int64(out.attempts-1) * ch.stats.MovedBytes
+	s.recoverySec += wasted
+	s.reconfigSec += wasted
+	j.reconfigSec += wasted
+	s.timeline[p.tlIdx].SimSec = wasted
+	s.timeline[p.tlIdx].Note = appendNote(s.timeline[p.tlIdx].Note,
+		fmt.Sprintf("aborted after %d attempts, rolled back to checkpoint", out.attempts))
+	s.requeueJob(j)
+}
+
+// requeueJob sends a running job whose reconfiguration aborted back to
+// the admission queue: lease released, served time banked so a later
+// re-admission resumes the remaining duration from the checkpoint. The
+// version bump stales any scheduled completion.
+func (s *sim) requeueJob(j *simJob) {
+	name := j.spec.Name
+	s.ledger.ReleaseAll(name)
+	j.servedMin += s.now - j.lastStartMin
+	j.alloc = nil
+	j.ver++
+	j.requeues++
+	s.requeues++
+	if max := s.opts.Recovery.MaxRequeues; max > 0 && j.requeues > max {
+		j.state = jobLost
+		j.doneMin = s.now
+		s.record(TimelineEvent{TimeMin: s.now, Job: name, Kind: EvLost,
+			Note: fmt.Sprintf("requeue budget exhausted after %d aborted reconfigurations", j.requeues)})
+		return
+	}
+	j.state = jobQueued
+	s.queue = append(s.queue, name)
+	s.record(TimelineEvent{TimeMin: s.now, Job: name, Kind: EvRequeue,
+		Note: fmt.Sprintf("requeue %d: attempt budget exhausted", j.requeues)})
+}
+
+// resolveInflight picks up late outcomes of wall-mode commits charged
+// optimistically: a retry still gets its recovery metrics, and an
+// abort still degrades the job — its already-scheduled completion is
+// staled by the requeue's version bump.
+func (s *sim) resolveInflight() error {
+	if len(s.inflight) == 0 {
+		return nil
+	}
+	var keep []*pendingChange
+	degraded := false
+	for _, p := range s.inflight {
+		out := p.out.Load()
+		if out == nil {
+			keep = append(keep, p)
+			continue
+		}
+		if out.attempts > 1 {
+			s.retries += out.attempts - 1
+			s.retryBytes += int64(out.attempts-1) * p.ch.stats.MovedBytes
+		}
+		if out.aborted && p.j.state == jobRunning && p.j.ver == p.ver {
+			degraded = true
+			s.timeline[p.tlIdx].Note = appendNote(s.timeline[p.tlIdx].Note,
+				fmt.Sprintf("aborted after %d attempts, rolled back to checkpoint", out.attempts))
+			s.requeueJob(p.j)
+		}
+	}
+	s.inflight = keep
+	if degraded {
+		if err := s.admitQueued(); err != nil {
+			return err
+		}
+		return s.expandJobs()
+	}
 	return nil
+}
+
+func appendNote(note, extra string) string {
+	if note == "" {
+		return extra
+	}
+	return note + "; " + extra
 }
 
 // --- policy views ---
@@ -807,12 +1127,18 @@ func (s *sim) onComplete(name string) error {
 }
 
 func (s *sim) onFailure(dev cluster.DeviceID) error {
+	return s.deviceDown(dev, fmt.Sprintf("device %d failed on worker %d", dev, s.topo.WorkerOf(dev)))
+}
+
+// deviceDown is the shared fail-stop path: mark the device failed and
+// recover its owner onto the surviving devices (plus a replacement when
+// one is free), or declare the job lost when nothing is left.
+func (s *sim) deviceDown(dev cluster.DeviceID, note string) error {
 	if s.ledger.Failed(dev) {
 		return nil // already dead
 	}
 	owner := s.ledger.MarkFailed(dev)
-	s.record(TimelineEvent{TimeMin: s.now, Job: owner, Kind: EvFailure,
-		Note: fmt.Sprintf("device %d failed on worker %d", dev, s.topo.WorkerOf(dev))})
+	s.record(TimelineEvent{TimeMin: s.now, Job: owner, Kind: EvFailure, Note: note})
 	if owner == "" {
 		return nil
 	}
@@ -840,11 +1166,11 @@ func (s *sim) onFailure(dev cluster.DeviceID) error {
 		return nil
 	}
 	alloc := full[:n]
-	note := fmt.Sprintf("recovered from loss of device %d", dev)
+	recNote := fmt.Sprintf("recovered from loss of device %d", dev)
 	if len(repl) > 0 && alloc.Contains(repl[0]) {
-		note += fmt.Sprintf(", replacement device %d", repl[0])
+		recNote += fmt.Sprintf(", replacement device %d", repl[0])
 	}
-	if err := s.applyChange(j, s.shrinkConfig(j, est, alloc), alloc, []cluster.DeviceID{dev}, EvRecover, note); err != nil {
+	if err := s.applyChange(j, s.shrinkConfig(j, est, alloc), alloc, []cluster.DeviceID{dev}, EvRecover, recNote); err != nil {
 		return err
 	}
 	// A size-constrained recovery may have released healthy devices;
@@ -853,6 +1179,97 @@ func (s *sim) onFailure(dev cluster.DeviceID) error {
 		return err
 	}
 	return s.expandJobs()
+}
+
+// onDevRecover handles a flapping device coming back. The suspicion-
+// count failure detector decides whether to trust it: a device that
+// already failed SuspicionThreshold times stays quarantined instead of
+// being re-leased — which is what stops a flapping device from
+// repeatedly eating jobs' reconfiguration budgets.
+func (s *sim) onDevRecover(dev cluster.DeviceID) error {
+	if !s.ledger.Failed(dev) {
+		return nil // never failed, or already recovered
+	}
+	if th := s.opts.Recovery.SuspicionThreshold; th > 0 && s.ledger.Suspicion(dev) >= th {
+		if !s.quarantined[dev] {
+			s.quarantined[dev] = true
+			s.record(TimelineEvent{TimeMin: s.now, Kind: EvQuarantine,
+				Note: fmt.Sprintf("device %d quarantined after %d failures", dev, s.ledger.Suspicion(dev))})
+		}
+		return nil
+	}
+	s.ledger.MarkRecovered(dev)
+	s.record(TimelineEvent{TimeMin: s.now, Kind: EvDevRecover,
+		Note: fmt.Sprintf("device %d back on worker %d", dev, s.topo.WorkerOf(dev))})
+	if err := s.admitQueued(); err != nil {
+		return err
+	}
+	return s.expandJobs()
+}
+
+// onSpotNotice handles a spot-reclamation notice: the device is marked
+// draining (alive, but never re-leased) and its owner — if any — is
+// proactively migrated off it inside the window. Unlike a failure, the
+// leaving device's state is still readable, so the migration needs no
+// degraded source PTC and no storage fallback.
+func (s *sim) onSpotNotice(dev cluster.DeviceID, windowMin float64) error {
+	if s.ledger.Failed(dev) {
+		return nil
+	}
+	s.ledger.SetDraining(dev, true)
+	owner, _ := s.ledger.Owner(dev)
+	s.record(TimelineEvent{TimeMin: s.now, Job: owner, Kind: EvSpotNotice,
+		Note: fmt.Sprintf("device %d reclaimed in %.0f min", dev, windowMin)})
+	if owner == "" {
+		return nil
+	}
+	j := s.jobs[owner]
+	if j == nil || j.state != jobRunning {
+		return nil
+	}
+	keep := cluster.Allocation(nil)
+	for _, d := range j.alloc {
+		if d != dev {
+			keep = append(keep, d)
+		}
+	}
+	full := append(cluster.Allocation(nil), keep...)
+	if got, ok := s.ledger.Pick(1, keep); ok {
+		full = append(full, got...)
+	}
+	n, est, ok := s.bestAtMost(j.spec.Model, len(full), 1)
+	if !ok || n == 0 {
+		return nil // nowhere to migrate; the deadline will handle it
+	}
+	alloc := full[:n]
+	note := fmt.Sprintf("migrated off draining device %d", dev)
+	return s.applyChange(j, s.shrinkConfig(j, est, alloc), alloc, nil, EvRedeploy, note)
+}
+
+// onSpotDeadline fires when the reclamation window closes: a device
+// still present is withdrawn — from here on, exactly a fail-stop
+// failure for whatever is still placed on it.
+func (s *sim) onSpotDeadline(dev cluster.DeviceID) error {
+	if s.ledger.Failed(dev) {
+		return nil
+	}
+	return s.deviceDown(dev, fmt.Sprintf("spot reclamation: device %d withdrawn from worker %d",
+		dev, s.topo.WorkerOf(dev)))
+}
+
+// onLinkChange reprices one worker's NIC: factor < 1 opens a
+// degradation window, factor == 1 closes it. Reconfigurations priced
+// while the window is open run against the degraded bandwidth (netsim
+// reads Topology.WorkerNetBW); the perfmodel's placement estimates
+// deliberately stay on nominal bandwidth.
+func (s *sim) onLinkChange(worker int, factor float64) error {
+	s.topo.SetNetScale(worker, factor)
+	kind, note := EvLinkDegrade, fmt.Sprintf("worker %d NIC at %.0f%% bandwidth", worker, factor*100)
+	if factor == 1 {
+		kind, note = EvLinkRestore, fmt.Sprintf("worker %d NIC restored", worker)
+	}
+	s.record(TimelineEvent{TimeMin: s.now, Kind: kind, Note: note})
+	return nil
 }
 
 // --- scheduling engine (mechanism; choices delegated to the Policy) ---
@@ -924,9 +1341,44 @@ func (s *sim) admitQueued() error {
 		j.alloc = append(cluster.Allocation(nil), devs...)
 		j.cfg = cfg
 		j.state = jobRunning
+		j.lastStartMin = s.now
+		j.ver++
+		if j.deployed {
+			// Re-admission of a requeued job: redeploy its checkpointed
+			// state onto the new placement and resume the remaining
+			// duration. The restore is priced like any other change, so
+			// the completion push waits for flush.
+			rem := j.spec.DurationMin - j.servedMin
+			if rem < 0 {
+				rem = 0
+			}
+			j.complAt = s.now + rem
+			s.plans++
+			p := &pendingChange{j: j, cfg: cfg, alloc: j.alloc,
+				seq: s.reserveSeq(), ver: j.ver, tlIdx: len(s.timeline)}
+			s.dequeue(name)
+			s.record(TimelineEvent{TimeMin: s.now, Job: name, Kind: EvAdmit,
+				GPUs: n, Config: cfg.String(),
+				Note: fmt.Sprintf("re-admitted from checkpoint, %.1f min remaining", rem)})
+			s.pending = append(s.pending, p)
+			rt := j.rt
+			if err := s.submit(name, func() error {
+				ch, err := rt.planRestore(p.cfg, p.alloc)
+				if err != nil {
+					return err
+				}
+				p.ch = ch
+				out := commitOutcome{attempts: 1, err: rt.commitRestore(ch)}
+				p.out.Store(&out)
+				return out.err
+			}); err != nil {
+				return err
+			}
+			continue
+		}
+		j.deployed = true
 		j.admitMin = s.now
 		j.complAt = s.now + j.spec.DurationMin
-		j.ver++
 		s.push(event{time: j.complAt, kind: evComplete, job: name, ver: j.ver})
 		s.dequeue(name)
 		s.record(TimelineEvent{TimeMin: s.now, Job: name, Kind: EvAdmit,
@@ -1143,7 +1595,14 @@ func (s *sim) defragJobs() error {
 		if err := s.drainJob(j.spec.Name); err != nil {
 			return err
 		}
-		ch, err := j.rt.planChange(j.rt.cfg, candidate, nil)
+		// The drained chain may have just aborted a commit for this job:
+		// the runtime is rolled back to its checkpoint and the next
+		// flush requeues the job, so compacting it now would plan
+		// against state the decision plane no longer describes.
+		if s.abortPending(j) {
+			continue
+		}
+		ch, err := j.rt.planChange(j.cfg, candidate, nil)
 		if err != nil {
 			return err
 		}
@@ -1158,6 +1617,29 @@ func (s *sim) defragJobs() error {
 		}
 	}
 	return nil
+}
+
+// abortPending reports whether j has a decided change whose commit
+// already aborted: the job will be requeued at the next flush, so no
+// further change should be decided on top of it. Only meaningful after
+// the job's chain has drained (otherwise the outcome may not have
+// landed yet, and reading it would vary with the worker count).
+func (s *sim) abortPending(j *simJob) bool {
+	for _, p := range s.pending {
+		if p.j == j {
+			if out := p.out.Load(); out != nil && out.aborted {
+				return true
+			}
+		}
+	}
+	for _, p := range s.inflight {
+		if p.j == j {
+			if out := p.out.Load(); out != nil && out.aborted {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // pickCompact selects n devices for job as if its own lease were free,
@@ -1191,7 +1673,7 @@ func (s *sim) applyChange(j *simJob, cfg parallel.Config, alloc cluster.Allocati
 			return err
 		}
 		p.ch = ch
-		s.pool.submit(j.spec.Name, func() error { return rt.commit(ch) })
+		s.pool.submit(j.spec.Name, func() error { return s.runCommit(rt, p, ch) })
 		return nil
 	}
 	return s.submit(j.spec.Name, func() error {
@@ -1200,8 +1682,22 @@ func (s *sim) applyChange(j *simJob, cfg parallel.Config, alloc cluster.Allocati
 			return err
 		}
 		p.ch = ch
-		return rt.commit(ch)
+		return s.runCommit(rt, p, ch)
 	})
+}
+
+// runCommit executes one decided change's transactional commit on the
+// job's chain and posts the outcome for flush. An aborted outcome is
+// not a chain error — graceful degradation happens on the event loop.
+// The chaos attempt key derives from the change's reserved sequence
+// number, decision-plane state that is identical at any worker count.
+func (s *sim) runCommit(rt *jobRuntime, p *pendingChange, ch *change) error {
+	out := rt.commitRetry(ch, s.inj, s.opts.Recovery, uint64(p.seq)<<8)
+	p.out.Store(&out)
+	if out.err != nil && !out.aborted {
+		return out.err
+	}
+	return nil
 }
 
 // applyPlanned commits an already-priced change (the defrag path).
@@ -1212,7 +1708,7 @@ func (s *sim) applyPlanned(j *simJob, ch *change, kind, note string) error {
 	}
 	p.ch = ch
 	rt := j.rt
-	return s.submit(j.spec.Name, func() error { return rt.commit(ch) })
+	return s.submit(j.spec.Name, func() error { return s.runCommit(rt, p, ch) })
 }
 
 // decideChange books one allocation change at decision time: it moves
@@ -1335,8 +1831,12 @@ func auditRuntime(j *simJob) error {
 func (s *sim) auditAll() error {
 	for _, name := range s.order {
 		j := s.jobs[name]
-		if j.rt.ptc == nil || j.state == jobLost {
-			continue // never deployed, or runtime intentionally abandoned
+		if j.rt.ptc == nil || (j.state != jobRunning && j.state != jobDone) {
+			// Never deployed, runtime intentionally abandoned (lost), or
+			// parked by a requeue — a requeued job's runtime sits at its
+			// checkpointed pre-abort placement with no decided allocation
+			// to audit against.
+			continue
 		}
 		if err := auditRuntime(j); err != nil {
 			return err
@@ -1355,6 +1855,12 @@ func (s *sim) result(start time.Time) Result {
 		PlansValidated:   s.plans,
 		InvariantChecks:  s.checks,
 		WallNs:           time.Since(start).Nanoseconds(),
+
+		Retries:            s.retries,
+		Requeues:           s.requeues,
+		QuarantinedDevices: len(s.quarantined),
+		RetryBytes:         s.retryBytes,
+		RecoverySec:        s.recoverySec,
 	}
 	if s.now > 0 {
 		res.MeanUtilization = s.utilIntegral / (float64(s.topo.NumDevices()) * s.now)

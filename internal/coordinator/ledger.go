@@ -21,6 +21,14 @@ type Ledger struct {
 	topo   *cluster.Topology
 	owner  map[cluster.DeviceID]string   // "" or absent = free
 	leases map[string]cluster.Allocation // per-job devices, lease order
+	// suspicion counts observed failures per device; a flapping device
+	// accumulates one per actual fail transition (duplicates are not
+	// counted) and the coordinator's failure detector quarantines it
+	// once the count reaches its threshold.
+	suspicion map[cluster.DeviceID]int
+	// draining devices are healthy but excluded from the free pool —
+	// a spot-reclamation notice has promised their disappearance.
+	draining map[cluster.DeviceID]bool
 }
 
 // NewLedger starts with every device of the topology free; device
@@ -33,11 +41,11 @@ func NewLedger(topo *cluster.Topology) *Ledger {
 	}
 }
 
-// Free returns the healthy, unleased devices in ID order.
+// Free returns the healthy, unleased, non-draining devices in ID order.
 func (l *Ledger) Free() []cluster.DeviceID {
 	var out []cluster.DeviceID
 	for _, d := range l.topo.Devices {
-		if l.owner[d.ID] == "" && !l.topo.FailedDevice(d.ID) {
+		if l.owner[d.ID] == "" && !l.topo.FailedDevice(d.ID) && !l.draining[d.ID] {
 			out = append(out, d.ID)
 		}
 	}
@@ -146,14 +154,27 @@ func (l *Ledger) ReleaseAll(job string) {
 	delete(l.leases, job)
 }
 
-// MarkFailed removes device d from service (fail-stop) and returns the
-// job that was holding it, if any. The device leaves the owner's lease
-// and never re-enters the free pool. The topology itself is marked too
-// (bumping its generation), so placement scoring and any memoization
-// keyed on the topology see the post-failure cluster.
+// MarkFailed removes device d from service and returns the job that
+// was holding it, if any. The device leaves the owner's lease and does
+// not re-enter the free pool until MarkRecovered. The topology itself
+// is marked too (bumping its generation), so placement scoring and any
+// memoization keyed on the topology see the post-failure cluster.
+//
+// MarkFailed is idempotent: flapping devices and spot deadlines can
+// deliver duplicate fail events for a device that is already down, and
+// repeats return "" without touching leases, suspicion counts, or the
+// topology generation.
 func (l *Ledger) MarkFailed(d cluster.DeviceID) string {
+	if l.topo.FailedDevice(d) {
+		return ""
+	}
 	job := l.owner[d]
 	l.topo.MarkFailed(d)
+	if l.suspicion == nil {
+		l.suspicion = map[cluster.DeviceID]int{}
+	}
+	l.suspicion[d]++
+	delete(l.draining, d) // a dead device no longer drains
 	if job != "" {
 		delete(l.owner, d)
 		kept := l.leases[job][:0]
@@ -166,6 +187,34 @@ func (l *Ledger) MarkFailed(d cluster.DeviceID) string {
 	}
 	return job
 }
+
+// MarkRecovered returns a flapped device to service (clearing the
+// topology's failed mark). The caller's failure detector decides
+// whether to call it at all — a quarantined device is simply never
+// recovered. A no-op for healthy devices.
+func (l *Ledger) MarkRecovered(d cluster.DeviceID) {
+	l.topo.MarkRecovered(d)
+}
+
+// Suspicion returns the number of fail transitions observed for d.
+func (l *Ledger) Suspicion(d cluster.DeviceID) int { return l.suspicion[d] }
+
+// SetDraining marks or unmarks a healthy device as draining: still
+// alive (leases and running jobs are untouched) but excluded from the
+// free pool, because a spot reclamation will take it shortly.
+func (l *Ledger) SetDraining(d cluster.DeviceID, on bool) {
+	if !on {
+		delete(l.draining, d)
+		return
+	}
+	if l.draining == nil {
+		l.draining = map[cluster.DeviceID]bool{}
+	}
+	l.draining[d] = true
+}
+
+// Draining reports whether device d is draining.
+func (l *Ledger) Draining(d cluster.DeviceID) bool { return l.draining[d] }
 
 // Failed reports whether device d has failed.
 func (l *Ledger) Failed(d cluster.DeviceID) bool { return l.topo.FailedDevice(d) }

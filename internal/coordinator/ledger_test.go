@@ -255,3 +255,86 @@ func TestCandidateSetsPreferWorkers(t *testing.T) {
 		t.Fatalf("first candidate starts on worker %d, preferred worker 2", w)
 	}
 }
+
+// TestLedgerMarkFailedIdempotent: flapping devices and spot deadlines
+// deliver duplicate fail events; repeats must not disturb leases,
+// suspicion counts, or the topology generation.
+func TestLedgerMarkFailedIdempotent(t *testing.T) {
+	topo := cluster.OnPrem16()
+	l := NewLedger(topo)
+	if err := l.Lease("job", 0, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if owner := l.MarkFailed(1); owner != "job" {
+		t.Fatalf("first MarkFailed returned owner %q, want job", owner)
+	}
+	gen := topo.Generation()
+	if l.Suspicion(1) != 1 {
+		t.Fatalf("suspicion after first failure = %d, want 1", l.Suspicion(1))
+	}
+	for i := 0; i < 3; i++ {
+		if owner := l.MarkFailed(1); owner != "" {
+			t.Fatalf("repeat MarkFailed returned owner %q, want none", owner)
+		}
+	}
+	if topo.Generation() != gen {
+		t.Fatal("repeat MarkFailed bumped the topology generation")
+	}
+	if l.Suspicion(1) != 1 {
+		t.Fatalf("repeat MarkFailed counted extra suspicion: %d", l.Suspicion(1))
+	}
+	if got := l.Allocation("job"); len(got) != 2 {
+		t.Fatalf("job lease after duplicate failures = %v, want 2 devices", got)
+	}
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fail/recover cycles accumulate suspicion one per actual failure.
+	l.MarkRecovered(1)
+	if l.Failed(1) {
+		t.Fatal("MarkRecovered did not revive the device")
+	}
+	if l.MarkFailed(1) != "" { // now free, so no owner
+		t.Fatal("re-failed device reported an owner")
+	}
+	if l.Suspicion(1) != 2 {
+		t.Fatalf("suspicion after second real failure = %d, want 2", l.Suspicion(1))
+	}
+}
+
+// TestLedgerDraining: a draining device stays leased and healthy but
+// leaves the free pool until it either recovers or actually dies.
+func TestLedgerDraining(t *testing.T) {
+	topo := cluster.OnPrem16()
+	l := NewLedger(topo)
+	free0 := l.FreeCount()
+	l.SetDraining(5, true)
+	if !l.Draining(5) {
+		t.Fatal("SetDraining(5, true) did not stick")
+	}
+	if l.FreeCount() != free0-1 {
+		t.Fatalf("free count with one draining device = %d, want %d", l.FreeCount(), free0-1)
+	}
+	for _, d := range l.Free() {
+		if d == 5 {
+			t.Fatal("draining device offered in Free()")
+		}
+	}
+	// Draining devices can still be part of leases (they were leased
+	// before the notice) and Healthy still counts them.
+	if l.Healthy() != topo.NumDevices() {
+		t.Fatalf("draining device dropped from Healthy(): %d", l.Healthy())
+	}
+	// Death clears the draining mark; recovery via SetDraining(false)
+	// restores the free pool.
+	l.MarkFailed(5)
+	if l.Draining(5) {
+		t.Fatal("failed device still marked draining")
+	}
+	l.SetDraining(6, true)
+	l.SetDraining(6, false)
+	if l.FreeCount() != free0-1 { // only device 5 (failed) is gone
+		t.Fatalf("free count after drain round trip = %d, want %d", l.FreeCount(), free0-1)
+	}
+}

@@ -3,6 +3,7 @@ package coordinator
 import (
 	"fmt"
 
+	"tenplex/internal/chaos"
 	"tenplex/internal/checkpoint"
 	"tenplex/internal/cluster"
 	"tenplex/internal/core"
@@ -47,6 +48,15 @@ func newJobRuntime(name string, m *model.Model, topo *cluster.Topology) *jobRunt
 		r.stores[d.ID] = store.Local{FS: store.NewMemFS()}
 	}
 	return r
+}
+
+// wrapStores installs chaos fault injection on every device store. The
+// checkpoint blob store (r.storage) stays unwrapped: remote checkpoint
+// storage is the durability anchor rollback and restore depend on.
+func (r *jobRuntime) wrapStores(inj *chaos.Injector) {
+	for d, acc := range r.stores {
+		r.stores[d] = inj.WrapAccess(r.name, fmt.Sprintf("dev%d", d), acc)
+	}
 }
 
 // initState builds the job's deterministic initial tensors from seed.
@@ -138,7 +148,13 @@ func (r *jobRuntime) planChange(cfg parallel.Config, alloc cluster.Allocation, f
 // commit executes a previously costed change through the State
 // Transformer and re-checkpoints the new placement, so the next
 // failure recovers against the current layout.
-func (r *jobRuntime) commit(ch *change) error {
+func (r *jobRuntime) commit(ch *change) error { return r.commitAttempt(ch, nil, 0) }
+
+// commitAttempt is one transform attempt of a change. With an injector
+// the armed window covers exactly the transform: the checkpoint save
+// that follows — and every rollback/restore — runs disarmed, so the
+// recovery path itself is reliable and degradation stays bounded.
+func (r *jobRuntime) commitAttempt(ch *change, inj *chaos.Injector, key uint64) error {
 	tr := &transform.Transformer{Job: r.name, Stores: r.stores}
 	if ch.storageOK {
 		if step, err := checkpoint.Latest(r.storage, r.name); err == nil {
@@ -147,8 +163,137 @@ func (r *jobRuntime) commit(ch *change) error {
 			}
 		}
 	}
-	if _, err := tr.Apply(ch.plan); err != nil {
+	if inj != nil {
+		inj.BeginAttempt(r.name, key)
+	}
+	_, err := tr.Apply(ch.plan)
+	if inj != nil {
+		inj.EndAttempt(r.name)
+	}
+	if err != nil {
 		return fmt.Errorf("coordinator: transform %s: %w", r.name, err)
+	}
+	r.ptc, r.cfg, r.alloc = ch.to, ch.cfg, ch.alloc
+	r.step++
+	if err := checkpoint.Save(r.storage, r.name, r.step, r.ptc, r.stores); err != nil {
+		return fmt.Errorf("coordinator: checkpoint %s: %w", r.name, err)
+	}
+	return nil
+}
+
+// commitOutcome is what a job's chain reports back to the event loop
+// about one transactional commit: how many transform attempts ran,
+// whether the change was aborted (the runtime rolled back to its last
+// bit-verified checkpoint), and the last attempt's error when it was.
+// A non-nil err without aborted is fatal — legacy fail-fast mode, or a
+// failed rollback.
+type commitOutcome struct {
+	attempts int
+	aborted  bool
+	err      error
+}
+
+// commitRetry is the transactional commit: up to MaxAttempts transform
+// attempts, each armed as its own chaos attempt keyed off decision-
+// plane state (keyBase), with a rollback to the last checkpoint between
+// attempts. r.ptc only advances on success, so a failed attempt leaves
+// the runtime exactly at its pre-change state. Exhausting the budget
+// yields an aborted outcome — graceful degradation the event loop
+// turns into a requeue — rather than a chain error.
+func (r *jobRuntime) commitRetry(ch *change, inj *chaos.Injector, pol RecoveryPolicy, keyBase uint64) commitOutcome {
+	if inj == nil && pol.MaxAttempts <= 1 {
+		// Legacy fail-fast: no chaos, no retry budget.
+		return commitOutcome{attempts: 1, err: r.commit(ch)}
+	}
+	attempts := pol.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	var err error
+	for i := 1; i <= attempts; i++ {
+		err = r.commitAttempt(ch, inj, keyBase+uint64(i))
+		if err == nil {
+			return commitOutcome{attempts: i}
+		}
+		if rbErr := r.rollback(); rbErr != nil {
+			return commitOutcome{attempts: i,
+				err: fmt.Errorf("coordinator: rollback of %s failed: %v (after %v)", r.name, rbErr, err)}
+		}
+	}
+	return commitOutcome{attempts: attempts, aborted: true, err: err}
+}
+
+// rollback wipes the job's (possibly half-destroyed) store state and
+// reloads the latest checkpoint under the runtime's current PTC — the
+// commit path only advances r.ptc and saves on success, so the latest
+// checkpoint always matches r.ptc. Runs disarmed.
+func (r *jobRuntime) rollback() error {
+	for _, acc := range r.stores {
+		_ = acc.Delete(transform.ModelRoot(r.name))   // may not exist
+		_ = acc.Delete(transform.StagingRoot(r.name)) // may not exist
+	}
+	step, err := checkpoint.Latest(r.storage, r.name)
+	if err != nil {
+		return err
+	}
+	rd, err := checkpoint.Open(r.storage, r.name, step)
+	if err != nil {
+		return err
+	}
+	return checkpoint.Restore(rd, r.name, r.ptc, r.stores)
+}
+
+// planRestore prices re-deploying a requeued job from its latest
+// checkpoint onto a fresh placement: every sub-tensor of the new PTC
+// streams from remote checkpoint storage to its device, replicas
+// included — exactly what commitRestore moves.
+func (r *jobRuntime) planRestore(cfg parallel.Config, alloc cluster.Allocation) (*change, error) {
+	to, err := parallel.BuildPTC(r.model, cfg, alloc)
+	if err != nil {
+		return nil, fmt.Errorf("coordinator: restore plan %s: %w", r.name, err)
+	}
+	var flows []netsim.Flow
+	var bytes int64
+	for _, d := range to.Devices {
+		for _, s := range to.Place[d] {
+			meta, ok := to.Tensors[s.Tensor]
+			if !ok {
+				return nil, fmt.Errorf("coordinator: restore plan %s: no metadata for %q", r.name, s.Tensor)
+			}
+			n := tensor.ShapeNumBytes(meta.DType, s.Region.Shape())
+			flows = append(flows, netsim.Flow{From: netsim.StorageEP(), To: netsim.DevEP(d), Bytes: n})
+			bytes += n
+		}
+	}
+	return &change{
+		cfg:       cfg,
+		alloc:     append(cluster.Allocation(nil), alloc...),
+		to:        to,
+		stats:     core.Stats{StorageBytes: bytes, MovedBytes: bytes},
+		simSec:    netsim.Simulate(r.topo, flows).Seconds,
+		storageOK: true,
+	}, nil
+}
+
+// commitRestore redeploys the job from its latest checkpoint: wipe any
+// stale store state, stream the checkpoint in under the new PTC, and
+// re-checkpoint at the new layout so the next failure recovers against
+// it. It runs disarmed, so re-admitting a degraded job always lands.
+func (r *jobRuntime) commitRestore(ch *change) error {
+	for _, acc := range r.stores {
+		_ = acc.Delete(transform.ModelRoot(r.name))
+		_ = acc.Delete(transform.StagingRoot(r.name))
+	}
+	step, err := checkpoint.Latest(r.storage, r.name)
+	if err != nil {
+		return fmt.Errorf("coordinator: restore %s: %w", r.name, err)
+	}
+	rd, err := checkpoint.Open(r.storage, r.name, step)
+	if err != nil {
+		return fmt.Errorf("coordinator: restore %s: %w", r.name, err)
+	}
+	if err := checkpoint.Restore(rd, r.name, ch.to, r.stores); err != nil {
+		return fmt.Errorf("coordinator: restore %s: %w", r.name, err)
 	}
 	r.ptc, r.cfg, r.alloc = ch.to, ch.cfg, ch.alloc
 	r.step++

@@ -119,9 +119,9 @@ func Simulate(topo *cluster.Topology, flows []Flow) Result {
 			w := topo.WorkerOf(devSide.Device)
 			get("storage", w, topo.StorageBW).load += f.Bytes
 			if f.From.Kind == Storage {
-				get("nic-in", w, topo.NetBW).load += f.Bytes
+				get("nic-in", w, topo.WorkerNetBW(w)).load += f.Bytes
 			} else {
-				get("nic-out", w, topo.NetBW).load += f.Bytes
+				get("nic-out", w, topo.WorkerNetBW(w)).load += f.Bytes
 			}
 			anyNet = anyNet || f.Bytes > 0
 		default:
@@ -134,8 +134,15 @@ func Simulate(topo *cluster.Topology, flows []Flow) Result {
 				bw := topo.IntraBW(src, dst)
 				get("intra", ws, bw).load += f.Bytes
 			default:
-				get("nic-out", ws, topo.NetBW).load += f.Bytes
-				get("nic-in", wd, topo.NetBW).load += f.Bytes
+				// Reconfiguration traffic is priced against each worker's
+				// CURRENT NIC bandwidth, so an active link degradation
+				// (chaos.LinkDegrade) slows transfers through that worker.
+				// The perfmodel's steady-state estimates (AllReduceTime,
+				// PointToPointTime) deliberately stay on the nominal NetBW:
+				// placement decisions should not churn with transient link
+				// weather, only reconfiguration cost does.
+				get("nic-out", ws, topo.WorkerNetBW(ws)).load += f.Bytes
+				get("nic-in", wd, topo.WorkerNetBW(wd)).load += f.Bytes
 				anyNet = anyNet || f.Bytes > 0
 			}
 		}

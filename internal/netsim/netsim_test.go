@@ -179,3 +179,35 @@ func TestPointToPointTime(t *testing.T) {
 		t.Fatal("intra-worker must beat cross-worker")
 	}
 }
+
+func TestSimulateDegradedLinkSlowsFlows(t *testing.T) {
+	topo := cluster.OnPrem16()
+	flows := []Flow{{From: DevEP(0), To: DevEP(4), Bytes: 1 << 30}} // worker 0 -> worker 1
+	base := Simulate(topo, flows).Seconds
+
+	topo.SetNetScale(1, 0.25) // destination NIC at quarter speed
+	degraded := Simulate(topo, flows).Seconds
+	if degraded <= base {
+		t.Fatalf("degraded ingress did not slow the flow: %v <= %v", degraded, base)
+	}
+	want := float64(1<<30)/(topo.NetBW*0.25) + topo.NetLatency
+	if diff := degraded - want; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("degraded time %v, want %v", degraded, want)
+	}
+
+	// A flow avoiding the degraded worker is unaffected.
+	other := Simulate(topo, []Flow{{From: DevEP(8), To: DevEP(12), Bytes: 1 << 30}}).Seconds
+	if diff := other - base; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("flow avoiding the degraded worker took %v, want %v", other, base)
+	}
+
+	// Storage fallback through the degraded worker prices its NIC leg at
+	// the degraded bandwidth too.
+	topo2 := cluster.OnPrem16()
+	sbase := Simulate(topo2, []Flow{{From: StorageEP(), To: DevEP(4), Bytes: 1 << 30}})
+	topo2.SetNetScale(1, 0.01)
+	sdeg := Simulate(topo2, []Flow{{From: StorageEP(), To: DevEP(4), Bytes: 1 << 30}})
+	if sdeg.Seconds <= sbase.Seconds {
+		t.Fatalf("storage restore through degraded NIC did not slow: %v <= %v", sdeg.Seconds, sbase.Seconds)
+	}
+}

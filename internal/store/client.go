@@ -6,8 +6,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
+	"sync"
 	"time"
 
 	"tenplex/internal/tensor"
@@ -127,6 +129,20 @@ type Client struct {
 	// Timeout bounds each request (connection + transfer). Zero means
 	// DefaultTimeout; negative disables the bound.
 	Timeout time.Duration
+	// Retry, when non-nil, retries idempotent operations (queries,
+	// full-overwrite uploads, listings, blob I/O) with capped
+	// exponential backoff and jitter; an exhausted budget surfaces as
+	// *RetryExhaustedError. Nil keeps every operation single-attempt.
+	Retry *RetryPolicy
+	// HedgeAfter, when positive, races a second identical request into
+	// any read still in flight after this delay (straggler
+	// mitigation); the first response wins, the loser is canceled.
+	HedgeAfter time.Duration
+	// Stats counts attempts, retries, hedges, and exhaustions.
+	Stats ClientStats
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
 }
 
 var _ Access = (*Client)(nil)
@@ -170,13 +186,14 @@ func (c *Client) doStream(ctx context.Context, method, endpoint string, params u
 	resp, err := c.http().Do(req)
 	if err != nil {
 		cancel()
-		return nil, nil, fmt.Errorf("store client: %s %s: %w", method, endpoint, err)
+		return nil, nil, &transportError{method: method, endpoint: endpoint, err: err}
 	}
 	if resp.StatusCode/100 != 2 {
 		data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 		resp.Body.Close()
 		cancel()
-		return nil, nil, fmt.Errorf("store client: %s %s: %s: %s", method, endpoint, resp.Status, trimStatus(data))
+		return nil, nil, &statusError{method: method, endpoint: endpoint,
+			code: resp.StatusCode, status: resp.Status, body: trimStatus(data)}
 	}
 	return resp, cancel, nil
 }
@@ -204,20 +221,29 @@ func (c *Client) Query(path string, reg tensor.Region) (*tensor.Tensor, error) {
 
 // QueryContext is Query under a caller-supplied context; the payload
 // decodes incrementally off the response stream into one allocation.
+// Range queries are idempotent, so the request runs under the client's
+// retry policy and (when HedgeAfter is set) hedged against stragglers.
 func (c *Client) QueryContext(ctx context.Context, path string, reg tensor.Region) (*tensor.Tensor, error) {
 	params := url.Values{"path": {path}}
 	if reg != nil {
 		params.Set("range", reg.String())
 	}
-	resp, cancel, err := c.doStream(ctx, http.MethodGet, "/query", params, nil, -1)
+	var t *tensor.Tensor
+	err := c.withRetry(ctx, "query "+path, func() error {
+		resp, cancel, err := c.hedgeStream(ctx, http.MethodGet, "/query", params)
+		if err != nil {
+			return err
+		}
+		defer cancel()
+		defer resp.Body.Close()
+		t, err = tensor.DecodeFrom(resp.Body)
+		if err != nil {
+			return fmt.Errorf("store client: query %s: %w", path, err)
+		}
+		return nil
+	})
 	if err != nil {
 		return nil, err
-	}
-	defer cancel()
-	defer resp.Body.Close()
-	t, err := tensor.DecodeFrom(resp.Body)
-	if err != nil {
-		return nil, fmt.Errorf("store client: query %s: %w", path, err)
 	}
 	return t, nil
 }
@@ -229,7 +255,11 @@ func (c *Client) QueryInto(path string, reg tensor.Region, dst *tensor.Tensor, a
 	return c.QueryIntoContext(context.Background(), path, reg, dst, at)
 }
 
-// QueryIntoContext is QueryInto under a caller-supplied context.
+// QueryIntoContext is QueryInto under a caller-supplied context. The
+// scatter into dst is idempotent (same region, same bytes), so a
+// failed attempt — even one that died mid-write — is safely re-run
+// under the retry policy; the decoder only ever reads the hedge
+// winner's body, so dst sees exactly one writer.
 func (c *Client) QueryIntoContext(ctx context.Context, path string, reg tensor.Region,
 	dst *tensor.Tensor, at tensor.Region) (int64, error) {
 	if at == nil {
@@ -239,27 +269,31 @@ func (c *Client) QueryIntoContext(ctx context.Context, path string, reg tensor.R
 	if reg != nil {
 		params.Set("range", reg.String())
 	}
-	resp, cancel, err := c.doStream(ctx, http.MethodGet, "/query", params, nil, -1)
-	if err != nil {
-		return 0, err
-	}
-	defer cancel()
-	defer resp.Body.Close()
-	dt, shape, err := tensor.DecodeHeaderFrom(resp.Body)
-	if err != nil {
-		return 0, fmt.Errorf("store client: query %s: %w", path, err)
-	}
-	if dt != dst.DType() {
-		return 0, fmt.Errorf("store client: query %s: dtype %s != destination %s", path, dt, dst.DType())
-	}
-	if !tensor.ShapeEqual(shape, at.Shape()) {
-		return 0, fmt.Errorf("store client: query %s: payload shape %v != destination region %v", path, shape, at)
-	}
-	n, err := dst.WriteRegion(at, resp.Body)
-	if err != nil {
-		return n, fmt.Errorf("store client: query %s: %w", path, err)
-	}
-	return n, nil
+	var n int64
+	err := c.withRetry(ctx, "query "+path, func() error {
+		resp, cancel, err := c.hedgeStream(ctx, http.MethodGet, "/query", params)
+		if err != nil {
+			return err
+		}
+		defer cancel()
+		defer resp.Body.Close()
+		dt, shape, err := tensor.DecodeHeaderFrom(resp.Body)
+		if err != nil {
+			return fmt.Errorf("store client: query %s: %w", path, err)
+		}
+		if dt != dst.DType() {
+			return fmt.Errorf("store client: query %s: dtype %s != destination %s", path, dt, dst.DType())
+		}
+		if !tensor.ShapeEqual(shape, at.Shape()) {
+			return fmt.Errorf("store client: query %s: payload shape %v != destination region %v", path, shape, at)
+		}
+		n, err = dst.WriteRegion(at, resp.Body)
+		if err != nil {
+			return fmt.Errorf("store client: query %s: %w", path, err)
+		}
+		return nil
+	})
+	return n, err
 }
 
 // Upload implements Access. The request body streams the wire header
@@ -269,21 +303,26 @@ func (c *Client) Upload(path string, t *tensor.Tensor) error {
 	return c.UploadContext(context.Background(), path, t)
 }
 
-// UploadContext is Upload under a caller-supplied context.
+// UploadContext is Upload under a caller-supplied context. A full
+// tensor overwrite is idempotent and its body replays from the
+// tensor's backing buffer, so the request runs under the retry policy.
 func (c *Client) UploadContext(ctx context.Context, path string, t *tensor.Tensor) error {
 	header := tensor.EncodeHeader(t.DType(), t.Shape())
-	body := io.MultiReader(bytes.NewReader(header), bytes.NewReader(t.Data()))
-	resp, cancel, err := c.doStream(ctx, http.MethodPost, "/upload", url.Values{"path": {path}},
-		body, int64(len(header)+t.NumBytes()))
-	if err != nil {
-		return err
-	}
-	cancel()
-	return resp.Body.Close()
+	return c.withRetry(ctx, "upload "+path, func() error {
+		body := io.MultiReader(bytes.NewReader(header), bytes.NewReader(t.Data()))
+		resp, cancel, err := c.doStream(ctx, http.MethodPost, "/upload", url.Values{"path": {path}},
+			body, int64(len(header)+t.NumBytes()))
+		if err != nil {
+			return err
+		}
+		cancel()
+		return resp.Body.Close()
+	})
 }
 
 // UploadFrom implements Access: the payload is forwarded from r to the
-// server in chunks.
+// server in chunks. r cannot be replayed, so UploadFrom always runs
+// single-attempt regardless of the retry policy.
 func (c *Client) UploadFrom(path string, dt tensor.DType, shape []int, r io.Reader) error {
 	header := tensor.EncodeHeader(dt, shape)
 	payload := tensor.ShapeNumBytes(dt, shape)
@@ -297,15 +336,22 @@ func (c *Client) UploadFrom(path string, dt tensor.DType, shape []int, r io.Read
 	return resp.Body.Close()
 }
 
-// Delete implements Access.
+// Delete implements Access. A retried delete whose first attempt
+// half-applied could race a concurrent re-create, so it stays
+// single-attempt.
 func (c *Client) Delete(path string) error {
 	_, err := c.do(context.Background(), http.MethodDelete, "/delete", url.Values{"path": {path}}, nil)
 	return err
 }
 
-// List implements Access.
+// List implements Access; read-only, retried under the policy.
 func (c *Client) List(path string) ([]string, error) {
-	data, err := c.do(context.Background(), http.MethodGet, "/list", url.Values{"path": {path}}, nil)
+	var data []byte
+	err := c.withRetry(context.Background(), "list "+path, func() error {
+		var err error
+		data, err = c.do(context.Background(), http.MethodGet, "/list", url.Values{"path": {path}}, nil)
+		return err
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -316,21 +362,33 @@ func (c *Client) List(path string) ([]string, error) {
 	return names, nil
 }
 
-// Rename implements Access.
+// Rename implements Access. Rename is NOT idempotent — a retry after a
+// response lost in flight would fail on the now-missing source — so it
+// always runs single-attempt.
 func (c *Client) Rename(src, dst string) error {
 	_, err := c.do(context.Background(), http.MethodPost, "/rename", url.Values{"src": {src}, "dst": {dst}}, nil)
 	return err
 }
 
-// GetBlob fetches raw bytes from the server.
+// GetBlob fetches raw bytes from the server; read-only, retried under
+// the policy.
 func (c *Client) GetBlob(path string) ([]byte, error) {
-	return c.do(context.Background(), http.MethodGet, "/blob", url.Values{"path": {path}}, nil)
+	var data []byte
+	err := c.withRetry(context.Background(), "getblob "+path, func() error {
+		var err error
+		data, err = c.do(context.Background(), http.MethodGet, "/blob", url.Values{"path": {path}}, nil)
+		return err
+	})
+	return data, err
 }
 
-// PutBlob stores raw bytes on the server.
+// PutBlob stores raw bytes on the server; a full overwrite with a
+// replayable body, retried under the policy.
 func (c *Client) PutBlob(path string, data []byte) error {
-	_, err := c.do(context.Background(), http.MethodPost, "/blob", url.Values{"path": {path}}, bytes.NewReader(data))
-	return err
+	return c.withRetry(context.Background(), "putblob "+path, func() error {
+		_, err := c.do(context.Background(), http.MethodPost, "/blob", url.Values{"path": {path}}, bytes.NewReader(data))
+		return err
+	})
 }
 
 // StatResult mirrors the server's stat response.
@@ -342,9 +400,14 @@ type StatResult struct {
 	Bytes int    `json:"bytes"`
 }
 
-// Stat fetches file metadata.
+// Stat fetches file metadata; read-only, retried under the policy.
 func (c *Client) Stat(path string) (StatResult, error) {
-	data, err := c.do(context.Background(), http.MethodGet, "/stat", url.Values{"path": {path}}, nil)
+	var data []byte
+	err := c.withRetry(context.Background(), "stat "+path, func() error {
+		var err error
+		data, err = c.do(context.Background(), http.MethodGet, "/stat", url.Values{"path": {path}}, nil)
+		return err
+	})
 	if err != nil {
 		return StatResult{}, err
 	}

@@ -3,9 +3,11 @@ package store
 import (
 	"bytes"
 	"context"
+	"errors"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -236,5 +238,195 @@ func TestMemFSReadRegionInto(t *testing.T) {
 	}
 	if _, err := fs.ReadRegionInto("/b", nil, dst, nil); err == nil {
 		t.Fatal("blob read as tensor accepted")
+	}
+}
+
+// flakyHandler wraps a handler, failing the first failN requests with
+// 500 and counting every request seen.
+type flakyHandler struct {
+	next  http.Handler
+	mu    sync.Mutex
+	seen  int
+	failN int
+}
+
+func (f *flakyHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	f.mu.Lock()
+	f.seen++
+	fail := f.seen <= f.failN
+	f.mu.Unlock()
+	if fail {
+		http.Error(w, "injected", http.StatusInternalServerError)
+		return
+	}
+	f.next.ServeHTTP(w, r)
+}
+
+func (f *flakyHandler) requests() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.seen
+}
+
+func retryClient(t *testing.T, failN int) (*Client, *flakyHandler, func()) {
+	t.Helper()
+	fs := NewMemFS()
+	if err := fs.PutTensor("/w", seqTensor(4, 4)); err != nil {
+		t.Fatal(err)
+	}
+	fh := &flakyHandler{next: NewServer(fs), failN: failN}
+	hs := httptest.NewServer(fh)
+	c := &Client{Base: hs.URL, HTTP: hs.Client(),
+		Retry: &RetryPolicy{MaxAttempts: 4, BaseDelay: time.Millisecond,
+			MaxDelay: 4 * time.Millisecond, JitterSeed: 1, Sleep: func(time.Duration) {}}}
+	return c, fh, hs.Close
+}
+
+func TestClientRetryRecoversFromTransientFailures(t *testing.T) {
+	c, fh, done := retryClient(t, 2)
+	defer done()
+	got, err := c.Query("/w", nil)
+	if err != nil {
+		t.Fatalf("query through 2 transient 500s failed: %v", err)
+	}
+	if !got.Equal(seqTensor(4, 4)) {
+		t.Fatal("retried query returned wrong tensor")
+	}
+	if n := fh.requests(); n != 3 {
+		t.Fatalf("server saw %d requests, want 3", n)
+	}
+	st := c.Stats.Snapshot()
+	if st.Attempts != 3 || st.Retries != 2 || st.Exhausted != 0 {
+		t.Fatalf("stats = %+v, want 3 attempts / 2 retries / 0 exhausted", st)
+	}
+}
+
+func TestClientRetryExhaustedError(t *testing.T) {
+	c, fh, done := retryClient(t, 1000)
+	defer done()
+	_, err := c.Query("/w", nil)
+	if err == nil {
+		t.Fatal("query against permanently failing server succeeded")
+	}
+	var re *RetryExhaustedError
+	if !errors.As(err, &re) {
+		t.Fatalf("error %T (%v) is not *RetryExhaustedError", err, err)
+	}
+	if re.Attempts != 4 {
+		t.Fatalf("RetryExhaustedError.Attempts = %d, want 4", re.Attempts)
+	}
+	if re.Unwrap() == nil || !strings.Contains(re.Unwrap().Error(), "500") {
+		t.Fatalf("exhausted error does not wrap the last attempt's failure: %v", re.Unwrap())
+	}
+	if n := fh.requests(); n != 4 {
+		t.Fatalf("server saw %d requests, want the full budget of 4", n)
+	}
+	if st := c.Stats.Snapshot(); st.Exhausted != 1 {
+		t.Fatalf("stats = %+v, want 1 exhausted", st)
+	}
+}
+
+func TestClientNoRetryOnClientError(t *testing.T) {
+	c, fh, done := retryClient(t, 0)
+	defer done()
+	if _, err := c.Query("/missing", nil); err == nil {
+		t.Fatal("query for missing path succeeded")
+	}
+	if n := fh.requests(); n != 1 {
+		t.Fatalf("4xx was retried: server saw %d requests", n)
+	}
+}
+
+func TestClientNonIdempotentOpsSingleAttempt(t *testing.T) {
+	c, fh, done := retryClient(t, 1000)
+	defer done()
+	if err := c.Rename("/a", "/b"); err == nil {
+		t.Fatal("rename against failing server succeeded")
+	}
+	if err := c.Delete("/w"); err == nil {
+		t.Fatal("delete against failing server succeeded")
+	}
+	if n := fh.requests(); n != 2 {
+		t.Fatalf("non-idempotent ops retried: server saw %d requests, want 2", n)
+	}
+	var re *RetryExhaustedError
+	if err := c.Rename("/a", "/b"); errors.As(err, &re) {
+		t.Fatal("single-attempt op reported RetryExhaustedError")
+	}
+}
+
+func TestClientUploadRetries(t *testing.T) {
+	c, fh, done := retryClient(t, 2)
+	defer done()
+	src := seqTensor(3, 3)
+	if err := c.Upload("/u", src); err != nil {
+		t.Fatalf("upload through transient 500s failed: %v", err)
+	}
+	if n := fh.requests(); n != 3 {
+		t.Fatalf("server saw %d requests, want 3", n)
+	}
+	got, err := c.Query("/u", nil)
+	if err != nil || !got.Equal(src) {
+		t.Fatalf("uploaded tensor corrupt after retry: %v", err)
+	}
+}
+
+func TestClientHedgedRead(t *testing.T) {
+	fs := NewMemFS()
+	src := seqTensor(4, 4)
+	if err := fs.PutTensor("/w", src); err != nil {
+		t.Fatal(err)
+	}
+	inner := NewServer(fs)
+	var mu sync.Mutex
+	seen := 0
+	release := make(chan struct{})
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		seen++
+		first := seen == 1
+		mu.Unlock()
+		if first {
+			<-release // first request straggles until the test ends
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer hs.Close()
+	defer close(release)
+	c := &Client{Base: hs.URL, HTTP: hs.Client(), HedgeAfter: 20 * time.Millisecond}
+	start := time.Now()
+	got, err := c.Query("/w", nil)
+	if err != nil {
+		t.Fatalf("hedged query failed: %v", err)
+	}
+	if !got.Equal(src) {
+		t.Fatal("hedged query returned wrong tensor")
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("hedged read took %v despite straggler mitigation", d)
+	}
+	if st := c.Stats.Snapshot(); st.Hedges != 1 {
+		t.Fatalf("stats = %+v, want 1 hedge", st)
+	}
+}
+
+func TestClientBackoffIsCappedExponential(t *testing.T) {
+	var delays []time.Duration
+	c := &Client{Base: "http://127.0.0.1:0", // nothing listens: every attempt is a transport error
+		Retry: &RetryPolicy{MaxAttempts: 5, BaseDelay: 8 * time.Millisecond,
+			MaxDelay: 20 * time.Millisecond, JitterSeed: 7,
+			Sleep: func(d time.Duration) { delays = append(delays, d) }}}
+	if _, err := c.Query("/w", nil); err == nil {
+		t.Fatal("query against dead address succeeded")
+	}
+	if len(delays) != 4 {
+		t.Fatalf("saw %d backoffs, want 4", len(delays))
+	}
+	steps := []time.Duration{8, 16, 20, 20} // capped at MaxDelay
+	for i, d := range delays {
+		step := steps[i] * time.Millisecond
+		if d < step/2 || d >= step {
+			t.Fatalf("backoff %d = %v outside jitter window [%v, %v)", i, d, step/2, step)
+		}
 	}
 }

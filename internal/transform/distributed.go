@@ -1,6 +1,7 @@
 package transform
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -110,7 +111,7 @@ func (tr *Transformer) applyNoCommit(plan *core.Plan) (Stats, error) {
 		if _, ok := tr.Stores[a.Device]; !ok {
 			return st, fmt.Errorf("transform: no store for destination device %d", a.Device)
 		}
-		s, err := tr.applyAssignment(plan, a)
+		s, err := tr.applyAssignment(context.Background(), plan, a)
 		if err != nil {
 			return st, err
 		}

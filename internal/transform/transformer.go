@@ -16,6 +16,7 @@
 package transform
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -60,6 +61,15 @@ func stagingPath(job string, dev cluster.DeviceID, id core.TensorID) string {
 
 func modelRoot(job string) string   { return "/job/" + job + "/model" }
 func stagingRoot(job string) string { return "/job/" + job + "/model.next" }
+
+// ModelRoot is the live model tree of job on a device store. Exported
+// for the coordinator's transactional rollback, which wipes it before
+// restoring the last checkpoint.
+func ModelRoot(job string) string { return modelRoot(job) }
+
+// StagingRoot is the staged-state tree awaiting commit; rollback wipes
+// it alongside ModelRoot.
+func StagingRoot(job string) string { return stagingRoot(job) }
 
 // Pipeline selects the transformer's data-path implementation.
 type Pipeline int
@@ -144,6 +154,17 @@ func (s *Stats) merge(o Stats) {
 // destination device. On error nothing is committed and any partially
 // staged state is removed.
 func (tr *Transformer) Apply(plan *core.Plan) (Stats, error) {
+	return tr.ApplyContext(context.Background(), plan)
+}
+
+// ApplyContext is Apply under a caller-supplied context. The first
+// fatal assignment error cancels the whole apply: the worker pool
+// abandons queued assignments and in-flight fetches through
+// context-aware stores are interrupted, so a doomed reconfiguration
+// stops moving bytes as soon as its outcome is known. Canceling ctx
+// externally aborts the apply the same way (nothing is committed,
+// staging is cleaned up).
+func (tr *Transformer) ApplyContext(ctx context.Context, plan *core.Plan) (Stats, error) {
 	start := time.Now()
 	var st Stats
 	if err := plan.Validate(); err != nil {
@@ -157,6 +178,9 @@ func (tr *Transformer) Apply(plan *core.Plan) (Stats, error) {
 			return st, fmt.Errorf("transform: no store for destination device %d", d)
 		}
 	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 
 	par := tr.Parallelism
 	if par <= 0 {
@@ -178,11 +202,17 @@ func (tr *Transformer) Apply(plan *core.Plan) (Stats, error) {
 		go func() {
 			defer wg.Done()
 			for a := range work {
-				s, err := tr.applyAssignment(plan, a)
+				if ctx.Err() != nil {
+					continue // abandoned: drain the queue without working
+				}
+				s, err := tr.applyAssignment(ctx, plan, a)
 				mu.Lock()
 				if err != nil {
-					errs = append(errs, err)
+					if ctx.Err() == nil || !errors.Is(err, ctx.Err()) {
+						errs = append(errs, err)
+					}
 					mu.Unlock()
+					cancel()
 					continue
 				}
 				st.Assignments++
@@ -194,11 +224,19 @@ func (tr *Transformer) Apply(plan *core.Plan) (Stats, error) {
 			}
 		}()
 	}
+feed:
 	for _, a := range plan.Assignments {
-		work <- a
+		select {
+		case work <- a:
+		case <-ctx.Done():
+			break feed
+		}
 	}
 	close(work)
 	wg.Wait()
+	if len(errs) == 0 && ctx.Err() != nil {
+		errs = append(errs, ctx.Err())
+	}
 	if len(errs) > 0 {
 		tr.cleanupStaging(plan)
 		sort.Slice(errs, func(i, j int) bool { return errs[i].Error() < errs[j].Error() })
@@ -214,11 +252,33 @@ func (tr *Transformer) Apply(plan *core.Plan) (Stats, error) {
 
 // applyAssignment builds one destination sub-tensor in staging through
 // the selected pipeline.
-func (tr *Transformer) applyAssignment(plan *core.Plan, a core.Assignment) (Stats, error) {
+func (tr *Transformer) applyAssignment(ctx context.Context, plan *core.Plan, a core.Assignment) (Stats, error) {
 	if tr.Pipeline == Materialized {
-		return tr.applyAssignmentMaterialized(plan, a)
+		return tr.applyAssignmentMaterialized(ctx, plan, a)
 	}
-	return tr.applyAssignmentStreamed(plan, a)
+	return tr.applyAssignmentStreamed(ctx, plan, a)
+}
+
+// ctxQuerier is the optional context-aware read interface; store.Client
+// implements it, so remote in-flight fetches are interrupted when the
+// apply is canceled. Stores without it are checked for cancellation
+// between operations instead.
+type ctxQuerier interface {
+	QueryIntoContext(ctx context.Context, path string, reg tensor.Region,
+		dst *tensor.Tensor, at tensor.Region) (int64, error)
+}
+
+// queryInto routes a range read through the store's context-aware path
+// when it has one.
+func queryInto(ctx context.Context, acc store.Access, path string, reg tensor.Region,
+	dst *tensor.Tensor, at tensor.Region) (int64, error) {
+	if cq, ok := acc.(ctxQuerier); ok {
+		return cq.QueryIntoContext(ctx, path, reg, dst, at)
+	}
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	return acc.QueryInto(path, reg, dst, at)
 }
 
 // applyAssignmentStreamed is the zero-copy pipeline: the destination
@@ -228,7 +288,7 @@ func (tr *Transformer) applyAssignment(plan *core.Plan, a core.Assignment) (Stat
 // forces a sequential pass). Noop assignments against reference-
 // retaining stores move the existing tensor by pointer — no bytes are
 // copied or allocated at all.
-func (tr *Transformer) applyAssignmentStreamed(plan *core.Plan, a core.Assignment) (Stats, error) {
+func (tr *Transformer) applyAssignmentStreamed(ctx context.Context, plan *core.Plan, a core.Assignment) (Stats, error) {
 	var st Stats
 	meta := plan.To.Tensors[a.Tensor]
 	dst := tr.Stores[a.Device]
@@ -267,7 +327,7 @@ func (tr *Transformer) applyAssignmentStreamed(plan *core.Plan, a core.Assignmen
 			wg.Add(1)
 			go func(f core.Fetch) {
 				defer wg.Done()
-				fs, err := tr.fetchInto(a, f, meta.DType, out)
+				fs, err := tr.fetchInto(ctx, a, f, meta.DType, out)
 				mu.Lock()
 				defer mu.Unlock()
 				if err != nil {
@@ -284,7 +344,7 @@ func (tr *Transformer) applyAssignmentStreamed(plan *core.Plan, a core.Assignmen
 		}
 	} else {
 		for _, f := range a.Fetch {
-			fs, err := tr.fetchInto(a, f, meta.DType, out)
+			fs, err := tr.fetchInto(ctx, a, f, meta.DType, out)
 			if err != nil {
 				return st, err
 			}
@@ -305,7 +365,7 @@ func (tr *Transformer) applyAssignmentStreamed(plan *core.Plan, a core.Assignmen
 // The target and (for device sources) source-local regions share one
 // backing allocation; everything else on this path is allocation-free
 // up to the store call.
-func (tr *Transformer) fetchInto(a core.Assignment, f core.Fetch, dt tensor.DType, out *tensor.Tensor) (Stats, error) {
+func (tr *Transformer) fetchInto(ctx context.Context, a core.Assignment, f core.Fetch, dt tensor.DType, out *tensor.Tensor) (Stats, error) {
 	var fs Stats
 	bytes := f.Want.NumBytes(dt)
 	rank := len(f.Want)
@@ -323,7 +383,7 @@ func (tr *Transformer) fetchInto(a core.Assignment, f core.Fetch, dt tensor.DTyp
 		for i := range f.Want {
 			local[i] = tensor.Range{Lo: f.Want[i].Lo - f.Src.Region[i].Lo, Hi: f.Want[i].Hi - f.Src.Region[i].Lo}
 		}
-		n, err := src.QueryInto(ModelPath(tr.Job, f.Src.Device, a.Tensor), local, out, target)
+		n, err := queryInto(ctx, src, ModelPath(tr.Job, f.Src.Device, a.Tensor), local, out, target)
 		if err != nil {
 			return fs, fmt.Errorf("transform: fetch %s%v from dev %d: %w", a.Tensor, f.Want, f.Src.Device, err)
 		}
@@ -364,13 +424,16 @@ func (tr *Transformer) fetchInto(a core.Assignment, f core.Fetch, dt tensor.DTyp
 // fetched range materializes as a fresh sub-tensor, the destination is
 // assembled from the pieces, and the result is uploaded — each byte is
 // copied at least twice before staging.
-func (tr *Transformer) applyAssignmentMaterialized(plan *core.Plan, a core.Assignment) (Stats, error) {
+func (tr *Transformer) applyAssignmentMaterialized(ctx context.Context, plan *core.Plan, a core.Assignment) (Stats, error) {
 	var st Stats
 	meta := plan.To.Tensors[a.Tensor]
 	dst := tr.Stores[a.Device]
 
 	var pieces []tensor.Piece
 	for _, f := range a.Fetch {
+		if err := ctx.Err(); err != nil {
+			return st, err
+		}
 		bytes := f.Want.NumBytes(meta.DType)
 		var data *tensor.Tensor
 		var err error
