@@ -13,6 +13,9 @@
 //	tenplex-ctl sim -policy priority               # priority classes + gang admission
 //	tenplex-ctl sim -mode wall -workers 8          # paced wall-clock parallel runtime
 //	tenplex-ctl sim -placement                     # allocation-aware placement scoring
+//	tenplex-ctl sim -trace trace.json              # record a Perfetto-loadable trace
+//	tenplex-ctl sim -flight flight.jsonl           # per-job flight-recorder dump
+//	tenplex-ctl report trace.json                  # per-job phase breakdown + reconciliation
 package main
 
 import (
@@ -25,12 +28,13 @@ import (
 	"tenplex/internal/cluster"
 	"tenplex/internal/coordinator"
 	"tenplex/internal/experiments"
+	"tenplex/internal/obs"
 	"tenplex/internal/store"
 	"tenplex/internal/tensor"
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: tenplex-ctl [-addr URL] {put|get|stat|ls|rm|sim} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: tenplex-ctl [-addr URL] {put|get|stat|ls|rm|sim|report} [flags]")
 	os.Exit(2)
 }
 
@@ -105,37 +109,104 @@ func main() {
 		mode := fs.String("mode", "sim", "execution mode: sim (deterministic) or wall (paced on the real clock)")
 		workers := fs.Int("workers", 0, "worker pool bound for plan/transform execution (0 = GOMAXPROCS, 1 = serialized loop)")
 		placement := fs.Bool("placement", false, "allocation-aware placement scoring (candidate device sets ranked by the policy)")
+		trace := fs.String("trace", "", "record a Perfetto-loadable trace to this file")
+		traceLevel := fs.String("trace-level", "datapath", "trace depth: phases or datapath")
+		flight := fs.String("flight", "", "dump the per-job flight recorder (JSONL) to this file")
+		flightCap := fs.Int("flight-cap", 256, "flight-recorder ring size per job")
 		_ = fs.Parse(flag.Args()[1:])
-		die(runSim(*devices, *jobs, *seed, *failStr, *defrag, *policy, *mode, *workers, *placement))
+		die(runSim(simArgs{devices: *devices, jobs: *jobs, seed: *seed, failStr: *failStr,
+			defragMax: *defrag, policy: *policy, mode: *mode, workers: *workers, placement: *placement,
+			trace: *trace, traceLevel: *traceLevel, flight: *flight, flightCap: *flightCap}))
+	case "report":
+		_ = fs.Parse(flag.Args()[1:])
+		if fs.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "usage: tenplex-ctl report <trace.json | flight.jsonl>")
+			os.Exit(2)
+		}
+		die(runReport(fs.Arg(0)))
 	default:
 		usage()
 	}
 }
 
-// runSim executes a multi-job coordinator simulation and prints the
-// per-job timeline and cluster summary.
-func runSim(devices, jobs int, seed int64, failStr string, defragMax float64, policyName, mode string, workers int, placement bool) error {
-	if devices < 4 || devices%4 != 0 {
-		return fmt.Errorf("-devices must be a positive multiple of 4, got %d", devices)
-	}
-	policy, err := coordinator.PolicyByName(policyName)
+// runReport renders the per-job phase breakdown of a recorded trace and
+// cross-checks the span totals against the embedded metrics; a
+// reconciliation mismatch is a non-zero exit.
+func runReport(path string) error {
+	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
 	}
-	opts := coordinator.Options{DefragMaxSec: defragMax, Policy: policy, Workers: workers, Placement: placement}
-	switch mode {
+	t, err := obs.ReadTrace(data)
+	if err != nil {
+		return err
+	}
+	fmt.Print(t.RenderReport())
+	if len(t.Metrics) > 0 {
+		if fails := t.Reconcile(); len(fails) > 0 {
+			return fmt.Errorf("trace does not reconcile with its metrics (%d mismatches)", len(fails))
+		}
+	}
+	return nil
+}
+
+// simArgs bundles the sim subcommand's flags.
+type simArgs struct {
+	devices, jobs     int
+	seed              int64
+	failStr           string
+	defragMax         float64
+	policy, mode      string
+	workers           int
+	placement         bool
+	trace, traceLevel string
+	flight            string
+	flightCap         int
+}
+
+// runSim executes a multi-job coordinator simulation and prints the
+// per-job timeline and cluster summary, optionally recording a trace
+// and a flight-recorder dump.
+func runSim(a simArgs) error {
+	if a.devices < 4 || a.devices%4 != 0 {
+		return fmt.Errorf("-devices must be a positive multiple of 4, got %d", a.devices)
+	}
+	policy, err := coordinator.PolicyByName(a.policy)
+	if err != nil {
+		return err
+	}
+	opts := coordinator.Options{DefragMaxSec: a.defragMax, Policy: policy, Workers: a.workers, Placement: a.placement}
+	switch a.mode {
 	case "", "sim":
 	case "wall":
 		opts.Mode = coordinator.ModeWall
 	default:
-		return fmt.Errorf("-mode must be sim or wall, got %q", mode)
+		return fmt.Errorf("-mode must be sim or wall, got %q", a.mode)
 	}
-	topo, specs, failures := experiments.MultiJobScenario(devices, jobs, seed)
+	if a.trace != "" || a.flight != "" {
+		var level obs.Level
+		switch a.traceLevel {
+		case "phases":
+			level = obs.LevelPhases
+		case "", "datapath":
+			level = obs.LevelDatapath
+		default:
+			return fmt.Errorf("-trace-level must be phases or datapath, got %q", a.traceLevel)
+		}
+		cap := 0
+		if a.flight != "" {
+			cap = a.flightCap
+		}
+		// Sim mode records deterministically: wall-clock fields are
+		// stripped, so the trace bytes depend only on the schedule.
+		opts.Obs = obs.New(obs.Options{Det: opts.Mode == coordinator.ModeSim, Level: level, FlightCap: cap})
+	}
+	topo, specs, failures := experiments.MultiJobScenario(a.devices, a.jobs, a.seed)
 	// Priority classes rotate deterministically so the priority policy
 	// has classes to arbitrate; fifo and drf ignore the field.
 	specs = experiments.PolicyPriorities(specs)
-	if failStr != "" {
-		if failures, err = parseFailures(failStr, devices); err != nil {
+	if a.failStr != "" {
+		if failures, err = parseFailures(a.failStr, a.devices); err != nil {
 			return err
 		}
 	}
@@ -143,12 +214,12 @@ func runSim(devices, jobs int, seed int64, failStr string, defragMax float64, po
 	if err != nil {
 		return err
 	}
-	fmt.Printf("cluster %s: %d jobs, seed %d\n", topo.Name, len(specs), seed)
+	fmt.Printf("cluster %s: %d jobs, seed %d\n", topo.Name, len(specs), a.seed)
 	// The default invocation's output stays byte-identical across the
 	// runtime rewrite (the committed golden trace pins it); non-default
 	// runtimes announce themselves.
-	if res.Policy != "fifo" || mode == "wall" || placement {
-		fmt.Printf("policy %s, mode %s, placement %v, %.1f ms wall\n", res.Policy, mode, placement, float64(res.WallNs)/1e6)
+	if res.Policy != "fifo" || a.mode == "wall" || a.placement {
+		fmt.Printf("policy %s, mode %s, placement %v, %.1f ms wall\n", res.Policy, a.mode, a.placement, float64(res.WallNs)/1e6)
 	}
 	for _, e := range res.Timeline {
 		fmt.Println(e)
@@ -166,6 +237,36 @@ func runSim(devices, jobs int, seed int64, failStr string, defragMax float64, po
 	}
 	fmt.Printf("\nmakespan %.1f min, mean utilization %.2f, aggregate reconfig %.3f s, %d plans validated, %d invariant sweeps\n",
 		res.MakespanMin, res.MeanUtilization, res.ReconfigSecTotal, res.PlansValidated, res.InvariantChecks)
+	if a.trace != "" {
+		f, err := os.Create(a.trace)
+		if err != nil {
+			return err
+		}
+		tr := opts.Obs.Export()
+		if err := tr.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("trace: %d spans, %d metrics -> %s\n", len(tr.Spans), len(tr.Metrics), a.trace)
+	}
+	if a.flight != "" {
+		f, err := os.Create(a.flight)
+		if err != nil {
+			return err
+		}
+		fr := opts.Obs.FlightRecorder()
+		if err := fr.WriteJSONL(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("flight: %d spans dropped by ring cap %d -> %s\n", fr.Dropped(), a.flightCap, a.flight)
+	}
 	return nil
 }
 

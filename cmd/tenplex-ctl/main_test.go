@@ -49,27 +49,68 @@ func TestParseFailures(t *testing.T) {
 // TestRunSim smoke-tests the coordinator front-end end to end on a
 // small deterministic workload, across policies and runtime modes.
 func TestRunSim(t *testing.T) {
-	if err := runSim(8, 3, 1, "30:1", 0, "fifo", "sim", 0, false); err != nil {
+	base := simArgs{devices: 8, jobs: 3, seed: 1}
+	withFail := base
+	withFail.failStr = "30:1"
+	if err := runSim(withFail); err != nil {
 		t.Fatal(err)
 	}
 	for _, policy := range []string{"drf", "priority"} {
-		if err := runSim(8, 3, 1, "", 0, policy, "sim", 4, false); err != nil {
+		a := base
+		a.policy, a.workers = policy, 4
+		if err := runSim(a); err != nil {
 			t.Fatalf("policy %s: %v", policy, err)
 		}
 	}
-	if err := runSim(8, 3, 1, "", 0, "fifo", "wall", 4, false); err != nil {
+	wall := base
+	wall.policy, wall.mode, wall.workers = "fifo", "wall", 4
+	if err := runSim(wall); err != nil {
 		t.Fatalf("wall mode: %v", err)
 	}
-	if err := runSim(8, 3, 1, "", 0, "fifo", "sim", 0, true); err != nil {
+	placed := base
+	placed.policy, placed.placement = "fifo", true
+	if err := runSim(placed); err != nil {
 		t.Fatalf("placement mode: %v", err)
 	}
-	if err := runSim(7, 3, 1, "", 0, "fifo", "sim", 0, false); err == nil {
+	bad := base
+	bad.devices, bad.policy = 7, "fifo"
+	if err := runSim(bad); err == nil {
 		t.Fatal("non-multiple-of-4 device count accepted")
 	}
-	if err := runSim(8, 3, 1, "", 0, "lottery", "sim", 0, false); err == nil {
+	lottery := base
+	lottery.policy = "lottery"
+	if err := runSim(lottery); err == nil {
 		t.Fatal("unknown policy accepted")
 	}
-	if err := runSim(8, 3, 1, "", 0, "fifo", "warp", 0, false); err == nil {
+	warp := base
+	warp.policy, warp.mode = "fifo", "warp"
+	if err := runSim(warp); err == nil {
 		t.Fatal("unknown mode accepted")
+	}
+}
+
+// TestRunSimTraced records a trace and a flight dump on a small
+// workload and feeds both through the report path.
+func TestRunSimTraced(t *testing.T) {
+	dir := t.TempDir()
+	a := simArgs{devices: 8, jobs: 3, seed: 1, policy: "fifo",
+		trace: dir + "/trace.json", traceLevel: "datapath",
+		flight: dir + "/flight.jsonl", flightCap: 64}
+	if err := runSim(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := runReport(a.trace); err != nil {
+		t.Fatalf("report on trace: %v", err)
+	}
+	if err := runReport(a.flight); err != nil {
+		t.Fatalf("report on flight dump: %v", err)
+	}
+	if err := runReport(dir + "/nope.json"); err == nil {
+		t.Fatal("report on a missing file succeeded")
+	}
+	badLevel := a
+	badLevel.traceLevel = "verbose"
+	if err := runSim(badLevel); err == nil {
+		t.Fatal("unknown trace level accepted")
 	}
 }

@@ -43,6 +43,7 @@ import (
 	"tenplex/internal/cluster"
 	"tenplex/internal/core"
 	"tenplex/internal/model"
+	"tenplex/internal/obs"
 	"tenplex/internal/parallel"
 	"tenplex/internal/perfmodel"
 	"tenplex/internal/sched"
@@ -160,6 +161,14 @@ type Options struct {
 	// Recovery tunes transactional reconfiguration and graceful
 	// degradation; the zero value is the legacy fail-fast coordinator.
 	Recovery RecoveryPolicy
+	// Obs, when non-nil, records an end-to-end trace of the run —
+	// decision-plane events, per-change execution phases and (at
+	// LevelDatapath) per-assignment and per-store-operation detail —
+	// plus a shared metrics registry mirroring the coordinator's
+	// accounting. nil disables observability entirely: the hot paths
+	// see only nil-receiver no-ops and the run's behavior, timeline and
+	// Result are byte-identical to a run without the field.
+	Obs *obs.Tracer
 }
 
 // RecoveryPolicy governs how the coordinator survives failing
@@ -241,21 +250,24 @@ const (
 	EvRequeue     = "requeue"
 )
 
-// TimelineEvent is one entry of the per-job cluster timeline.
+// TimelineEvent is one entry of the per-job cluster timeline. The JSON
+// encoding is stable: field names are fixed tags and Kind is always one
+// of the Ev* constants, so timelines can be exported, diffed and read
+// back across versions.
 type TimelineEvent struct {
-	TimeMin float64
-	Job     string
-	Kind    string
+	TimeMin float64 `json:"time_min"`
+	Job     string  `json:"job,omitempty"`
+	Kind    string  `json:"kind"`
 	// GPUs is the job's lease size after the event.
-	GPUs int
+	GPUs int `json:"gpus,omitempty"`
 	// Config is the job's (T, P, D) after the event, when placed.
-	Config string
+	Config string `json:"config,omitempty"`
 	// SimSec is the netsim-priced reconfiguration time charged as
 	// downtime for this event.
-	SimSec float64
+	SimSec float64 `json:"sim_sec,omitempty"`
 	// MovedBytes crossed a device boundary during the change.
-	MovedBytes int64
-	Note       string
+	MovedBytes int64  `json:"moved_bytes,omitempty"`
+	Note       string `json:"note,omitempty"`
 }
 
 func (e TimelineEvent) String() string {
@@ -450,6 +462,10 @@ type pendingChange struct {
 	ver    int
 	tlIdx  int // timeline placeholder index
 	ch     *change
+	// spanID/tMin are the change's trace root, allocated at decision
+	// time so the span sequence is pure decision-plane state.
+	spanID uint64
+	tMin   float64
 	// out is the transactional commit's outcome, stored by the job's
 	// chain and read by the event loop (hence atomic): attempt count for
 	// downtime accounting, or an abort flush turns into a requeue.
@@ -491,6 +507,10 @@ type sim struct {
 	requeues    int
 	retryBytes  int64
 	recoverySec float64
+
+	// tr/reg are Options.Obs and its registry (both nil when off).
+	tr  *obs.Tracer
+	reg *obs.Registry
 }
 
 // Run executes a coordinator run: the jobs arrive, compete for the
@@ -535,6 +555,8 @@ func Run(topo *cluster.Topology, specs []JobSpec, failures []FailureSpec, opts O
 		cache:       perfmodel.NewCache(),
 		jobs:        map[string]*simJob{},
 		quarantined: map[cluster.DeviceID]bool{},
+		tr:          opts.Obs,
+		reg:         opts.Obs.Metrics(),
 	}
 	if opts.Workers > 1 {
 		s.pool = newPool(opts.Workers)
@@ -554,6 +576,7 @@ func Run(topo *cluster.Topology, specs []JobSpec, failures []FailureSpec, opts O
 			idx:  i,
 			rt:   newJobRuntime(spec.Name, spec.Model, topo),
 		}
+		j.rt.metrics = s.reg
 		s.jobs[spec.Name] = j
 		s.order = append(s.order, spec.Name)
 		s.push(event{time: spec.ArrivalMin, kind: evArrival, job: spec.Name})
@@ -592,6 +615,13 @@ func Run(topo *cluster.Topology, specs []JobSpec, failures []FailureSpec, opts O
 			s.push(event{time: ld.StartMin + ld.DurationMin, kind: evLinkRestore, worker: ld.Worker})
 		}
 	}
+	if opts.Obs.Deep() {
+		// Datapath tracing wraps outside any chaos wrapper, so injected
+		// faults show up as the failed store operations they are.
+		for _, j := range s.jobs {
+			j.rt.observeStores()
+		}
+	}
 
 	start := time.Now()
 	for s.evq.Len() > 0 {
@@ -612,6 +642,10 @@ func Run(topo *cluster.Topology, specs []JobSpec, failures []FailureSpec, opts O
 			}
 		}
 		s.advance(e.time)
+		if s.tr.Enabled() {
+			s.traceDecision(e)
+			s.reg.Add("coord.events", 1)
+		}
 		var err error
 		switch e.kind {
 		case evArrival:
@@ -809,6 +843,7 @@ func (s *sim) flush() error {
 				return fmt.Errorf("coordinator: change for %s has no plan", p.j.spec.Name)
 			}
 			if p.j.state != jobRunning {
+				s.traceSuperseded(p)
 				continue // superseded by a requeue earlier in the batch
 			}
 			out := p.out.Load()
@@ -817,7 +852,7 @@ func (s *sim) flush() error {
 				// planned cost now; a late abort is resolved at the next
 				// flush, staled by the requeue's version bump.
 				s.inflight = append(s.inflight, p)
-				s.charge(p, ch, 1)
+				s.charge(p, ch, nil)
 				continue
 			}
 			if out.aborted {
@@ -825,7 +860,7 @@ func (s *sim) flush() error {
 				s.degrade(p, ch, out)
 				continue
 			}
-			s.charge(p, ch, out.attempts)
+			s.charge(p, ch, out)
 		}
 		if degraded {
 			// Freed capacity (and the requeued jobs themselves) go back
@@ -843,9 +878,15 @@ func (s *sim) flush() error {
 // charge books one committed change against its job: the netsim-priced
 // transform once per attempt plus the policy's backoff waits. With a
 // single attempt the arithmetic is exactly ch.simSec and the timeline
-// note is untouched — the legacy path, byte for byte.
-func (s *sim) charge(p *pendingChange, ch *change, attempts int) {
+// note is untouched — the legacy path, byte for byte. out is nil only
+// for a wall-mode optimistic charge (one attempt assumed; resolveInflight
+// settles the rest later).
+func (s *sim) charge(p *pendingChange, ch *change, out *commitOutcome) {
 	j := p.j
+	attempts := 1
+	if out != nil {
+		attempts = out.attempts
+	}
 	down := ch.simSec
 	if attempts > 1 {
 		down = float64(attempts)*ch.simSec + s.opts.Recovery.totalBackoffSec(attempts)
@@ -863,6 +904,24 @@ func (s *sim) charge(p *pendingChange, ch *change, attempts int) {
 	s.pushReserved(event{time: j.complAt, kind: evComplete, job: j.spec.Name, ver: p.ver}, p.seq)
 	s.timeline[p.tlIdx].SimSec = down
 	s.timeline[p.tlIdx].MovedBytes = ch.stats.MovedBytes
+	if s.reg != nil {
+		// Mirrors of the accumulations above, written only here on the
+		// event loop in decision order — the float gauge therefore sums
+		// in exactly the order j.reconfigSec did, which is what lets
+		// report.Reconcile demand bit-exact equality.
+		name := j.spec.Name
+		s.reg.AddFloat("job."+name+".reconfig_sec", down)
+		s.reg.Add("job."+name+".moved_bytes", ch.stats.MovedBytes)
+		s.reg.AddFloat("coord.reconfig_sec", down)
+		s.reg.Add("coord.moved_bytes", ch.stats.MovedBytes)
+		if attempts > 1 {
+			s.reg.Add("job."+name+".retries", int64(attempts-1))
+			s.reg.Add("coord.retries", int64(attempts-1))
+			s.reg.Add("coord.retry_bytes", int64(attempts-1)*ch.stats.MovedBytes)
+			s.reg.AddFloat("coord.recovery_sec", down-ch.simSec)
+		}
+	}
+	s.traceChange(p, ch, attempts, down, out)
 }
 
 // degrade handles an aborted change: the chain rolled the runtime back
@@ -881,6 +940,18 @@ func (s *sim) degrade(p *pendingChange, ch *change, out *commitOutcome) {
 	s.timeline[p.tlIdx].SimSec = wasted
 	s.timeline[p.tlIdx].Note = appendNote(s.timeline[p.tlIdx].Note,
 		fmt.Sprintf("aborted after %d attempts, rolled back to checkpoint", out.attempts))
+	if s.reg != nil {
+		name := j.spec.Name
+		s.reg.AddFloat("job."+name+".reconfig_sec", wasted)
+		s.reg.AddFloat("coord.reconfig_sec", wasted)
+		s.reg.AddFloat("coord.recovery_sec", wasted)
+		if out.attempts > 1 {
+			s.reg.Add("job."+name+".retries", int64(out.attempts-1))
+			s.reg.Add("coord.retries", int64(out.attempts-1))
+			s.reg.Add("coord.retry_bytes", int64(out.attempts-1)*ch.stats.MovedBytes)
+		}
+	}
+	s.traceChange(p, ch, out.attempts, wasted, out)
 	s.requeueJob(j)
 }
 
@@ -896,6 +967,7 @@ func (s *sim) requeueJob(j *simJob) {
 	j.ver++
 	j.requeues++
 	s.requeues++
+	s.reg.Add("coord.requeues", 1)
 	if max := s.opts.Recovery.MaxRequeues; max > 0 && j.requeues > max {
 		j.state = jobLost
 		j.doneMin = s.now
@@ -928,6 +1000,14 @@ func (s *sim) resolveInflight() error {
 		if out.attempts > 1 {
 			s.retries += out.attempts - 1
 			s.retryBytes += int64(out.attempts-1) * p.ch.stats.MovedBytes
+			if s.reg != nil {
+				s.reg.Add("job."+p.j.spec.Name+".retries", int64(out.attempts-1))
+				s.reg.Add("coord.retries", int64(out.attempts-1))
+				s.reg.Add("coord.retry_bytes", int64(out.attempts-1)*p.ch.stats.MovedBytes)
+			}
+		}
+		if out.attempts > 1 || out.aborted {
+			s.traceLate(p, out)
 		}
 		if out.aborted && p.j.state == jobRunning && p.j.ver == p.ver {
 			degraded = true
@@ -951,6 +1031,155 @@ func appendNote(note, extra string) string {
 		return extra
 	}
 	return note + "; " + extra
+}
+
+// --- trace recording (all on the event loop; see internal/obs) ---
+
+// evName is the stable decision-span suffix for an event kind.
+func evName(k evKind) string {
+	switch k {
+	case evArrival:
+		return "arrival"
+	case evFailure:
+		return "failure"
+	case evComplete:
+		return "complete"
+	case evDevRecover:
+		return "dev-recover"
+	case evSpotNotice:
+		return "spot-notice"
+	case evSpotDeadline:
+		return "spot-deadline"
+	case evLinkDegrade:
+		return "link-degrade"
+	case evLinkRestore:
+		return "link-restore"
+	}
+	return "unknown"
+}
+
+// traceDecision records one decision-plane span per processed event.
+func (s *sim) traceDecision(e event) {
+	var attrs map[string]any
+	switch e.kind {
+	case evFailure, evDevRecover, evSpotNotice, evSpotDeadline:
+		attrs = map[string]any{"dev": int(e.dev)}
+	case evLinkDegrade, evLinkRestore:
+		attrs = map[string]any{"worker": e.worker}
+	}
+	if e.kind == evSpotNotice || e.kind == evLinkDegrade {
+		attrs["factor"] = e.factor
+	}
+	s.tr.Record(obs.Span{ID: s.tr.NewID(), Name: "decision/" + evName(e.kind),
+		Cat: obs.CatDecision, Job: e.job, TMin: e.time, Attrs: attrs})
+}
+
+// traceChange records a finalized change's exec spans: the root
+// reconfiguration span (whose DurSec is exactly the downtime charge, so
+// per-job root sums reconcile bit for bit with the job gauges) plus
+// plan, per-attempt transform, rollback and backoff children laid out
+// along the simulated clock. out is nil for a wall-mode optimistic
+// charge — the transform is still in flight, so only its first attempt
+// is drawn here and traceLate supplements the rest.
+func (s *sim) traceChange(p *pendingChange, ch *change, attempts int, down float64, out *commitOutcome) {
+	if !s.tr.Enabled() {
+		return
+	}
+	j := p.j
+	aborted := out != nil && out.aborted
+	attrs := map[string]any{
+		"gpus":     len(p.alloc),
+		"config":   p.cfg.String(),
+		"attempts": attempts,
+		"sim_sec":  ch.simSec,
+	}
+	if aborted {
+		attrs["aborted"] = true
+		attrs["moved_bytes_attempted"] = ch.stats.MovedBytes
+	} else {
+		attrs["moved_bytes"] = ch.stats.MovedBytes
+	}
+	wallNs := ch.planNs
+	if out != nil {
+		// The outcome publication (p.out) is the barrier that makes the
+		// chain's applyNs writes visible.
+		wallNs += ch.applyNs
+	}
+	s.tr.Record(obs.Span{ID: p.spanID, Name: obs.ReconfigPrefix + s.timeline[p.tlIdx].Kind,
+		Cat: obs.CatExec, Job: j.spec.Name, TMin: p.tMin, DurSec: down, WallNs: wallNs, Attrs: attrs})
+	s.tr.Record(obs.Span{ID: s.tr.NewID(), Parent: p.spanID, Name: obs.SpanPlan,
+		Cat: obs.CatExec, Job: j.spec.Name, TMin: p.tMin, WallNs: ch.planNs,
+		Attrs: map[string]any{"assignments": ch.stats.Assignments}})
+	cursor := p.tMin
+	for i := 1; i <= attempts; i++ {
+		failed := aborted || i < attempts
+		s.tr.Record(obs.Span{ID: s.tr.NewID(), Parent: p.spanID, Name: obs.SpanTransform,
+			Cat: obs.CatExec, Job: j.spec.Name, TMin: cursor, DurSec: ch.simSec,
+			Attrs: attemptAttrs(i, failed)})
+		cursor += ch.simSec / 60
+		if failed {
+			s.tr.Record(obs.Span{ID: s.tr.NewID(), Parent: p.spanID, Name: obs.SpanRollback,
+				Cat: obs.CatExec, Job: j.spec.Name, TMin: cursor})
+		}
+		if i < attempts {
+			if b := s.opts.Recovery.backoffSec(i); b > 0 {
+				s.tr.Record(obs.Span{ID: s.tr.NewID(), Parent: p.spanID, Name: obs.SpanBackoff,
+					Cat: obs.CatExec, Job: j.spec.Name, TMin: cursor, DurSec: b})
+				cursor += b / 60
+			}
+		}
+	}
+}
+
+func attemptAttrs(i int, failed bool) map[string]any {
+	a := map[string]any{"attempt": i}
+	if failed {
+		a["failed"] = true
+	}
+	return a
+}
+
+// traceLate supplements a wall-mode change whose outcome landed after
+// its optimistic charge: the extra attempts (and their rollbacks and
+// backoffs) are drawn so the trace's retry count still matches the
+// coordinator's.
+func (s *sim) traceLate(p *pendingChange, out *commitOutcome) {
+	if !s.tr.Enabled() {
+		return
+	}
+	ch := p.ch
+	j := p.j
+	cursor := p.tMin + ch.simSec/60
+	for i := 2; i <= out.attempts; i++ {
+		s.tr.Record(obs.Span{ID: s.tr.NewID(), Parent: p.spanID, Name: obs.SpanRollback,
+			Cat: obs.CatExec, Job: j.spec.Name, TMin: cursor})
+		if b := s.opts.Recovery.backoffSec(i - 1); b > 0 {
+			s.tr.Record(obs.Span{ID: s.tr.NewID(), Parent: p.spanID, Name: obs.SpanBackoff,
+				Cat: obs.CatExec, Job: j.spec.Name, TMin: cursor, DurSec: b})
+			cursor += b / 60
+		}
+		failed := out.aborted || i < out.attempts
+		s.tr.Record(obs.Span{ID: s.tr.NewID(), Parent: p.spanID, Name: obs.SpanTransform,
+			Cat: obs.CatExec, Job: j.spec.Name, TMin: cursor, DurSec: ch.simSec,
+			Attrs: attemptAttrs(i, failed)})
+		cursor += ch.simSec / 60
+	}
+	if out.aborted {
+		s.tr.Record(obs.Span{ID: s.tr.NewID(), Parent: p.spanID, Name: obs.SpanRollback,
+			Cat: obs.CatExec, Job: j.spec.Name, TMin: cursor})
+	}
+}
+
+// traceSuperseded closes the root span of a decided change that was
+// never charged (its job was requeued earlier in the same batch), so
+// datapath spans already recorded under it never dangle.
+func (s *sim) traceSuperseded(p *pendingChange) {
+	if !s.tr.Enabled() {
+		return
+	}
+	s.tr.Record(obs.Span{ID: p.spanID, Name: obs.ReconfigPrefix + s.timeline[p.tlIdx].Kind,
+		Cat: obs.CatExec, Job: p.j.spec.Name, TMin: p.tMin,
+		Attrs: map[string]any{"superseded": true}})
 }
 
 // --- policy views ---
@@ -1109,7 +1338,24 @@ func (s *sim) onComplete(name string) error {
 	// still errors out, but the timeline returned alongside that error
 	// may already hold this completion event (on-error timelines are
 	// provisional; only an error-free Run vouches for them).
-	if err := s.submit(name, func() error { return rt.verifyState(*init) }); err != nil {
+	tr, vID, vTMin, resizes := s.tr, s.tr.NewID(), s.now, j.resizes
+	if err := s.submit(name, func() error {
+		if tr.Enabled() {
+			rt.obsScope.Set(obs.TaskCtx{T: tr, Parent: vID, Job: rt.name, TMin: vTMin})
+		}
+		vStart := time.Now()
+		err := rt.verifyState(*init)
+		if tr.Enabled() {
+			attrs := map[string]any{"resizes": resizes}
+			if err != nil {
+				attrs["err"] = err.Error()
+			}
+			tr.Record(obs.Span{ID: vID, Name: obs.SpanVerify, Cat: obs.CatExec,
+				Job: rt.name, TMin: vTMin, WallNs: time.Since(vStart).Nanoseconds(),
+				Attrs: attrs})
+		}
+		return err
+	}); err != nil {
 		return err
 	}
 	s.record(TimelineEvent{TimeMin: s.now, Job: name, Kind: EvComplete,
@@ -1193,6 +1439,7 @@ func (s *sim) onDevRecover(dev cluster.DeviceID) error {
 	if th := s.opts.Recovery.SuspicionThreshold; th > 0 && s.ledger.Suspicion(dev) >= th {
 		if !s.quarantined[dev] {
 			s.quarantined[dev] = true
+			s.reg.Add("coord.quarantined_devices", 1)
 			s.record(TimelineEvent{TimeMin: s.now, Kind: EvQuarantine,
 				Note: fmt.Sprintf("device %d quarantined after %d failures", dev, s.ledger.Suspicion(dev))})
 		}
@@ -1354,15 +1601,20 @@ func (s *sim) admitQueued() error {
 			}
 			j.complAt = s.now + rem
 			s.plans++
+			s.reg.Add("coord.plans", 1)
 			p := &pendingChange{j: j, cfg: cfg, alloc: j.alloc,
-				seq: s.reserveSeq(), ver: j.ver, tlIdx: len(s.timeline)}
+				seq: s.reserveSeq(), ver: j.ver, tlIdx: len(s.timeline),
+				spanID: s.tr.NewID(), tMin: s.now}
 			s.dequeue(name)
 			s.record(TimelineEvent{TimeMin: s.now, Job: name, Kind: EvAdmit,
 				GPUs: n, Config: cfg.String(),
 				Note: fmt.Sprintf("re-admitted from checkpoint, %.1f min remaining", rem)})
 			s.pending = append(s.pending, p)
-			rt := j.rt
+			rt, tr := j.rt, s.tr
 			if err := s.submit(name, func() error {
+				if tr.Enabled() {
+					rt.obsScope.Set(obs.TaskCtx{T: tr, Parent: p.spanID, Job: rt.name, TMin: p.tMin})
+				}
 				ch, err := rt.planRestore(p.cfg, p.alloc)
 				if err != nil {
 					return err
@@ -1388,11 +1640,26 @@ func (s *sim) admitQueued() error {
 		// all on the job's chain.
 		rt, spec := j.rt, j.spec
 		alloc := j.alloc
+		tr, depID, depTMin := s.tr, s.tr.NewID(), s.now
 		if err := s.submit(name, func() error {
+			if tr.Enabled() {
+				rt.obsScope.Set(obs.TaskCtx{T: tr, Parent: depID, Job: rt.name, TMin: depTMin})
+			}
 			if j.init == nil {
 				j.init = initState(spec.Model, spec.Seed)
 			}
-			return rt.deploy(cfg, alloc, j.init)
+			depStart := time.Now()
+			err := rt.deploy(cfg, alloc, j.init)
+			if tr.Enabled() {
+				attrs := map[string]any{"gpus": len(alloc), "config": cfg.String()}
+				if err != nil {
+					attrs["err"] = err.Error()
+				}
+				tr.Record(obs.Span{ID: depID, Name: obs.SpanDeploy, Cat: obs.CatExec,
+					Job: rt.name, TMin: depTMin, WallNs: time.Since(depStart).Nanoseconds(),
+					Attrs: attrs})
+			}
+			return err
 		}); err != nil {
 			return err
 		}
@@ -1475,6 +1742,7 @@ func (s *sim) reclaimFor(j *simJob, target int) (bool, error) {
 		alloc := append(cluster.Allocation(nil), victim.alloc[:n]...)
 		note := fmt.Sprintf("preempted for %s", j.spec.Name)
 		s.preemptions++
+		s.reg.Add("coord.preemptions", 1)
 		if err := s.applyChange(victim, s.shrinkConfig(victim, est, alloc), alloc, nil, EvScaleIn, note); err != nil {
 			return false, err
 		}
@@ -1607,6 +1875,7 @@ func (s *sim) defragJobs() error {
 			return err
 		}
 		s.plans++
+		s.reg.Add("coord.plans", 1)
 		if ch.simSec > s.opts.DefragMaxSec {
 			continue
 		}
@@ -1658,6 +1927,7 @@ func (s *sim) pickCompact(job string, n int) ([]cluster.DeviceID, bool) {
 func (s *sim) applyChange(j *simJob, cfg parallel.Config, alloc cluster.Allocation,
 	failed []cluster.DeviceID, kind, note string) error {
 	s.plans++
+	s.reg.Add("coord.plans", 1)
 	p, err := s.decideChange(j, cfg, alloc, kind, note)
 	if err != nil {
 		return err
@@ -1692,6 +1962,9 @@ func (s *sim) applyChange(j *simJob, cfg parallel.Config, alloc cluster.Allocati
 // The chaos attempt key derives from the change's reserved sequence
 // number, decision-plane state that is identical at any worker count.
 func (s *sim) runCommit(rt *jobRuntime, p *pendingChange, ch *change) error {
+	if s.tr.Enabled() {
+		rt.obsScope.Set(obs.TaskCtx{T: s.tr, Parent: p.spanID, Job: rt.name, TMin: p.tMin})
+	}
 	out := rt.commitRetry(ch, s.inj, s.opts.Recovery, uint64(p.seq)<<8)
 	p.out.Store(&out)
 	if out.err != nil && !out.aborted {
@@ -1751,12 +2024,14 @@ func (s *sim) decideChange(j *simJob, cfg parallel.Config, alloc cluster.Allocat
 	j.resizes++
 	j.ver++
 	p := &pendingChange{
-		j:     j,
-		cfg:   cfg,
-		alloc: j.alloc,
-		seq:   s.reserveSeq(),
-		ver:   j.ver,
-		tlIdx: len(s.timeline),
+		j:      j,
+		cfg:    cfg,
+		alloc:  j.alloc,
+		seq:    s.reserveSeq(),
+		ver:    j.ver,
+		tlIdx:  len(s.timeline),
+		spanID: s.tr.NewID(),
+		tMin:   s.now,
 	}
 	s.record(TimelineEvent{TimeMin: s.now, Job: name, Kind: kind,
 		GPUs: len(alloc), Config: cfg.String(), Note: note})
@@ -1864,6 +2139,10 @@ func (s *sim) result(start time.Time) Result {
 	}
 	if s.now > 0 {
 		res.MeanUtilization = s.utilIntegral / (float64(s.topo.NumDevices()) * s.now)
+	}
+	if s.reg != nil {
+		s.reg.Gauge("coord.makespan_min").Set(res.MakespanMin)
+		s.reg.Gauge("coord.mean_utilization").Set(res.MeanUtilization)
 	}
 	for _, name := range s.order {
 		j := s.jobs[name]

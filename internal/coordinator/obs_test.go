@@ -1,0 +1,276 @@
+package coordinator_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"tenplex/internal/coordinator"
+	"tenplex/internal/experiments"
+	"tenplex/internal/obs"
+)
+
+// The obs suite pins the observability contract from internal/obs: a
+// sim-mode trace is a pure function of the scenario (bit-identical at
+// any worker count), enabling tracing never perturbs scheduling, and
+// every exported trace reconciles EXACTLY — not approximately — with
+// the run's own metrics block.
+
+// tracedRun executes the canonical 32-device/12-job FIFO scenario with
+// a deterministic tracer and returns the result plus the exported
+// trace bytes.
+func tracedRun(t *testing.T, workers int, level obs.Level) (coordinator.Result, []byte) {
+	t.Helper()
+	topo, specs, failures := experiments.MultiJobScenario(32, 12, experiments.MultiJobSeed)
+	tr := obs.New(obs.Options{Det: true, Level: level})
+	res, err := coordinator.Run(topo, specs, failures, coordinator.Options{
+		Workers: workers,
+		Obs:     tr,
+	})
+	if err != nil {
+		t.Fatalf("traced run (workers=%d): %v", workers, err)
+	}
+	var buf bytes.Buffer
+	if err := tr.Export().WriteJSON(&buf); err != nil {
+		t.Fatalf("export (workers=%d): %v", workers, err)
+	}
+	return res, buf.Bytes()
+}
+
+// TestObsTraceDeterministicAcrossWorkers: the exported trace JSON must
+// be byte-identical whether the execution plane is serialized, sized to
+// GOMAXPROCS, or oversized. Span IDs come only from the decision plane
+// and export order is canonical, so the bytes depend on the scenario
+// alone.
+func TestObsTraceDeterministicAcrossWorkers(t *testing.T) {
+	var base []byte
+	for _, workers := range []int{1, 0, 16} {
+		_, data := tracedRun(t, workers, obs.LevelDatapath)
+		if base == nil {
+			base = data
+			if err := obs.ValidateTraceJSON(data); err != nil {
+				t.Fatalf("exported trace fails validation: %v", err)
+			}
+		} else if !bytes.Equal(data, base) {
+			t.Fatalf("workers=%d: trace bytes diverged from the workers=1 export", workers)
+		}
+	}
+}
+
+// TestObsTracingDoesNotPerturbSchedule: a traced run must render the
+// exact same result as the committed golden baseline — observation is
+// read-only with respect to every scheduling decision.
+func TestObsTracingDoesNotPerturbSchedule(t *testing.T) {
+	res, _ := tracedRun(t, 0, obs.LevelDatapath)
+	want, err := os.ReadFile(filepath.Join("testdata", "multijob_fifo_32x12.golden"))
+	if err != nil {
+		t.Fatalf("missing golden fixture: %v", err)
+	}
+	if res.Render() != string(want) {
+		t.Fatal("enabling tracing changed the rendered result")
+	}
+}
+
+// TestObsReconcilesExactly: per-job span totals in the exported trace
+// must equal the coordinator's own Result accounting bit-for-bit —
+// float equality for reconfiguration seconds, integer equality for
+// moved bytes and retries. Sim mode admits no tolerance.
+func TestObsReconcilesExactly(t *testing.T) {
+	res, data := tracedRun(t, 0, obs.LevelDatapath)
+	trace, err := obs.ReadTrace(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms := trace.Reconcile(); len(ms) != 0 {
+		t.Fatalf("trace does not reconcile with its metrics:\n%v", ms)
+	}
+	rows := trace.PhaseBreakdown()
+	byJob := make(map[string]obs.PhaseRow, len(rows))
+	var spanRetries int64
+	for _, r := range rows {
+		byJob[r.Job] = r
+		spanRetries += r.Retries
+	}
+	for _, j := range res.Jobs {
+		r, ok := byJob[j.Name]
+		if !ok {
+			if j.ReconfigSec != 0 || j.MovedBytes != 0 {
+				t.Fatalf("job %s has reconfig accounting but no spans", j.Name)
+			}
+			continue
+		}
+		if r.ReconfigS != j.ReconfigSec {
+			t.Fatalf("job %s: span reconfig %.9f != result %.9f", j.Name, r.ReconfigS, j.ReconfigSec)
+		}
+		if r.MovedBytes != j.MovedBytes {
+			t.Fatalf("job %s: span moved_bytes %d != result %d", j.Name, r.MovedBytes, j.MovedBytes)
+		}
+	}
+	if spanRetries != int64(res.Retries) {
+		t.Fatalf("span-derived retries %d != result retries %d", spanRetries, res.Retries)
+	}
+	if trace.RenderReport() == "" {
+		t.Fatal("empty report")
+	}
+}
+
+// TestObsChaosTraceDeterministicAndReconciles: under the hostile
+// fixture, phase-level traces stay bit-identical across worker counts
+// and still reconcile exactly — the retry/rollback/backoff accounting
+// is part of the determinism contract. (Datapath detail inside
+// chaos-aborted attempts is schedule-dependent by design; see the
+// internal/obs package doc.)
+func TestObsChaosTraceDeterministicAndReconciles(t *testing.T) {
+	var base []byte
+	var res coordinator.Result
+	for _, workers := range []int{1, 0, 16} {
+		topo, specs, failures := experiments.MultiJobScenario(32, 12, experiments.MultiJobSeed)
+		tr := obs.New(obs.Options{Det: true, Level: obs.LevelPhases})
+		r, err := coordinator.Run(topo, specs, failures, coordinator.Options{
+			Workers:  workers,
+			Chaos:    hostilePlan(7),
+			Recovery: hostileRecovery(),
+			Obs:      tr,
+		})
+		if err != nil {
+			t.Fatalf("hostile traced run (workers=%d): %v", workers, err)
+		}
+		var buf bytes.Buffer
+		if err := tr.Export().WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if base == nil {
+			base, res = buf.Bytes(), r
+		} else if !bytes.Equal(buf.Bytes(), base) {
+			t.Fatalf("workers=%d: hostile trace bytes diverged", workers)
+		}
+	}
+	if res.Retries == 0 {
+		t.Fatal("hostile fixture injected no retries; the recovery paths went untested")
+	}
+	trace, err := obs.ReadTrace(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms := trace.Reconcile(); len(ms) != 0 {
+		t.Fatalf("hostile trace does not reconcile:\n%v", ms)
+	}
+	if err := obs.ValidateTraceJSON(base); err != nil {
+		t.Fatalf("hostile trace fails validation: %v", err)
+	}
+}
+
+// TestObsWallModeTraced: wall mode charges optimistically and resolves
+// retries/aborts late, so its spans are supplemented after the fact —
+// the exported trace must still validate and reconcile exactly (the
+// sim-priced quantities are mode-independent; only WallNs varies).
+func TestObsWallModeTraced(t *testing.T) {
+	topo, specs, failures := experiments.MultiJobScenario(32, 12, experiments.MultiJobSeed)
+	tr := obs.New(obs.Options{Level: obs.LevelPhases})
+	res, err := coordinator.Run(topo, specs, failures, coordinator.Options{
+		Mode:      coordinator.ModeWall,
+		Workers:   8,
+		WallScale: time.Microsecond,
+		Chaos:     hostilePlan(7),
+		Recovery:  hostileRecovery(),
+		Obs:       tr,
+	})
+	if err != nil {
+		t.Fatalf("wall traced run: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := tr.Export().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.ValidateTraceJSON(buf.Bytes()); err != nil {
+		t.Fatalf("wall trace fails validation: %v", err)
+	}
+	trace, err := obs.ReadTrace(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms := trace.Reconcile(); len(ms) != 0 {
+		t.Fatalf("wall trace does not reconcile:\n%v", ms)
+	}
+	if res.MakespanMin <= 0 {
+		t.Fatal("wall run produced no schedule")
+	}
+}
+
+// TestTimelineEventJSONRoundTrip: the timeline's JSON encoding is part
+// of the trace contract — stable snake_case field names, Ev* kind
+// strings preserved verbatim, and a lossless round trip.
+func TestTimelineEventJSONRoundTrip(t *testing.T) {
+	events := []coordinator.TimelineEvent{
+		{TimeMin: 12.5, Job: "job-1", Kind: coordinator.EvScaleOut, GPUs: 8,
+			Config: "(2,2,2)", SimSec: 3.25, MovedBytes: 1 << 30, Note: "grow"},
+		{TimeMin: 60, Kind: coordinator.EvQuarantine, Note: "dev7 flapping"},
+		{TimeMin: 0, Job: "job-2", Kind: coordinator.EvSubmit, GPUs: 4},
+	}
+	data, err := json.Marshal(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"time_min"`, `"kind"`, `"moved_bytes"`, `"sim_sec"`} {
+		if !bytes.Contains(data, []byte(key)) {
+			t.Fatalf("encoded timeline lacks stable key %s: %s", key, data)
+		}
+	}
+	var back []coordinator.TimelineEvent
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(events) {
+		t.Fatalf("round trip changed length: %d != %d", len(back), len(events))
+	}
+	for i := range events {
+		if back[i] != events[i] {
+			t.Fatalf("event %d round trip mismatch:\n got %+v\nwant %+v", i, back[i], events[i])
+		}
+	}
+	// A run's real timeline must round-trip too, with only known kinds.
+	res, _ := tracedRun(t, 1, obs.LevelPhases)
+	data, err = json.Marshal(res.Timeline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tl []coordinator.TimelineEvent
+	if err := json.Unmarshal(data, &tl); err != nil {
+		t.Fatal(err)
+	}
+	for i := range tl {
+		if tl[i] != res.Timeline[i] {
+			t.Fatalf("timeline[%d] round trip mismatch", i)
+		}
+	}
+}
+
+// Benchmarks back the CI obs-overhead gate: the traced run is compared
+// against the untraced one so a regression in the disabled path (which
+// must stay nil-receiver free) or runaway span volume shows up in the
+// bench smoke.
+func benchmarkMultiJob(b *testing.B, tracer func() *obs.Tracer) {
+	for i := 0; i < b.N; i++ {
+		topo, specs, failures := experiments.MultiJobScenario(32, 12, experiments.MultiJobSeed)
+		_, err := coordinator.Run(topo, specs, failures, coordinator.Options{
+			Workers: 1,
+			Obs:     tracer(),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMultiJobObsOff(b *testing.B) {
+	benchmarkMultiJob(b, func() *obs.Tracer { return nil })
+}
+
+func BenchmarkMultiJobObsOn(b *testing.B) {
+	benchmarkMultiJob(b, func() *obs.Tracer {
+		return obs.New(obs.Options{Det: true, Level: obs.LevelDatapath})
+	})
+}

@@ -2,6 +2,7 @@ package coordinator
 
 import (
 	"fmt"
+	"time"
 
 	"tenplex/internal/chaos"
 	"tenplex/internal/checkpoint"
@@ -9,6 +10,7 @@ import (
 	"tenplex/internal/core"
 	"tenplex/internal/model"
 	"tenplex/internal/netsim"
+	"tenplex/internal/obs"
 	"tenplex/internal/parallel"
 	"tenplex/internal/store"
 	"tenplex/internal/tensor"
@@ -34,6 +36,13 @@ type jobRuntime struct {
 	cfg   parallel.Config
 	alloc cluster.Allocation
 	step  int
+
+	// Observability: the run's metrics registry (nil when off) and the
+	// chain's current task scope — each task the decision plane fans
+	// out installs its parent span here, and the wrapped stores parent
+	// their per-op spans under it.
+	metrics  *obs.Registry
+	obsScope obs.ScopeVar
 }
 
 func newJobRuntime(name string, m *model.Model, topo *cluster.Topology) *jobRuntime {
@@ -56,6 +65,15 @@ func newJobRuntime(name string, m *model.Model, topo *cluster.Topology) *jobRunt
 func (r *jobRuntime) wrapStores(inj *chaos.Injector) {
 	for d, acc := range r.stores {
 		r.stores[d] = inj.WrapAccess(r.name, fmt.Sprintf("dev%d", d), acc)
+	}
+}
+
+// observeStores installs per-operation datapath spans on every device
+// store. It wraps OUTSIDE any chaos wrapper, so injected faults appear
+// in the trace as the failed store operations they manifest as.
+func (r *jobRuntime) observeStores() {
+	for d, acc := range r.stores {
+		r.stores[d] = store.Observe(acc, fmt.Sprintf("dev%d", d), &r.obsScope)
 	}
 }
 
@@ -104,6 +122,13 @@ type change struct {
 	// storageOK marks a recovery plan that may read lost ranges back
 	// from the latest checkpoint.
 	storageOK bool
+	// planNs and applyNs are wall-clock costs of planning and of all
+	// transform/restore attempts, for trace attribution. applyNs is
+	// written by the job's chain and read by the event loop only after
+	// the outcome publication barrier (pendingChange.out), never while
+	// the chain may still be writing.
+	planNs  int64
+	applyNs int64
 }
 
 // planChange computes and prices the reconfiguration onto (cfg, alloc)
@@ -115,6 +140,7 @@ func (r *jobRuntime) planChange(cfg parallel.Config, alloc cluster.Allocation, f
 	if r.ptc == nil {
 		return nil, fmt.Errorf("coordinator: job %s not deployed", r.name)
 	}
+	planStart := time.Now()
 	from := r.ptc
 	storageOK := false
 	if len(failed) > 0 {
@@ -142,6 +168,7 @@ func (r *jobRuntime) planChange(cfg parallel.Config, alloc cluster.Allocation, f
 		stats:     plan.Stats(r.topo),
 		simSec:    netsim.Simulate(r.topo, plan.Flows(r.topo)).Seconds,
 		storageOK: storageOK,
+		planNs:    time.Since(planStart).Nanoseconds(),
 	}, nil
 }
 
@@ -155,7 +182,10 @@ func (r *jobRuntime) commit(ch *change) error { return r.commitAttempt(ch, nil, 
 // that follows — and every rollback/restore — runs disarmed, so the
 // recovery path itself is reliable and degradation stays bounded.
 func (r *jobRuntime) commitAttempt(ch *change, inj *chaos.Injector, key uint64) error {
-	tr := &transform.Transformer{Job: r.name, Stores: r.stores}
+	applyStart := time.Now()
+	defer func() { ch.applyNs += time.Since(applyStart).Nanoseconds() }()
+	tr := &transform.Transformer{Job: r.name, Stores: r.stores,
+		Metrics: r.metrics, Obs: r.obsScope.Get()}
 	if ch.storageOK {
 		if step, err := checkpoint.Latest(r.storage, r.name); err == nil {
 			if rd, err := checkpoint.Open(r.storage, r.name, step); err == nil {
@@ -280,6 +310,8 @@ func (r *jobRuntime) planRestore(cfg parallel.Config, alloc cluster.Allocation) 
 // re-checkpoint at the new layout so the next failure recovers against
 // it. It runs disarmed, so re-admitting a degraded job always lands.
 func (r *jobRuntime) commitRestore(ch *change) error {
+	applyStart := time.Now()
+	defer func() { ch.applyNs += time.Since(applyStart).Nanoseconds() }()
 	for _, acc := range r.stores {
 		_ = acc.Delete(transform.ModelRoot(r.name))
 		_ = acc.Delete(transform.StagingRoot(r.name))

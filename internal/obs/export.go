@@ -1,0 +1,251 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Trace is a canonical exported trace: schema-stamped, spans in the
+// deterministic sort order, metrics flattened. It serializes to a
+// single JSON document that Chrome/Perfetto load directly (the
+// traceEvents view) while keeping the full span records and metrics
+// for tenplex-ctl report and the regression tests.
+type Trace struct {
+	Schema  string      `json:"schema"`
+	Spans   []Span      `json:"spans"`
+	Metrics []MetricRow `json:"metrics,omitempty"`
+}
+
+// traceFile is the on-disk JSON document: Trace plus the Chrome
+// trace-event projection. encoding/json sorts map keys, so the bytes
+// are deterministic for deterministic content.
+type traceFile struct {
+	Schema          string       `json:"schema"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	Spans           []Span       `json:"spans"`
+	Metrics         []MetricRow  `json:"metrics,omitempty"`
+}
+
+// traceEvent is one Chrome trace-event record ("X" complete events
+// plus "M" metadata). Timestamps are microseconds of simulated time
+// (1 sim minute = 60e6 µs).
+type traceEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Ph    string         `json:"ph"`
+	TsUs  float64        `json:"ts"`
+	DurUs float64        `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// WriteJSON writes the trace as Perfetto-loadable JSON. Jobs map to
+// threads (sorted by name, so tids are stable), cluster-level spans to
+// tid 0.
+func (t *Trace) WriteJSON(w io.Writer) error {
+	jobs := map[string]bool{}
+	for _, s := range t.Spans {
+		if s.Job != "" {
+			jobs[s.Job] = true
+		}
+	}
+	names := make([]string, 0, len(jobs))
+	for j := range jobs {
+		names = append(names, j)
+	}
+	sort.Strings(names)
+	tid := map[string]int{}
+	events := []traceEvent{
+		{Name: "process_name", Ph: "M", PID: 1, Args: map[string]any{"name": "tenplex"}},
+		{Name: "thread_name", Ph: "M", PID: 1, TID: 0, Args: map[string]any{"name": "cluster"}},
+	}
+	for i, j := range names {
+		tid[j] = i + 1
+		events = append(events, traceEvent{Name: "thread_name", Ph: "M", PID: 1, TID: i + 1,
+			Args: map[string]any{"name": j}})
+	}
+	for _, s := range t.Spans {
+		ev := traceEvent{
+			Name:  s.Name,
+			Cat:   s.Cat,
+			Ph:    "X",
+			TsUs:  s.TMin * 60e6,
+			DurUs: s.DurSec * 1e6,
+			PID:   1,
+			TID:   tid[s.Job],
+			Args:  s.Attrs,
+		}
+		if s.WallNs > 0 {
+			// Perfetto args must not alias the span's attr map; copy
+			// before annotating.
+			args := make(map[string]any, len(s.Attrs)+1)
+			for k, v := range s.Attrs {
+				args[k] = v
+			}
+			args["wall_ns"] = s.WallNs
+			ev.Args = args
+		}
+		events = append(events, ev)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(traceFile{
+		Schema:          t.Schema,
+		DisplayTimeUnit: "ms",
+		TraceEvents:     events,
+		Spans:           t.Spans,
+		Metrics:         t.Metrics,
+	})
+}
+
+// flightHeader is the first line of a flight-recorder JSONL dump.
+type flightHeader struct {
+	Schema  string `json:"schema"`
+	Kind    string `json:"kind"`
+	Cap     int    `json:"cap"`
+	Dropped int64  `json:"dropped"`
+}
+
+// WriteJSONL dumps the flight recorder as append-friendly JSONL: a
+// schema header line, then one span per line in canonical order. The
+// header's dropped count makes ring-buffer truncation explicit.
+func (f *Flight) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	cap := 0
+	if f != nil {
+		cap = f.cap
+	}
+	if err := enc.Encode(flightHeader{Schema: SchemaV1, Kind: "flight", Cap: cap, Dropped: f.Dropped()}); err != nil {
+		return err
+	}
+	for _, s := range f.Snapshot() {
+		if err := enc.Encode(s); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// SchemaError reports a trace file whose schema version this build
+// cannot read.
+type SchemaError struct {
+	Got string
+}
+
+func (e *SchemaError) Error() string {
+	if e.Got == "" {
+		return fmt.Sprintf("obs: trace file carries no schema version (want %q); not a tenplex trace, or written by a pre-obs build", SchemaV1)
+	}
+	return fmt.Sprintf("obs: trace schema %q is not supported by this build (want %q); re-record the trace or use a matching tenplex-ctl", e.Got, SchemaV1)
+}
+
+// ReadTrace parses a recorded trace: either the Perfetto JSON document
+// WriteJSON produces or a flight-recorder JSONL dump. It fails with a
+// *SchemaError when the schema version doesn't match SchemaV1.
+func ReadTrace(data []byte) (*Trace, error) {
+	trimmed := bytes.TrimLeft(data, " \t\r\n")
+	if len(trimmed) == 0 {
+		return nil, fmt.Errorf("obs: empty trace file")
+	}
+	// A flight dump's first line is a small header object with
+	// kind=flight; the Perfetto document is one big object. Peek at the
+	// first line to decide.
+	first := trimmed
+	if i := bytes.IndexByte(trimmed, '\n'); i >= 0 {
+		first = trimmed[:i]
+	}
+	var head flightHeader
+	if err := json.Unmarshal(first, &head); err == nil && head.Kind == "flight" {
+		if head.Schema != SchemaV1 {
+			return nil, &SchemaError{Got: head.Schema}
+		}
+		t := &Trace{Schema: head.Schema}
+		sc := bufio.NewScanner(bytes.NewReader(trimmed))
+		sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+		line := 0
+		for sc.Scan() {
+			line++
+			if line == 1 || len(bytes.TrimSpace(sc.Bytes())) == 0 {
+				continue
+			}
+			var s Span
+			if err := json.Unmarshal(sc.Bytes(), &s); err != nil {
+				return nil, fmt.Errorf("obs: flight line %d: %w", line, err)
+			}
+			t.Spans = append(t.Spans, s)
+		}
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return t, nil
+	}
+	var tf traceFile
+	if err := json.Unmarshal(trimmed, &tf); err != nil {
+		return nil, fmt.Errorf("obs: parse trace: %w", err)
+	}
+	if tf.Schema != SchemaV1 {
+		return nil, &SchemaError{Got: tf.Schema}
+	}
+	return &Trace{Schema: tf.Schema, Spans: tf.Spans, Metrics: tf.Metrics}, nil
+}
+
+// ValidateTraceJSON checks an exported Perfetto document against the
+// v1 schema: version stamp, required top-level keys, and per-span
+// field sanity. CI runs it over a freshly recorded sim trace, and the
+// committed testdata fixture pins the expected shape.
+func ValidateTraceJSON(data []byte) error {
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return fmt.Errorf("obs: trace is not a JSON object: %w", err)
+	}
+	var schema string
+	if err := json.Unmarshal(raw["schema"], &schema); err != nil || schema != SchemaV1 {
+		return &SchemaError{Got: schema}
+	}
+	for _, key := range []string{"traceEvents", "spans"} {
+		if _, ok := raw[key]; !ok {
+			return fmt.Errorf("obs: trace missing required key %q", key)
+		}
+	}
+	var spans []Span
+	if err := json.Unmarshal(raw["spans"], &spans); err != nil {
+		return fmt.Errorf("obs: bad spans array: %w", err)
+	}
+	ids := map[uint64]bool{}
+	for i, s := range spans {
+		if s.Name == "" || s.Cat == "" {
+			return fmt.Errorf("obs: span %d: missing name or cat", i)
+		}
+		if s.TMin < 0 || s.DurSec < 0 || s.WallNs < 0 {
+			return fmt.Errorf("obs: span %d (%s): negative time field", i, s.Name)
+		}
+		if s.ID != 0 {
+			if ids[s.ID] {
+				return fmt.Errorf("obs: span %d (%s): duplicate id %d", i, s.Name, s.ID)
+			}
+			ids[s.ID] = true
+		}
+	}
+	for i, s := range spans {
+		if s.Parent != 0 && !ids[s.Parent] {
+			return fmt.Errorf("obs: span %d (%s): dangling parent %d", i, s.Name, s.Parent)
+		}
+	}
+	var events []traceEvent
+	if err := json.Unmarshal(raw["traceEvents"], &events); err != nil {
+		return fmt.Errorf("obs: bad traceEvents array: %w", err)
+	}
+	for i, e := range events {
+		if e.Ph != "X" && e.Ph != "M" {
+			return fmt.Errorf("obs: traceEvent %d (%s): unsupported phase %q", i, e.Name, e.Ph)
+		}
+	}
+	return nil
+}

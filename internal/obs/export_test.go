@@ -1,0 +1,228 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// sampleTracer builds a small but representative trace: a decision
+// span, an exec root with datapath leaves, metrics of every kind.
+func sampleTracer() *Tracer {
+	tr := New(Options{Det: true, Level: LevelDatapath, FlightCap: 2})
+	dec := tr.NewID()
+	tr.Record(Span{ID: dec, Name: "decision/arrival", Cat: CatDecision, Job: "job-0", TMin: 0})
+	root := tr.NewID()
+	tr.Record(Span{ID: root, Name: "reconfig/scale-out", Cat: CatExec, Job: "job-0",
+		TMin: 1, DurSec: 2.5, Attrs: map[string]any{"gpus": 8, "moved_bytes": int64(1 << 20)}})
+	tr.Record(Span{Parent: root, Name: "transform.apply", Cat: CatExec, Job: "job-0",
+		TMin: 1, Attrs: map[string]any{"attempt": 1}})
+	tr.Record(Span{Parent: root, Name: "store.upload", Cat: CatDatapath, Job: "job-0",
+		TMin: 1, WallNs: 99, Attrs: map[string]any{"path": "ckpt/0", "bytes": 4096}})
+	reg := tr.Metrics()
+	reg.Add("coord.events", 1)
+	reg.AddFloat("job.job-0.reconfig_sec", 2.5)
+	reg.Add("job.job-0.moved_bytes", 1<<20)
+	reg.Histogram("transform.apply_ns").Observe(5)
+	return tr
+}
+
+// TestWriteJSONReadTraceRoundTrip: the Perfetto document must read
+// back into the same spans and metrics it was written from.
+func TestWriteJSONReadTraceRoundTrip(t *testing.T) {
+	exp := sampleTracer().Export()
+	var buf bytes.Buffer
+	if err := exp.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTrace(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Schema != SchemaV1 {
+		t.Fatalf("schema = %q", back.Schema)
+	}
+	want, _ := json.Marshal(exp.Spans)
+	got, _ := json.Marshal(back.Spans)
+	if !bytes.Equal(want, got) {
+		t.Fatalf("spans changed across the round trip:\n got %s\nwant %s", got, want)
+	}
+	wantM, _ := json.Marshal(exp.Metrics)
+	gotM, _ := json.Marshal(back.Metrics)
+	if !bytes.Equal(wantM, gotM) {
+		t.Fatalf("metrics changed across the round trip:\n got %s\nwant %s", gotM, wantM)
+	}
+	if err := ValidateTraceJSON(buf.Bytes()); err != nil {
+		t.Fatalf("round-trip document fails validation: %v", err)
+	}
+}
+
+// TestFlightJSONLRoundTrip: the JSONL dump leads with an explicit
+// header (schema, cap, eviction count) and reads back through the same
+// ReadTrace entry point as full traces.
+func TestFlightJSONLRoundTrip(t *testing.T) {
+	tr := sampleTracer()
+	f := tr.FlightRecorder()
+	var buf bytes.Buffer
+	if err := f.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	first, _, _ := strings.Cut(buf.String(), "\n")
+	var head flightHeader
+	if err := json.Unmarshal([]byte(first), &head); err != nil {
+		t.Fatal(err)
+	}
+	if head.Schema != SchemaV1 || head.Kind != "flight" || head.Cap != 2 {
+		t.Fatalf("header = %+v", head)
+	}
+	if head.Dropped != f.Dropped() || head.Dropped != 2 {
+		t.Fatalf("dropped = %d, want 2 (4 spans through a cap-2 ring)", head.Dropped)
+	}
+	back, err := ReadTrace(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Spans) != 2 {
+		t.Fatalf("flight read back %d spans, want 2", len(back.Spans))
+	}
+}
+
+// TestReadTraceSchemaErrors: every mismatch path must surface a
+// *SchemaError with a clear version, and junk must not parse.
+func TestReadTraceSchemaErrors(t *testing.T) {
+	if _, err := ReadTrace(nil); err == nil {
+		t.Fatal("empty file accepted")
+	}
+	var schemaErr *SchemaError
+	_, err := ReadTrace([]byte(`{"schema":"tenplex-trace/v0","traceEvents":[],"spans":[]}`))
+	if !errors.As(err, &schemaErr) || schemaErr.Got != "tenplex-trace/v0" {
+		t.Fatalf("old schema: %v", err)
+	}
+	if !strings.Contains(err.Error(), SchemaV1) {
+		t.Fatalf("error does not name the supported version: %v", err)
+	}
+	_, err = ReadTrace([]byte(`{"traceEvents":[],"spans":[]}`))
+	if !errors.As(err, &schemaErr) || schemaErr.Got != "" {
+		t.Fatalf("missing schema: %v", err)
+	}
+	_, err = ReadTrace([]byte(`{"schema":"tenplex-trace/v2","kind":"flight","cap":1}`))
+	if !errors.As(err, &schemaErr) {
+		t.Fatalf("flight schema mismatch: %v", err)
+	}
+	if _, err = ReadTrace([]byte("not json")); err == nil {
+		t.Fatal("junk accepted")
+	}
+}
+
+// TestValidateTraceJSON covers the tamper cases the CI schema gate
+// exists to catch.
+func TestValidateTraceJSON(t *testing.T) {
+	valid := func() map[string]any {
+		return map[string]any{
+			"schema":          SchemaV1,
+			"displayTimeUnit": "ms",
+			"traceEvents": []map[string]any{
+				{"name": "process_name", "ph": "M", "pid": 1},
+				{"name": "plan", "cat": CatExec, "ph": "X", "ts": 0.0, "pid": 1, "tid": 1},
+			},
+			"spans": []map[string]any{
+				{"id": 1, "name": "reconfig/admit", "cat": CatExec, "t_min": 0.0},
+				{"parent": 1, "name": "plan", "cat": CatExec, "t_min": 0.0},
+			},
+		}
+	}
+	check := func(mutate func(doc map[string]any), wantErr string) {
+		t.Helper()
+		doc := valid()
+		if mutate != nil {
+			mutate(doc)
+		}
+		data, err := json.Marshal(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = ValidateTraceJSON(data)
+		if wantErr == "" {
+			if err != nil {
+				t.Fatalf("valid document rejected: %v", err)
+			}
+			return
+		}
+		if err == nil || !strings.Contains(err.Error(), wantErr) {
+			t.Fatalf("want error containing %q, got %v", wantErr, err)
+		}
+	}
+	check(nil, "")
+	check(func(d map[string]any) { d["schema"] = "tenplex-trace/v9" }, "not supported")
+	check(func(d map[string]any) { delete(d, "spans") }, `missing required key "spans"`)
+	check(func(d map[string]any) { delete(d, "traceEvents") }, `missing required key "traceEvents"`)
+	check(func(d map[string]any) {
+		d["spans"] = []map[string]any{{"id": 1, "cat": CatExec, "t_min": 0.0}}
+	}, "missing name")
+	check(func(d map[string]any) {
+		d["spans"] = []map[string]any{
+			{"id": 1, "name": "a", "cat": CatExec, "t_min": 0.0},
+			{"id": 1, "name": "b", "cat": CatExec, "t_min": 0.0},
+		}
+	}, "duplicate id")
+	check(func(d map[string]any) {
+		d["spans"] = []map[string]any{{"parent": 9, "name": "a", "cat": CatExec, "t_min": 0.0}}
+	}, "dangling parent")
+	check(func(d map[string]any) {
+		d["spans"] = []map[string]any{{"id": 1, "name": "a", "cat": CatExec, "t_min": -1.0}}
+	}, "negative time")
+	check(func(d map[string]any) {
+		d["traceEvents"] = []map[string]any{{"name": "a", "ph": "B", "pid": 1}}
+	}, "unsupported phase")
+	if err := ValidateTraceJSON([]byte("[]")); err == nil {
+		t.Fatal("non-object accepted")
+	}
+}
+
+// TestSchemaFixture pins the committed v1 fixture: the schema gate in
+// CI validates freshly recorded traces against the same rules that
+// accept this file, so accidental format drift breaks this test first.
+// Regenerate deliberately with UPDATE_GOLDEN=1 and review the diff.
+func TestSchemaFixture(t *testing.T) {
+	path := filepath.Join("testdata", "trace_v1_fixture.json")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		var buf bytes.Buffer
+		if err := sampleTracer().Export().WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("fixture updated: %s", path)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing schema fixture (set UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	if err := ValidateTraceJSON(data); err != nil {
+		t.Fatalf("committed fixture no longer validates: %v", err)
+	}
+	trace, err := ReadTrace(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The current writer must still produce the fixture byte-for-byte.
+	var buf bytes.Buffer
+	if err := sampleTracer().Export().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), data) {
+		t.Fatal("exporter output drifted from the committed v1 fixture; " +
+			"if intentional, bump the schema or regenerate with UPDATE_GOLDEN=1")
+	}
+	if len(trace.Spans) == 0 {
+		t.Fatal("fixture has no spans")
+	}
+}

@@ -1,0 +1,206 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry is the shared metrics namespace: counters, gauges and
+// histograms keyed by dotted names ("coord.plans",
+// "store.client.retries", "transform.bytes_copied"). Reads and writes
+// are lock-cheap — one sync.Map lookup plus an atomic op; hot callers
+// can hold the returned handle and skip the lookup entirely. A nil
+// *Registry ignores everything.
+type Registry struct {
+	m sync.Map // name -> *Counter | *Gauge | *Histogram
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Counter is a monotonically increasing atomic count. Integer
+// addition is commutative, so concurrent chains may add in any order
+// and the total stays deterministic for a deterministic workload.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter; nil-safe.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count; nil-safe.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic float64 value (last write wins). Float summation
+// is order-sensitive, so gauges that must stay deterministic are only
+// written from the decision plane.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v; nil-safe.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Add accumulates v (compare-and-swap loop); nil-safe.
+func (g *Gauge) Add(v float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value; nil-safe.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram counts int64 observations into power-of-two buckets
+// (bucket i holds values in [2^(i-1), 2^i), bucket 0 holds <= 0 and
+// 1). Good enough for latency-ns and bytes distributions without a
+// per-observation allocation or lock.
+type Histogram struct {
+	buckets [64]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+}
+
+// Observe records one value; nil-safe.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for x := v; x > 1 && i < len(h.buckets)-1; x >>= 1 {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of observations; nil-safe.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the total of all observations; nil-safe.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Counter returns (creating on first use) the named counter; nil-safe
+// (returns a nil handle whose methods no-op).
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	if v, ok := r.m.Load(name); ok {
+		return v.(*Counter)
+	}
+	v, _ := r.m.LoadOrStore(name, &Counter{})
+	return v.(*Counter)
+}
+
+// Gauge returns (creating on first use) the named gauge; nil-safe.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	if v, ok := r.m.Load(name); ok {
+		return v.(*Gauge)
+	}
+	v, _ := r.m.LoadOrStore(name, &Gauge{})
+	return v.(*Gauge)
+}
+
+// Histogram returns (creating on first use) the named histogram;
+// nil-safe.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if v, ok := r.m.Load(name); ok {
+		return v.(*Histogram)
+	}
+	v, _ := r.m.LoadOrStore(name, &Histogram{})
+	return v.(*Histogram)
+}
+
+// Add is the one-shot convenience for cold paths: counter add by name.
+func (r *Registry) Add(name string, n int64) { r.Counter(name).Add(n) }
+
+// AddFloat is the one-shot convenience for cold paths: gauge
+// accumulate by name.
+func (r *Registry) AddFloat(name string, v float64) { r.Gauge(name).Add(v) }
+
+// MetricRow is one flattened metric in a snapshot.
+type MetricRow struct {
+	Name string `json:"name"`
+	// Kind is "counter", "gauge" or "histogram".
+	Kind  string  `json:"kind"`
+	Int   int64   `json:"int,omitempty"`
+	Float float64 `json:"float,omitempty"`
+	// Count/Sum are histogram aggregates.
+	Count int64 `json:"count,omitempty"`
+	Sum   int64 `json:"sum,omitempty"`
+}
+
+// Snapshot flattens the registry into name-sorted rows — a
+// deterministic encoding for deterministic values.
+func (r *Registry) Snapshot() []MetricRow {
+	if r == nil {
+		return nil
+	}
+	var rows []MetricRow
+	r.m.Range(func(k, v any) bool {
+		row := MetricRow{Name: k.(string)}
+		switch m := v.(type) {
+		case *Counter:
+			row.Kind, row.Int = "counter", m.Value()
+		case *Gauge:
+			row.Kind, row.Float = "gauge", m.Value()
+		case *Histogram:
+			row.Kind, row.Count, row.Sum = "histogram", m.Count(), m.Sum()
+		}
+		rows = append(rows, row)
+		return true
+	})
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Name < rows[j].Name })
+	return rows
+}
+
+// Get returns the snapshot row for name, if present.
+func Get(rows []MetricRow, name string) (MetricRow, bool) {
+	for _, r := range rows {
+		if r.Name == name {
+			return r, true
+		}
+	}
+	return MetricRow{}, false
+}

@@ -1,0 +1,172 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Span names shared by the coordinator's recorder and the report
+// renderer — one vocabulary, so a report never has to guess at string
+// prefixes.
+const (
+	SpanPlan       = "plan"
+	SpanTransform  = "transform.apply"
+	SpanBackoff    = "backoff"
+	SpanRollback   = "rollback"
+	SpanVerify     = "verify"
+	SpanDeploy     = "deploy"
+	ReconfigPrefix = "reconfig/" // root change spans: reconfig/<timeline kind>
+
+	// Datapath-level names (LevelDatapath only).
+	SpanAssignment = "transform.assignment"
+	StorePrefix    = "store." // store.query, store.upload, ...
+)
+
+// PhaseRow is one job's phase breakdown aggregated from a trace.
+type PhaseRow struct {
+	Job        string
+	Reconfigs  int     // root reconfiguration spans
+	ReconfigS  float64 // total charged downtime (sum of root dur_sec, decision order)
+	PlanN      int
+	Transform  int // transform attempts
+	TransformS float64
+	BackoffS   float64
+	Rollbacks  int
+	Retries    int64 // attempts beyond each change's first
+	MovedBytes int64
+	WallMs     float64 // execution wall time attributed to this job (0 in det traces)
+}
+
+// PhaseBreakdown aggregates a trace's exec-category spans per job.
+// Root spans are summed in span-ID order — the decision plane's
+// allocation order — so the float totals reproduce the coordinator's
+// own accumulation exactly, not merely approximately.
+func (t *Trace) PhaseBreakdown() []PhaseRow {
+	byJob := map[string]*PhaseRow{}
+	get := func(job string) *PhaseRow {
+		r := byJob[job]
+		if r == nil {
+			r = &PhaseRow{Job: job}
+			byJob[job] = r
+		}
+		return r
+	}
+	roots := make([]Span, 0, len(t.Spans))
+	for _, s := range t.Spans {
+		if s.Cat != CatExec {
+			continue
+		}
+		r := get(s.Job)
+		r.WallMs += float64(s.WallNs) / 1e6
+		switch {
+		case strings.HasPrefix(s.Name, ReconfigPrefix):
+			roots = append(roots, s)
+		case s.Name == SpanPlan:
+			r.PlanN++
+		case s.Name == SpanTransform:
+			r.Transform++
+			r.TransformS += s.DurSec
+			if a, ok := attrInt(s.Attrs, "attempt"); ok && a > 1 {
+				r.Retries++
+			}
+		case s.Name == SpanBackoff:
+			r.BackoffS += s.DurSec
+		case s.Name == SpanRollback:
+			r.Rollbacks++
+		}
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].ID < roots[j].ID })
+	for _, s := range roots {
+		r := get(s.Job)
+		r.Reconfigs++
+		r.ReconfigS += s.DurSec
+		if mb, ok := attrInt(s.Attrs, "moved_bytes"); ok {
+			r.MovedBytes += mb
+		}
+	}
+	rows := make([]PhaseRow, 0, len(byJob))
+	for _, r := range byJob {
+		rows = append(rows, *r)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Job < rows[j].Job })
+	return rows
+}
+
+// attrInt reads an integer attribute; JSON round-trips numbers as
+// float64, fresh in-memory traces keep int64.
+func attrInt(m map[string]any, key string) (int64, bool) {
+	switch v := m[key].(type) {
+	case int64:
+		return v, true
+	case int:
+		return int64(v), true
+	case float64:
+		return int64(v), true
+	}
+	return 0, false
+}
+
+// Reconcile cross-checks the trace's span totals against its embedded
+// metrics block: per-job reconfiguration seconds and moved bytes, plus
+// the cluster-wide retry count, must agree exactly — the property that
+// makes a trace trustworthy as a cost breakdown and not just a
+// picture. It returns the mismatches (empty means reconciled).
+func (t *Trace) Reconcile() []string {
+	if len(t.Metrics) == 0 {
+		return []string{"trace has no metrics block to reconcile against"}
+	}
+	var fails []string
+	var retries int64
+	for _, row := range t.PhaseBreakdown() {
+		retries += row.Retries
+		if row.Job == "" {
+			continue
+		}
+		if m, ok := Get(t.Metrics, "job."+row.Job+".reconfig_sec"); ok {
+			if m.Float != row.ReconfigS {
+				fails = append(fails, fmt.Sprintf("job %s: span reconfig %.9fs != metric %.9fs",
+					row.Job, row.ReconfigS, m.Float))
+			}
+		}
+		if m, ok := Get(t.Metrics, "job."+row.Job+".moved_bytes"); ok {
+			if m.Int != row.MovedBytes {
+				fails = append(fails, fmt.Sprintf("job %s: span moved bytes %d != metric %d",
+					row.Job, row.MovedBytes, m.Int))
+			}
+		}
+	}
+	if m, ok := Get(t.Metrics, "coord.retries"); ok {
+		if m.Int != retries {
+			fails = append(fails, fmt.Sprintf("cluster: span retries %d != metric %d", retries, m.Int))
+		}
+	}
+	return fails
+}
+
+// RenderReport formats the per-job phase breakdown as a text table
+// with a reconciliation verdict — the tenplex-ctl report output.
+func (t *Trace) RenderReport() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace schema %s: %d spans, %d metrics\n\n", t.Schema, len(t.Spans), len(t.Metrics))
+	fmt.Fprintf(&b, "%-10s %9s %10s %6s %9s %11s %9s %9s %6s %9s\n",
+		"job", "reconfigs", "reconfig-s", "plans", "attempts", "transform-s", "backoff-s", "rollbacks", "retry", "moved-MB")
+	for _, r := range t.PhaseBreakdown() {
+		job := r.Job
+		if job == "" {
+			job = "(cluster)"
+		}
+		fmt.Fprintf(&b, "%-10s %9d %10.3f %6d %9d %11.3f %9.3f %9d %6d %9.2f\n",
+			job, r.Reconfigs, r.ReconfigS, r.PlanN, r.Transform, r.TransformS,
+			r.BackoffS, r.Rollbacks, r.Retries, float64(r.MovedBytes)/1e6)
+	}
+	if fails := t.Reconcile(); len(fails) > 0 {
+		b.WriteString("\nreconciliation FAILED:\n")
+		for _, f := range fails {
+			b.WriteString("  " + f + "\n")
+		}
+	} else {
+		b.WriteString("\nspan totals reconcile exactly with recorded metrics\n")
+	}
+	return b.String()
+}

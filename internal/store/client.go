@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"tenplex/internal/obs"
 	"tenplex/internal/tensor"
 )
 
@@ -140,6 +141,12 @@ type Client struct {
 	HedgeAfter time.Duration
 	// Stats counts attempts, retries, hedges, and exhaustions.
 	Stats ClientStats
+	// Metrics, when non-nil, mirrors every Stats increment into the
+	// shared observability registry (store.client.attempts, .retries,
+	// .hedges, .exhausted), so client behavior shows up next to
+	// coordinator and transformer metrics instead of in a bespoke
+	// struct. Nil costs nothing.
+	Metrics *obs.Registry
 
 	rngMu sync.Mutex
 	rng   *rand.Rand

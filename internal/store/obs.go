@@ -1,0 +1,135 @@
+package store
+
+import (
+	"io"
+	"time"
+
+	"tenplex/internal/obs"
+	"tenplex/internal/tensor"
+)
+
+// Observe wraps an Access with per-operation datapath spans: every
+// query, upload, delete, list and rename records one leaf span under
+// the scope's current task context, carrying the op, path, payload
+// bytes and — when the operation failed — the error. The wrapper sits
+// OUTSIDE any chaos wrapper, so injected faults and the retries they
+// trigger are visible in the trace as the failed operations they are.
+// Recording is gated on the scope's level (LevelDatapath), so a
+// phases-level tracer pays one atomic load per operation and nothing
+// else.
+func Observe(inner Access, tag string, scope *obs.ScopeVar) Access {
+	return &observedAccess{inner: inner, tag: tag, scope: scope}
+}
+
+type observedAccess struct {
+	inner Access
+	tag   string
+	scope *obs.ScopeVar
+}
+
+var _ Access = (*observedAccess)(nil)
+
+// record emits one store-operation span. The span's payload is a pure
+// function of the operation and its deterministic outcome, so sim-mode
+// trace bytes stay schedule-independent (wall time is stripped by the
+// tracer in deterministic mode).
+func (o *observedAccess) record(c *obs.TaskCtx, op, path string, bytes int64, start time.Time, err error) {
+	attrs := map[string]any{"op": op, "path": path, "store": o.tag}
+	if bytes > 0 {
+		attrs["bytes"] = bytes
+	}
+	if err != nil {
+		attrs["err"] = err.Error()
+	}
+	c.Record(obs.StorePrefix+op, obs.CatDatapath, time.Since(start).Nanoseconds(), attrs)
+}
+
+func (o *observedAccess) Query(path string, reg tensor.Region) (*tensor.Tensor, error) {
+	c := o.scope.Get()
+	if !c.Deep() {
+		return o.inner.Query(path, reg)
+	}
+	start := time.Now()
+	t, err := o.inner.Query(path, reg)
+	var n int64
+	if t != nil {
+		n = int64(t.NumBytes())
+	}
+	o.record(c, "query", path, n, start, err)
+	return t, err
+}
+
+func (o *observedAccess) QueryInto(path string, reg tensor.Region, dst *tensor.Tensor, at tensor.Region) (int64, error) {
+	c := o.scope.Get()
+	if !c.Deep() {
+		return o.inner.QueryInto(path, reg, dst, at)
+	}
+	start := time.Now()
+	n, err := o.inner.QueryInto(path, reg, dst, at)
+	o.record(c, "query", path, n, start, err)
+	return n, err
+}
+
+func (o *observedAccess) Upload(path string, t *tensor.Tensor) error {
+	c := o.scope.Get()
+	if !c.Deep() {
+		return o.inner.Upload(path, t)
+	}
+	start := time.Now()
+	err := o.inner.Upload(path, t)
+	o.record(c, "upload", path, int64(t.NumBytes()), start, err)
+	return err
+}
+
+func (o *observedAccess) UploadFrom(path string, dt tensor.DType, shape []int, r io.Reader) error {
+	c := o.scope.Get()
+	if !c.Deep() {
+		return o.inner.UploadFrom(path, dt, shape, r)
+	}
+	start := time.Now()
+	err := o.inner.UploadFrom(path, dt, shape, r)
+	o.record(c, "upload", path, tensor.ShapeNumBytes(dt, shape), start, err)
+	return err
+}
+
+func (o *observedAccess) Delete(path string) error {
+	c := o.scope.Get()
+	if !c.Deep() {
+		return o.inner.Delete(path)
+	}
+	start := time.Now()
+	err := o.inner.Delete(path)
+	o.record(c, "delete", path, 0, start, err)
+	return err
+}
+
+func (o *observedAccess) List(path string) ([]string, error) {
+	c := o.scope.Get()
+	if !c.Deep() {
+		return o.inner.List(path)
+	}
+	start := time.Now()
+	names, err := o.inner.List(path)
+	o.record(c, "list", path, 0, start, err)
+	return names, err
+}
+
+func (o *observedAccess) Rename(src, dst string) error {
+	c := o.scope.Get()
+	if !c.Deep() {
+		return o.inner.Rename(src, dst)
+	}
+	start := time.Now()
+	err := o.inner.Rename(src, dst)
+	o.record(c, "rename", src, 0, start, err)
+	return err
+}
+
+// UploadsByReference preserves the wrapped store's copy-accounting
+// contract (transform.uploadCopies type-asserts store.RefUploader), so
+// observing a store never changes the transformer's noop fast path or
+// its copy-amplification numbers.
+func (o *observedAccess) UploadsByReference() bool {
+	ru, ok := o.inner.(RefUploader)
+	return ok && ru.UploadsByReference()
+}

@@ -1,0 +1,175 @@
+package store
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"tenplex/internal/obs"
+)
+
+// TestClientStatsAndMetricsRaceFree is the -race regression for the
+// hedged datapath: many goroutines share one Client whose every read
+// may spawn a hedge goroutine, all bumping Stats and the mirrored obs
+// registry concurrently. The snapshot taken afterwards must be
+// internally consistent and agree with the registry — any torn read or
+// missed increment trips the race detector or the equality checks.
+func TestClientStatsAndMetricsRaceFree(t *testing.T) {
+	fs := NewMemFS()
+	if err := fs.PutTensor("/w", seqTensor(4, 4)); err != nil {
+		t.Fatal(err)
+	}
+	inner := NewServer(fs)
+	var mu sync.Mutex
+	seen := 0
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		seen++
+		slow := seen%3 == 0
+		mu.Unlock()
+		if slow { // every third request straggles so hedges actually fire
+			time.Sleep(5 * time.Millisecond)
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer hs.Close()
+
+	reg := obs.NewRegistry()
+	c := &Client{Base: hs.URL, HTTP: hs.Client(), HedgeAfter: time.Millisecond,
+		Metrics: reg}
+	const goroutines, reads = 8, 20
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < reads; i++ {
+				if _, err := c.Query("/w", nil); err != nil {
+					t.Errorf("hedged query: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	st := c.Stats.Snapshot()
+	if st.Attempts != goroutines*reads {
+		t.Fatalf("attempts = %d, want %d", st.Attempts, goroutines*reads)
+	}
+	if st.Hedges == 0 {
+		t.Fatal("no hedges fired; the contended path went untested")
+	}
+	rows := reg.Snapshot()
+	check := func(name string, want int64) {
+		t.Helper()
+		row, ok := obs.Get(rows, name)
+		if want == 0 {
+			if ok && row.Int != 0 {
+				t.Fatalf("%s = %d, want absent or 0", name, row.Int)
+			}
+			return
+		}
+		if !ok || row.Int != want {
+			t.Fatalf("%s = %+v (ok=%v), want %d", name, row, ok, want)
+		}
+	}
+	check("store.client.attempts", st.Attempts)
+	check("store.client.hedges", st.Hedges)
+	check("store.client.retries", st.Retries)
+	check("store.client.exhausted", st.Exhausted)
+}
+
+// TestObserveRecordsPerOpSpans: the Observe wrapper parents one
+// datapath span per store operation under the chain's current task
+// scope, tags it with op/path/store and payload bytes, and surfaces
+// errors as attrs instead of swallowing them.
+func TestObserveRecordsPerOpSpans(t *testing.T) {
+	fs := NewMemFS()
+	if err := fs.PutTensor("/w", seqTensor(2, 3)); err != nil {
+		t.Fatal(err)
+	}
+	tr := obs.New(obs.Options{Det: true, Level: obs.LevelDatapath})
+	var scope obs.ScopeVar
+	acc := Observe(Local{FS: fs}, "dev3", &scope)
+
+	// No scope installed yet: operations must pass through unrecorded.
+	if _, err := acc.Query("/w", nil); err != nil {
+		t.Fatal(err)
+	}
+	if n := tr.SpanCount(); n != 0 {
+		t.Fatalf("unscoped op recorded %d spans", n)
+	}
+
+	scope.Set(obs.TaskCtx{T: tr, Parent: 42, Job: "job-7", TMin: 9})
+	if _, err := acc.Query("/w", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := acc.Upload("/u", seqTensor(2, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := acc.Rename("/u", "/v"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := acc.List("/"); err != nil {
+		t.Fatal(err)
+	}
+	if err := acc.Delete("/v"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := acc.Query("/missing", nil); err == nil {
+		t.Fatal("query for missing path succeeded")
+	}
+
+	spans := tr.Export().Spans
+	if len(spans) != 6 {
+		t.Fatalf("recorded %d spans, want 6", len(spans))
+	}
+	byName := map[string]int{}
+	for _, s := range spans {
+		byName[s.Name]++
+		if s.Cat != obs.CatDatapath || s.Parent != 42 || s.Job != "job-7" || s.TMin != 9 {
+			t.Fatalf("span misattributed: %+v", s)
+		}
+		if s.Attrs["store"] != "dev3" {
+			t.Fatalf("span lacks store tag: %+v", s)
+		}
+	}
+	if byName["store.query"] != 2 || byName["store.upload"] != 1 ||
+		byName["store.rename"] != 1 || byName["store.list"] != 1 ||
+		byName["store.delete"] != 1 {
+		t.Fatalf("span names off: %v", byName)
+	}
+	var sawErr, sawBytes bool
+	for _, s := range spans {
+		if _, ok := s.Attrs["err"]; ok && s.Name == "store.query" {
+			sawErr = true
+		}
+		if b, ok := s.Attrs["bytes"]; ok && s.Name == "store.query" && b != nil {
+			sawBytes = true
+		}
+	}
+	if !sawErr {
+		t.Fatal("failed query span carries no err attr")
+	}
+	if !sawBytes {
+		t.Fatal("successful query span carries no bytes attr")
+	}
+
+	// Observe must preserve the reference-upload contract Local makes.
+	if ru, ok := acc.(RefUploader); !ok || !ru.UploadsByReference() {
+		t.Fatal("Observe dropped UploadsByReference")
+	}
+
+	// Dropping to phases level turns the wrapper back into a passthrough.
+	shallow := obs.New(obs.Options{Det: true, Level: obs.LevelPhases})
+	scope.Set(obs.TaskCtx{T: shallow, Parent: 1, Job: "job-7"})
+	if _, err := acc.Query("/w", nil); err != nil {
+		t.Fatal(err)
+	}
+	if n := shallow.SpanCount(); n != 0 {
+		t.Fatalf("phases-level scope recorded %d datapath spans", n)
+	}
+}

@@ -190,8 +190,10 @@ func (c *Client) withRetry(ctx context.Context, op string, fn func() error) erro
 	for attempt < max {
 		attempt++
 		c.Stats.Attempts.Add(1)
+		c.Metrics.Add("store.client.attempts", 1)
 		if attempt > 1 {
 			c.Stats.Retries.Add(1)
+			c.Metrics.Add("store.client.retries", 1)
 		}
 		err = fn()
 		if err == nil {
@@ -211,6 +213,7 @@ func (c *Client) withRetry(ctx context.Context, op string, fn func() error) erro
 	}
 	if max > 1 {
 		c.Stats.Exhausted.Add(1)
+		c.Metrics.Add("store.client.exhausted", 1)
 		return &RetryExhaustedError{Op: op, Attempts: attempt, Err: err}
 	}
 	return err
@@ -260,6 +263,7 @@ func (c *Client) hedgeStream(ctx context.Context, method, endpoint string, param
 		case <-timer.C:
 			if launched == 1 {
 				c.Stats.Hedges.Add(1)
+				c.Metrics.Add("store.client.hedges", 1)
 				launched++
 				go launch(1)
 			}

@@ -26,6 +26,7 @@ import (
 
 	"tenplex/internal/cluster"
 	"tenplex/internal/core"
+	"tenplex/internal/obs"
 	"tenplex/internal/store"
 	"tenplex/internal/tensor"
 )
@@ -104,6 +105,14 @@ type Transformer struct {
 	// Pipeline selects the data path; the zero value is the streamed
 	// production pipeline.
 	Pipeline Pipeline
+	// Obs, when non-nil and datapath-deep, records one span per
+	// assignment (tensor, device, bytes by source, allocation) under
+	// the owning change's parent span. Nil costs nothing.
+	Obs *obs.TaskCtx
+	// Metrics, when non-nil, absorbs a successful apply's Stats into
+	// the shared registry under transform.* counters. Nil costs
+	// nothing.
+	Metrics *obs.Registry
 }
 
 // Stats reports what an Apply did.
@@ -247,12 +256,65 @@ feed:
 		return st, err
 	}
 	st.Duration = time.Since(start)
+	tr.recordStats(st)
 	return st, nil
 }
 
+// recordStats absorbs one successful apply's Stats into the shared
+// registry. Integer counter addition is commutative, so concurrent
+// applies of independent jobs keep the totals deterministic for a
+// deterministic workload.
+func (tr *Transformer) recordStats(st Stats) {
+	reg := tr.Metrics
+	if reg == nil {
+		return
+	}
+	reg.Add("transform.applies", 1)
+	reg.Add("transform.assignments", int64(st.Assignments))
+	reg.Add("transform.noops", int64(st.Noops))
+	reg.Add("transform.local_bytes", st.LocalBytes)
+	reg.Add("transform.peer_bytes", st.PeerBytes)
+	reg.Add("transform.storage_bytes", st.StorageBytes)
+	reg.Add("transform.bytes_copied", st.BytesCopied)
+	reg.Add("transform.alloc_bytes", st.AllocBytes)
+	reg.Histogram("transform.apply_ns").Observe(st.Duration.Nanoseconds())
+}
+
 // applyAssignment builds one destination sub-tensor in staging through
-// the selected pipeline.
+// the selected pipeline, recording a datapath span per assignment when
+// the tracer is deep. Spans for assignments abandoned by cancellation
+// are suppressed along with their errors — which operations a doomed
+// attempt reached is scheduling, not outcome.
 func (tr *Transformer) applyAssignment(ctx context.Context, plan *core.Plan, a core.Assignment) (Stats, error) {
+	if !tr.Obs.Deep() {
+		return tr.applyAssignmentPipeline(ctx, plan, a)
+	}
+	start := time.Now()
+	st, err := tr.applyAssignmentPipeline(ctx, plan, a)
+	if err != nil && ctx.Err() != nil && errors.Is(err, ctx.Err()) {
+		return st, err
+	}
+	attrs := map[string]any{
+		"tensor": string(a.Tensor),
+		"device": int(a.Device),
+	}
+	if a.IsNoop() {
+		attrs["noop"] = true
+	}
+	if b := st.PlanBytes(); b > 0 {
+		attrs["bytes"] = b
+	}
+	if st.AllocBytes > 0 {
+		attrs["alloc_bytes"] = st.AllocBytes
+	}
+	if err != nil {
+		attrs["err"] = err.Error()
+	}
+	tr.Obs.Record(obs.SpanAssignment, obs.CatDatapath, time.Since(start).Nanoseconds(), attrs)
+	return st, err
+}
+
+func (tr *Transformer) applyAssignmentPipeline(ctx context.Context, plan *core.Plan, a core.Assignment) (Stats, error) {
 	if tr.Pipeline == Materialized {
 		return tr.applyAssignmentMaterialized(ctx, plan, a)
 	}
