@@ -58,7 +58,7 @@ type checkFailure struct {
 func runCheck(dir string, tol float64, budget time.Duration) (int, []checkFailure, error) {
 	var fails []checkFailure
 	checked := 0
-	for _, pat := range []string{"BENCH_planner*.json", "BENCH_datapath*.json", "BENCH_coordinator*.json", "BENCH_placement*.json", "BENCH_hostile*.json"} {
+	for _, pat := range []string{"BENCH_planner*.json", "BENCH_datapath*.json", "BENCH_coordinator*.json", "BENCH_placement*.json", "BENCH_hostile*.json", "BENCH_dcscale*.json"} {
 		matches, err := filepath.Glob(filepath.Join(dir, pat))
 		if err != nil {
 			return checked, nil, err
@@ -90,6 +90,8 @@ func runCheck(dir string, tol float64, budget time.Duration) (int, []checkFailur
 			fs, err = checkPlacement(data)
 		case "tenplex-bench/hostile/v1":
 			fs, err = checkHostile(data)
+		case "tenplex-bench/dcscale/v1":
+			fs, err = checkDCScale(data)
 		default:
 			err = fmt.Errorf("unknown schema %q", head.Schema)
 		}
@@ -423,6 +425,83 @@ func checkHostile(data []byte) ([]string, error) {
 		fails = append(fails, fmt.Sprintf(
 			"hostile: at fault rate %.3f retry-on recorded no retries — the retry budget was never exercised",
 			worst))
+	}
+	return fails, nil
+}
+
+// dcscaleFlatnessFactor gates the dcscale headline: the p50
+// per-decision latency at 2048 devices must stay within this factor of
+// the 512-device p50 at the same 200-job population. A control plane
+// that rescans the cluster per decision shows ~4x here (linear in
+// devices); the incremental ledger summaries and epoch-stamped score
+// cache keep it flat.
+const dcscaleFlatnessFactor = 3.0
+
+// dcscaleFlatnessSlackUs is an absolute allowance on top of the ratio,
+// so scheduler noise on near-zero p50s cannot flake the gate.
+const dcscaleFlatnessSlackUs = 250.0
+
+// checkDCScale re-runs the datacenter-scale sweep, compares every
+// deterministic scheduling outcome against the baseline exactly, and
+// re-asserts the flatness headline on freshly measured latencies
+// (committed percentile values are machine-dependent and never
+// compared absolutely).
+func checkDCScale(data []byte) ([]string, error) {
+	var base dcscaleRecord
+	if err := json.Unmarshal(data, &base); err != nil {
+		return nil, err
+	}
+	got := measureDCScale()
+	type key struct{ devices, jobs int }
+	want := map[key]experiments.DCScaleRow{}
+	for _, r := range base.Rows {
+		want[key{r.Devices, r.Jobs}] = r
+	}
+	var fails []string
+	if len(got.Rows) != len(base.Rows) {
+		fails = append(fails, fmt.Sprintf("dcscale: %d cells measured, baseline has %d",
+			len(got.Rows), len(base.Rows)))
+	}
+	cells := map[key]experiments.DCScaleRow{}
+	for _, g := range got.Rows {
+		cells[key{g.Devices, g.Jobs}] = g
+		b, ok := want[key{g.Devices, g.Jobs}]
+		if !ok {
+			fails = append(fails, fmt.Sprintf("dcscale %dx%d: cell missing from the baseline",
+				g.Devices, g.Jobs))
+			continue
+		}
+		exact := [][3]any{
+			{"events", g.Events, b.Events},
+			{"jobs_completed", g.Completed, b.Completed},
+			{"preemptions", g.Preemptions, b.Preemptions},
+			{"plans", g.Plans, b.Plans},
+		}
+		for _, f := range exact {
+			if fmt.Sprint(f[1]) != fmt.Sprint(f[2]) {
+				fails = append(fails, fmt.Sprintf("dcscale %dx%d: %s = %v, baseline %v (deterministic drift)",
+					g.Devices, g.Jobs, f[0], f[1], f[2]))
+			}
+		}
+		for _, f := range [][3]float64{
+			{g.MakespanMin, b.MakespanMin, 1e-6},
+			{g.MovedGB, b.MovedGB, 1e-9},
+		} {
+			if math.Abs(f[0]-f[1]) > f[2] {
+				fails = append(fails, fmt.Sprintf("dcscale %dx%d: simulated metric %v drifted from baseline %v",
+					g.Devices, g.Jobs, f[0], f[1]))
+			}
+		}
+	}
+	small, big := cells[key{512, 200}], cells[key{2048, 200}]
+	if small.Devices == 0 || big.Devices == 0 {
+		fails = append(fails, "dcscale: 512x200 / 2048x200 flatness cells missing from the sweep")
+		return fails, nil
+	}
+	if limit := dcscaleFlatnessFactor*small.P50us + dcscaleFlatnessSlackUs; big.P50us > limit {
+		fails = append(fails, fmt.Sprintf(
+			"dcscale: p50 per-decision latency %.0fus at 2048 devices exceeds %.1fx the 512-device p50 %.0fus — latency is growing with cluster size",
+			big.P50us, dcscaleFlatnessFactor, small.P50us))
 	}
 	return fails, nil
 }

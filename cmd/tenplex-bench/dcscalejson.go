@@ -1,0 +1,65 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"time"
+
+	"tenplex/internal/experiments"
+)
+
+// The -dcscalejson mode emits a machine-readable BENCH_*.json record of
+// the datacenter-scale control-plane sweep (see EXPERIMENTS.md
+// "dcscale"): 512/1024/2048-device, 50–200-job ModeSim scenarios on the
+// hierarchical Datacenter topology, reporting per-decision latency
+// percentiles. The scheduling outcomes (events, completions, plans,
+// makespans, moved bytes) are deterministic per seed and the -check
+// gate compares them exactly; the latency percentiles are
+// machine-dependent, so -check re-measures them and gates only the
+// flatness ratio — p50 at 2048 devices must stay within
+// dcscaleFlatnessFactor of the 512-device p50, the "per-decision cost
+// is flat, not linear, in cluster size" headline.
+
+// dcscaleRecord is the top-level dcscale BENCH_*.json document.
+type dcscaleRecord struct {
+	Schema      string                   `json:"schema"`
+	GeneratedAt string                   `json:"generated_at"`
+	GoVersion   string                   `json:"go_version"`
+	MaxProcs    int                      `json:"gomaxprocs"`
+	Seed        int64                    `json:"seed"`
+	Rows        []experiments.DCScaleRow `json:"rows"`
+	// WallNs is the real time the whole sweep took.
+	WallNs int64 `json:"wall_ns_per_record"`
+}
+
+// measureDCScale runs the dcscale sweep and assembles the record.
+func measureDCScale() dcscaleRecord {
+	start := time.Now()
+	rows, _ := experiments.CompareDCScale()
+	return dcscaleRecord{
+		Schema:      "tenplex-bench/dcscale/v1",
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		MaxProcs:    runtime.GOMAXPROCS(0),
+		Seed:        experiments.DCScaleSeed,
+		Rows:        rows,
+		WallNs:      time.Since(start).Nanoseconds(),
+	}
+}
+
+// writeDCScaleJSON runs the dcscale sweep and writes the record to path
+// ("-" for stdout).
+func writeDCScaleJSON(path string) error {
+	rec := measureDCScale()
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}

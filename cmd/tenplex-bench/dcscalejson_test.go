@@ -1,0 +1,67 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestWriteDCScaleJSON verifies the -dcscalejson record: parseable,
+// versioned, one row per cell with every job completed and ordered
+// latency percentiles — and the check gate accepts the fresh record
+// while flagging a tampered deterministic cell.
+func TestWriteDCScaleJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_dcscale.json")
+	if err := writeDCScaleJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec dcscaleRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		t.Fatalf("record not valid JSON: %v", err)
+	}
+	if rec.Schema != "tenplex-bench/dcscale/v1" {
+		t.Fatalf("schema = %q", rec.Schema)
+	}
+	if len(rec.Rows) != 4 {
+		t.Fatalf("%d rows, want 4", len(rec.Rows))
+	}
+	for _, r := range rec.Rows {
+		if r.Completed != r.Jobs {
+			t.Fatalf("%dx%d completed %d jobs", r.Devices, r.Jobs, r.Completed)
+		}
+		if r.Events <= 0 || r.Plans <= 0 || r.MakespanMin <= 0 {
+			t.Fatalf("implausible row: %+v", r)
+		}
+		if !(r.P50us > 0 && r.P50us <= r.P90us && r.P90us <= r.P99us) {
+			t.Fatalf("percentiles not ordered: %+v", r)
+		}
+	}
+
+	dir := filepath.Dir(path)
+	n, fails, err := runCheck(dir, 1e9, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 || len(fails) != 0 {
+		t.Fatalf("fresh dcscale baseline: %d checked, failures %v", n, fails)
+	}
+	rec.Rows[0].Events++
+	tampered, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, tampered, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, fails, err = runCheck(dir, 1e9, time.Millisecond); err != nil {
+		t.Fatal(err)
+	} else if len(fails) == 0 {
+		t.Fatal("tampered dcscale events not flagged")
+	}
+}

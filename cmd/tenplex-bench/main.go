@@ -10,6 +10,7 @@
 //	tenplex-bench -coordjson BENCH_coordinator.json  # multi-job coordinator record
 //	tenplex-bench -datapathjson BENCH_datapath.json  # state-transformer datapath record
 //	tenplex-bench -hostilejson BENCH_hostile.json  # hostile-cluster survival record
+//	tenplex-bench -dcscalejson BENCH_dcscale.json  # datacenter-scale latency record
 //	tenplex-bench -check               # bench-regression gate vs committed BENCH_*.json
 package main
 
@@ -57,6 +58,10 @@ var all = map[string]func() experiments.Table{
 		}
 		return t
 	},
+	"dcscale": func() experiments.Table {
+		_, t := experiments.CompareDCScale()
+		return t
+	},
 	"hostile": func() experiments.Table {
 		_, t, err := experiments.HostileComparison()
 		if err != nil {
@@ -92,6 +97,7 @@ func main() {
 	coordOut := flag.String("coordjson", "", "write a BENCH_*.json multi-job coordinator record to this path (\"-\" for stdout) and exit")
 	placementOut := flag.String("placementjson", "", "write a BENCH_*.json placement-comparison record to this path (\"-\" for stdout) and exit")
 	hostileOut := flag.String("hostilejson", "", "write a BENCH_*.json hostile-cluster record to this path (\"-\" for stdout) and exit")
+	dcscaleOut := flag.String("dcscalejson", "", "write a BENCH_*.json datacenter-scale latency record to this path (\"-\" for stdout) and exit")
 	datapathOut := flag.String("datapathjson", "", "write a BENCH_*.json state-transformer datapath record to this path (\"-\" for stdout) and exit")
 	check := flag.Bool("check", false, "re-run the benchmarks and fail on regression vs the committed BENCH_*.json baselines")
 	checkDir := flag.String("check-dir", ".", "directory holding the BENCH_*.json baselines for -check")
@@ -146,6 +152,13 @@ func main() {
 	if *hostileOut != "" {
 		if err := writeHostileJSON(*hostileOut); err != nil {
 			fmt.Fprintf(os.Stderr, "tenplex-bench: hostilejson: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *dcscaleOut != "" {
+		if err := writeDCScaleJSON(*dcscaleOut); err != nil {
+			fmt.Fprintf(os.Stderr, "tenplex-bench: dcscalejson: %v\n", err)
 			os.Exit(1)
 		}
 		return

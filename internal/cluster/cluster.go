@@ -66,6 +66,14 @@ type Topology struct {
 	// Transformer for split/merge copies.
 	MemCopyBW float64
 
+	// Hier, when non-nil, layers a datacenter hierarchy above the flat
+	// worker list: NVLink islands within nodes, nodes in racks, racks in
+	// pods behind an oversubscribed spine. Pair bandwidth then resolves
+	// by comparing hierarchy levels (PairBW, O(1)) instead of a
+	// materialized O(n²) link matrix. nil keeps the original flat model:
+	// NVLink/PCIe within a worker, NetBW across workers.
+	Hier *Hierarchy
+
 	// failed holds the fail-stopped devices, netScale holds per-worker
 	// NIC degradation factors, and gen counts mutations so far. Like
 	// the coordinator's Ledger, this health state is mutated only by a
@@ -75,9 +83,45 @@ type Topology struct {
 	// flows in flight) are unaffected. Caches that memoize per topology
 	// pointer must include Generation() in their keys, or they would
 	// keep serving results computed for the pre-mutation cluster.
+	//
+	// wepoch refines gen per worker: every health mutation that touches
+	// worker w (a device on w failing or recovering, w's NIC degrading)
+	// bumps wepoch[w] alongside gen. A cache keyed on the epochs of
+	// exactly the workers a result reads stays valid across mutations
+	// elsewhere in the cluster — the update-vs-recompute contract the
+	// incremental control plane relies on at datacenter scale.
 	failed   map[DeviceID]bool
 	netScale map[int]float64
 	gen      uint64
+	wepoch   map[int]uint64
+}
+
+// Hierarchy describes the datacenter levels above the worker (node)
+// list. Workers are laid out in order: NodesPerRack consecutive workers
+// form a rack, RacksPerPod consecutive racks form a pod, and all pods
+// hang off one oversubscribed spine. Within a node, IslandSize
+// consecutive local ranks share an NVLink island.
+type Hierarchy struct {
+	// IslandSize is the device count of one NVLink island within a
+	// node; 0 or 1 means no NVLink islands (PCIe only within the node).
+	IslandSize int
+	// NodesPerRack and RacksPerPod shape the switch hierarchy.
+	NodesPerRack int
+	RacksPerPod  int
+
+	// CrossRackBW is the effective per-flow bandwidth between two nodes
+	// in different racks of the same pod (leaf oversubscription), and
+	// CrossPodBW between nodes in different pods (spine
+	// oversubscription). Both ≤ NetBW.
+	CrossRackBW float64
+	CrossPodBW  float64
+
+	// RackUplinkBW is the aggregate capacity of one rack's uplink into
+	// the pod switch; PodUplinkBW the aggregate per-pod uplink into the
+	// spine. netsim loads them as shared resources so many concurrent
+	// cross-rack flows saturate the fabric, not just their own NICs.
+	RackUplinkBW float64
+	PodUplinkBW  float64
 }
 
 // NumDevices returns the total device count.
@@ -109,8 +153,36 @@ func (t *Topology) Clone() *Topology {
 			c.netScale[w] = s
 		}
 	}
+	c.wepoch = nil
+	if len(t.wepoch) > 0 {
+		c.wepoch = make(map[int]uint64, len(t.wepoch))
+		for w, e := range t.wepoch {
+			c.wepoch[w] = e
+		}
+	}
 	return &c
 }
+
+// bumpWorker advances worker w's health epoch together with the global
+// generation. Every mutation path (MarkFailed, MarkRecovered,
+// SetNetScale) funnels through it.
+func (t *Topology) bumpWorker(w int) {
+	if t.wepoch == nil {
+		t.wepoch = map[int]uint64{}
+	}
+	t.wepoch[w]++
+	t.gen++
+}
+
+// WorkerEpoch returns worker w's health epoch: the number of topology
+// mutations (device failures/recoveries on w, NIC scale changes of w)
+// that touched it. Epochs are monotone, so any cache stamped with the
+// epochs of the workers a result depends on can detect staleness with
+// one comparison — mutations elsewhere leave the stamp unchanged.
+func (t *Topology) WorkerEpoch(w int) uint64 { return t.wepoch[w] }
+
+// FailedCount returns the number of currently failed devices, O(1).
+func (t *Topology) FailedCount() int { return len(t.failed) }
 
 // MarkFailed records a fail-stop device loss in the topology itself
 // and bumps the generation, invalidating any memoization keyed on it.
@@ -127,7 +199,7 @@ func (t *Topology) MarkFailed(id DeviceID) {
 		t.failed = map[DeviceID]bool{}
 	}
 	t.failed[id] = true
-	t.gen++
+	t.bumpWorker(t.Devices[id].Worker)
 }
 
 // MarkRecovered clears a device's failed mark (a flapping device
@@ -139,7 +211,7 @@ func (t *Topology) MarkRecovered(id DeviceID) {
 		return
 	}
 	delete(t.failed, id)
-	t.gen++
+	t.bumpWorker(t.Devices[id].Worker)
 }
 
 // FailedDevice reports whether device id has been marked failed.
@@ -165,14 +237,14 @@ func (t *Topology) SetNetScale(w int, scale float64) {
 			return
 		}
 		delete(t.netScale, w)
-		t.gen++
+		t.bumpWorker(w)
 		return
 	}
 	if t.netScale == nil {
 		t.netScale = map[int]float64{}
 	}
 	t.netScale[w] = scale
-	t.gen++
+	t.bumpWorker(w)
 }
 
 // WorkerNetBW returns worker w's current NIC bandwidth: NetBW scaled by
@@ -201,10 +273,59 @@ func (t *Topology) WorkerOf(id DeviceID) int { return t.Device(id).Worker }
 // SameWorker reports whether two devices share a machine.
 func (t *Topology) SameWorker(a, b DeviceID) bool { return t.WorkerOf(a) == t.WorkerOf(b) }
 
+// RackOf returns the rack index of worker w (0 for flat topologies).
+func (t *Topology) RackOf(w int) int {
+	if t.Hier == nil || t.Hier.NodesPerRack < 1 {
+		return 0
+	}
+	return w / t.Hier.NodesPerRack
+}
+
+// PodOf returns the pod index of worker w (0 for flat topologies).
+func (t *Topology) PodOf(w int) int {
+	if t.Hier == nil || t.Hier.RacksPerPod < 1 {
+		return 0
+	}
+	return t.RackOf(w) / t.Hier.RacksPerPod
+}
+
+// NumRacks returns the rack count (1 for flat topologies).
+func (t *Topology) NumRacks() int {
+	if t.Hier == nil || t.Hier.NodesPerRack < 1 {
+		return 1
+	}
+	return (len(t.Workers) + t.Hier.NodesPerRack - 1) / t.Hier.NodesPerRack
+}
+
+// NumPods returns the pod count (1 for flat topologies).
+func (t *Topology) NumPods() int {
+	if t.Hier == nil || t.Hier.RacksPerPod < 1 {
+		return 1
+	}
+	return (t.NumRacks() + t.Hier.RacksPerPod - 1) / t.Hier.RacksPerPod
+}
+
+// SameIsland reports whether two devices share an NVLink island: the
+// same worker, and — in a hierarchical topology with islands — the same
+// IslandSize-aligned group of local ranks.
+func (t *Topology) SameIsland(a, b DeviceID) bool {
+	if !t.SameWorker(a, b) {
+		return false
+	}
+	if t.Hier == nil || t.Hier.IslandSize < 2 {
+		return true
+	}
+	da, db := t.Device(a), t.Device(b)
+	return da.LocalRank/t.Hier.IslandSize == db.LocalRank/t.Hier.IslandSize
+}
+
 // HaveNVLink reports whether devices a and b are connected by NVLink.
 func (t *Topology) HaveNVLink(a, b DeviceID) bool {
 	if a == b || !t.SameWorker(a, b) {
 		return false
+	}
+	if t.Hier != nil && t.Hier.IslandSize >= 2 {
+		return t.SameIsland(a, b)
 	}
 	if !t.NVLinkPairs {
 		return true
@@ -219,6 +340,35 @@ func (t *Topology) IntraBW(a, b DeviceID) float64 {
 		return t.NVLinkBW
 	}
 	return t.PCIeBW
+}
+
+// PairBW returns the nominal point-to-point bandwidth between two
+// devices by comparing their hierarchy levels — island, node, rack,
+// pod — in O(1), without any per-pair link matrix. On a flat topology
+// (Hier nil) it degrades exactly to the original two-level model:
+// IntraBW within a worker, NetBW across workers. Health state (link
+// degradation) is deliberately not applied: PairBW feeds steady-state
+// placement estimates, which must not churn with transient link
+// weather (netsim.Simulate prices actual transfers against degraded
+// NICs separately).
+func (t *Topology) PairBW(a, b DeviceID) float64 {
+	if a == b {
+		return t.MemCopyBW
+	}
+	if t.SameWorker(a, b) {
+		return t.IntraBW(a, b)
+	}
+	if t.Hier == nil {
+		return t.NetBW
+	}
+	wa, wb := t.WorkerOf(a), t.WorkerOf(b)
+	if t.RackOf(wa) == t.RackOf(wb) {
+		return t.NetBW
+	}
+	if t.PodOf(wa) == t.PodOf(wb) {
+		return t.Hier.CrossRackBW
+	}
+	return t.Hier.CrossPodBW
 }
 
 // Allocation is an ordered set of devices assigned to a job. Order
@@ -365,6 +515,51 @@ func Cloud32() *Topology {
 		MemCopyBW:   2.5 * gb, // strided sub-tensor copies on the VM host CPU
 		DeviceMemGB: 16,
 	})
+}
+
+// Datacenter builds a hierarchical datacenter topology of nDevices
+// (a multiple of 8): 8-GPU nodes with two 4-GPU NVLink islands each,
+// 4 nodes per rack (32 GPUs), 8 racks per pod (256 GPUs), pods behind
+// an oversubscribed spine. The link profile is a contemporary
+// leaf–spine fabric: full NVLink inside an island, PCIe across
+// islands of one node, node NICs at full rate within a rack, 2:1
+// oversubscription at the rack uplink and 4:1 at the spine. This is
+// the topology the datacenter-scale (dcscale) simulations run on —
+// 512, 1024 and 2048 devices are 2, 4 and 8 pods.
+func Datacenter(nDevices int) *Topology {
+	const (
+		devsPerNode  = 8
+		islandSize   = 4
+		nodesPerRack = 4
+		racksPerPod  = 8
+		netBW        = 12 * gb // ~100 GbE per-node NIC effective
+	)
+	if nDevices%devsPerNode != 0 || nDevices < devsPerNode {
+		panic(fmt.Sprintf("cluster: Datacenter wants a multiple of %d devices, got %d", devsPerNode, nDevices))
+	}
+	t := New(fmt.Sprintf("dc-%dxH100", nDevices), nDevices/devsPerNode, devsPerNode, LinkConfig{
+		NVLinkBW:    150 * gb, // intra-island NVLink
+		NVLinkPairs: false,    // islands, not pairs — see Hier.IslandSize
+		PCIeBW:      25 * gb,  // cross-island within a node
+		NetBW:       netBW,
+		NetLatency:  10e-6,
+		StorageBW:   2 * gb,
+		MemCopyBW:   20 * gb,
+		DeviceMemGB: 80,
+	})
+	t.Hier = &Hierarchy{
+		IslandSize:   islandSize,
+		NodesPerRack: nodesPerRack,
+		RacksPerPod:  racksPerPod,
+		CrossRackBW:  netBW / 2, // 2:1 leaf oversubscription per flow
+		CrossPodBW:   netBW / 4, // 4:1 spine oversubscription per flow
+		// Aggregate uplinks: a rack's 4 NICs share a 2:1-oversubscribed
+		// uplink; a pod's 8 rack uplinks share a 4:1-oversubscribed
+		// spine port.
+		RackUplinkBW: float64(nodesPerRack) * netBW / 2,
+		PodUplinkBW:  float64(racksPerPod) * float64(nodesPerRack) * netBW / 4,
+	}
+	return t
 }
 
 // Cloud with n devices (multiple of 4) using the Cloud32 link profile;

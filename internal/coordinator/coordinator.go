@@ -161,6 +161,22 @@ type Options struct {
 	// Recovery tunes transactional reconfiguration and graceful
 	// degradation; the zero value is the legacy fail-fast coordinator.
 	Recovery RecoveryPolicy
+	// RecordDecisions collects the wall-clock latency of every
+	// decision-plane event handler into Result.DecisionNs — the metric
+	// the dcscale experiments gate on. Only the handler itself is
+	// timed: plan/transform execution (flush) and invariant audits are
+	// verification machinery of the simulator, not work a production
+	// control plane would do per decision.
+	RecordDecisions bool
+	// AuditStride runs the expensive per-event runtime audit (PTC
+	// validation for every running job) on every AuditStride-th event
+	// only; 0 or 1 audits every event (the default, unchanged
+	// behavior). The terminal auditAll sweep always runs, so a
+	// divergence still fails the run — a larger stride only delays
+	// where it surfaces. Datacenter-scale simulations (200 jobs ×
+	// thousands of events) set this to keep O(jobs·state) validation
+	// from dominating the run.
+	AuditStride int
 	// Obs, when non-nil, records an end-to-end trace of the run —
 	// decision-plane events, per-change execution phases and (at
 	// LevelDatapath) per-assignment and per-store-operation detail —
@@ -343,6 +359,10 @@ type Result struct {
 	// WallNs is the real time the run took — the cost of executing the
 	// control plane plus (in ModeWall) the paced schedule.
 	WallNs int64
+	// DecisionNs holds the wall-clock nanoseconds each decision-plane
+	// event handler took, in processing order; populated only when
+	// Options.RecordDecisions is set.
+	DecisionNs []int64
 }
 
 // Render formats the timeline and summary as text.
@@ -508,6 +528,9 @@ type sim struct {
 	retryBytes  int64
 	recoverySec float64
 
+	decisionNs []int64 // per-event handler latency (RecordDecisions)
+	eventIdx   int     // processed-event counter (AuditStride)
+
 	// tr/reg are Options.Obs and its registry (both nil when off).
 	tr  *obs.Tracer
 	reg *obs.Registry
@@ -646,6 +669,11 @@ func Run(topo *cluster.Topology, specs []JobSpec, failures []FailureSpec, opts O
 			s.traceDecision(e)
 			s.reg.Add("coord.events", 1)
 		}
+		s.eventIdx++
+		var decideStart time.Time
+		if opts.RecordDecisions {
+			decideStart = time.Now()
+		}
 		var err error
 		switch e.kind {
 		case evArrival:
@@ -664,6 +692,9 @@ func Run(topo *cluster.Topology, specs []JobSpec, failures []FailureSpec, opts O
 			err = s.onLinkChange(e.worker, e.factor)
 		case evLinkRestore:
 			err = s.onLinkChange(e.worker, 1)
+		}
+		if opts.RecordDecisions {
+			s.decisionNs = append(s.decisionNs, time.Since(decideStart).Nanoseconds())
 		}
 		if err == nil {
 			err = s.flush()
@@ -969,6 +1000,7 @@ func (s *sim) requeueJob(j *simJob) {
 	s.requeues++
 	s.reg.Add("coord.requeues", 1)
 	if max := s.opts.Recovery.MaxRequeues; max > 0 && j.requeues > max {
+		s.cache.DropJob(name)
 		j.state = jobLost
 		j.doneMin = s.now
 		s.record(TimelineEvent{TimeMin: s.now, Job: name, Kind: EvLost,
@@ -1059,7 +1091,14 @@ func evName(k evKind) string {
 }
 
 // traceDecision records one decision-plane span per processed event.
+// The nil-tracer fast path returns before building the attrs map, so a
+// run without observability pays zero allocations per event here (the
+// hot rescore loop processes thousands of events at datacenter scale);
+// TestDecisionObsOffNoAllocs guards this.
 func (s *sim) traceDecision(e event) {
+	if !s.tr.Enabled() {
+		return
+	}
 	var attrs map[string]any
 	switch e.kind {
 	case evFailure, evDevRecover, evSpotNotice, evSpotDeadline:
@@ -1234,7 +1273,7 @@ func (s *sim) choosePlacement(j *simJob, cfg parallel.Config, n int, cur cluster
 	var cands []*PlacementCandidate
 	for _, set := range sets {
 		full := append(append(cluster.Allocation(nil), cur...), set...)
-		ps := s.cache.ScorePlacement(j.spec.Model, cfg, s.topo, full, curPl, s.opts.Perf)
+		ps := s.cache.ScorePlacementFor(j.spec.Name, j.spec.Model, cfg, s.topo, full, curPl, s.opts.Perf)
 		if !ps.Feasible {
 			continue
 		}
@@ -1274,7 +1313,7 @@ func (s *sim) evictCostFor(r *simJob, floor, need int) (float64, int) {
 	if !ok || n >= len(r.alloc) {
 		return math.Inf(1), 0
 	}
-	cps, err := s.cache.CheapestPlacement(r.spec.Model, s.topo, r.alloc[:n],
+	cps, err := s.cache.CheapestPlacementFor(r.spec.Name, r.spec.Model, s.topo, r.alloc[:n],
 		perfmodel.Placement{Alloc: r.alloc, Config: r.cfg}, s.opts.Perf)
 	if err != nil {
 		return math.Inf(1), 0
@@ -1291,7 +1330,7 @@ func (s *sim) shrinkConfig(j *simJob, est perfmodel.Estimate, alloc cluster.Allo
 	if !s.opts.Placement {
 		return est.Config
 	}
-	cps, err := s.cache.CheapestPlacement(j.spec.Model, s.topo, alloc,
+	cps, err := s.cache.CheapestPlacementFor(j.spec.Name, j.spec.Model, s.topo, alloc,
 		perfmodel.Placement{Alloc: j.alloc, Config: j.cfg}, s.opts.Perf)
 	if err != nil {
 		return est.Config
@@ -1361,6 +1400,7 @@ func (s *sim) onComplete(name string) error {
 	s.record(TimelineEvent{TimeMin: s.now, Job: name, Kind: EvComplete,
 		GPUs: 0, Note: fmt.Sprintf("state verified intact after %d resizes", j.resizes)})
 	s.ledger.ReleaseAll(name)
+	s.cache.DropJob(name)
 	j.state = jobDone
 	j.doneMin = s.now
 	if err := s.admitQueued(); err != nil {
@@ -1404,6 +1444,7 @@ func (s *sim) deviceDown(dev cluster.DeviceID, note string) error {
 	if !ok || n == 0 {
 		// No devices left to recover onto: the job is lost.
 		s.ledger.ReleaseAll(owner)
+		s.cache.DropJob(owner)
 		j.state = jobLost
 		j.doneMin = s.now
 		j.ver++
@@ -1838,6 +1879,14 @@ func (s *sim) defragJobs() error {
 	for _, j := range s.running() {
 		cur := j.alloc
 		curWorkers := len(cur.Workers(s.topo))
+		// Cheap exact prune: the minimal achievable worker spread comes
+		// straight from the ledger's per-worker summaries, so jobs no
+		// compaction can improve skip the O(free-pool) candidate
+		// materialization entirely — at datacenter scale that is nearly
+		// every job on every event.
+		if s.ledger.MinLeaseSpread(j.spec.Name, len(cur)) >= curWorkers {
+			continue
+		}
 		candidate, ok := s.pickCompact(j.spec.Name, len(cur))
 		if !ok {
 			continue
@@ -1852,8 +1901,8 @@ func (s *sim) defragJobs() error {
 		// migration that choice avoided.
 		if s.opts.Placement {
 			curPl := perfmodel.Placement{Alloc: cur, Config: j.cfg}
-			have := s.cache.ScorePlacement(j.spec.Model, j.cfg, s.topo, cur, curPl, s.opts.Perf)
-			want := s.cache.ScorePlacement(j.spec.Model, j.cfg, s.topo, candidate, curPl, s.opts.Perf)
+			have := s.cache.ScorePlacementFor(j.spec.Name, j.spec.Model, j.cfg, s.topo, cur, curPl, s.opts.Perf)
+			want := s.cache.ScorePlacementFor(j.spec.Name, j.spec.Model, j.cfg, s.topo, candidate, curPl, s.opts.Perf)
 			if !want.Feasible || !have.Feasible || want.Score <= have.Score {
 				continue
 			}
@@ -2065,13 +2114,19 @@ func (s *sim) checkInvariants() error {
 					j.spec.Name, d)
 			}
 		}
-		if s.opts.Mode == ModeSim && j.rt.ptc != nil {
+		if s.opts.Mode == ModeSim && j.rt.ptc != nil && s.auditDue() {
 			if err := auditRuntime(j); err != nil {
 				return err
 			}
 		}
 	}
 	return nil
+}
+
+// auditDue reports whether the current event is one of the
+// AuditStride-th events that run the full per-job runtime audit.
+func (s *sim) auditDue() bool {
+	return s.opts.AuditStride <= 1 || s.eventIdx%s.opts.AuditStride == 0
 }
 
 // auditRuntime asserts that a job's execution plane caught up with the
@@ -2136,6 +2191,7 @@ func (s *sim) result(start time.Time) Result {
 		QuarantinedDevices: len(s.quarantined),
 		RetryBytes:         s.retryBytes,
 		RecoverySec:        s.recoverySec,
+		DecisionNs:         s.decisionNs,
 	}
 	if s.now > 0 {
 		res.MeanUtilization = s.utilIntegral / (float64(s.topo.NumDevices()) * s.now)

@@ -2,6 +2,7 @@ package coordinator
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 
 	"tenplex/internal/cluster"
@@ -17,6 +18,17 @@ import (
 // the ledger, the placement scorer and the perfmodel cache generations
 // all read. The Ledger is mutated only by the coordinator's event loop
 // and is therefore not internally locked.
+//
+// For datacenter-scale topologies the ledger maintains the free pool
+// incrementally instead of rescanning every device per decision:
+// per-worker free-device lists, per-count worker bitmaps (so "workers
+// with the most/fewest free devices" resolves by scanning a handful of
+// machine words instead of sorting all workers), and per-rack free
+// totals. Mutations only mark the touched workers dirty; the summaries
+// are lazily re-derived for exactly those workers at the next query —
+// the update-vs-recompute structure that keeps per-decision cost flat
+// in cluster size. The from-scratch enumeration is retained
+// (candidateSetsScratch) and property-tested byte-identical.
 type Ledger struct {
 	topo   *cluster.Topology
 	owner  map[cluster.DeviceID]string   // "" or absent = free
@@ -29,20 +41,178 @@ type Ledger struct {
 	// draining devices are healthy but excluded from the free pool —
 	// a spot-reclamation notice has promised their disappearance.
 	draining map[cluster.DeviceID]bool
+
+	// leased counts devices currently held by jobs, maintained on every
+	// mutation so LeasedCount is O(1) (the event loop reads it per
+	// event for utilization integration).
+	leased int
+
+	// Incremental free-pool summaries, derived lazily from owner /
+	// failed / draining state. freeByWorker[w] holds worker w's free
+	// devices in ID order; countOf[w] its length (-1 before first
+	// sync); buckets[c] the set of workers with exactly c free devices;
+	// rackFree the per-rack free totals (hierarchical topologies).
+	// dirty is the set of workers whose summaries are stale; allDirty
+	// forces a full rebuild (first sync, or an out-of-band topology
+	// mutation detected via genSeen).
+	freeByWorker [][]cluster.DeviceID
+	countOf      []int
+	buckets      []workerBits
+	rackFree     []int
+	freeCount    int
+	dirty        map[int]struct{}
+	allDirty     bool
+	genSeen      uint64
+}
+
+// workerBits is a bitmap over worker indices; buckets use it so the
+// "workers with c free devices" sets support O(1) insert/remove and
+// ID-ordered iteration by scanning words.
+type workerBits []uint64
+
+func newWorkerBits(n int) workerBits { return make(workerBits, (n+63)/64) }
+
+func (b workerBits) set(w int)   { b[w>>6] |= 1 << uint(w&63) }
+func (b workerBits) clear(w int) { b[w>>6] &^= 1 << uint(w&63) }
+
+func (b workerBits) count() int {
+	n := 0
+	for _, word := range b {
+		n += bits.OnesCount64(word)
+	}
+	return n
+}
+
+// ascend calls f for every set worker in ascending ID order, stopping
+// when f returns false.
+func (b workerBits) ascend(f func(w int) bool) {
+	for i, word := range b {
+		for word != 0 {
+			w := i<<6 + bits.TrailingZeros64(word)
+			word &= word - 1
+			if !f(w) {
+				return
+			}
+		}
+	}
 }
 
 // NewLedger starts with every device of the topology free; device
 // health is read from (and written through to) the topology.
 func NewLedger(topo *cluster.Topology) *Ledger {
 	return &Ledger{
-		topo:   topo,
-		owner:  map[cluster.DeviceID]string{},
-		leases: map[string]cluster.Allocation{},
+		topo:     topo,
+		owner:    map[cluster.DeviceID]string{},
+		leases:   map[string]cluster.Allocation{},
+		dirty:    map[int]struct{}{},
+		allDirty: true,
 	}
+}
+
+// markDirty flags device d's worker for lazy summary refresh.
+func (l *Ledger) markDirty(d cluster.DeviceID) {
+	if l.allDirty {
+		return
+	}
+	l.dirty[l.topo.WorkerOf(d)] = struct{}{}
+}
+
+// sync brings the free-pool summaries up to date: only workers touched
+// since the last query are re-derived. A topology generation the
+// ledger's own mutations don't account for (health mutated behind the
+// ledger's back) conservatively rebuilds everything.
+func (l *Ledger) sync() {
+	if l.freeByWorker == nil {
+		nw := l.topo.NumWorkers()
+		l.freeByWorker = make([][]cluster.DeviceID, nw)
+		l.countOf = make([]int, nw)
+		for i := range l.countOf {
+			l.countOf[i] = -1
+		}
+		maxPer := 0
+		for i := range l.topo.Workers {
+			if n := len(l.topo.Workers[i].Devices); n > maxPer {
+				maxPer = n
+			}
+		}
+		l.buckets = make([]workerBits, maxPer+1)
+		for c := range l.buckets {
+			l.buckets[c] = newWorkerBits(nw)
+		}
+		l.rackFree = make([]int, l.topo.NumRacks())
+		l.allDirty = true
+	}
+	if g := l.topo.Generation(); g != l.genSeen {
+		l.allDirty = true
+		l.genSeen = g
+	}
+	if l.allDirty {
+		for w := range l.freeByWorker {
+			l.rebuildWorker(w)
+		}
+		l.allDirty = false
+		for w := range l.dirty {
+			delete(l.dirty, w)
+		}
+		return
+	}
+	for w := range l.dirty {
+		l.rebuildWorker(w)
+		delete(l.dirty, w)
+	}
+}
+
+// rebuildWorker re-derives one worker's free list (worker device lists
+// are ID-ascending by construction, so the result is too) and moves the
+// worker between count buckets.
+func (l *Ledger) rebuildWorker(w int) {
+	list := l.freeByWorker[w][:0]
+	for _, d := range l.topo.Workers[w].Devices {
+		if l.owner[d] == "" && !l.topo.FailedDevice(d) && !l.draining[d] {
+			list = append(list, d)
+		}
+	}
+	l.freeByWorker[w] = list
+	n := len(list)
+	old := l.countOf[w]
+	if old == n {
+		return
+	}
+	if old >= 0 {
+		l.buckets[old].clear(w)
+		l.freeCount -= old
+		l.rackFree[l.topo.RackOf(w)] -= old
+	}
+	l.buckets[n].set(w)
+	l.countOf[w] = n
+	l.freeCount += n
+	l.rackFree[l.topo.RackOf(w)] += n
 }
 
 // Free returns the healthy, unleased, non-draining devices in ID order.
 func (l *Ledger) Free() []cluster.DeviceID {
+	l.sync()
+	out := make([]cluster.DeviceID, 0, l.freeCount)
+	sorted := true
+	for w := range l.freeByWorker {
+		for _, d := range l.freeByWorker[w] {
+			if len(out) > 0 && d < out[len(out)-1] {
+				sorted = false
+			}
+			out = append(out, d)
+		}
+	}
+	if !sorted {
+		// Device IDs are worker-major in every constructor, so this is
+		// only reachable for hand-built exotic topologies.
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	}
+	return out
+}
+
+// freeScratch is the retained from-scratch free scan, the reference
+// the incremental summaries are property-tested against.
+func (l *Ledger) freeScratch() []cluster.DeviceID {
 	var out []cluster.DeviceID
 	for _, d := range l.topo.Devices {
 		if l.owner[d.ID] == "" && !l.topo.FailedDevice(d.ID) && !l.draining[d.ID] {
@@ -52,28 +222,20 @@ func (l *Ledger) Free() []cluster.DeviceID {
 	return out
 }
 
-// FreeCount returns the number of healthy, unleased devices.
-func (l *Ledger) FreeCount() int { return len(l.Free()) }
+// FreeCount returns the number of healthy, unleased devices, O(1)
+// after the lazy summary refresh.
+func (l *Ledger) FreeCount() int {
+	l.sync()
+	return l.freeCount
+}
 
 // Healthy returns the number of non-failed devices.
 func (l *Ledger) Healthy() int {
-	n := 0
-	for _, d := range l.topo.Devices {
-		if !l.topo.FailedDevice(d.ID) {
-			n++
-		}
-	}
-	return n
+	return l.topo.NumDevices() - l.topo.FailedCount()
 }
 
 // LeasedCount returns the number of devices currently leased to jobs.
-func (l *Ledger) LeasedCount() int {
-	n := 0
-	for _, a := range l.leases {
-		n += len(a)
-	}
-	return n
-}
+func (l *Ledger) LeasedCount() int { return l.leased }
 
 // Owner returns the job holding device d, if any.
 func (l *Ledger) Owner(d cluster.DeviceID) (string, bool) {
@@ -111,8 +273,10 @@ func (l *Ledger) Lease(job string, devs ...cluster.DeviceID) error {
 	}
 	for _, d := range devs {
 		l.owner[d] = job
+		l.markDirty(d)
 	}
 	l.leases[job] = append(l.leases[job], devs...)
+	l.leased += len(devs)
 	return nil
 }
 
@@ -131,6 +295,7 @@ func (l *Ledger) Release(job string, devs ...cluster.DeviceID) error {
 	}
 	for _, d := range devs {
 		delete(l.owner, d)
+		l.markDirty(d)
 	}
 	kept := l.leases[job][:0]
 	for _, d := range l.leases[job] {
@@ -143,6 +308,7 @@ func (l *Ledger) Release(job string, devs ...cluster.DeviceID) error {
 	} else {
 		l.leases[job] = kept
 	}
+	l.leased -= len(devs)
 	return nil
 }
 
@@ -150,7 +316,9 @@ func (l *Ledger) Release(job string, devs ...cluster.DeviceID) error {
 func (l *Ledger) ReleaseAll(job string) {
 	for _, d := range l.leases[job] {
 		delete(l.owner, d)
+		l.markDirty(d)
 	}
+	l.leased -= len(l.leases[job])
 	delete(l.leases, job)
 }
 
@@ -170,6 +338,8 @@ func (l *Ledger) MarkFailed(d cluster.DeviceID) string {
 	}
 	job := l.owner[d]
 	l.topo.MarkFailed(d)
+	l.genSeen = l.topo.Generation()
+	l.markDirty(d)
 	if l.suspicion == nil {
 		l.suspicion = map[cluster.DeviceID]int{}
 	}
@@ -184,6 +354,7 @@ func (l *Ledger) MarkFailed(d cluster.DeviceID) string {
 			}
 		}
 		l.leases[job] = kept
+		l.leased--
 	}
 	return job
 }
@@ -193,7 +364,12 @@ func (l *Ledger) MarkFailed(d cluster.DeviceID) string {
 // whether to call it at all — a quarantined device is simply never
 // recovered. A no-op for healthy devices.
 func (l *Ledger) MarkRecovered(d cluster.DeviceID) {
+	if !l.topo.FailedDevice(d) {
+		return
+	}
 	l.topo.MarkRecovered(d)
+	l.genSeen = l.topo.Generation()
+	l.markDirty(d)
 }
 
 // Suspicion returns the number of fail transitions observed for d.
@@ -205,12 +381,14 @@ func (l *Ledger) Suspicion(d cluster.DeviceID) int { return l.suspicion[d] }
 func (l *Ledger) SetDraining(d cluster.DeviceID, on bool) {
 	if !on {
 		delete(l.draining, d)
+		l.markDirty(d)
 		return
 	}
 	if l.draining == nil {
 		l.draining = map[cluster.DeviceID]bool{}
 	}
 	l.draining[d] = true
+	l.markDirty(d)
 }
 
 // Draining reports whether device d is draining.
@@ -231,7 +409,9 @@ func (l *Ledger) Validate() error {
 		jobs = append(jobs, job)
 	}
 	sort.Strings(jobs)
+	leased := 0
 	for _, job := range jobs {
+		leased += len(l.leases[job])
 		for _, d := range l.leases[job] {
 			if prev, ok := fromLeases[d]; ok {
 				return fmt.Errorf("coordinator: device %d leased to both %s and %s", d, prev, job)
@@ -250,6 +430,9 @@ func (l *Ledger) Validate() error {
 			return fmt.Errorf("coordinator: owner map has %d -> %s without a matching lease", d, job)
 		}
 	}
+	if leased != l.leased {
+		return fmt.Errorf("coordinator: leased-device counter %d disagrees with leases (%d)", l.leased, leased)
+	}
 	return nil
 }
 
@@ -260,11 +443,19 @@ func (l *Ledger) Validate() error {
 // devices are taken in ID order. The choice is deterministic. ok is
 // false when fewer than n devices are free.
 func (l *Ledger) Pick(n int, prefer cluster.Allocation) ([]cluster.DeviceID, bool) {
+	l.sync()
+	return l.packFast(n, l.preferredWorkers(prefer), false)
+}
+
+func (l *Ledger) preferredWorkers(prefer cluster.Allocation) map[int]bool {
+	if len(prefer) == 0 {
+		return nil
+	}
 	preferred := map[int]bool{}
 	for _, d := range prefer {
 		preferred[l.topo.WorkerOf(d)] = true
 	}
-	return packCompact(l.topo, l.Free(), n, preferred)
+	return preferred
 }
 
 // CandidateSets enumerates up to k distinct lease-feasible device sets
@@ -275,15 +466,269 @@ func (l *Ledger) Pick(n int, prefer cluster.Allocation) ([]cluster.DeviceID, boo
 // exactly to the count-based behavior. The remaining candidates come
 // from deterministic heuristics with different biases: compact packing
 // without worker affinity, best-fit packing that consumes fragmented
-// workers first (leaving whole machines for future gangs), whole
-// single-worker sets (all-NVLink TP groups), and a round-robin spread
-// across workers (one NIC per DP replica). Duplicates are removed; the
-// result is deterministic.
+// workers first (leaving whole machines for future gangs), a rack-local
+// pack on hierarchical topologies (all candidates behind one rack
+// switch), whole single-worker sets (all-NVLink TP groups), and a
+// round-robin spread across workers (one NIC per DP replica).
+// Duplicates are removed; the result is deterministic.
+//
+// The enumeration runs on the incremental per-worker summaries: only
+// workers touched since the last decision are re-derived, so the cost
+// is governed by the candidate size and the event's footprint, not the
+// cluster size. candidateSetsScratch retains the from-scratch
+// enumeration; a seeded property suite holds the two byte-identical.
 func (l *Ledger) CandidateSets(n, k int, prefer cluster.Allocation) []cluster.Allocation {
 	if n < 1 || k < 1 {
 		return nil
 	}
-	free := l.Free()
+	l.sync()
+	if l.freeCount < n {
+		return nil
+	}
+	preferred := l.preferredWorkers(prefer)
+	var out []cluster.Allocation
+	seen := map[string]bool{}
+	add := func(devs []cluster.DeviceID, ok bool) {
+		if !ok || len(out) >= k {
+			return
+		}
+		sig := cluster.Allocation(devs).Signature()
+		if seen[sig] {
+			return
+		}
+		seen[sig] = true
+		out = append(out, append(cluster.Allocation(nil), devs...))
+	}
+	add(l.packFast(n, preferred, false))
+	add(l.packFast(n, nil, false))
+	add(l.packFast(n, preferred, true))
+	if l.topo.Hier != nil {
+		add(l.packRackFast(n))
+	}
+	// Whole single-worker sets: the best possible interconnect for a
+	// TP-heavy configuration.
+	l.wholeWorkerSets(n, add)
+	add(l.packSpreadFast(n))
+	return out
+}
+
+// walkPack visits workers in packing order — preferred workers first
+// (sorted by free count, ties by ID), then the rest bucket by bucket —
+// with asc selecting best-fit (fewest free first) versus compact (most
+// free first). f returns false to stop the walk.
+func (l *Ledger) walkPack(preferred map[int]bool, asc bool, f func(w int) bool) {
+	if len(preferred) > 0 {
+		pws := make([]int, 0, len(preferred))
+		for w := range preferred {
+			if w >= 0 && w < len(l.countOf) && l.countOf[w] > 0 {
+				pws = append(pws, w)
+			}
+		}
+		sort.Slice(pws, func(i, j int) bool {
+			wi, wj := pws[i], pws[j]
+			ci, cj := l.countOf[wi], l.countOf[wj]
+			if ci != cj {
+				if asc {
+					return ci < cj
+				}
+				return ci > cj
+			}
+			return wi < wj
+		})
+		for _, w := range pws {
+			if !f(w) {
+				return
+			}
+		}
+	}
+	stopped := false
+	visit := func(w int) bool {
+		if preferred[w] {
+			return true
+		}
+		if !f(w) {
+			stopped = true
+			return false
+		}
+		return true
+	}
+	if asc {
+		for c := 1; c < len(l.buckets) && !stopped; c++ {
+			l.buckets[c].ascend(visit)
+		}
+	} else {
+		for c := len(l.buckets) - 1; c >= 1 && !stopped; c-- {
+			l.buckets[c].ascend(visit)
+		}
+	}
+}
+
+// packFast packs n free devices in compact (asc false: most-free
+// workers first) or best-fit (asc true: fewest-free first) order,
+// preferred workers leading either way. It reproduces
+// packCompact/packBestFit over the full free list exactly, via the
+// incremental summaries.
+func (l *Ledger) packFast(n int, preferred map[int]bool, asc bool) ([]cluster.DeviceID, bool) {
+	if l.freeCount < n {
+		return nil, false
+	}
+	out := make([]cluster.DeviceID, 0, n)
+	l.walkPack(preferred, asc, func(w int) bool {
+		for _, d := range l.freeByWorker[w] {
+			out = append(out, d)
+			if len(out) == n {
+				return false
+			}
+		}
+		return true
+	})
+	return out, len(out) == n
+}
+
+// packSpreadFast reproduces packSpread via the summaries: round-robin
+// over the workers with the most free devices. Only the first n workers
+// in (count desc, ID) order can ever contribute, so the walk
+// materializes at most n workers regardless of cluster size.
+func (l *Ledger) packSpreadFast(n int) ([]cluster.DeviceID, bool) {
+	if l.freeCount < n {
+		return nil, false
+	}
+	ws := make([]int, 0, n)
+	for c := len(l.buckets) - 1; c >= 1 && len(ws) < n; c-- {
+		l.buckets[c].ascend(func(w int) bool {
+			ws = append(ws, w)
+			return len(ws) < n
+		})
+	}
+	out := make([]cluster.DeviceID, 0, n)
+	for round := 0; len(out) < n; round++ {
+		took := false
+		for _, w := range ws {
+			if round < len(l.freeByWorker[w]) {
+				out = append(out, l.freeByWorker[w][round])
+				took = true
+				if len(out) == n {
+					return out, true
+				}
+			}
+		}
+		if !took {
+			break
+		}
+	}
+	return out, len(out) == n
+}
+
+// wholeWorkerSets feeds add every worker that can host the whole
+// allocation alone (ID order), via a union of the count buckets >= n.
+func (l *Ledger) wholeWorkerSets(n int, add func(devs []cluster.DeviceID, ok bool)) {
+	if n >= len(l.buckets) {
+		return
+	}
+	acc := newWorkerBits(len(l.countOf))
+	for c := n; c < len(l.buckets); c++ {
+		for i, word := range l.buckets[c] {
+			acc[i] |= word
+		}
+	}
+	acc.ascend(func(w int) bool {
+		add(l.freeByWorker[w][:n], true)
+		return true
+	})
+}
+
+// packRackFast packs n devices inside the single rack with the most
+// free devices (ties: lowest rack ID), workers by free count then ID —
+// the locality-aware candidate for hierarchical topologies: the whole
+// gang behind one rack switch, no oversubscribed uplink in its rings.
+func (l *Ledger) packRackFast(n int) ([]cluster.DeviceID, bool) {
+	best := -1
+	for r, c := range l.rackFree {
+		if c >= n && (best < 0 || c > l.rackFree[best]) {
+			best = r
+		}
+	}
+	if best < 0 {
+		return nil, false
+	}
+	out := make([]cluster.DeviceID, 0, n)
+	done := false
+	for c := len(l.buckets) - 1; c >= 1 && !done; c-- {
+		l.buckets[c].ascend(func(w int) bool {
+			if l.topo.RackOf(w) != best {
+				return true
+			}
+			for _, d := range l.freeByWorker[w] {
+				out = append(out, d)
+				if len(out) == n {
+					done = true
+					return false
+				}
+			}
+			return true
+		})
+	}
+	return out, len(out) == n
+}
+
+// MinLeaseSpread returns the smallest number of workers that could host
+// an n-device lease drawn from the job's own devices plus the free
+// pool — the worker count pickCompact's greedy most-free-first packing
+// achieves (greedy is exact for this covering objective). The
+// defragmenter uses it to skip jobs that no compaction can improve
+// without materializing the candidate allocation.
+func (l *Ledger) MinLeaseSpread(job string, n int) int {
+	l.sync()
+	own := map[int]int{}
+	for _, d := range l.leases[job] {
+		own[l.topo.WorkerOf(d)]++
+	}
+	// Effective per-worker availability: free + the job's own devices.
+	counts := make([]int, 0, len(own))
+	hist := make([]int, len(l.buckets))
+	for c := 1; c < len(l.buckets); c++ {
+		hist[c] = l.buckets[c].count()
+	}
+	for w, c := range own {
+		counts = append(counts, l.countOf[w]+c)
+		if l.countOf[w] > 0 {
+			hist[l.countOf[w]]--
+		}
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(counts)))
+	workers, i := 0, 0
+	c := len(hist) - 1
+	for n > 0 {
+		for c >= 1 && hist[c] == 0 {
+			c--
+		}
+		switch {
+		case i < len(counts) && (c < 1 || counts[i] >= c):
+			n -= counts[i]
+			i++
+		case c >= 1:
+			n -= c
+			hist[c]--
+		default:
+			return workers // not enough devices; callers pass feasible n
+		}
+		workers++
+	}
+	return workers
+}
+
+// candidateSetsScratch is the retained from-scratch enumeration: the
+// same candidate stream as CandidateSets, derived by rescanning the
+// whole device list and sorting all workers per heuristic. It exists
+// as the reference for the incremental path — the seeded property
+// suite asserts byte-identical output over thousands of interleaved
+// lease/reclaim/fail/drain sequences — and costs O(devices) per call,
+// which is exactly what the incremental summaries avoid.
+func (l *Ledger) candidateSetsScratch(n, k int, prefer cluster.Allocation) []cluster.Allocation {
+	if n < 1 || k < 1 {
+		return nil
+	}
+	free := l.freeScratch()
 	if len(free) < n {
 		return nil
 	}
@@ -307,6 +752,9 @@ func (l *Ledger) CandidateSets(n, k int, prefer cluster.Allocation) []cluster.Al
 	add(packCompact(l.topo, free, n, preferred))
 	add(packCompact(l.topo, free, n, nil))
 	add(packBestFit(l.topo, free, n, preferred))
+	if l.topo.Hier != nil {
+		add(packRackScratch(l.topo, free, n))
+	}
 	// Whole single-worker sets: the best possible interconnect for a
 	// TP-heavy configuration.
 	byWorker, workers := groupByWorker(l.topo, free)
@@ -397,6 +845,32 @@ func packSpread(topo *cluster.Topology, avail []cluster.DeviceID, n int) ([]clus
 		}
 	}
 	return out, len(out) == n
+}
+
+// packRackScratch is packRackFast's from-scratch reference: the rack
+// with the most available devices (ties: lowest rack ID), packed
+// compactly (workers by count desc, ID asc; devices in ID order).
+func packRackScratch(topo *cluster.Topology, avail []cluster.DeviceID, n int) ([]cluster.DeviceID, bool) {
+	rackFree := make([]int, topo.NumRacks())
+	for _, d := range avail {
+		rackFree[topo.RackOf(topo.WorkerOf(d))]++
+	}
+	best := -1
+	for r, c := range rackFree {
+		if c >= n && (best < 0 || c > rackFree[best]) {
+			best = r
+		}
+	}
+	if best < 0 {
+		return nil, false
+	}
+	inRack := make([]cluster.DeviceID, 0, rackFree[best])
+	for _, d := range avail {
+		if topo.RackOf(topo.WorkerOf(d)) == best {
+			inRack = append(inRack, d)
+		}
+	}
+	return packCompact(topo, inRack, n, nil)
 }
 
 // packCompact greedily packs n of the available devices onto as few

@@ -1,0 +1,188 @@
+package coordinator
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"tenplex/internal/cluster"
+)
+
+// The incremental candidate path must be indistinguishable from the
+// retained from-scratch enumeration: same candidates, same order, same
+// bytes — over arbitrary interleavings of every mutation the
+// coordinator performs (lease, release, fail-stop, recovery,
+// spot-drain, quarantine-style permanent failures). The property suite
+// drives both paths through seeded random event sequences on flat and
+// hierarchical topologies and compares after every step.
+
+// sigs flattens candidate allocations to signatures for comparison.
+func sigs(sets []cluster.Allocation) []string {
+	out := make([]string, len(sets))
+	for i, a := range sets {
+		out[i] = a.Signature()
+	}
+	return out
+}
+
+func equalSigs(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// checkAgainstScratch asserts the incremental ledger state matches the
+// from-scratch derivations for a spread of query shapes.
+func checkAgainstScratch(t *testing.T, l *Ledger, rng *rand.Rand, step int) {
+	t.Helper()
+	scratchFree := l.freeScratch()
+	free := l.Free()
+	if len(free) != len(scratchFree) {
+		t.Fatalf("step %d: Free() has %d devices, scratch %d", step, len(free), len(scratchFree))
+	}
+	for i := range free {
+		if free[i] != scratchFree[i] {
+			t.Fatalf("step %d: Free()[%d] = %d, scratch %d", step, i, free[i], scratchFree[i])
+		}
+	}
+	if got := l.FreeCount(); got != len(scratchFree) {
+		t.Fatalf("step %d: FreeCount() = %d, scratch %d", step, got, len(scratchFree))
+	}
+	n := 1 + rng.Intn(12)
+	k := 1 + rng.Intn(6)
+	var prefer cluster.Allocation
+	if len(scratchFree) > 0 && rng.Intn(2) == 0 {
+		prefer = cluster.Allocation{scratchFree[rng.Intn(len(scratchFree))]}
+	}
+	inc := l.CandidateSets(n, k, prefer)
+	ref := l.candidateSetsScratch(n, k, prefer)
+	if !equalSigs(sigs(inc), sigs(ref)) {
+		t.Fatalf("step %d: CandidateSets(%d, %d, %v) diverged\nincremental: %v\nscratch:     %v",
+			step, n, k, prefer, sigs(inc), sigs(ref))
+	}
+	if pick, ok := l.Pick(n, prefer); ok {
+		if len(ref) == 0 || cluster.Allocation(pick).Signature() != ref[0].Signature() {
+			t.Fatalf("step %d: Pick(%d) = %v disagrees with first scratch candidate", step, n, pick)
+		}
+	}
+}
+
+// driveLedger applies a seeded random mutation sequence, checking the
+// incremental summaries against the scratch path after every step.
+func driveLedger(t *testing.T, topo *cluster.Topology, seed int64, steps int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	l := NewLedger(topo)
+	nextJob := 0
+	active := []string{}
+	for step := 0; step < steps; step++ {
+		switch op := rng.Intn(10); {
+		case op < 4: // lease a new job
+			n := 1 + rng.Intn(8)
+			if devs, ok := l.Pick(n, nil); ok {
+				job := fmt.Sprintf("job-%d", nextJob)
+				nextJob++
+				if err := l.Lease(job, devs...); err != nil {
+					t.Fatalf("step %d: lease: %v", step, err)
+				}
+				active = append(active, job)
+			}
+		case op < 6: // release a job entirely
+			if len(active) > 0 {
+				i := rng.Intn(len(active))
+				l.ReleaseAll(active[i])
+				active = append(active[:i], active[i+1:]...)
+			}
+		case op < 7: // partial release
+			if len(active) > 0 {
+				job := active[rng.Intn(len(active))]
+				if own := l.Allocation(job); len(own) > 1 {
+					if err := l.Release(job, own[rng.Intn(len(own))]); err != nil {
+						t.Fatalf("step %d: release: %v", step, err)
+					}
+				}
+			}
+		case op < 8: // fail-stop a random device (owned or free)
+			l.MarkFailed(cluster.DeviceID(rng.Intn(topo.NumDevices())))
+		case op < 9: // recover a random device (no-op when healthy)
+			l.MarkRecovered(cluster.DeviceID(rng.Intn(topo.NumDevices())))
+		default: // spot-drain toggle
+			l.SetDraining(cluster.DeviceID(rng.Intn(topo.NumDevices())), rng.Intn(2) == 0)
+		}
+		if err := l.Validate(); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		checkAgainstScratch(t, l, rng, step)
+	}
+}
+
+// TestCandidateSetsIncrementalMatchesScratch is the property suite the
+// tentpole's acceptance criteria name: 300+ seeded event sequences,
+// byte-identical candidate enumeration on flat and hierarchical
+// topologies.
+func TestCandidateSetsIncrementalMatchesScratch(t *testing.T) {
+	seqs := 320
+	steps := 40
+	if testing.Short() {
+		seqs, steps = 60, 25
+	}
+	for seed := 0; seed < seqs; seed++ {
+		seed := seed
+		var topo *cluster.Topology
+		switch seed % 3 {
+		case 0:
+			topo = cluster.Cloud(32)
+		case 1:
+			topo = cluster.OnPrem16()
+		default:
+			topo = cluster.Datacenter(128)
+		}
+		driveLedger(t, topo, int64(seed)*7919+1, steps)
+	}
+}
+
+// TestMinLeaseSpreadMatchesPackCompact pins the defrag prune to the
+// packer it predicts: MinLeaseSpread must equal the worker count of
+// packCompact over own+free for every queried size.
+func TestMinLeaseSpreadMatchesPackCompact(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewSource(seed*104729 + 3))
+		topo := cluster.Cloud(32)
+		if seed%2 == 1 {
+			topo = cluster.Datacenter(64)
+		}
+		l := NewLedger(topo)
+		jobs := []string{"a", "b", "c"}
+		for _, job := range jobs {
+			if devs, ok := l.Pick(1+rng.Intn(6), nil); ok {
+				if err := l.Lease(job, devs...); err != nil {
+					t.Fatalf("lease: %v", err)
+				}
+			}
+		}
+		for i := 0; i < 5; i++ {
+			l.MarkFailed(cluster.DeviceID(rng.Intn(topo.NumDevices())))
+		}
+		for _, job := range jobs {
+			own := l.Allocation(job)
+			for n := 1; n <= len(own)+4; n++ {
+				avail := append(append(cluster.Allocation(nil), own...), l.Free()...)
+				packed, ok := packCompact(topo, avail, n, nil)
+				if !ok {
+					continue
+				}
+				want := len(cluster.Allocation(packed).Workers(topo))
+				if got := l.MinLeaseSpread(job, n); got != want {
+					t.Fatalf("seed %d job %s n=%d: MinLeaseSpread = %d, packCompact uses %d workers",
+						seed, job, n, got, want)
+				}
+			}
+		}
+	}
+}

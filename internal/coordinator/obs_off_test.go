@@ -1,0 +1,29 @@
+package coordinator
+
+import "testing"
+
+// The decision loop calls traceDecision for every processed event; at
+// datacenter scale (dcscale: 2048 devices, 200 jobs) that is thousands
+// of calls per run. With observability off (Options.Obs nil → nil
+// tracer) the call must return before building the attrs map — zero
+// allocations, or the obs hook taxes every run that never asked for
+// tracing.
+
+func TestDecisionObsOffNoAllocs(t *testing.T) {
+	s := &sim{} // nil tr, as in any run without Options.Obs
+	e := event{time: 12.5, kind: evFailure, job: "job-0", dev: 7}
+	if avg := testing.AllocsPerRun(1000, func() {
+		s.traceDecision(e)
+	}); avg != 0 {
+		t.Fatalf("traceDecision with nil tracer allocates %.1f per call, want 0", avg)
+	}
+}
+
+func BenchmarkDecisionObsOff(b *testing.B) {
+	s := &sim{}
+	e := event{time: 12.5, kind: evSpotNotice, job: "job-0", dev: 7, factor: 2}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.traceDecision(e)
+	}
+}

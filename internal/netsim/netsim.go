@@ -144,6 +144,25 @@ func Simulate(topo *cluster.Topology, flows []Flow) Result {
 				get("nic-out", ws, topo.WorkerNetBW(ws)).load += f.Bytes
 				get("nic-in", wd, topo.WorkerNetBW(wd)).load += f.Bytes
 				anyNet = anyNet || f.Bytes > 0
+				// Hierarchical fabric: flows leaving the rack also occupy
+				// the shared rack uplinks, and flows leaving the pod the
+				// shared per-pod spine ports — so many concurrent
+				// cross-rack transfers saturate the oversubscribed fabric,
+				// not just their endpoints' NICs. Flat topologies (Hier
+				// nil) take none of these loads and price byte-identically
+				// to the pre-hierarchy model.
+				if h := topo.Hier; h != nil {
+					rs, rd := topo.RackOf(ws), topo.RackOf(wd)
+					if rs != rd {
+						get("rack-out", rs, h.RackUplinkBW).load += f.Bytes
+						get("rack-in", rd, h.RackUplinkBW).load += f.Bytes
+						ps, pd := topo.PodOf(ws), topo.PodOf(wd)
+						if ps != pd {
+							get("pod-out", ps, h.PodUplinkBW).load += f.Bytes
+							get("pod-in", pd, h.PodUplinkBW).load += f.Bytes
+						}
+					}
+				}
 			}
 		}
 
@@ -214,19 +233,19 @@ func AllReduceTime(topo *cluster.Topology, devs []cluster.DeviceID, bytes int64)
 	if n <= 1 || bytes == 0 {
 		return 0
 	}
-	// Slowest link around the ring in allocation order.
+	// Slowest link around the ring in allocation order. PairBW resolves
+	// the pair's hierarchy distance in O(1): island, node, rack or pod —
+	// a cross-pod hop in a hierarchical topology is slower than a
+	// same-rack hop, so spread-out rings price worse. Flat topologies
+	// see exactly the original IntraBW/NetBW model.
 	worst := topo.NVLinkBW
 	crossWorker := false
 	for i := range devs {
 		a, b := devs[i], devs[(i+1)%n]
-		var bw float64
-		if topo.SameWorker(a, b) {
-			bw = topo.IntraBW(a, b)
-		} else {
-			bw = topo.NetBW
+		if !topo.SameWorker(a, b) {
 			crossWorker = true
 		}
-		if bw < worst {
+		if bw := topo.PairBW(a, b); bw < worst {
 			worst = bw
 		}
 	}
@@ -246,5 +265,5 @@ func PointToPointTime(topo *cluster.Topology, a, b cluster.DeviceID, bytes int64
 	if topo.SameWorker(a, b) {
 		return float64(bytes) / topo.IntraBW(a, b)
 	}
-	return float64(bytes)/topo.NetBW + topo.NetLatency
+	return float64(bytes)/topo.PairBW(a, b) + topo.NetLatency
 }

@@ -19,39 +19,62 @@ import (
 // configuration each time, which is wasteful for queries that repeat
 // thousands of times per simulation. Keys use pointer identity for the
 // model and topology, so callers must reuse their catalog and topology
-// values — which Tenplex jobs do by construction — plus the topology's
-// Generation, so a fail-stop device marking (or any other topology
-// mutation) invalidates every entry computed against the pre-mutation
-// cluster instead of silently serving stale results.
+// values — which Tenplex jobs do by construction.
+//
+// Staleness is tracked per touched region, not per topology: every
+// entry is stamped with the sum of the per-worker health epochs
+// (cluster.Topology.WorkerEpoch) of exactly the workers its inputs
+// touch. A device failure or link-scale change bumps only its own
+// worker's epoch, so it invalidates only the entries whose allocations
+// intersect that worker — at datacenter scale an event no longer wipes
+// scores for the ~200 jobs it cannot have affected. A stale lookup
+// counts as a miss and is recomputed in place.
+//
+// Growth is bounded: the cache holds at most Cap entries (default
+// DefaultCap; SetCap overrides). When an insert exceeds the cap,
+// stale-stamped entries are evicted first — they can never hit again —
+// then the oldest entries by insertion order until the cache is back
+// under cap. Placement entries are tagged with the querying job (the
+// *For variants) so DropJob can shed a completed job's scores eagerly.
+// Eviction never changes results: the sweeps are pure, so an evicted
+// entry is simply recomputed on the next query.
 //
 // Cache is safe for concurrent use. Concurrent misses for the same key
 // may both compute the sweep; the result is identical (the sweeps are
 // pure), so last-write-wins is harmless.
 type Cache struct {
-	mu     sync.Mutex
-	m      map[cacheKey]cacheEntry
-	pm     map[placementKey]placementEntry
-	hits   int64
-	misses int64
+	mu      sync.Mutex
+	m       map[cacheKey]cacheEntry
+	pm      map[placementKey]placementEntry
+	ord     []ordKey
+	ordHead int
+	cap     int
+	hits    int64
+	misses  int64
 }
+
+// DefaultCap is the default entry cap across both query kinds — ample
+// for a 2048-device, 200-job simulation while bounding a long run's
+// footprint to tens of MB.
+const DefaultCap = 1 << 16
 
 type cacheKey struct {
 	model *model.Model
 	topo  *cluster.Topology
-	gen   uint64
 	n     int
 	p     Params
 }
 
 type cacheEntry struct {
-	est Estimate
-	err error
+	est   Estimate
+	err   error
+	stamp uint64
+	ws    []int32 // workers the estimate depends on
 }
 
 type placementKey struct {
 	model *model.Model
 	topo  *cluster.Topology
-	gen   uint64
 	cfg   string // configuration under evaluation
 	alloc string // Allocation.Signature of the candidate set
 	cur   string // current allocation signature plus its configuration
@@ -59,33 +82,84 @@ type placementKey struct {
 }
 
 type placementEntry struct {
-	ps PlacementScore
+	ps    PlacementScore
+	stamp uint64
+	ws    []int32 // workers of alloc ∪ cur
+	job   string  // owning job for DropJob; "" = untagged
+}
+
+// ordKey records insertion order across both maps for FIFO eviction.
+type ordKey struct {
+	pm bool
+	ck cacheKey
+	pk placementKey
 }
 
 // NewCache returns an empty memoizing wrapper around Best and
-// BestPlacement.
+// BestPlacement, capped at DefaultCap entries.
 func NewCache() *Cache {
-	return &Cache{m: map[cacheKey]cacheEntry{}, pm: map[placementKey]placementEntry{}}
+	return &Cache{
+		m:   map[cacheKey]cacheEntry{},
+		pm:  map[placementKey]placementEntry{},
+		cap: DefaultCap,
+	}
+}
+
+// SetCap changes the entry cap; n <= 0 removes the bound. Shrinking
+// below the current size takes effect at the next insert.
+func (c *Cache) SetCap(n int) {
+	c.mu.Lock()
+	c.cap = n
+	c.mu.Unlock()
+}
+
+// stampOf sums the current health epochs of the given workers. Epochs
+// only grow, so the sum is monotone in every component: any mutation of
+// a listed worker changes the stamp. Duplicate workers are harmless.
+func stampOf(topo *cluster.Topology, ws []int32) uint64 {
+	var s uint64
+	for _, w := range ws {
+		s += topo.WorkerEpoch(int(w))
+	}
+	return s
+}
+
+// workersOf appends the (consecutively deduplicated) workers of the
+// allocation to ws.
+func workersOf(topo *cluster.Topology, alloc cluster.Allocation, ws []int32) []int32 {
+	for _, d := range alloc {
+		w := int32(topo.WorkerOf(d))
+		if len(ws) == 0 || ws[len(ws)-1] != w {
+			ws = append(ws, w)
+		}
+	}
+	return ws
 }
 
 // Best returns Best(m, topo, n, p), serving repeated queries from the
 // cache. Infeasible device counts (Best errors) are cached too, so the
 // coordinator's downward search for a feasible lease size stays cheap.
+// Entries are stamped over the workers of the first-n device prefix the
+// sweep prices against, so only mutations of those workers invalidate.
 func (c *Cache) Best(m *model.Model, topo *cluster.Topology, n int, p Params) (Estimate, error) {
-	k := cacheKey{model: m, topo: topo, gen: topo.Generation(), n: n, p: p}
+	k := cacheKey{model: m, topo: topo, n: n, p: p}
 	c.mu.Lock()
 	e, ok := c.m[k]
-	if ok {
+	if ok && stampOf(topo, e.ws) == e.stamp {
 		c.hits++
-	}
-	c.mu.Unlock()
-	if ok {
+		c.mu.Unlock()
 		return e.est, e.err
 	}
+	c.mu.Unlock()
 	est, err := Best(m, topo, n, p)
+	ws := workersOf(topo, topo.FirstN(n), nil)
 	c.mu.Lock()
 	c.misses++
-	c.m[k] = cacheEntry{est: est, err: err}
+	if _, existed := c.m[k]; !existed {
+		c.ord = append(c.ord, ordKey{ck: k})
+	}
+	c.m[k] = cacheEntry{est: est, err: err, stamp: stampOf(topo, ws), ws: ws}
+	c.evictLocked()
 	c.mu.Unlock()
 	return est, err
 }
@@ -97,8 +171,15 @@ func (c *Cache) Best(m *model.Model, topo *cluster.Topology, n int, p Params) (E
 // like feasible ones.
 func (c *Cache) ScorePlacement(m *model.Model, cfg parallel.Config, topo *cluster.Topology,
 	alloc cluster.Allocation, cur Placement, p Params) PlacementScore {
+	return c.ScorePlacementFor("", m, cfg, topo, alloc, cur, p)
+}
+
+// ScorePlacementFor is ScorePlacement with the entry tagged as owned by
+// job, so DropJob(job) sheds it when the job leaves the cluster.
+func (c *Cache) ScorePlacementFor(job string, m *model.Model, cfg parallel.Config, topo *cluster.Topology,
+	alloc cluster.Allocation, cur Placement, p Params) PlacementScore {
 	k := placementKey{
-		model: m, topo: topo, gen: topo.Generation(),
+		model: m, topo: topo,
 		cfg:   cfg.String(),
 		alloc: alloc.Signature(),
 		cur:   cur.Alloc.Signature() + "|" + cur.Config.String(),
@@ -106,17 +187,21 @@ func (c *Cache) ScorePlacement(m *model.Model, cfg parallel.Config, topo *cluste
 	}
 	c.mu.Lock()
 	e, ok := c.pm[k]
-	if ok {
+	if ok && stampOf(topo, e.ws) == e.stamp {
 		c.hits++
-	}
-	c.mu.Unlock()
-	if ok {
+		c.mu.Unlock()
 		return e.ps
 	}
+	c.mu.Unlock()
 	ps := ScorePlacement(m, cfg, topo, alloc, cur, p)
+	ws := workersOf(topo, cur.Alloc, workersOf(topo, alloc, nil))
 	c.mu.Lock()
 	c.misses++
-	c.pm[k] = placementEntry{ps: ps}
+	if _, existed := c.pm[k]; !existed {
+		c.ord = append(c.ord, ordKey{pm: true, pk: k})
+	}
+	c.pm[k] = placementEntry{ps: ps, stamp: stampOf(topo, ws), ws: ws, job: job}
+	c.evictLocked()
 	c.mu.Unlock()
 	return ps
 }
@@ -130,8 +215,15 @@ const cheapestKeyCfg = "<cheapest>"
 // configuration) is cached as an infeasible score.
 func (c *Cache) CheapestPlacement(m *model.Model, topo *cluster.Topology,
 	alloc cluster.Allocation, cur Placement, p Params) (PlacementScore, error) {
+	return c.CheapestPlacementFor("", m, topo, alloc, cur, p)
+}
+
+// CheapestPlacementFor is CheapestPlacement with the entry tagged as
+// owned by job, so DropJob(job) sheds it when the job leaves.
+func (c *Cache) CheapestPlacementFor(job string, m *model.Model, topo *cluster.Topology,
+	alloc cluster.Allocation, cur Placement, p Params) (PlacementScore, error) {
 	k := placementKey{
-		model: m, topo: topo, gen: topo.Generation(),
+		model: m, topo: topo,
 		cfg:   cheapestKeyCfg,
 		alloc: alloc.Signature(),
 		cur:   cur.Alloc.Signature() + "|" + cur.Config.String(),
@@ -139,25 +231,83 @@ func (c *Cache) CheapestPlacement(m *model.Model, topo *cluster.Topology,
 	}
 	c.mu.Lock()
 	e, ok := c.pm[k]
-	if ok {
+	if ok && stampOf(topo, e.ws) == e.stamp {
 		c.hits++
-	}
-	c.mu.Unlock()
-	if !ok {
+		c.mu.Unlock()
+	} else {
+		c.mu.Unlock()
 		ps, err := CheapestPlacement(m, topo, alloc, cur, p)
 		if err != nil {
 			ps = PlacementScore{Reason: err.Error()}
 		}
-		e = placementEntry{ps: ps}
+		ws := workersOf(topo, cur.Alloc, workersOf(topo, alloc, nil))
+		e = placementEntry{ps: ps, stamp: stampOf(topo, ws), ws: ws, job: job}
 		c.mu.Lock()
 		c.misses++
+		if _, existed := c.pm[k]; !existed {
+			c.ord = append(c.ord, ordKey{pm: true, pk: k})
+		}
 		c.pm[k] = e
+		c.evictLocked()
 		c.mu.Unlock()
 	}
 	if !e.ps.Feasible {
 		return PlacementScore{}, fmt.Errorf("perfmodel: %s", e.ps.Reason)
 	}
 	return e.ps, nil
+}
+
+// DropJob evicts every placement entry tagged with job (via the *For
+// variants) and returns the number dropped. The coordinator calls it
+// when a job completes or is lost, so a long multi-job run does not
+// retain scores for dead jobs until cap pressure finds them.
+func (c *Cache) DropJob(job string) int {
+	if job == "" {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for k, e := range c.pm {
+		if e.job == job {
+			delete(c.pm, k)
+			n++
+		}
+	}
+	return n
+}
+
+// evictLocked enforces the cap: stale-stamped entries go first (their
+// touched region mutated, so they can never hit again), then the
+// oldest entries by insertion order until the cache is 10% under cap.
+func (c *Cache) evictLocked() {
+	if c.cap <= 0 || len(c.m)+len(c.pm) <= c.cap {
+		return
+	}
+	for k, e := range c.m {
+		if stampOf(k.topo, e.ws) != e.stamp {
+			delete(c.m, k)
+		}
+	}
+	for k, e := range c.pm {
+		if stampOf(k.topo, e.ws) != e.stamp {
+			delete(c.pm, k)
+		}
+	}
+	target := c.cap - c.cap/10
+	for len(c.m)+len(c.pm) > target && c.ordHead < len(c.ord) {
+		o := c.ord[c.ordHead]
+		c.ordHead++
+		if o.pm {
+			delete(c.pm, o.pk)
+		} else {
+			delete(c.m, o.ck)
+		}
+	}
+	if c.ordHead > len(c.ord)/2 {
+		c.ord = append(c.ord[:0:0], c.ord[c.ordHead:]...)
+		c.ordHead = 0
+	}
 }
 
 // Stats reports cache hits and misses since creation (count-based and

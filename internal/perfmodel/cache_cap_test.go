@@ -1,0 +1,134 @@
+package perfmodel
+
+import (
+	"fmt"
+	"testing"
+
+	"tenplex/internal/cluster"
+	"tenplex/internal/model"
+	"tenplex/internal/parallel"
+)
+
+// TestCacheSurvivesUnrelatedFailure pins the epoch-locality property
+// the datacenter-scale control plane depends on: a device failure
+// invalidates only the entries whose allocations touch the failed
+// worker. Under the old generation-keyed cache, one failure wiped
+// every job's scores.
+func TestCacheSurvivesUnrelatedFailure(t *testing.T) {
+	m := model.GPTCustom(4, 16, 2, 32, 8)
+	topo := cluster.OnPrem16() // 4 workers x 4 devices
+	p := DefaultParams()
+	p.DeviceMemGB = 0
+	c := NewCache()
+	cfg := parallel.Config{TP: 1, PP: 2, DP: 2}
+	w0 := topo.FirstN(4)                                       // worker 0
+	w1 := cluster.Allocation{4, 5, 6, 7}                       // worker 1
+	if topo.WorkerOf(w1[0]) != 1 || topo.WorkerOf(w1[3]) != 1 { // layout guard
+		t.Fatalf("expected devices 4-7 on worker 1")
+	}
+	c.ScorePlacement(m, cfg, topo, w0, Placement{}, p)
+	c.ScorePlacement(m, cfg, topo, w1, Placement{}, p)
+
+	topo.MarkFailed(w0[0]) // bumps only worker 0's epoch
+
+	hitsBefore, missesBefore := c.Stats()
+	c.ScorePlacement(m, cfg, topo, w1, Placement{}, p)
+	if hits, _ := c.Stats(); hits != hitsBefore+1 {
+		t.Fatal("failure on worker 0 evicted worker 1's placement score")
+	}
+	c.ScorePlacement(m, cfg, topo, w0, Placement{}, p)
+	if _, misses := c.Stats(); misses != missesBefore+1 {
+		t.Fatal("failure on worker 0 did not invalidate worker 0's placement score")
+	}
+}
+
+// TestCacheDropJob: a completed job's tagged placement entries are shed
+// eagerly, other jobs' entries stay hot.
+func TestCacheDropJob(t *testing.T) {
+	m := model.GPTCustom(4, 16, 2, 32, 8)
+	topo := cluster.OnPrem16()
+	p := DefaultParams()
+	p.DeviceMemGB = 0
+	c := NewCache()
+	cfg := parallel.Config{TP: 1, PP: 2, DP: 2}
+	allocA := topo.FirstN(4)
+	allocB := cluster.Allocation{4, 5, 6, 7}
+	c.ScorePlacementFor("job-a", m, cfg, topo, allocA, Placement{}, p)
+	if _, err := c.CheapestPlacementFor("job-a", m, topo, allocA, Placement{Alloc: allocA, Config: cfg}, p); err != nil {
+		t.Fatal(err)
+	}
+	c.ScorePlacementFor("job-b", m, cfg, topo, allocB, Placement{}, p)
+	before := c.Len()
+
+	if n := c.DropJob("job-a"); n != 2 {
+		t.Fatalf("DropJob(job-a) dropped %d entries, want 2", n)
+	}
+	if got := c.Len(); got != before-2 {
+		t.Fatalf("Len() = %d after DropJob, want %d", got, before-2)
+	}
+	hitsBefore, _ := c.Stats()
+	c.ScorePlacementFor("job-b", m, cfg, topo, allocB, Placement{}, p)
+	if hits, _ := c.Stats(); hits != hitsBefore+1 {
+		t.Fatal("DropJob(job-a) evicted job-b's entry")
+	}
+	_, missesBefore := c.Stats()
+	c.ScorePlacementFor("job-a", m, cfg, topo, allocA, Placement{}, p)
+	if _, misses := c.Stats(); misses != missesBefore+1 {
+		t.Fatal("job-a's entry survived DropJob")
+	}
+	if n := c.DropJob(""); n != 0 {
+		t.Fatalf("DropJob(\"\") dropped %d entries, want 0", n)
+	}
+}
+
+// TestCacheCapBoundsGrowth: the cap holds under sustained distinct
+// queries, stale entries go first, and surviving fresh entries still
+// hit.
+func TestCacheCapBoundsGrowth(t *testing.T) {
+	m := model.GPTCustom(4, 16, 2, 32, 8)
+	topo := cluster.OnPrem16()
+	p := DefaultParams()
+	p.DeviceMemGB = 0
+	c := NewCache()
+	c.SetCap(8)
+	cfg := parallel.Config{TP: 1, PP: 2, DP: 2}
+	// Distinct keys via distinct current placements of the same alloc.
+	alloc := cluster.Allocation{4, 5, 6, 7}
+	for i := 0; i < 40; i++ {
+		cur := Placement{Alloc: cluster.Allocation{cluster.DeviceID(i % topo.NumDevices())}, Config: cfg}
+		c.ScorePlacementFor(fmt.Sprintf("job-%d", i), m, cfg, topo, alloc, cur, p)
+		if got := c.Len(); got > 8 {
+			t.Fatalf("insert %d: Len() = %d exceeds cap 8", i, got)
+		}
+	}
+
+	// Stale-first eviction: stamp one entry against worker 0, fail a
+	// worker-0 device, then overflow the cap — the stale entry is
+	// evicted (and would miss anyway), while the newest insert, at the
+	// FIFO tail, always survives.
+	c2 := NewCache()
+	c2.SetCap(4)
+	topo2 := cluster.OnPrem16()
+	w0 := topo2.FirstN(4)
+	c2.ScorePlacementFor("stale", m, cfg, topo2, w0, Placement{}, p)
+	topo2.MarkFailed(w0[0])
+	fresh := cluster.Allocation{4, 5, 6, 7}
+	var lastCur Placement
+	for i := 0; i < 6; i++ {
+		lastCur = Placement{Alloc: cluster.Allocation{cluster.DeviceID(8 + i)}, Config: cfg}
+		c2.ScorePlacementFor("filler", m, cfg, topo2, fresh, lastCur, p)
+	}
+	if got := c2.Len(); got > 4 {
+		t.Fatalf("Len() = %d exceeds cap 4", got)
+	}
+	hitsBefore, _ := c2.Stats()
+	c2.ScorePlacementFor("filler", m, cfg, topo2, fresh, lastCur, p)
+	if hits, _ := c2.Stats(); hits != hitsBefore+1 {
+		t.Fatal("newest entry did not survive eviction")
+	}
+	_, missesBefore := c2.Stats()
+	c2.ScorePlacementFor("stale", m, cfg, topo2, w0, Placement{}, p)
+	if _, misses := c2.Stats(); misses != missesBefore+1 {
+		t.Fatal("stale entry served after its worker's epoch moved")
+	}
+}
