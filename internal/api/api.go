@@ -1,0 +1,462 @@
+// Package api is the REST/JSON control plane over the coordinator
+// service: job submit/scale/cancel, status and cluster inspection, an
+// NDJSON event stream and a metrics endpoint, with per-tenant quotas
+// keyed by a bearer-token authn stub.
+//
+// The layer is deliberately a thin shell: every request either fails
+// at the API boundary (authn, quota, validation) or becomes exactly
+// one command on the coordinator's single-threaded decision plane —
+// the API adds no scheduling behavior and no nondeterminism of its
+// own.
+package api
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"time"
+
+	"tenplex/internal/cluster"
+	"tenplex/internal/coordinator"
+	"tenplex/internal/obs"
+)
+
+// Config wires the API server.
+type Config struct {
+	// Service is the running coordinator control plane.
+	Service *coordinator.Service
+	// Tenants are the accepted bearer-token principals; at least one.
+	Tenants []Tenant
+	// Registry receives API-side metrics (submit latency, request
+	// counts); a fresh one is created when nil.
+	Registry *obs.Registry
+}
+
+// Server is the HTTP control plane.
+type Server struct {
+	svc      *coordinator.Service
+	quotas   *quotas
+	reg      *obs.Registry
+	submitNs *obs.Histogram
+	mux      *http.ServeMux
+
+	mu     sync.Mutex
+	seq    int
+	stop   chan struct{}
+	closed bool
+}
+
+var nameRe = regexp.MustCompile(`^[A-Za-z0-9_-]{1,64}$`)
+
+// NewServer builds the API server and starts the timeline watcher that
+// settles quota reservations.
+func NewServer(cfg Config) (*Server, error) {
+	if cfg.Service == nil {
+		return nil, fmt.Errorf("api: needs a coordinator service")
+	}
+	if len(cfg.Tenants) == 0 {
+		return nil, fmt.Errorf("api: needs at least one tenant")
+	}
+	q, err := newQuotas(cfg.Tenants)
+	if err != nil {
+		return nil, err
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	s := &Server{
+		svc:      cfg.Service,
+		quotas:   q,
+		reg:      reg,
+		submitNs: reg.Histogram("api.submit_ns"),
+		mux:      http.NewServeMux(),
+		stop:     make(chan struct{}),
+	}
+	s.routes()
+	go s.watch()
+	return s, nil
+}
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("POST /v1/jobs", s.withAuth(s.handleSubmit))
+	s.mux.HandleFunc("GET /v1/jobs", s.withAuth(s.handleJobs))
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.withAuth(s.handleJob))
+	s.mux.HandleFunc("POST /v1/jobs/{id}/scale", s.withAuth(s.handleScale))
+	s.mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.withAuth(s.handleCancel))
+	s.mux.HandleFunc("GET /v1/cluster", s.withAuth(s.handleCluster))
+	s.mux.HandleFunc("POST /v1/cluster/fail", s.withAuth(s.handleFail))
+	s.mux.HandleFunc("GET /v1/events", s.withAuth(s.handleEvents))
+	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Listen serves on addr (":0" for an ephemeral port) and returns the
+// bound address plus a close func — the same contract as the store
+// server.
+func (s *Server) Listen(addr string) (string, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("api: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: s}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), func() error {
+		s.Close()
+		return srv.Close()
+	}, nil
+}
+
+// Close stops the timeline watcher. It does not stop the coordinator
+// service (the daemon owns that ordering).
+func (s *Server) Close() {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.stop)
+	}
+	s.mu.Unlock()
+}
+
+// watch subscribes to the coordinator timeline and settles quota
+// reservations from it; on overflow-disconnect it resubscribes (past
+// events are redelivered, which the idempotent settle logic absorbs).
+func (s *Server) watch() {
+	for {
+		past, ch, cancel, err := s.svc.Subscribe(4096)
+		if err != nil {
+			return // service stopped
+		}
+		for _, e := range past {
+			s.quotas.onEvent(e)
+		}
+		open := true
+		for open {
+			select {
+			case e, ok := <-ch:
+				if !ok {
+					open = false
+					break
+				}
+				s.quotas.onEvent(e)
+			case <-s.stop:
+				cancel()
+				return
+			}
+		}
+	}
+}
+
+// --- middleware and helpers ---
+
+type handler func(w http.ResponseWriter, r *http.Request, tn *tenantState)
+
+// withAuth resolves the bearer token before anything else: a missing
+// or unknown token is refused at the API boundary and never reaches
+// the decision plane.
+func (s *Server) withAuth(h handler) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		auth := r.Header.Get("Authorization")
+		token, ok := strings.CutPrefix(auth, "Bearer ")
+		if !ok || token == "" {
+			s.reg.Add("api.auth_failures", 1)
+			writeErr(w, http.StatusUnauthorized, "missing bearer token")
+			return
+		}
+		tn := s.quotas.auth(token)
+		if tn == nil {
+			s.reg.Add("api.auth_failures", 1)
+			writeErr(w, http.StatusUnauthorized, "unknown token")
+			return
+		}
+		h(w, r, tn)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	return true
+}
+
+// svcErr maps a decision-plane refusal to a status code; anything that
+// is not a request-validation failure means the plane itself faulted.
+func svcErr(w http.ResponseWriter, err error, clientCode int) {
+	switch {
+	case coordinator.IsClientError(err):
+		writeErr(w, clientCode, "%v", err)
+	case err == coordinator.ErrStopped:
+		writeErr(w, http.StatusServiceUnavailable, "%v", err)
+	default:
+		writeErr(w, http.StatusInternalServerError, "%v", err)
+	}
+}
+
+// --- handlers ---
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request, tn *tenantState) {
+	var req SubmitRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	m, err := req.Model.Build()
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if req.GPUs < 1 || req.DurationMin <= 0 {
+		writeErr(w, http.StatusBadRequest, "gpus must be >= 1 and duration_min > 0")
+		return
+	}
+	if req.Name != "" && !nameRe.MatchString(req.Name) {
+		writeErr(w, http.StatusBadRequest, "name must match %s", nameRe)
+		return
+	}
+	id := req.Name
+	if id == "" {
+		s.mu.Lock()
+		s.seq++
+		id = fmt.Sprintf("job%d", s.seq)
+		s.mu.Unlock()
+	}
+	id = tn.Name + "-" + id
+
+	// The reservation is the quota admission decision: it happens
+	// before the decision plane sees the job, so over-quota bursts are
+	// refused without queueing a single command.
+	reserve := req.GPUs
+	if req.MaxGPUs > reserve {
+		reserve = req.MaxGPUs
+	}
+	if err := s.quotas.reserveSubmit(tn, id, reserve); err != nil {
+		if _, isQuota := err.(quotaError); isQuota {
+			s.reg.Add("api.quota_rejections", 1)
+			writeErr(w, http.StatusTooManyRequests, "%v", err)
+		} else {
+			writeErr(w, http.StatusConflict, "%v", err)
+		}
+		return
+	}
+	t0 := time.Now()
+	err = s.svc.Submit(coordinator.JobSpec{
+		Name:        id,
+		Model:       m,
+		GPUs:        req.GPUs,
+		MinGPUs:     req.MinGPUs,
+		MaxGPUs:     req.MaxGPUs,
+		DurationMin: req.DurationMin,
+		Priority:    req.Priority,
+	})
+	s.submitNs.Observe(time.Since(t0).Nanoseconds())
+	s.reg.Add("api.submits", 1)
+	if err != nil {
+		s.quotas.releaseSubmit(id)
+		code := http.StatusBadRequest
+		if strings.Contains(err.Error(), "duplicate") {
+			code = http.StatusConflict
+		}
+		svcErr(w, err, code)
+		return
+	}
+	st, err := s.svc.Job(id)
+	if err != nil {
+		svcErr(w, err, http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, http.StatusCreated, SubmitResponse{ID: id, Job: st})
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request, tn *tenantState) {
+	all, err := s.svc.Jobs()
+	if err != nil {
+		svcErr(w, err, http.StatusInternalServerError)
+		return
+	}
+	owned := s.quotas.ownedIDs(tn)
+	resp := JobsResponse{Jobs: []coordinator.JobStatus{}}
+	for _, st := range all {
+		if owned[st.Name] {
+			resp.Jobs = append(resp.Jobs, st)
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request, tn *tenantState) {
+	id := r.PathValue("id")
+	if s.quotas.owned(tn, id) == nil {
+		writeErr(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	st, err := s.svc.Job(id)
+	if err != nil {
+		svcErr(w, err, http.StatusNotFound)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleScale(w http.ResponseWriter, r *http.Request, tn *tenantState) {
+	id := r.PathValue("id")
+	if s.quotas.owned(tn, id) == nil {
+		writeErr(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	var req ScaleRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if req.GPUs < 1 {
+		writeErr(w, http.StatusBadRequest, "gpus must be >= 1")
+		return
+	}
+	added, err := s.quotas.reserveScale(tn, id, req.GPUs)
+	if err != nil {
+		if _, isQuota := err.(quotaError); isQuota {
+			s.reg.Add("api.quota_rejections", 1)
+			writeErr(w, http.StatusTooManyRequests, "%v", err)
+		} else {
+			writeErr(w, http.StatusNotFound, "%v", err)
+		}
+		return
+	}
+	if err := s.svc.Scale(id, req.GPUs); err != nil {
+		s.quotas.unreserveScale(id, added)
+		svcErr(w, err, http.StatusConflict)
+		return
+	}
+	st, err := s.svc.Job(id)
+	if err != nil {
+		svcErr(w, err, http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request, tn *tenantState) {
+	id := r.PathValue("id")
+	if s.quotas.owned(tn, id) == nil {
+		writeErr(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	if err := s.svc.Cancel(id); err != nil {
+		svcErr(w, err, http.StatusConflict)
+		return
+	}
+	st, err := s.svc.Job(id)
+	if err != nil {
+		svcErr(w, err, http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request, tn *tenantState) {
+	cs, err := s.svc.Cluster()
+	if err != nil {
+		svcErr(w, err, http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, http.StatusOK, cs)
+}
+
+func (s *Server) handleFail(w http.ResponseWriter, r *http.Request, tn *tenantState) {
+	var req FailRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if err := s.svc.InjectFailure(cluster.DeviceID(req.Device)); err != nil {
+		svcErr(w, err, http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "injected"})
+}
+
+// handleEvents streams the coordinator timeline as NDJSON: the full
+// history first, then live events until the client disconnects or the
+// subscription overflows (slow consumers are cut, never buffered
+// unboundedly).
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request, tn *tenantState) {
+	past, ch, cancel, err := s.svc.Subscribe(4096)
+	if err != nil {
+		svcErr(w, err, http.StatusInternalServerError)
+		return
+	}
+	defer cancel()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	for _, e := range past {
+		if err := enc.Encode(e); err != nil {
+			return
+		}
+	}
+	if flusher != nil {
+		flusher.Flush()
+	}
+	for {
+		select {
+		case e, ok := <-ch:
+			if !ok {
+				return
+			}
+			if err := enc.Encode(e); err != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		case <-r.Context().Done():
+			return
+		case <-s.stop:
+			return
+		}
+	}
+}
+
+// handleMetrics merges the coordinator registry with the API layer's
+// own and summarizes the submit-latency histogram. Unauthenticated:
+// it is the scrape endpoint.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	resp := MetricsResponse{
+		Metrics: []MetricRowJSON{},
+		SubmitLatency: SubmitLatency{
+			Count: s.submitNs.Count(),
+			P50Ns: s.submitNs.Quantile(0.50),
+			P99Ns: s.submitNs.Quantile(0.99),
+		},
+	}
+	for _, rows := range [][]obs.MetricRow{s.svc.Metrics().Snapshot(), s.reg.Snapshot()} {
+		for _, row := range rows {
+			resp.Metrics = append(resp.Metrics, MetricRowJSON{
+				Name: row.Name, Kind: row.Kind, Int: row.Int,
+				Float: row.Float, Count: row.Count, Sum: row.Sum,
+			})
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

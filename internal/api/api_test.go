@@ -1,0 +1,318 @@
+package api
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"tenplex/internal/cluster"
+	"tenplex/internal/coordinator"
+	"tenplex/internal/obs"
+)
+
+func newTestStack(t *testing.T, devices int, tenants ...Tenant) (*coordinator.Service, *httptest.Server) {
+	t.Helper()
+	svc, err := coordinator.StartService(cluster.Cloud(devices), coordinator.Options{
+		WallScale: 2 * time.Millisecond,
+		Metrics:   obs.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatalf("StartService: %v", err)
+	}
+	srv, err := NewServer(Config{Service: svc, Tenants: tenants})
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	hs := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		hs.Close()
+		srv.Close()
+		svc.Stop()
+	})
+	return svc, hs
+}
+
+func doReq(t *testing.T, method, url, token string, body any) (int, []byte) {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatalf("request: %v", err)
+	}
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("%s %s: %v", method, url, err)
+	}
+	defer resp.Body.Close()
+	out, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, out
+}
+
+func submitReq(name string, gpus, maxGPUs int, durMin float64) SubmitRequest {
+	return SubmitRequest{
+		Name:        name,
+		Model:       ModelSpec{Preset: "gpt-tiny"},
+		GPUs:        gpus,
+		MinGPUs:     1,
+		MaxGPUs:     maxGPUs,
+		DurationMin: durMin,
+	}
+}
+
+// TestAuthRejectedBeforeDecisionPlane pins the 401 contract: a missing
+// or unknown bearer token is refused at the API boundary and the
+// decision plane never sees a command.
+func TestAuthRejectedBeforeDecisionPlane(t *testing.T) {
+	svc, hs := newTestStack(t, 4, Tenant{Name: "a", Token: "tok-a"})
+	// Let the server's own startup command (the watcher subscription)
+	// land before baselining.
+	time.Sleep(20 * time.Millisecond)
+	base := svc.CommandCount()
+
+	paths := []struct{ method, path string }{
+		{"POST", "/v1/jobs"},
+		{"GET", "/v1/jobs"},
+		{"GET", "/v1/jobs/x"},
+		{"POST", "/v1/jobs/x/scale"},
+		{"POST", "/v1/jobs/x/cancel"},
+		{"GET", "/v1/cluster"},
+		{"POST", "/v1/cluster/fail"},
+		{"GET", "/v1/events"},
+	}
+	for _, tok := range []string{"", "wrong-token"} {
+		for _, p := range paths {
+			code, body := doReq(t, p.method, hs.URL+p.path, tok, map[string]any{})
+			if code != http.StatusUnauthorized {
+				t.Fatalf("%s %s with token %q: %d %s", p.method, p.path, tok, code, body)
+			}
+		}
+	}
+	if got := svc.CommandCount(); got != base {
+		t.Fatalf("unauthenticated requests reached the decision plane: %d commands (baseline %d)", got, base)
+	}
+	// A valid token does reach it.
+	if code, body := doReq(t, "GET", hs.URL+"/v1/cluster", "tok-a", nil); code != http.StatusOK {
+		t.Fatalf("authed cluster: %d %s", code, body)
+	}
+	if got := svc.CommandCount(); got == base {
+		t.Fatalf("authed request never reached the decision plane")
+	}
+}
+
+// TestQuotaDevices pins the 429 contract for the device quota, and
+// that cancellation hands the reservation back.
+func TestQuotaDevices(t *testing.T) {
+	_, hs := newTestStack(t, 8, Tenant{Name: "a", Token: "tok-a", MaxDevices: 4})
+
+	code, body := doReq(t, "POST", hs.URL+"/v1/jobs", "tok-a", submitReq("big", 4, 4, 10000))
+	if code != http.StatusCreated {
+		t.Fatalf("submit big: %d %s", code, body)
+	}
+	code, body = doReq(t, "POST", hs.URL+"/v1/jobs", "tok-a", submitReq("extra", 1, 1, 10))
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("over-quota submit: %d %s", code, body)
+	}
+	// Scaling past the quota is refused too.
+	code, body = doReq(t, "POST", hs.URL+"/v1/jobs/a-big/scale", "tok-a", ScaleRequest{GPUs: 6})
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("over-quota scale: %d %s", code, body)
+	}
+	if code, body = doReq(t, "POST", hs.URL+"/v1/jobs/a-big/cancel", "tok-a", nil); code != http.StatusOK {
+		t.Fatalf("cancel: %d %s", code, body)
+	}
+	// The cancel event releases the reservation asynchronously.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		code, body = doReq(t, "POST", hs.URL+"/v1/jobs", "tok-a", submitReq(fmt.Sprintf("r%d", time.Now().UnixNano()), 2, 2, 5))
+		if code == http.StatusCreated {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("quota never released after cancel: %d %s", code, body)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestQuotaQueueDepthConcurrent fires a burst of concurrent submits at
+// a full cluster: exactly MaxQueuedJobs are admitted into the queue,
+// the rest get 429 — the reservation happens atomically at the API
+// boundary, not racily on the decision plane.
+func TestQuotaQueueDepthConcurrent(t *testing.T) {
+	_, hs := newTestStack(t, 4,
+		Tenant{Name: "op", Token: "tok-op"},
+		Tenant{Name: "b", Token: "tok-b", MaxQueuedJobs: 2})
+
+	// Occupy the whole cluster so tenant b's jobs stay queued.
+	code, body := doReq(t, "POST", hs.URL+"/v1/jobs", "tok-op", SubmitRequest{
+		Name: "hog", Model: ModelSpec{Preset: "gpt-tiny"},
+		GPUs: 4, MinGPUs: 4, MaxGPUs: 4, DurationMin: 100000,
+	})
+	if code != http.StatusCreated {
+		t.Fatalf("submit hog: %d %s", code, body)
+	}
+
+	const burst = 10
+	var wg sync.WaitGroup
+	codes := make([]int, burst)
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, _ := doReq(t, "POST", hs.URL+"/v1/jobs", "tok-b", submitReq(fmt.Sprintf("q%d", i), 1, 1, 10))
+			codes[i] = c
+		}(i)
+	}
+	wg.Wait()
+	created, refused := 0, 0
+	for _, c := range codes {
+		switch c {
+		case http.StatusCreated:
+			created++
+		case http.StatusTooManyRequests:
+			refused++
+		default:
+			t.Fatalf("unexpected status in burst: %v", codes)
+		}
+	}
+	if created != 2 || refused != burst-2 {
+		t.Fatalf("queue quota under burst: %d created, %d refused (want 2, %d)", created, refused, burst-2)
+	}
+}
+
+// TestJobLifecycleHTTP drives submit → status → scale → events →
+// metrics → cancel through the HTTP surface, plus tenant isolation.
+func TestJobLifecycleHTTP(t *testing.T) {
+	_, hs := newTestStack(t, 8,
+		Tenant{Name: "a", Token: "tok-a"},
+		Tenant{Name: "b", Token: "tok-b"})
+
+	code, body := doReq(t, "POST", hs.URL+"/v1/jobs", "tok-a", SubmitRequest{
+		Name: "train", Model: ModelSpec{Preset: "gpt-tiny"},
+		GPUs: 2, MinGPUs: 1, MaxGPUs: 4, DurationMin: 40,
+	})
+	if code != http.StatusCreated {
+		t.Fatalf("submit: %d %s", code, body)
+	}
+	var sub SubmitResponse
+	if err := json.Unmarshal(body, &sub); err != nil || sub.ID != "a-train" {
+		t.Fatalf("submit response: %s (err %v)", body, err)
+	}
+
+	// Tenant isolation: b cannot see or control a's job.
+	if code, _ = doReq(t, "GET", hs.URL+"/v1/jobs/a-train", "tok-b", nil); code != http.StatusNotFound {
+		t.Fatalf("cross-tenant get: %d", code)
+	}
+	if code, _ = doReq(t, "POST", hs.URL+"/v1/jobs/a-train/cancel", "tok-b", nil); code != http.StatusNotFound {
+		t.Fatalf("cross-tenant cancel: %d", code)
+	}
+	code, body = doReq(t, "GET", hs.URL+"/v1/jobs", "tok-b", nil)
+	var listB JobsResponse
+	if err := json.Unmarshal(body, &listB); err != nil || code != http.StatusOK || len(listB.Jobs) != 0 {
+		t.Fatalf("b's job list: %d %s", code, body)
+	}
+
+	// Scale up, then wait for completion with verified state.
+	if code, body = doReq(t, "POST", hs.URL+"/v1/jobs/a-train/scale", "tok-a", ScaleRequest{GPUs: 4}); code != http.StatusOK {
+		t.Fatalf("scale: %d %s", code, body)
+	}
+	var st coordinator.JobStatus
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		code, body = doReq(t, "GET", hs.URL+"/v1/jobs/a-train", "tok-a", nil)
+		if code != http.StatusOK {
+			t.Fatalf("get job: %d %s", code, body)
+		}
+		if err := json.Unmarshal(body, &st); err != nil {
+			t.Fatalf("job status: %v (%s)", err, body)
+		}
+		// Bit-verification runs on the job's execution chain and lands
+		// shortly after the completion event in wall mode; wait for
+		// both rather than asserting at the completion instant.
+		if st.State == "completed" && st.Verified {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck unverified: %+v", st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// The event stream replays history: submit, admit and complete for
+	// the job must all be present as NDJSON lines.
+	req, _ := http.NewRequest("GET", hs.URL+"/v1/events", nil)
+	req.Header.Set("Authorization", "Bearer tok-a")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("events: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(resp.Header.Get("Content-Type"), "ndjson") {
+		t.Fatalf("events response: %d %s", resp.StatusCode, resp.Header.Get("Content-Type"))
+	}
+	seen := map[string]bool{}
+	sc := bufio.NewScanner(resp.Body)
+	for !(seen["submit"] && seen["admit"] && seen["complete"]) && sc.Scan() {
+		var e coordinator.TimelineEvent
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		if e.Job == "a-train" {
+			seen[e.Kind] = true
+		}
+	}
+	if !(seen["submit"] && seen["admit"] && seen["complete"]) {
+		t.Fatalf("event stream missing milestones: %v", seen)
+	}
+
+	// Metrics: submit latency counted, coordinator accounting merged.
+	code, body = doReq(t, "GET", hs.URL+"/v1/metrics", "", nil)
+	if code != http.StatusOK {
+		t.Fatalf("metrics: %d %s", code, body)
+	}
+	var mr MetricsResponse
+	if err := json.Unmarshal(body, &mr); err != nil {
+		t.Fatalf("metrics decode: %v", err)
+	}
+	if mr.SubmitLatency.Count < 1 || mr.SubmitLatency.P99Ns < mr.SubmitLatency.P50Ns {
+		t.Fatalf("submit latency summary: %+v", mr.SubmitLatency)
+	}
+	names := map[string]bool{}
+	for _, row := range mr.Metrics {
+		names[row.Name] = true
+	}
+	if !names["api.submits"] || !names["coord.plans"] {
+		t.Fatalf("metrics missing rows: %v", names)
+	}
+
+	// Cancel of a completed job is a conflict, not a crash.
+	if code, body = doReq(t, "POST", hs.URL+"/v1/jobs/a-train/cancel", "tok-a", nil); code != http.StatusConflict {
+		t.Fatalf("cancel completed: %d %s", code, body)
+	}
+	// Bad submit bodies are 400.
+	if code, _ = doReq(t, "POST", hs.URL+"/v1/jobs", "tok-a", map[string]any{"gpus": "nope"}); code != http.StatusBadRequest {
+		t.Fatalf("bad body: %d", code)
+	}
+	if code, _ = doReq(t, "POST", hs.URL+"/v1/jobs", "tok-a",
+		SubmitRequest{Name: "bad/name", Model: ModelSpec{Preset: "gpt-tiny"}, GPUs: 1, DurationMin: 1}); code != http.StatusBadRequest {
+		t.Fatalf("bad name: %d", code)
+	}
+}

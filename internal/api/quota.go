@@ -1,0 +1,221 @@
+// Per-tenant quota accounting for the control-plane API.
+//
+// Reservations are taken under the API-side lock BEFORE a request is
+// forwarded to the decision plane, so an over-quota burst of
+// concurrent submits is refused at admission without ever queueing a
+// command — the decision plane stays single-threaded and unpolluted.
+// Releases are driven by the coordinator's own timeline (the API
+// server subscribes to it): an admit frees the queue-depth slot, a
+// requeue re-takes it, and every terminal state (complete, reject,
+// lost, cancel) frees the device reservation.
+package api
+
+import (
+	"fmt"
+	"sync"
+
+	"tenplex/internal/coordinator"
+)
+
+// Tenant is one bearer-token principal and its quota. Zero limits mean
+// unlimited.
+type Tenant struct {
+	Name  string `json:"name"`
+	Token string `json:"token"`
+	// MaxDevices caps the sum of device reservations across the
+	// tenant's live jobs (a job reserves max(gpus, max_gpus) until it
+	// reaches a terminal state).
+	MaxDevices int `json:"max_devices"`
+	// MaxQueuedJobs caps jobs sitting in the admission queue.
+	MaxQueuedJobs int `json:"max_queued_jobs"`
+}
+
+type tenantState struct {
+	Tenant
+	devices int // reserved devices across live jobs
+	queued  int // jobs currently counted against the queue-depth quota
+}
+
+type jobRecord struct {
+	id     string
+	tn     *tenantState
+	gpus   int  // device reservation held until terminal
+	queued bool // counted against the queue-depth quota
+	done   bool // terminal; reservations released
+}
+
+// quotaError marks an admission refusal (HTTP 429).
+type quotaError struct{ msg string }
+
+func (e quotaError) Error() string { return e.msg }
+
+type quotas struct {
+	mu      sync.Mutex
+	byToken map[string]*tenantState
+	byName  map[string]*tenantState
+	jobs    map[string]*jobRecord
+}
+
+func newQuotas(tenants []Tenant) (*quotas, error) {
+	q := &quotas{
+		byToken: map[string]*tenantState{},
+		byName:  map[string]*tenantState{},
+		jobs:    map[string]*jobRecord{},
+	}
+	for _, t := range tenants {
+		if t.Name == "" || t.Token == "" {
+			return nil, fmt.Errorf("api: tenant needs name and token")
+		}
+		if _, dup := q.byName[t.Name]; dup {
+			return nil, fmt.Errorf("api: duplicate tenant %q", t.Name)
+		}
+		if _, dup := q.byToken[t.Token]; dup {
+			return nil, fmt.Errorf("api: duplicate token (tenant %q)", t.Name)
+		}
+		ts := &tenantState{Tenant: t}
+		q.byName[t.Name] = ts
+		q.byToken[t.Token] = ts
+	}
+	return q, nil
+}
+
+// auth resolves a bearer token; nil means 401.
+func (q *quotas) auth(token string) *tenantState {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.byToken[token]
+}
+
+// reserveSubmit takes the submit-time reservation: one queue slot plus
+// gpus devices, and registers the job record the event watcher will
+// settle against. The caller must releaseSubmit if the decision plane
+// refuses the job.
+func (q *quotas) reserveSubmit(tn *tenantState, id string, gpus int) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if _, dup := q.jobs[id]; dup {
+		return fmt.Errorf("job %q already exists", id)
+	}
+	if tn.MaxDevices > 0 && tn.devices+gpus > tn.MaxDevices {
+		return quotaError{fmt.Sprintf("tenant %s over device quota: %d reserved + %d requested > %d",
+			tn.Name, tn.devices, gpus, tn.MaxDevices)}
+	}
+	if tn.MaxQueuedJobs > 0 && tn.queued+1 > tn.MaxQueuedJobs {
+		return quotaError{fmt.Sprintf("tenant %s over queue quota: %d jobs queued (max %d)",
+			tn.Name, tn.queued, tn.MaxQueuedJobs)}
+	}
+	tn.devices += gpus
+	tn.queued++
+	q.jobs[id] = &jobRecord{id: id, tn: tn, gpus: gpus, queued: true}
+	return nil
+}
+
+// releaseSubmit undoes reserveSubmit after a failed forward.
+func (q *quotas) releaseSubmit(id string) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	rec := q.jobs[id]
+	if rec == nil || rec.done {
+		return
+	}
+	rec.tn.devices -= rec.gpus
+	if rec.queued {
+		rec.tn.queued--
+	}
+	delete(q.jobs, id)
+}
+
+// owned returns the record when id belongs to tn.
+func (q *quotas) owned(tn *tenantState, id string) *jobRecord {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	rec := q.jobs[id]
+	if rec == nil || rec.tn != tn {
+		return nil
+	}
+	return rec
+}
+
+// reserveScale grows a job's device reservation to target when the
+// scale request exceeds it. Shrinks keep the old reservation: the
+// coordinator may still expand the job back up to its elastic maximum.
+// Returns the amount added, for rollback on a refused scale.
+func (q *quotas) reserveScale(tn *tenantState, id string, target int) (int, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	rec := q.jobs[id]
+	if rec == nil || rec.tn != tn {
+		return 0, fmt.Errorf("unknown job %q", id)
+	}
+	if rec.done || target <= rec.gpus {
+		return 0, nil
+	}
+	add := target - rec.gpus
+	if tn.MaxDevices > 0 && tn.devices+add > tn.MaxDevices {
+		return 0, quotaError{fmt.Sprintf("tenant %s over device quota: %d reserved + %d more > %d",
+			tn.Name, tn.devices, add, tn.MaxDevices)}
+	}
+	tn.devices += add
+	rec.gpus = target
+	return add, nil
+}
+
+// unreserveScale rolls back a reserveScale after a refused scale.
+func (q *quotas) unreserveScale(id string, add int) {
+	if add == 0 {
+		return
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	rec := q.jobs[id]
+	if rec == nil || rec.done {
+		return
+	}
+	rec.gpus -= add
+	rec.tn.devices -= add
+}
+
+// onEvent settles reservations against the coordinator's timeline.
+func (q *quotas) onEvent(e coordinator.TimelineEvent) {
+	if e.Job == "" {
+		return
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	rec := q.jobs[e.Job]
+	if rec == nil || rec.done {
+		return
+	}
+	switch e.Kind {
+	case coordinator.EvAdmit:
+		if rec.queued {
+			rec.queued = false
+			rec.tn.queued--
+		}
+	case coordinator.EvRequeue:
+		if !rec.queued {
+			rec.queued = true
+			rec.tn.queued++
+		}
+	case coordinator.EvComplete, coordinator.EvReject, coordinator.EvLost, coordinator.EvCancel:
+		rec.done = true
+		rec.tn.devices -= rec.gpus
+		if rec.queued {
+			rec.queued = false
+			rec.tn.queued--
+		}
+	}
+}
+
+// ownedIDs returns the tenant's job IDs (live and terminal).
+func (q *quotas) ownedIDs(tn *tenantState) map[string]bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := map[string]bool{}
+	for id, rec := range q.jobs {
+		if rec.tn == tn {
+			out[id] = true
+		}
+	}
+	return out
+}

@@ -1,0 +1,119 @@
+package api
+
+import (
+	"fmt"
+
+	"tenplex/internal/coordinator"
+	"tenplex/internal/model"
+)
+
+// ModelSpec names the job's state catalog: either a reduced-scale
+// preset or a custom catalog by kind + dimensions. Reduced-scale
+// catalogs keep service workloads cheap while still moving real bytes
+// through the Tensor Stores.
+type ModelSpec struct {
+	// Preset is one of gpt-small, gpt-tiny, moe-small, bert-small.
+	Preset string `json:"preset,omitempty"`
+	// Kind (gpt | moe | bert) with explicit dimensions, when no preset.
+	Kind    string `json:"kind,omitempty"`
+	Layers  int    `json:"layers,omitempty"`
+	Hidden  int    `json:"hidden,omitempty"`
+	Heads   int    `json:"heads,omitempty"`
+	Vocab   int    `json:"vocab,omitempty"`
+	SeqLen  int    `json:"seq_len,omitempty"`
+	Experts int    `json:"experts,omitempty"`
+}
+
+// Build resolves the spec into a model catalog.
+func (m ModelSpec) Build() (*model.Model, error) {
+	switch m.Preset {
+	case "gpt-small":
+		return model.GPTCustom(6, 32, 2, 64, 8), nil
+	case "gpt-tiny":
+		return model.GPTCustom(4, 16, 2, 32, 8), nil
+	case "moe-small":
+		return model.MoECustom(3, 16, 4), nil
+	case "bert-small":
+		return model.BERTCustom(4, 16, 2, 32, 8), nil
+	case "":
+	default:
+		return nil, fmt.Errorf("unknown model preset %q", m.Preset)
+	}
+	switch m.Kind {
+	case "gpt":
+		return model.GPTCustom(m.Layers, m.Hidden, m.Heads, m.Vocab, m.SeqLen), nil
+	case "moe":
+		return model.MoECustom(m.Layers, m.Hidden, m.Experts), nil
+	case "bert":
+		return model.BERTCustom(m.Layers, m.Hidden, m.Heads, m.Vocab, m.SeqLen), nil
+	case "":
+		return nil, fmt.Errorf("model needs a preset or a kind")
+	}
+	return nil, fmt.Errorf("unknown model kind %q", m.Kind)
+}
+
+// SubmitRequest is the body of POST /v1/jobs.
+type SubmitRequest struct {
+	// Name is optional; the job ID is <tenant>-<name>, or generated.
+	Name        string    `json:"name,omitempty"`
+	Model       ModelSpec `json:"model"`
+	GPUs        int       `json:"gpus"`
+	MinGPUs     int       `json:"min_gpus,omitempty"`
+	MaxGPUs     int       `json:"max_gpus,omitempty"`
+	DurationMin float64   `json:"duration_min"`
+	Priority    int       `json:"priority,omitempty"`
+}
+
+// SubmitResponse returns the assigned job ID and the initial snapshot.
+type SubmitResponse struct {
+	ID  string                `json:"id"`
+	Job coordinator.JobStatus `json:"job"`
+}
+
+// ScaleRequest is the body of POST /v1/jobs/{id}/scale.
+type ScaleRequest struct {
+	GPUs int `json:"gpus"`
+}
+
+// FailRequest is the body of POST /v1/cluster/fail — fault injection
+// for end-to-end recovery drills.
+type FailRequest struct {
+	Device int `json:"device"`
+}
+
+// JobsResponse wraps GET /v1/jobs.
+type JobsResponse struct {
+	Jobs []coordinator.JobStatus `json:"jobs"`
+}
+
+// SubmitLatency summarizes the control plane's submit path — count
+// plus coarse (power-of-two bucket) latency quantiles.
+type SubmitLatency struct {
+	Count int64 `json:"count"`
+	P50Ns int64 `json:"p50_ns"`
+	P99Ns int64 `json:"p99_ns"`
+}
+
+// MetricsResponse wraps GET /v1/metrics: the coordinator's registry
+// rows merged with the API layer's own, plus the submit-latency
+// summary the load test gates on.
+type MetricsResponse struct {
+	Metrics       []MetricRowJSON `json:"metrics"`
+	SubmitLatency SubmitLatency   `json:"submit_latency"`
+}
+
+// MetricRowJSON mirrors obs.MetricRow (kept separate so the wire
+// schema is owned by this package).
+type MetricRowJSON struct {
+	Name  string  `json:"name"`
+	Kind  string  `json:"kind"`
+	Int   int64   `json:"int,omitempty"`
+	Float float64 `json:"float,omitempty"`
+	Count int64   `json:"count,omitempty"`
+	Sum   int64   `json:"sum,omitempty"`
+}
+
+// ErrorResponse is every non-2xx body.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

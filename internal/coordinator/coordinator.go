@@ -47,6 +47,7 @@ import (
 	"tenplex/internal/parallel"
 	"tenplex/internal/perfmodel"
 	"tenplex/internal/sched"
+	"tenplex/internal/store"
 	"tenplex/internal/tensor"
 )
 
@@ -177,6 +178,20 @@ type Options struct {
 	// thousands of events) set this to keep O(jobs·state) validation
 	// from dominating the run.
 	AuditStride int
+	// Stores, when non-nil, supplies each job runtime's per-device
+	// Tensor Store instead of a fresh in-memory one. The coordd daemon
+	// points it at real tenplex-store servers (one store.Client per
+	// device), so every plan/transform/verify moves bytes over the
+	// wire. Checkpoint blob storage stays in-process either way: it is
+	// the durability anchor rollback and restore depend on. nil (the
+	// default) keeps the original in-memory stores and leaves sim
+	// traces byte-identical.
+	Stores func(job string, dev cluster.DeviceID) store.Access
+	// Metrics, when non-nil and Obs is nil, mirrors the coordinator's
+	// accounting into this registry without recording any trace — what
+	// a long-running service wants, since spans accumulate without
+	// bound. Ignored when Obs is set (the tracer's registry wins).
+	Metrics *obs.Registry
 	// Obs, when non-nil, records an end-to-end trace of the run —
 	// decision-plane events, per-change execution phases and (at
 	// LevelDatapath) per-assignment and per-store-operation detail —
@@ -264,6 +279,10 @@ const (
 	EvLinkDegrade = "link-degrade"
 	EvLinkRestore = "link-restore"
 	EvRequeue     = "requeue"
+
+	// Service events (long-running coordd control plane only; never
+	// emitted by Run).
+	EvCancel = "cancel"
 )
 
 // TimelineEvent is one entry of the per-job cluster timeline. The JSON
@@ -433,7 +452,28 @@ const (
 	jobDone
 	jobRejected
 	jobLost
+	// jobCanceled is reachable only through the service control plane
+	// (Service.Cancel); Run never produces it.
+	jobCanceled
 )
+
+func (st jobState) String() string {
+	switch st {
+	case jobQueued:
+		return "queued"
+	case jobRunning:
+		return "running"
+	case jobDone:
+		return "completed"
+	case jobRejected:
+		return "rejected"
+	case jobLost:
+		return "lost"
+	case jobCanceled:
+		return "canceled"
+	}
+	return fmt.Sprintf("jobState(%d)", int(st))
+}
 
 type simJob struct {
 	spec JobSpec
@@ -467,6 +507,12 @@ type simJob struct {
 	requeues     int
 	servedMin    float64
 	lastStartMin float64
+
+	// verified is set by the completion-time verify task when the
+	// job's reassembled state matched its initial tensors bit for bit.
+	// Written on the job's chain, read by service status snapshots —
+	// hence atomic.
+	verified atomic.Bool
 }
 
 // pendingChange is one decided allocation change whose plan+transform
@@ -534,6 +580,12 @@ type sim struct {
 	// tr/reg are Options.Obs and its registry (both nil when off).
 	tr  *obs.Tracer
 	reg *obs.Registry
+
+	// onEvent, when non-nil, observes every timeline entry as it is
+	// recorded (service event streaming). Placeholder entries for
+	// in-flight changes are published before their price fields are
+	// finalized; the stored timeline is patched in place afterwards.
+	onEvent func(TimelineEvent)
 }
 
 // Run executes a coordinator run: the jobs arrive, compete for the
@@ -544,65 +596,17 @@ type sim struct {
 // returns the per-job timeline and aggregate metrics, or the first
 // invariant or state-management error.
 func Run(topo *cluster.Topology, specs []JobSpec, failures []FailureSpec, opts Options) (Result, error) {
-	if topo == nil || topo.NumDevices() == 0 {
-		return Result{}, fmt.Errorf("coordinator: run needs a topology")
+	s, err := newSim(topo, opts)
+	if err != nil {
+		return Result{}, err
 	}
-	// Fail-stop handling marks devices in the topology (so placement
-	// scoring and memoization generations see the post-failure
-	// cluster); run on a health-isolated clone so repeated runs over
-	// one caller-owned topology stay independent and deterministic.
-	topo = topo.Clone()
-	if opts.Perf.GlobalBatch == 0 {
-		opts.Perf = DefaultPerf()
-	}
-	if opts.DefragMaxSec == 0 {
-		opts.DefragMaxSec = 30
-	}
-	if opts.Policy == nil {
-		opts.Policy = FIFO{}
-	}
-	if opts.Workers == 0 {
-		opts.Workers = runtime.GOMAXPROCS(0)
-	}
-	if opts.PlacementCandidates == 0 {
-		opts.PlacementCandidates = 4
-	}
-	if opts.WallScale == 0 {
-		opts.WallScale = 250 * time.Microsecond
-	}
-	s := &sim{
-		topo:        topo,
-		opts:        opts,
-		policy:      opts.Policy,
-		ledger:      NewLedger(topo),
-		cache:       perfmodel.NewCache(),
-		jobs:        map[string]*simJob{},
-		quarantined: map[cluster.DeviceID]bool{},
-		tr:          opts.Obs,
-		reg:         opts.Obs.Metrics(),
-	}
-	if opts.Workers > 1 {
-		s.pool = newPool(opts.Workers)
-	}
+	topo, opts = s.topo, s.opts
 	for i := range specs {
-		spec := specs[i]
-		if err := normalizeSpec(&spec); err != nil {
+		j, err := s.addJob(specs[i])
+		if err != nil {
 			return Result{}, err
 		}
-		if _, dup := s.jobs[spec.Name]; dup {
-			return Result{}, fmt.Errorf("coordinator: duplicate job name %q", spec.Name)
-		}
-		// The initial tensors are materialized lazily at admission, so
-		// queued and rejected jobs cost no state memory.
-		j := &simJob{
-			spec: spec,
-			idx:  i,
-			rt:   newJobRuntime(spec.Name, spec.Model, topo),
-		}
-		j.rt.metrics = s.reg
-		s.jobs[spec.Name] = j
-		s.order = append(s.order, spec.Name)
-		s.push(event{time: spec.ArrivalMin, kind: evArrival, job: spec.Name})
+		s.push(event{time: j.spec.ArrivalMin, kind: evArrival, job: j.spec.Name})
 	}
 	for _, f := range failures {
 		if int(f.Device) < 0 || int(f.Device) >= topo.NumDevices() {
@@ -674,25 +678,7 @@ func Run(topo *cluster.Topology, specs []JobSpec, failures []FailureSpec, opts O
 		if opts.RecordDecisions {
 			decideStart = time.Now()
 		}
-		var err error
-		switch e.kind {
-		case evArrival:
-			err = s.onArrival(e.job)
-		case evComplete:
-			err = s.onComplete(e.job)
-		case evFailure:
-			err = s.onFailure(e.dev)
-		case evDevRecover:
-			err = s.onDevRecover(e.dev)
-		case evSpotNotice:
-			err = s.onSpotNotice(e.dev, e.factor)
-		case evSpotDeadline:
-			err = s.onSpotDeadline(e.dev)
-		case evLinkDegrade:
-			err = s.onLinkChange(e.worker, e.factor)
-		case evLinkRestore:
-			err = s.onLinkChange(e.worker, 1)
-		}
+		err := s.dispatch(e)
 		if opts.RecordDecisions {
 			s.decisionNs = append(s.decisionNs, time.Since(decideStart).Nanoseconds())
 		}
@@ -743,6 +729,80 @@ func Run(topo *cluster.Topology, specs []JobSpec, failures []FailureSpec, opts O
 		s.record(TimelineEvent{TimeMin: s.now, Job: name, Kind: EvReject, Note: note})
 	}
 	return s.result(start), nil
+}
+
+// newSim validates the topology, applies option defaults and builds
+// the decision-plane state shared by Run and the long-running Service.
+// The topology is health-isolated behind a clone so repeated runs over
+// one caller-owned topology stay independent and deterministic.
+func newSim(topo *cluster.Topology, opts Options) (*sim, error) {
+	if topo == nil || topo.NumDevices() == 0 {
+		return nil, fmt.Errorf("coordinator: run needs a topology")
+	}
+	// Fail-stop handling marks devices in the topology (so placement
+	// scoring and memoization generations see the post-failure
+	// cluster).
+	topo = topo.Clone()
+	if opts.Perf.GlobalBatch == 0 {
+		opts.Perf = DefaultPerf()
+	}
+	if opts.DefragMaxSec == 0 {
+		opts.DefragMaxSec = 30
+	}
+	if opts.Policy == nil {
+		opts.Policy = FIFO{}
+	}
+	if opts.Workers == 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.PlacementCandidates == 0 {
+		opts.PlacementCandidates = 4
+	}
+	if opts.WallScale == 0 {
+		opts.WallScale = 250 * time.Microsecond
+	}
+	s := &sim{
+		topo:        topo,
+		opts:        opts,
+		policy:      opts.Policy,
+		ledger:      NewLedger(topo),
+		cache:       perfmodel.NewCache(),
+		jobs:        map[string]*simJob{},
+		quarantined: map[cluster.DeviceID]bool{},
+		tr:          opts.Obs,
+		reg:         opts.Obs.Metrics(),
+	}
+	if s.reg == nil {
+		s.reg = opts.Metrics
+	}
+	if opts.Workers > 1 {
+		s.pool = newPool(opts.Workers)
+	}
+	return s, nil
+}
+
+// addJob registers one job with the sim: validates and normalizes the
+// spec, builds its runtime (device stores come from opts.Stores when
+// set) and appends it to the submission order. The caller schedules —
+// or, on the service path, immediately fires — the arrival event. The
+// initial tensors are materialized lazily at admission, so queued and
+// rejected jobs cost no state memory.
+func (s *sim) addJob(spec JobSpec) (*simJob, error) {
+	if err := normalizeSpec(&spec); err != nil {
+		return nil, err
+	}
+	if _, dup := s.jobs[spec.Name]; dup {
+		return nil, fmt.Errorf("coordinator: duplicate job name %q", spec.Name)
+	}
+	j := &simJob{
+		spec: spec,
+		idx:  len(s.order),
+		rt:   newJobRuntime(spec.Name, spec.Model, s.topo, s.opts.Stores),
+	}
+	j.rt.metrics = s.reg
+	s.jobs[spec.Name] = j
+	s.order = append(s.order, spec.Name)
+	return j, nil
 }
 
 func normalizeSpec(spec *JobSpec) error {
@@ -797,6 +857,9 @@ func (s *sim) advance(t float64) {
 
 func (s *sim) record(e TimelineEvent) {
 	s.timeline = append(s.timeline, e)
+	if s.onEvent != nil {
+		s.onEvent(e)
+	}
 }
 
 // running returns the running jobs in submission order.
@@ -1354,6 +1417,31 @@ func (s *sim) bestAtMost(m *model.Model, high, low int) (int, perfmodel.Estimate
 
 // --- event handlers ---
 
+// dispatch routes one popped event to its decision-plane handler. It
+// is the single entry point shared by Run's loop and the service event
+// loop, so both planes make decisions through identical code.
+func (s *sim) dispatch(e event) error {
+	switch e.kind {
+	case evArrival:
+		return s.onArrival(e.job)
+	case evComplete:
+		return s.onComplete(e.job)
+	case evFailure:
+		return s.onFailure(e.dev)
+	case evDevRecover:
+		return s.onDevRecover(e.dev)
+	case evSpotNotice:
+		return s.onSpotNotice(e.dev, e.factor)
+	case evSpotDeadline:
+		return s.onSpotDeadline(e.dev)
+	case evLinkDegrade:
+		return s.onLinkChange(e.worker, e.factor)
+	case evLinkRestore:
+		return s.onLinkChange(e.worker, 1)
+	}
+	return nil
+}
+
 func (s *sim) onArrival(name string) error {
 	j := s.jobs[name]
 	j.state = jobQueued
@@ -1384,6 +1472,9 @@ func (s *sim) onComplete(name string) error {
 		}
 		vStart := time.Now()
 		err := rt.verifyState(*init)
+		if err == nil {
+			j.verified.Store(true)
+		}
 		if tr.Enabled() {
 			attrs := map[string]any{"resizes": resizes}
 			if err != nil {

@@ -45,7 +45,12 @@ type jobRuntime struct {
 	obsScope obs.ScopeVar
 }
 
-func newJobRuntime(name string, m *model.Model, topo *cluster.Topology) *jobRuntime {
+// newJobRuntime builds a job's state-management runtime. mk, when
+// non-nil, supplies the per-device Tensor Store (the service points it
+// at remote tenplex-store servers); nil keeps the in-memory default.
+// The checkpoint blob store stays in-process either way — it is the
+// durability anchor rollback and restore depend on.
+func newJobRuntime(name string, m *model.Model, topo *cluster.Topology, mk func(job string, dev cluster.DeviceID) store.Access) *jobRuntime {
 	r := &jobRuntime{
 		name:    name,
 		model:   m,
@@ -54,7 +59,11 @@ func newJobRuntime(name string, m *model.Model, topo *cluster.Topology) *jobRunt
 		storage: store.Local{FS: store.NewMemFS()},
 	}
 	for _, d := range topo.Devices {
-		r.stores[d.ID] = store.Local{FS: store.NewMemFS()}
+		if mk != nil {
+			r.stores[d.ID] = mk(name, d.ID)
+		} else {
+			r.stores[d.ID] = store.Local{FS: store.NewMemFS()}
+		}
 	}
 	return r
 }

@@ -1,0 +1,220 @@
+package coordinator
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"tenplex/internal/cluster"
+	"tenplex/internal/model"
+	"tenplex/internal/obs"
+	"tenplex/internal/store"
+)
+
+func waitJobState(t *testing.T, svc *Service, name, want string, timeout time.Duration) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		st, err := svc.Job(name)
+		if err != nil {
+			t.Fatalf("Job(%s): %v", name, err)
+		}
+		if st.State == want {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %q, want %q", name, st.State, want)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestServiceLifecycle drives the long-running control plane through a
+// submit/scale/fail/cancel workload and checks the final states and
+// the completion-time bit-verification.
+func TestServiceLifecycle(t *testing.T) {
+	reg := obs.NewRegistry()
+	svc, err := StartService(cluster.Cloud(8), Options{
+		WallScale: 2 * time.Millisecond,
+		Metrics:   reg,
+	})
+	if err != nil {
+		t.Fatalf("StartService: %v", err)
+	}
+	defer svc.Stop()
+
+	if err := svc.Submit(JobSpec{Name: "a", Model: model.GPTCustom(6, 32, 2, 64, 8),
+		GPUs: 4, MinGPUs: 2, MaxGPUs: 8, DurationMin: 40}); err != nil {
+		t.Fatalf("submit a: %v", err)
+	}
+	if err := svc.Submit(JobSpec{Name: "b", Model: model.GPTCustom(4, 16, 2, 32, 8),
+		GPUs: 2, MinGPUs: 1, MaxGPUs: 4, DurationMin: 200}); err != nil {
+		t.Fatalf("submit b: %v", err)
+	}
+	waitJobState(t, svc, "a", "running", 5*time.Second)
+	waitJobState(t, svc, "b", "running", 5*time.Second)
+
+	// Shrink b to 1 device, then cancel it.
+	if err := svc.Scale("b", 1); err != nil {
+		t.Fatalf("scale b: %v", err)
+	}
+	if err := svc.Cancel("b"); err != nil {
+		t.Fatalf("cancel b: %v", err)
+	}
+	st := waitJobState(t, svc, "b", "canceled", 5*time.Second)
+	if st.Verified {
+		t.Fatalf("canceled job unexpectedly verified")
+	}
+
+	// Fail one of a's devices; it must recover and still complete with
+	// bit-verified state.
+	stA, err := svc.Job("a")
+	if err != nil || len(stA.Alloc) == 0 {
+		t.Fatalf("job a status: %+v err=%v", stA, err)
+	}
+	if err := svc.InjectFailure(cluster.DeviceID(stA.Alloc[0])); err != nil {
+		t.Fatalf("inject failure: %v", err)
+	}
+	st = waitJobState(t, svc, "a", "completed", 30*time.Second)
+	// Bit-verification runs on a's execution chain and lands shortly
+	// after the completion event in wall mode; poll for it.
+	for deadline := time.Now().Add(15 * time.Second); !st.Verified; {
+		if time.Now().After(deadline) {
+			t.Fatalf("job a completed without bit-verification: %+v", st)
+		}
+		time.Sleep(2 * time.Millisecond)
+		if st, err = svc.Job("a"); err != nil {
+			t.Fatalf("job a status: %v", err)
+		}
+	}
+
+	cs, err := svc.Cluster()
+	if err != nil {
+		t.Fatalf("Cluster: %v", err)
+	}
+	if cs.Completed != 1 || cs.Canceled != 1 {
+		t.Fatalf("cluster counts: %+v", cs)
+	}
+	if cs.Err != "" {
+		t.Fatalf("service wedged: %s", cs.Err)
+	}
+
+	res, err := svc.Stop()
+	if err != nil {
+		t.Fatalf("Stop: %v", err)
+	}
+	if len(res.Jobs) != 2 {
+		t.Fatalf("result jobs: %+v", res.Jobs)
+	}
+	if _, ok := obs.Get(reg.Snapshot(), "coord.plans"); !ok {
+		t.Fatalf("metrics registry saw no coordinator accounting")
+	}
+	// Post-stop commands are refused, not hung.
+	if err := svc.Submit(JobSpec{Name: "late", Model: model.GPTCustom(4, 16, 2, 32, 8),
+		GPUs: 1, DurationMin: 1}); err != ErrStopped {
+		t.Fatalf("post-stop submit: %v", err)
+	}
+}
+
+// TestServiceEvents checks the subscription contract: past + live
+// events with no gap, and the workload's milestones all present.
+func TestServiceEvents(t *testing.T) {
+	svc, err := StartService(cluster.Cloud(4), Options{WallScale: 2 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("StartService: %v", err)
+	}
+	defer svc.Stop()
+
+	if err := svc.Submit(JobSpec{Name: "j0", Model: model.GPTCustom(4, 16, 2, 32, 8),
+		GPUs: 2, MinGPUs: 1, MaxGPUs: 4, DurationMin: 30}); err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	past, ch, cancel, err := svc.Subscribe(64)
+	if err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+	defer cancel()
+	seen := map[string]bool{}
+	for _, e := range past {
+		seen[e.Kind] = true
+	}
+	deadline := time.After(15 * time.Second)
+	for !seen[EvComplete] {
+		select {
+		case e, ok := <-ch:
+			if !ok {
+				t.Fatalf("subscription closed early (kinds so far: %v)", seen)
+			}
+			seen[e.Kind] = true
+		case <-deadline:
+			t.Fatalf("no completion event (kinds so far: %v)", seen)
+		}
+	}
+	for _, k := range []string{EvSubmit, EvAdmit, EvComplete} {
+		if !seen[k] {
+			t.Fatalf("missing %s event: %v", k, seen)
+		}
+	}
+}
+
+// TestServiceClientErrors checks request-validation failures are
+// refused without wedging the decision plane.
+func TestServiceClientErrors(t *testing.T) {
+	svc, err := StartService(cluster.Cloud(4), Options{WallScale: time.Millisecond})
+	if err != nil {
+		t.Fatalf("StartService: %v", err)
+	}
+	defer svc.Stop()
+
+	if err := svc.Scale("ghost", 2); !IsClientError(err) {
+		t.Fatalf("scale unknown job: %v", err)
+	}
+	if err := svc.Cancel("ghost"); !IsClientError(err) {
+		t.Fatalf("cancel unknown job: %v", err)
+	}
+	if err := svc.Submit(JobSpec{Name: "", Model: nil, GPUs: 1, DurationMin: 1}); !IsClientError(err) {
+		t.Fatalf("bad spec: %v", err)
+	}
+	spec := JobSpec{Name: "dup", Model: model.GPTCustom(4, 16, 2, 32, 8), GPUs: 1, DurationMin: 500}
+	if err := svc.Submit(spec); err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if err := svc.Submit(spec); !IsClientError(err) {
+		t.Fatalf("duplicate submit: %v", err)
+	}
+	if err := svc.InjectFailure(cluster.DeviceID(99)); !IsClientError(err) {
+		t.Fatalf("bad device: %v", err)
+	}
+	// The plane still works after all those refusals.
+	if _, err := svc.Job("dup"); err != nil {
+		t.Fatalf("job after refusals: %v", err)
+	}
+	if _, err := svc.Stop(); err != nil {
+		t.Fatalf("stop: %v", err)
+	}
+}
+
+// TestServiceStoresFactory confirms Options.Stores feeds every device
+// store of every job.
+func TestServiceStoresFactory(t *testing.T) {
+	made := make(chan string, 64)
+	svc, err := StartService(cluster.Cloud(4), Options{
+		WallScale: time.Millisecond,
+		Stores: func(job string, dev cluster.DeviceID) store.Access {
+			made <- fmt.Sprintf("%s/dev%d", job, dev)
+			return store.Local{FS: store.NewMemFS()}
+		},
+	})
+	if err != nil {
+		t.Fatalf("StartService: %v", err)
+	}
+	defer svc.Stop()
+	if err := svc.Submit(JobSpec{Name: "s0", Model: model.GPTCustom(4, 16, 2, 32, 8),
+		GPUs: 2, DurationMin: 20}); err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	waitJobState(t, svc, "s0", "completed", 15*time.Second)
+	if got := len(made); got != 4 {
+		t.Fatalf("store factory called %d times, want 4 (one per device)", got)
+	}
+}

@@ -114,6 +114,39 @@ func (h *Histogram) Sum() int64 {
 	return h.sum.Load()
 }
 
+// Quantile returns an upper-bound estimate of the q-quantile (q in
+// [0, 1]): the top edge of the power-of-two bucket the quantile rank
+// falls in. Coarse (within 2x) but lock-free — good enough for p50/p99
+// latency reporting on the service metrics endpoint; nil-safe, and 0
+// with no observations.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i := range h.buckets {
+		cum += h.buckets[i].Load()
+		if cum >= rank {
+			if i == 0 {
+				return 1
+			}
+			if i >= 62 {
+				return math.MaxInt64
+			}
+			return int64(1) << uint(i+1)
+		}
+	}
+	return math.MaxInt64
+}
+
 // Counter returns (creating on first use) the named counter; nil-safe
 // (returns a nil handle whose methods no-op).
 func (r *Registry) Counter(name string) *Counter {

@@ -1,0 +1,40 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHistogramQuantile(t *testing.T) {
+	var h Histogram
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram p50 = %d, want 0", got)
+	}
+	// 100 observations of 100ns, 1 of 10000ns: p50 must sit in the
+	// bucket holding 100 (top edge 128), p99+ may climb to the outlier
+	// bucket but never below the p50 answer.
+	for i := 0; i < 100; i++ {
+		h.Observe(100)
+	}
+	h.Observe(10000)
+	p50 := h.Quantile(0.5)
+	if p50 != 128 {
+		t.Fatalf("p50 = %d, want 128 (upper edge of the 100ns bucket)", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < p50 {
+		t.Fatalf("p99 %d < p50 %d", p99, p50)
+	}
+	if q := h.Quantile(1.0); q != 16384 {
+		t.Fatalf("p100 = %d, want 16384 (upper edge of the 10000ns bucket)", q)
+	}
+	// Extremes are clamped, not overflowed.
+	h.Observe(math.MaxInt64)
+	if q := h.Quantile(1.0); q != math.MaxInt64 {
+		t.Fatalf("max-bucket quantile = %d", q)
+	}
+	var nilH *Histogram
+	if nilH.Quantile(0.9) != 0 {
+		t.Fatalf("nil histogram quantile not 0")
+	}
+}

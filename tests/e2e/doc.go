@@ -1,0 +1,14 @@
+// Package e2e holds the end-to-end harness for the networked service
+// split: it boots tenplex-coordd (in-process or as a subprocess)
+// against real tenplex-store servers, drives a multi-job
+// submit/scale/fail/cancel workload through the public HTTP API, and
+// asserts final job states plus store-side bit-verification. A bounded
+// load-test mode measures control-plane contention (p50/p99 submit
+// latency) against the /v1/metrics export.
+//
+// The in-process mode and a small load test run under plain `go test`;
+// the subprocess mode (built binaries, 4 store daemons + coordd,
+// SIGINT shutdown, event-log artifact) is gated by
+// TENPLEX_E2E_SUBPROCESS=1, and the load test scales to hundreds of
+// submitters via TENPLEX_E2E_LOAD.
+package e2e

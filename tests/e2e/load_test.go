@@ -1,0 +1,128 @@
+package e2e
+
+import (
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"tenplex/internal/api"
+	"tenplex/internal/cluster"
+	"tenplex/internal/coordinator"
+	"tenplex/internal/obs"
+)
+
+// TestE2ELoad measures control-plane contention: N concurrent
+// submitters each push one job through POST /v1/jobs and then cancel
+// it, so every request serializes onto the single-goroutine decision
+// plane. It reports client-side p50/p99 submit latency next to the
+// server-side api.submit_ns histogram from /v1/metrics.
+//
+// Tier-1 runs a small N; CI sets TENPLEX_E2E_LOAD=200 for the smoke.
+// The latency budget is deliberately non-gating — numbers are printed
+// (and appended to $GITHUB_STEP_SUMMARY when present) for trending,
+// because shared CI runners make hard latency asserts flaky.
+func TestE2ELoad(t *testing.T) {
+	n := 20
+	if v := os.Getenv("TENPLEX_E2E_LOAD"); v != "" {
+		parsed, err := strconv.Atoi(v)
+		if err != nil || parsed < 1 {
+			t.Fatalf("bad TENPLEX_E2E_LOAD %q", v)
+		}
+		n = parsed
+	}
+
+	svc, err := coordinator.StartService(cluster.Cloud(4), coordinator.Options{
+		WallScale: 50 * time.Millisecond, // slow sim clock: measure the API, not job churn
+		Metrics:   obs.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatalf("StartService: %v", err)
+	}
+	srv, err := api.NewServer(api.Config{
+		Service: svc,
+		Tenants: []api.Tenant{{Name: "load", Token: "load-token"}},
+	})
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	bound, closeFn, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	t.Cleanup(func() { _ = closeFn() })
+
+	lats := make([]time.Duration, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := &client{base: "http://" + bound, token: "load-token", t: t}
+			req := api.SubmitRequest{
+				Name:        fmt.Sprintf("l%d", i),
+				Model:       api.ModelSpec{Preset: "gpt-tiny"},
+				GPUs:        1,
+				DurationMin: 1e6,
+			}
+			t0 := time.Now()
+			var resp api.SubmitResponse
+			code, raw := c.do("POST", "/v1/jobs", req, &resp)
+			lats[i] = time.Since(t0)
+			if code != http.StatusCreated {
+				errs[i] = fmt.Errorf("submit %s: %d %s", req.Name, code, raw)
+				return
+			}
+			if code, raw := c.do("POST", "/v1/jobs/"+resp.ID+"/cancel", nil, nil); code != http.StatusOK {
+				errs[i] = fmt.Errorf("cancel %s: %d %s", resp.ID, code, raw)
+			}
+		}(i)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	q := func(p float64) time.Duration { return lats[int(p*float64(n-1))] }
+	clientLine := fmt.Sprintf("load: %d submitters in %s, client submit p50=%s p99=%s max=%s",
+		n, wall.Round(time.Millisecond), q(0.50), q(0.99), lats[n-1])
+	t.Log(clientLine)
+
+	c := &client{base: "http://" + bound, token: "load-token", t: t}
+	server := checkMetrics(t, c, int64(n), false)
+	serverLine := "load: server-side " + fmtLatency(server)
+	t.Log(serverLine)
+
+	if f := os.Getenv("GITHUB_STEP_SUMMARY"); f != "" {
+		summary := fmt.Sprintf("### e2e load smoke\n\n- %s\n- %s\n", clientLine, serverLine)
+		fh, err := os.OpenFile(f, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err == nil {
+			_, _ = fh.WriteString(summary)
+			_ = fh.Close()
+		}
+	}
+
+	// Non-gating budget: flag (don't fail) when the p99 drifts past
+	// 2s — that would mean decision-plane serialization is pathological.
+	if q(0.99) > 2*time.Second {
+		t.Logf("WARNING: client p99 %s exceeds 2s budget (non-gating)", q(0.99))
+	}
+
+	res, err := svc.Stop()
+	if err != nil {
+		t.Fatalf("Stop: %v", err)
+	}
+	if len(res.Jobs) != n {
+		t.Fatalf("final result has %d jobs, want %d", len(res.Jobs), n)
+	}
+}
