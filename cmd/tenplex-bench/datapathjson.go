@@ -64,15 +64,21 @@ func seedBaseline() datapathBaseline {
 	}
 }
 
-// writeDatapathJSON measures both pipelines and writes the record to
-// path ("-" for stdout).
+// writeDatapathJSON measures both pipelines on local stores plus the
+// wire comparison (per-range vs batched protocol against loopback
+// servers) and writes the record to path ("-" for stdout).
 func writeDatapathJSON(path string, budget time.Duration) error {
 	rows, _, err := experiments.DatapathComparison(budget)
 	if err != nil {
 		return err
 	}
+	restRows, err := experiments.DatapathREST(budget)
+	if err != nil {
+		return err
+	}
+	rows = append(rows, restRows...)
 	rec := datapathRecord{
-		Schema:      "tenplex-bench/datapath/v1",
+		Schema:      "tenplex-bench/datapath/v2",
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		GoVersion:   runtime.Version(),
 		MaxProcs:    runtime.GOMAXPROCS(0),

@@ -17,6 +17,7 @@
 package chaos
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -204,7 +205,32 @@ func (in *Injector) stream(job string) *faultStream {
 // pure function of (attempt seed, tag, op, path) — never of the order
 // concurrent operations happen to run in.
 func (in *Injector) WrapAccess(job, tag string, inner store.Access) store.Access {
-	return &faultyAccess{inner: inner, in: in, stream: in.stream(job), job: job, tag: tag}
+	fa := &faultyAccess{inner: inner, in: in, stream: in.stream(job), job: job, tag: tag}
+	// Forward the batch capability only when the wrapped store has it: a
+	// separate wrapper type keeps a wrapped Local from falsely asserting
+	// as a store.BatchQuerier.
+	if _, ok := inner.(store.BatchQuerier); ok {
+		return &faultyBatchAccess{faultyAccess: fa}
+	}
+	return fa
+}
+
+// faultyBatchAccess augments faultyAccess with store.BatchQuerier
+// forwarding; the whole batch fails or stalls as one operation, the way
+// a dying connection takes the whole response stream with it.
+type faultyBatchAccess struct{ *faultyAccess }
+
+var _ store.BatchQuerier = (*faultyBatchAccess)(nil)
+
+func (f *faultyBatchAccess) BatchQueryInto(ctx context.Context, entries []store.BatchEntry) (store.BatchStats, error) {
+	paths := make([]string, 0, 2*len(entries))
+	for _, e := range entries {
+		paths = append(paths, e.Path, fmt.Sprint(e.Reg))
+	}
+	if err := f.op("batch", paths...); err != nil {
+		return store.BatchStats{}, err
+	}
+	return f.inner.(store.BatchQuerier).BatchQueryInto(ctx, entries)
 }
 
 // Transport wraps an http.RoundTripper with injected request failures

@@ -37,6 +37,14 @@ type jobRuntime struct {
 	alloc cluster.Allocation
 	step  int
 
+	// lastPlan is the most recent plan generated against the CURRENT ptc
+	// (same *PTC value). The coordinator prices several candidate changes
+	// against one source state before committing any of them, and
+	// core.DiffPlan replays the untouched sub-tensors from this plan
+	// instead of replanning them. A commit replaces r.ptc, so the cached
+	// plan's pointer-identity guard expires it automatically.
+	lastPlan *core.Plan
+
 	// Observability: the run's metrics registry (nil when off) and the
 	// chain's current task scope — each task the decision plane fans
 	// out installs its parent span here, and the wrapped stores parent
@@ -161,12 +169,17 @@ func (r *jobRuntime) planChange(cfg parallel.Config, alloc cluster.Allocation, f
 		return nil, fmt.Errorf("coordinator: plan %s: %w", r.name, err)
 	}
 	to = core.AlignDevices(from, to)
-	plan, err := core.GeneratePlan(from, to, core.PlanOptions{Topo: r.topo, StorageFallback: storageOK})
+	plan, err := core.DiffPlan(r.lastPlan, from, to, core.PlanOptions{Topo: r.topo, StorageFallback: storageOK})
 	if err != nil {
 		return nil, fmt.Errorf("coordinator: plan %s: %w", r.name, err)
 	}
 	if err := plan.Validate(); err != nil {
 		return nil, fmt.Errorf("coordinator: plan %s invalid: %w", r.name, err)
+	}
+	if from == r.ptc {
+		// Degraded sources (failure recovery) are one-shot PTCs and not
+		// worth caching; repeat pricing always plans against r.ptc.
+		r.lastPlan = plan
 	}
 	return &change{
 		cfg:       cfg,

@@ -1,0 +1,132 @@
+package core_test
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"tenplex/internal/cluster"
+	"tenplex/internal/core"
+	"tenplex/internal/model"
+	"tenplex/internal/parallel"
+)
+
+// DiffPlan is an optimization of GeneratePlan for the coordinator's
+// repeat-replan pattern — same source PTC, a stream of candidate
+// targets — and must be byte-identical to planning from scratch: same
+// assignments, same fetch sources, same replica choices. These property
+// tests pin that down over randomized successive-reconfiguration
+// sequences (reuse hits), plus every fallback edge (nil prior, source
+// changed, hand-built prior).
+
+// diffEqual fails the test unless DiffPlan and GeneratePlan produced
+// identical plans for (from, to, opts).
+func diffEqual(t *testing.T, label string, prev *core.Plan, from, to *core.PTC, opts core.PlanOptions) *core.Plan {
+	t.Helper()
+	want, wantErr := core.GeneratePlan(from, to, opts)
+	got, gotErr := core.DiffPlan(prev, from, to, opts)
+	if (wantErr == nil) != (gotErr == nil) {
+		t.Fatalf("%s: outcome mismatch: GeneratePlan err=%v, DiffPlan err=%v", label, wantErr, gotErr)
+	}
+	if wantErr != nil {
+		return nil
+	}
+	if got.From != from || got.To != to {
+		t.Fatalf("%s: DiffPlan attached wrong PTCs", label)
+	}
+	if !reflect.DeepEqual(got.Assignments, want.Assignments) {
+		for i := range want.Assignments {
+			if i < len(got.Assignments) && !reflect.DeepEqual(got.Assignments[i], want.Assignments[i]) {
+				t.Fatalf("%s: assignment %d diverges:\n  diff: %+v\n  full: %+v",
+					label, i, got.Assignments[i], want.Assignments[i])
+			}
+		}
+		t.Fatalf("%s: assignment count %d != %d", label, len(got.Assignments), len(want.Assignments))
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatalf("%s: DiffPlan output invalid: %v", label, err)
+	}
+	return got
+}
+
+func TestDiffPlanMatchesGeneratePlanRandomized(t *testing.T) {
+	m := model.GPTCustom(4, 16, 2, 64, 8) // 6 layers incl. embeddings
+	topo := cluster.OnPrem16()
+	var cfgs []parallel.Config
+	for _, n := range []int{1, 2, 4, 6, 8} {
+		cfgs = append(cfgs, parallel.Enumerate(n, 8, 6)...)
+	}
+	trials := 0
+	for seed := int64(0); seed < 3; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		for trial := 0; trial < 10; trial++ {
+			cf := cfgs[rng.Intn(len(cfgs))]
+			offF := rng.Intn(3)
+			from := buildPTC(t, m, cf, allocFrom(offF, cf.WorldSize()))
+
+			// The coordinator's repeat-replan pattern: one source PTC, a
+			// stream of candidate targets, each plan diffed against the
+			// last. The first target equals the source configuration, so
+			// every trial includes a maximal-reuse (all pure-local) step.
+			var prev *core.Plan
+			for step := 0; step < 4; step++ {
+				ct := cf
+				offT := offF
+				if step > 0 {
+					ct = cfgs[rng.Intn(len(cfgs))]
+					offT = rng.Intn(3)
+				}
+				to := buildPTC(t, m, ct, allocFrom(offT, ct.WorldSize()))
+				opts := core.PlanOptions{}
+				if rng.Intn(2) == 0 {
+					opts.Topo = topo
+				}
+				label := fmt.Sprintf("seed %d trial %d step %d %v@%d -> %v@%d",
+					seed, trial, step, cf, offF, ct, offT)
+				prev = diffEqual(t, label, prev, from, to, opts)
+				trials++
+			}
+
+			// Fallback: a degraded source is a DIFFERENT PTC pointer, so
+			// the prior plan must be ignored, reused state and all.
+			if len(from.Devices) > 1 {
+				degraded := from.WithoutDevices(from.Devices[rng.Intn(len(from.Devices))])
+				ct := cfgs[rng.Intn(len(cfgs))]
+				to := buildPTC(t, m, ct, allocFrom(rng.Intn(3), ct.WorldSize()))
+				label := fmt.Sprintf("seed %d trial %d degraded", seed, trial)
+				diffEqual(t, label, prev, degraded, to, core.PlanOptions{StorageFallback: true})
+				trials++
+			}
+		}
+	}
+	if trials < 100 {
+		t.Fatalf("only %d randomized scenarios, want >= 100", trials)
+	}
+}
+
+func TestDiffPlanFallbackEdges(t *testing.T) {
+	m := model.GPTCustom(2, 16, 2, 64, 8)
+	from := buildPTC(t, m, parallel.Config{TP: 2, PP: 1, DP: 1}, alloc(2))
+	to := buildPTC(t, m, parallel.Config{TP: 2, PP: 1, DP: 2}, alloc(4))
+	opts := core.PlanOptions{}
+
+	// nil prior: plain GeneratePlan.
+	first := diffEqual(t, "nil prior", nil, from, to, opts)
+
+	// Hand-built prior (no retained source index): must be ignored.
+	hand := &core.Plan{From: from, To: to, Assignments: first.Assignments}
+	diffEqual(t, "hand-built prior", hand, from, to, opts)
+
+	// Prior planned from a different source PTC: must be ignored even
+	// though the PTCs are structurally equal.
+	fromCopy := buildPTC(t, m, parallel.Config{TP: 2, PP: 1, DP: 1}, alloc(2))
+	diffEqual(t, "different source pointer", first, fromCopy, to, opts)
+
+	// Repeated identical target: the second diff reuses the first plan's
+	// pure-local assignments and still matches from-scratch output.
+	second := diffEqual(t, "repeat target", first, from, to, opts)
+	if !reflect.DeepEqual(first.Assignments, second.Assignments) {
+		t.Fatal("repeat replan of the identical transition diverged")
+	}
+}

@@ -67,6 +67,10 @@ type Plan struct {
 	// executing) skip the full invariant sweep. Atomic so concurrent
 	// executors sharing one plan stay race-free.
 	validated atomic.Bool
+	// idx retains the source-holder index built during generation so
+	// DiffPlan can reuse it for later plans against the same source PTC.
+	// Pure metadata derived from From; nil on hand-built plans.
+	idx *sourceIndex
 }
 
 // PlanOptions tunes plan generation.
@@ -126,6 +130,7 @@ type planWorker struct {
 	to           *PTC
 	topo         *cluster.Topology
 	idx          *sourceIndex
+	reuse        map[planKey]Assignment
 	rem, next    []tensor.Region
 	fetchScratch []Fetch
 	deltaScratch []sendDelta
@@ -192,6 +197,15 @@ func (w *planWorker) planDevice(di int, assigns []Assignment, base int32) []pend
 	place := w.to.Place[d]
 	var out []pendingAssignment
 	for i, want := range place {
+		if w.reuse != nil {
+			if a, ok := w.reuse[planKey{d, want.Tensor, want.Region.String()}]; ok {
+				// A memoized pure-local assignment: resolved entirely by
+				// tier 0, so replaying it produces no remaining ranges and
+				// no send-load deltas — nothing for the sequential pass.
+				assigns[base+int32(i)] = a
+				continue
+			}
+		}
 		ti := w.idx.tensor(want.Tensor)
 		var dt tensor.DType
 		if ti != nil {
@@ -256,10 +270,22 @@ func (w *planWorker) planDevice(di int, assigns []Assignment, base int32) []pend
 // the output byte-identical to the reference planner
 // (generatePlanReference).
 func GeneratePlan(from, to *PTC, opts PlanOptions) (*Plan, error) {
+	return generatePlan(from, to, opts, nil, nil)
+}
+
+// generatePlan is the shared implementation behind GeneratePlan and
+// DiffPlan. idx, when non-nil, must be the source index of from (it is
+// a pure function of from, so sharing it across plans is safe); reuse,
+// when non-nil, maps destination sub-tensors to memoized pure-local
+// assignments pasted without replanning (see DiffPlan for why that
+// preserves byte-identical output).
+func generatePlan(from, to *PTC, opts PlanOptions, idx *sourceIndex, reuse map[planKey]Assignment) (*Plan, error) {
 	if err := checkPlanMeta(from, to); err != nil {
 		return nil, err
 	}
-	idx := newSourceIndex(from)
+	if idx == nil {
+		idx = newSourceIndex(from)
+	}
 
 	bases := make([]int32, len(to.Devices)+1)
 	for i, d := range to.Devices {
@@ -276,7 +302,7 @@ func GeneratePlan(from, to *PTC, opts PlanOptions) (*Plan, error) {
 		workers = len(to.Devices)
 	}
 	if workers <= 1 {
-		w := &planWorker{to: to, topo: opts.Topo, idx: idx}
+		w := &planWorker{to: to, topo: opts.Topo, idx: idx, reuse: reuse}
 		for di := range to.Devices {
 			pending[di] = w.planDevice(di, assigns, bases[di])
 		}
@@ -287,7 +313,7 @@ func GeneratePlan(from, to *PTC, opts PlanOptions) (*Plan, error) {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				w := &planWorker{to: to, topo: opts.Topo, idx: idx}
+				w := &planWorker{to: to, topo: opts.Topo, idx: idx, reuse: reuse}
 				for {
 					di := int(cursor.Add(1)) - 1
 					if di >= len(to.Devices) {
@@ -393,7 +419,7 @@ func GeneratePlan(from, to *PTC, opts PlanOptions) (*Plan, error) {
 			sortFetches(a.Fetch)
 		}
 	}
-	return &Plan{From: from, To: to, Assignments: assigns}, nil
+	return &Plan{From: from, To: to, Assignments: assigns, idx: idx}, nil
 }
 
 // boundsAlong returns the extent of regs along axis; regs is non-empty.

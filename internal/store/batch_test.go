@@ -1,0 +1,496 @@
+package store
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"tenplex/internal/tensor"
+)
+
+// batchFS builds a MemFS holding three distinct 4x4 tensors (distinct
+// stored tensors never coalesce, so each maps to its own frame).
+func batchFS(t *testing.T) *MemFS {
+	t.Helper()
+	fs := NewMemFS()
+	for i, p := range []string{"/a", "/b", "/c"} {
+		tn := tensor.New(tensor.Float32, 4, 4)
+		tn.FillSeq(float64(100*i), 1)
+		if err := fs.PutTensor(p, tn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return fs
+}
+
+func TestBatchQueryIntoMatchesPerRange(t *testing.T) {
+	fs := NewMemFS()
+	src := seqTensor(8, 6)
+	if err := fs.PutTensor("/w", src); err != nil {
+		t.Fatal(err)
+	}
+	other := seqTensor(5, 5)
+	if err := fs.PutTensor("/o", other); err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(NewServer(fs))
+	defer hs.Close()
+	c := &Client{Base: hs.URL, HTTP: hs.Client()}
+
+	type rng struct {
+		path string
+		reg  tensor.Region
+		at   tensor.Region
+	}
+	rngs := []rng{
+		{"/w", tensor.Region{{Lo: 0, Hi: 3}, {Lo: 0, Hi: 6}}, tensor.Region{{Lo: 0, Hi: 3}, {Lo: 0, Hi: 6}}},
+		{"/w", tensor.Region{{Lo: 5, Hi: 8}, {Lo: 2, Hi: 5}}, tensor.Region{{Lo: 3, Hi: 6}, {Lo: 0, Hi: 3}}},
+		{"/o", nil, tensor.Region{{Lo: 0, Hi: 5}, {Lo: 0, Hi: 5}}},
+	}
+	batched := tensor.New(tensor.Float32, 8, 6)
+	perRange := tensor.New(tensor.Float32, 8, 6)
+	batchedO := tensor.New(tensor.Float32, 5, 5)
+	perRangeO := tensor.New(tensor.Float32, 5, 5)
+	dstFor := func(path string, b bool) *tensor.Tensor {
+		if path == "/o" {
+			if b {
+				return batchedO
+			}
+			return perRangeO
+		}
+		if b {
+			return batched
+		}
+		return perRange
+	}
+	entries := make([]BatchEntry, len(rngs))
+	for i, r := range rngs {
+		entries[i] = BatchEntry{Path: r.path, Reg: r.reg, Dst: dstFor(r.path, true), At: r.at}
+	}
+	st, err := c.BatchQueryInto(context.Background(), entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.FellBack {
+		t.Fatal("batch-capable server fell back to per-range queries")
+	}
+	var want int64
+	for _, r := range rngs {
+		n, err := c.QueryInto(r.path, r.reg, dstFor(r.path, false), r.at)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want += n
+	}
+	if st.Bytes != want {
+		t.Fatalf("batch moved %d bytes, per-range moved %d", st.Bytes, want)
+	}
+	if !batched.Equal(perRange) || !batchedO.Equal(perRangeO) {
+		t.Fatal("batched scatter differs from per-range QueryInto")
+	}
+}
+
+func TestBatchCoalescesAdjacentRanges(t *testing.T) {
+	fs := NewMemFS()
+	src := seqTensor(8, 6)
+	if err := fs.PutTensor("/w", src); err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(NewServer(fs))
+	defer hs.Close()
+	c := &Client{Base: hs.URL, HTTP: hs.Client()}
+	dst := tensor.New(tensor.Float32, 8, 6)
+	rows := []tensor.Region{
+		{{Lo: 0, Hi: 2}, {Lo: 0, Hi: 6}},
+		{{Lo: 2, Hi: 5}, {Lo: 0, Hi: 6}},
+		{{Lo: 5, Hi: 8}, {Lo: 0, Hi: 6}},
+	}
+	entries := make([]BatchEntry, len(rows))
+	for i, reg := range rows {
+		entries[i] = BatchEntry{Path: "/w", Reg: reg, Dst: dst, At: reg}
+	}
+	st, err := c.BatchQueryInto(context.Background(), entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Frames != 1 || st.Coalesced != 2 {
+		t.Fatalf("adjacent row ranges produced %d frames / %d coalesced, want 1 / 2", st.Frames, st.Coalesced)
+	}
+	if !dst.Equal(src) {
+		t.Fatal("coalesced batch landed wrong bytes")
+	}
+}
+
+func TestBatchFallsBackOnOldServer(t *testing.T) {
+	fs := batchFS(t)
+	inner := NewServer(fs)
+	// An old server: no /batch, no /capabilities.
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/batch" || r.URL.Path == "/capabilities" {
+			http.NotFound(w, r)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer hs.Close()
+	c := &Client{Base: hs.URL, HTTP: hs.Client()}
+	dsts := []*tensor.Tensor{
+		tensor.New(tensor.Float32, 4, 4),
+		tensor.New(tensor.Float32, 4, 4),
+	}
+	entries := []BatchEntry{
+		{Path: "/a", Dst: dsts[0]},
+		{Path: "/b", Dst: dsts[1]},
+	}
+	st, err := c.BatchQueryInto(context.Background(), entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.FellBack || st.Attempts != 0 {
+		t.Fatalf("stats = %+v, want a fallback with zero batch attempts", st)
+	}
+	for i, p := range []string{"/a", "/b"} {
+		want, err := fs.GetTensor(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !dsts[i].Equal(want) {
+			t.Fatalf("fallback entry %d (%s) landed wrong bytes", i, p)
+		}
+	}
+	// The "no batch" verdict is cached: a second batch goes straight to
+	// per-range queries without re-probing.
+	if c.batchCap.Load() != -1 {
+		t.Fatalf("capability cache = %d, want -1", c.batchCap.Load())
+	}
+}
+
+// tamperHandler wraps a Server, records the entry paths of every /batch
+// request, and applies a ResponseWriter wrapper to the first tamperN
+// responses whose URL path matches match.
+type tamperHandler struct {
+	next    http.Handler
+	match   string
+	tamperN int
+	wrap    func(http.ResponseWriter) http.ResponseWriter
+
+	mu      sync.Mutex
+	matched int
+	batches [][]string
+}
+
+func (h *tamperHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path == "/batch" {
+		body, err := io.ReadAll(r.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		var req batchWireRequest
+		if err := json.Unmarshal(body, &req); err == nil {
+			paths := make([]string, len(req.Entries))
+			for i, e := range req.Entries {
+				paths[i] = e.Path
+			}
+			h.mu.Lock()
+			h.batches = append(h.batches, paths)
+			h.mu.Unlock()
+		}
+		r.Body = io.NopCloser(bytes.NewReader(body))
+	}
+	if r.URL.Path == h.match {
+		h.mu.Lock()
+		h.matched++
+		tamper := h.matched <= h.tamperN
+		h.mu.Unlock()
+		if tamper {
+			w = h.wrap(w)
+		}
+	}
+	h.next.ServeHTTP(w, r)
+}
+
+func (h *tamperHandler) batchRequests() [][]string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([][]string(nil), h.batches...)
+}
+
+// cutWriter forwards limit body bytes, flushes them to the wire, then
+// aborts the connection — a server dying mid-stream.
+type cutWriter struct {
+	http.ResponseWriter
+	remain int64
+}
+
+func (w *cutWriter) Write(p []byte) (int, error) {
+	if int64(len(p)) <= w.remain {
+		w.remain -= int64(len(p))
+		return w.ResponseWriter.Write(p)
+	}
+	w.ResponseWriter.Write(p[:w.remain])
+	w.remain = 0
+	w.ResponseWriter.(http.Flusher).Flush()
+	panic(http.ErrAbortHandler)
+}
+
+// corruptWriter flips one body byte at offset off — damage in flight.
+type corruptWriter struct {
+	http.ResponseWriter
+	off, pos int64
+}
+
+func (w *corruptWriter) Write(p []byte) (int, error) {
+	if w.off >= w.pos && w.off < w.pos+int64(len(p)) {
+		q := append([]byte(nil), p...)
+		q[w.off-w.pos] ^= 0xff
+		p = q
+	}
+	w.pos += int64(len(p))
+	return w.ResponseWriter.Write(p)
+}
+
+func testRetryPolicy() *RetryPolicy {
+	return &RetryPolicy{MaxAttempts: 4, BaseDelay: time.Millisecond,
+		MaxDelay: 4 * time.Millisecond, JitterSeed: 1, Sleep: func(time.Duration) {}}
+}
+
+// Per-entry frame cost for a whole 4x4 float32 tensor with CRC on.
+const frame4x4 = tensor.FrameHeaderSize + 64 + tensor.FrameCRCSize
+
+func TestBatchRetriesOnlyUnreceivedEntries(t *testing.T) {
+	fs := batchFS(t)
+	// Cut the first batch response right after the first complete frame:
+	// entry /a arrives verified, /b and /c are lost with the connection.
+	th := &tamperHandler{next: NewServer(fs), match: "/batch", tamperN: 1,
+		wrap: func(w http.ResponseWriter) http.ResponseWriter {
+			return &cutWriter{ResponseWriter: w, remain: tensor.FrameStreamHeaderSize + frame4x4}
+		}}
+	hs := httptest.NewServer(th)
+	defer hs.Close()
+	c := &Client{Base: hs.URL, HTTP: hs.Client(), Retry: testRetryPolicy()}
+	dsts := make([]*tensor.Tensor, 3)
+	entries := make([]BatchEntry, 3)
+	paths := []string{"/a", "/b", "/c"}
+	for i, p := range paths {
+		dsts[i] = tensor.New(tensor.Float32, 4, 4)
+		entries[i] = BatchEntry{Path: p, Dst: dsts[i]}
+	}
+	st, err := c.BatchQueryInto(context.Background(), entries)
+	if err != nil {
+		t.Fatalf("batch through one mid-stream death failed: %v", err)
+	}
+	if st.Attempts != 2 {
+		t.Fatalf("batch took %d attempts, want 2", st.Attempts)
+	}
+	reqs := th.batchRequests()
+	if len(reqs) != 2 {
+		t.Fatalf("server saw %d batch requests, want 2", len(reqs))
+	}
+	if len(reqs[0]) != 3 {
+		t.Fatalf("first attempt requested %v, want all three entries", reqs[0])
+	}
+	// The retry re-requests ONLY the entries whose frames were lost.
+	if len(reqs[1]) != 2 || reqs[1][0] != "/b" || reqs[1][1] != "/c" {
+		t.Fatalf("retry requested %v, want [/b /c]", reqs[1])
+	}
+	for i, p := range paths {
+		want, err := fs.GetTensor(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !dsts[i].Equal(want) {
+			t.Fatalf("entry %d (%s) landed wrong bytes after partial retry", i, p)
+		}
+	}
+}
+
+func TestBatchMidFrameTruncationIsTypedAndRetryable(t *testing.T) {
+	fs := batchFS(t)
+	wrap := func(w http.ResponseWriter) http.ResponseWriter {
+		// Cut inside the first frame's payload.
+		return &cutWriter{ResponseWriter: w, remain: tensor.FrameStreamHeaderSize + tensor.FrameHeaderSize + 24}
+	}
+	entriesFor := func(dsts []*tensor.Tensor) []BatchEntry {
+		entries := make([]BatchEntry, len(dsts))
+		for i, p := range []string{"/a", "/b"} {
+			dsts[i] = tensor.New(tensor.Float32, 4, 4)
+			entries[i] = BatchEntry{Path: p, Dst: dsts[i]}
+		}
+		return entries
+	}
+
+	// Without a retry policy the truncation surfaces as a typed,
+	// retryable error — not a silent short scatter.
+	th := &tamperHandler{next: NewServer(fs), match: "/batch", tamperN: 1, wrap: wrap}
+	hs := httptest.NewServer(th)
+	defer hs.Close()
+	c := &Client{Base: hs.URL, HTTP: hs.Client()}
+	dsts := make([]*tensor.Tensor, 2)
+	_, err := c.BatchQueryInto(context.Background(), entriesFor(dsts))
+	if err == nil {
+		t.Fatal("mid-frame truncation went unnoticed")
+	}
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("truncation error = %v, not io.ErrUnexpectedEOF", err)
+	}
+	if !retryable(err) {
+		t.Fatalf("truncation error %v classified as non-retryable", err)
+	}
+
+	// Under the policy the same failure heals on the second attempt.
+	th2 := &tamperHandler{next: NewServer(fs), match: "/batch", tamperN: 1, wrap: wrap}
+	hs2 := httptest.NewServer(th2)
+	defer hs2.Close()
+	c2 := &Client{Base: hs2.URL, HTTP: hs2.Client(), Retry: testRetryPolicy()}
+	dsts2 := make([]*tensor.Tensor, 2)
+	entries := entriesFor(dsts2)
+	st, err := c2.BatchQueryInto(context.Background(), entries)
+	if err != nil {
+		t.Fatalf("batch through mid-frame truncation failed under retry: %v", err)
+	}
+	if st.Attempts != 2 {
+		t.Fatalf("batch took %d attempts, want 2", st.Attempts)
+	}
+	for i, p := range []string{"/a", "/b"} {
+		want, _ := fs.GetTensor(p)
+		if !dsts2[i].Equal(want) {
+			t.Fatalf("entry %d (%s) landed wrong bytes", i, p)
+		}
+	}
+}
+
+func TestBatchChecksumMismatchRejectedAndRetried(t *testing.T) {
+	fs := batchFS(t)
+	wrap := func(w http.ResponseWriter) http.ResponseWriter {
+		// Flip a byte inside the first frame's payload; the CRC trailer
+		// no longer matches.
+		return &corruptWriter{ResponseWriter: w, off: tensor.FrameStreamHeaderSize + tensor.FrameHeaderSize + 7}
+	}
+	// Corrupt once: the client rejects the frame, re-requests it, and the
+	// clean second attempt wins.
+	th := &tamperHandler{next: NewServer(fs), match: "/batch", tamperN: 1, wrap: wrap}
+	hs := httptest.NewServer(th)
+	defer hs.Close()
+	c := &Client{Base: hs.URL, HTTP: hs.Client(), Retry: testRetryPolicy()}
+	dst := tensor.New(tensor.Float32, 4, 4)
+	st, err := c.BatchQueryInto(context.Background(), []BatchEntry{{Path: "/a", Dst: dst}})
+	if err != nil {
+		t.Fatalf("batch through one corrupt frame failed: %v", err)
+	}
+	if st.Attempts != 2 {
+		t.Fatalf("batch took %d attempts, want 2", st.Attempts)
+	}
+	want, _ := fs.GetTensor("/a")
+	if !dst.Equal(want) {
+		t.Fatal("retried frame landed wrong bytes")
+	}
+
+	// Corrupt forever: the budget exhausts and the ChecksumError is
+	// visible through the wrapper.
+	th2 := &tamperHandler{next: NewServer(fs), match: "/batch", tamperN: 1 << 30, wrap: wrap}
+	hs2 := httptest.NewServer(th2)
+	defer hs2.Close()
+	c2 := &Client{Base: hs2.URL, HTTP: hs2.Client(), Retry: testRetryPolicy()}
+	_, err = c2.BatchQueryInto(context.Background(), []BatchEntry{{Path: "/a", Dst: tensor.New(tensor.Float32, 4, 4)}})
+	if err == nil {
+		t.Fatal("permanently corrupt stream accepted")
+	}
+	var ce *ChecksumError
+	if !errors.As(err, &ce) {
+		t.Fatalf("error %T (%v) does not wrap ChecksumError", err, err)
+	}
+	var re *RetryExhaustedError
+	if !errors.As(err, &re) || re.Attempts != 4 {
+		t.Fatalf("error %v is not a 4-attempt RetryExhaustedError", err)
+	}
+}
+
+func TestBatchContextCancel(t *testing.T) {
+	stall := make(chan struct{})
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/capabilities" {
+			w.Header().Set("Content-Type", "application/json")
+			_, _ = w.Write([]byte(`{"batch":true,"crc":true}`))
+			return
+		}
+		<-stall
+	}))
+	defer hs.Close()
+	defer close(stall)
+	c := &Client{Base: hs.URL, HTTP: hs.Client(), Retry: testRetryPolicy()}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.BatchQueryInto(ctx, []BatchEntry{{Path: "/a", Dst: tensor.New(tensor.Float32, 4, 4)}})
+	if err == nil {
+		t.Fatal("batch against stalled server with canceled context succeeded")
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("cancellation took %v", d)
+	}
+}
+
+func TestBatchRejectsMismatchedEntries(t *testing.T) {
+	hs := httptest.NewServer(NewServer(NewMemFS()))
+	defer hs.Close()
+	c := &Client{Base: hs.URL, HTTP: hs.Client()}
+	if _, err := c.BatchQueryInto(context.Background(), []BatchEntry{{Path: "/a"}}); err == nil {
+		t.Fatal("nil destination accepted")
+	}
+	dst := tensor.New(tensor.Float32, 4, 4)
+	bad := []BatchEntry{{Path: "/a", Reg: tensor.Region{{Lo: 0, Hi: 2}}, Dst: dst,
+		At: tensor.Region{{Lo: 0, Hi: 3}, {Lo: 0, Hi: 4}}}}
+	if _, err := c.BatchQueryInto(context.Background(), bad); err == nil {
+		t.Fatal("mismatched source/destination regions accepted")
+	}
+}
+
+func TestQueryIntoMidStreamDeathIsTypedAndRetried(t *testing.T) {
+	fs := NewMemFS()
+	src := seqTensor(8, 8)
+	if err := fs.PutTensor("/w", src); err != nil {
+		t.Fatal(err)
+	}
+	wrap := func(w http.ResponseWriter) http.ResponseWriter {
+		// Cut inside the payload, after the tensor wire header.
+		return &cutWriter{ResponseWriter: w, remain: int64(tensor.HeaderSize(2)) + 40}
+	}
+	// Without retries: a typed truncation error, never a silent short
+	// scatter.
+	th := &tamperHandler{next: NewServer(fs), match: "/query", tamperN: 1, wrap: wrap}
+	hs := httptest.NewServer(th)
+	defer hs.Close()
+	c := &Client{Base: hs.URL, HTTP: hs.Client()}
+	dst := tensor.New(tensor.Float32, 8, 8)
+	_, err := c.QueryInto("/w", nil, dst, nil)
+	if err == nil {
+		t.Fatal("mid-stream death went unnoticed")
+	}
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("truncation error = %v, not io.ErrUnexpectedEOF", err)
+	}
+
+	// Under the policy the second attempt repairs the scatter in place.
+	th2 := &tamperHandler{next: NewServer(fs), match: "/query", tamperN: 1, wrap: wrap}
+	hs2 := httptest.NewServer(th2)
+	defer hs2.Close()
+	c2 := &Client{Base: hs2.URL, HTTP: hs2.Client(), Retry: testRetryPolicy()}
+	dst2 := tensor.New(tensor.Float32, 8, 8)
+	if _, err := c2.QueryInto("/w", nil, dst2, nil); err != nil {
+		t.Fatalf("QueryInto through mid-stream death failed under retry: %v", err)
+	}
+	if !dst2.Equal(src) {
+		t.Fatal("retried QueryInto landed wrong bytes")
+	}
+	if st := c2.Stats.Snapshot(); st.Retries != 1 {
+		t.Fatalf("stats = %+v, want exactly 1 retry", st)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"net/url"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"tenplex/internal/obs"
@@ -150,16 +151,56 @@ type Client struct {
 
 	rngMu sync.Mutex
 	rng   *rand.Rand
+
+	// batchCap caches the server's batch capability probe: 0 unknown,
+	// 1 batch-capable, -1 not (old server). See BatchQueryInto.
+	batchCap atomic.Int32
+}
+
+// drainLimit caps how many unread trailing bytes drainAndClose swallows
+// to keep a connection reusable; larger remainders are abandoned
+// (closing the connection is cheaper than downloading them).
+const drainLimit = 1 << 20
+
+// drainAndClose reads the response body to EOF before closing it. The
+// HTTP transport only returns a connection to the keep-alive pool once
+// its body has been consumed to EOF; closing early tears the connection
+// down and the next request pays a fresh dial. The streaming decoders
+// read exactly the payload bytes and never observe EOF themselves, so
+// every response here must drain explicitly.
+func drainAndClose(body io.ReadCloser) error {
+	io.Copy(io.Discard, io.LimitReader(body, drainLimit)) //nolint:errcheck // best-effort drain
+	return body.Close()
 }
 
 var _ Access = (*Client)(nil)
 var _ Access = Local{}
 
+// defaultHTTPClient backs Clients that do not supply their own
+// http.Client. The stock transport keeps only two idle connections per
+// host, but transformer staging fans out dozens of concurrent requests
+// per store — under that load most connections would be discarded after
+// one use and every follow-up request pays a fresh dial. Keeping a
+// deeper idle pool makes keep-alive actually hold at staging
+// concurrency.
+var defaultHTTPClient = &http.Client{Transport: defaultTransport()}
+
+func defaultTransport() http.RoundTripper {
+	t, ok := http.DefaultTransport.(*http.Transport)
+	if !ok {
+		return http.DefaultTransport
+	}
+	t = t.Clone()
+	t.MaxIdleConns = 0 // no global cap; the per-host limit governs
+	t.MaxIdleConnsPerHost = 64
+	return t
+}
+
 func (c *Client) http() *http.Client {
 	if c.HTTP != nil {
 		return c.HTTP
 	}
-	return http.DefaultClient
+	return defaultHTTPClient
 }
 
 // reqContext applies the configured timeout to ctx; the returned cancel
@@ -242,7 +283,7 @@ func (c *Client) QueryContext(ctx context.Context, path string, reg tensor.Regio
 			return err
 		}
 		defer cancel()
-		defer resp.Body.Close()
+		defer drainAndClose(resp.Body)
 		t, err = tensor.DecodeFrom(resp.Body)
 		if err != nil {
 			return fmt.Errorf("store client: query %s: %w", path, err)
@@ -283,7 +324,7 @@ func (c *Client) QueryIntoContext(ctx context.Context, path string, reg tensor.R
 			return err
 		}
 		defer cancel()
-		defer resp.Body.Close()
+		defer drainAndClose(resp.Body)
 		dt, shape, err := tensor.DecodeHeaderFrom(resp.Body)
 		if err != nil {
 			return fmt.Errorf("store client: query %s: %w", path, err)
@@ -323,7 +364,7 @@ func (c *Client) UploadContext(ctx context.Context, path string, t *tensor.Tenso
 			return err
 		}
 		cancel()
-		return resp.Body.Close()
+		return drainAndClose(resp.Body)
 	})
 }
 
@@ -331,32 +372,50 @@ func (c *Client) UploadContext(ctx context.Context, path string, t *tensor.Tenso
 // server in chunks. r cannot be replayed, so UploadFrom always runs
 // single-attempt regardless of the retry policy.
 func (c *Client) UploadFrom(path string, dt tensor.DType, shape []int, r io.Reader) error {
+	return c.UploadFromContext(context.Background(), path, dt, shape, r)
+}
+
+// UploadFromContext is UploadFrom under a caller-supplied context:
+// canceling ctx aborts the in-flight transfer promptly instead of
+// streaming the remaining payload to a doomed staging tree.
+func (c *Client) UploadFromContext(ctx context.Context, path string, dt tensor.DType, shape []int, r io.Reader) error {
 	header := tensor.EncodeHeader(dt, shape)
 	payload := tensor.ShapeNumBytes(dt, shape)
 	body := io.MultiReader(bytes.NewReader(header), io.LimitReader(r, payload))
-	resp, cancel, err := c.doStream(context.Background(), http.MethodPost, "/upload",
+	resp, cancel, err := c.doStream(ctx, http.MethodPost, "/upload",
 		url.Values{"path": {path}}, body, int64(len(header))+payload)
 	if err != nil {
 		return err
 	}
 	cancel()
-	return resp.Body.Close()
+	return drainAndClose(resp.Body)
 }
 
 // Delete implements Access. A retried delete whose first attempt
 // half-applied could race a concurrent re-create, so it stays
 // single-attempt.
 func (c *Client) Delete(path string) error {
-	_, err := c.do(context.Background(), http.MethodDelete, "/delete", url.Values{"path": {path}}, nil)
+	return c.DeleteContext(context.Background(), path)
+}
+
+// DeleteContext is Delete under a caller-supplied context, so aborts and
+// rollbacks are not wedged behind a slow store.
+func (c *Client) DeleteContext(ctx context.Context, path string) error {
+	_, err := c.do(ctx, http.MethodDelete, "/delete", url.Values{"path": {path}}, nil)
 	return err
 }
 
 // List implements Access; read-only, retried under the policy.
 func (c *Client) List(path string) ([]string, error) {
+	return c.ListContext(context.Background(), path)
+}
+
+// ListContext is List under a caller-supplied context.
+func (c *Client) ListContext(ctx context.Context, path string) ([]string, error) {
 	var data []byte
-	err := c.withRetry(context.Background(), "list "+path, func() error {
+	err := c.withRetry(ctx, "list "+path, func() error {
 		var err error
-		data, err = c.do(context.Background(), http.MethodGet, "/list", url.Values{"path": {path}}, nil)
+		data, err = c.do(ctx, http.MethodGet, "/list", url.Values{"path": {path}}, nil)
 		return err
 	})
 	if err != nil {
@@ -373,17 +432,27 @@ func (c *Client) List(path string) ([]string, error) {
 // response lost in flight would fail on the now-missing source — so it
 // always runs single-attempt.
 func (c *Client) Rename(src, dst string) error {
-	_, err := c.do(context.Background(), http.MethodPost, "/rename", url.Values{"src": {src}, "dst": {dst}}, nil)
+	return c.RenameContext(context.Background(), src, dst)
+}
+
+// RenameContext is Rename under a caller-supplied context.
+func (c *Client) RenameContext(ctx context.Context, src, dst string) error {
+	_, err := c.do(ctx, http.MethodPost, "/rename", url.Values{"src": {src}, "dst": {dst}}, nil)
 	return err
 }
 
 // GetBlob fetches raw bytes from the server; read-only, retried under
 // the policy.
 func (c *Client) GetBlob(path string) ([]byte, error) {
+	return c.GetBlobContext(context.Background(), path)
+}
+
+// GetBlobContext is GetBlob under a caller-supplied context.
+func (c *Client) GetBlobContext(ctx context.Context, path string) ([]byte, error) {
 	var data []byte
-	err := c.withRetry(context.Background(), "getblob "+path, func() error {
+	err := c.withRetry(ctx, "getblob "+path, func() error {
 		var err error
-		data, err = c.do(context.Background(), http.MethodGet, "/blob", url.Values{"path": {path}}, nil)
+		data, err = c.do(ctx, http.MethodGet, "/blob", url.Values{"path": {path}}, nil)
 		return err
 	})
 	return data, err
@@ -392,8 +461,13 @@ func (c *Client) GetBlob(path string) ([]byte, error) {
 // PutBlob stores raw bytes on the server; a full overwrite with a
 // replayable body, retried under the policy.
 func (c *Client) PutBlob(path string, data []byte) error {
-	return c.withRetry(context.Background(), "putblob "+path, func() error {
-		_, err := c.do(context.Background(), http.MethodPost, "/blob", url.Values{"path": {path}}, bytes.NewReader(data))
+	return c.PutBlobContext(context.Background(), path, data)
+}
+
+// PutBlobContext is PutBlob under a caller-supplied context.
+func (c *Client) PutBlobContext(ctx context.Context, path string, data []byte) error {
+	return c.withRetry(ctx, "putblob "+path, func() error {
+		_, err := c.do(ctx, http.MethodPost, "/blob", url.Values{"path": {path}}, bytes.NewReader(data))
 		return err
 	})
 }
@@ -409,10 +483,15 @@ type StatResult struct {
 
 // Stat fetches file metadata; read-only, retried under the policy.
 func (c *Client) Stat(path string) (StatResult, error) {
+	return c.StatContext(context.Background(), path)
+}
+
+// StatContext is Stat under a caller-supplied context.
+func (c *Client) StatContext(ctx context.Context, path string) (StatResult, error) {
 	var data []byte
-	err := c.withRetry(context.Background(), "stat "+path, func() error {
+	err := c.withRetry(ctx, "stat "+path, func() error {
 		var err error
-		data, err = c.do(context.Background(), http.MethodGet, "/stat", url.Values{"path": {path}}, nil)
+		data, err = c.do(ctx, http.MethodGet, "/stat", url.Values{"path": {path}}, nil)
 		return err
 	})
 	if err != nil {

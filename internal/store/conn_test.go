@@ -1,0 +1,134 @@
+package store
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tenplex/internal/tensor"
+)
+
+// countingClient returns an *http.Client that counts TCP dials. Every
+// response body the store client fails to drain to EOF forfeits its
+// connection and forces a fresh dial, so the dial count is the
+// regression signal for keep-alive reuse.
+func countingClient(dials *atomic.Int32) *http.Client {
+	return &http.Client{Transport: &http.Transport{
+		DialContext: func(ctx context.Context, network, addr string) (net.Conn, error) {
+			dials.Add(1)
+			var d net.Dialer
+			return d.DialContext(ctx, network, addr)
+		},
+	}}
+}
+
+func TestSequentialQueriesReuseOneConnection(t *testing.T) {
+	fs := NewMemFS()
+	src := seqTensor(8, 8)
+	if err := fs.PutTensor("/w", src); err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(NewServer(fs))
+	defer hs.Close()
+	var dials atomic.Int32
+	c := &Client{Base: hs.URL, HTTP: countingClient(&dials)}
+	dst := tensor.New(tensor.Float32, 8, 8)
+	for i := 0; i < 8; i++ {
+		if _, err := c.Query("/w", nil); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.QueryInto("/w", tensor.Region{{Lo: 1, Hi: 4}, {Lo: 0, Hi: 8}}, dst,
+			tensor.Region{{Lo: 1, Hi: 4}, {Lo: 0, Hi: 8}}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Stat("/w"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.List("/"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := dials.Load(); n != 1 {
+		t.Fatalf("%d dials across sequential requests, want 1 (keep-alive broken: response bodies not drained)", n)
+	}
+}
+
+func TestSequentialBatchesReuseOneConnection(t *testing.T) {
+	fs := NewMemFS()
+	if err := fs.PutTensor("/w", seqTensor(4, 4)); err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(NewServer(fs))
+	defer hs.Close()
+	var dials atomic.Int32
+	c := &Client{Base: hs.URL, HTTP: countingClient(&dials)}
+	for i := 0; i < 8; i++ {
+		dst := tensor.New(tensor.Float32, 4, 4)
+		if _, err := c.BatchQueryInto(context.Background(),
+			[]BatchEntry{{Path: "/w", Dst: dst}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := dials.Load(); n != 1 {
+		t.Fatalf("%d dials across sequential batches, want 1", n)
+	}
+}
+
+// meteredReader yields the payload in slow 4KiB chunks, counting bytes
+// handed to the transport. The trickle keeps the body copy alive long
+// enough for a mid-upload cancel; the counter shows where it stopped.
+type meteredReader struct {
+	n     atomic.Int64
+	delay time.Duration
+}
+
+func (r *meteredReader) Read(p []byte) (int, error) {
+	time.Sleep(r.delay)
+	if len(p) > 4096 {
+		p = p[:4096]
+	}
+	for i := range p {
+		p[i] = 0x5a
+	}
+	r.n.Add(int64(len(p)))
+	return len(p), nil
+}
+
+func TestUploadFromContextCancelAbortsPromptly(t *testing.T) {
+	hs := httptest.NewServer(NewServer(NewMemFS()))
+	defer hs.Close()
+	c := &Client{Base: hs.URL, HTTP: hs.Client()}
+	shape := []int{1 << 20} // 4 MiB of Float32: far more than arrives before the cancel
+	payload := tensor.ShapeNumBytes(tensor.Float32, shape)
+	src := &meteredReader{delay: time.Millisecond}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	err := c.UploadFromContext(ctx, "/u", tensor.Float32, shape, src)
+	if err == nil {
+		t.Fatal("canceled upload succeeded")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled upload error = %v, want context.Canceled", err)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("cancellation took %v, want prompt abort", d)
+	}
+	// The transfer stopped near the cancel point instead of streaming the
+	// remaining payload to a doomed staging path.
+	if got := src.n.Load(); got >= payload/2 {
+		t.Fatalf("reader supplied %d of %d bytes after cancel, transfer was not aborted", got, payload)
+	}
+	// Nothing was committed.
+	if _, err := c.Stat("/u"); err == nil {
+		t.Fatal("aborted upload left a tensor behind")
+	}
+}

@@ -1,6 +1,7 @@
 package store
 
 import (
+	"context"
 	"io"
 	"time"
 
@@ -18,7 +19,43 @@ import (
 // phases-level tracer pays one atomic load per operation and nothing
 // else.
 func Observe(inner Access, tag string, scope *obs.ScopeVar) Access {
-	return &observedAccess{inner: inner, tag: tag, scope: scope}
+	o := &observedAccess{inner: inner, tag: tag, scope: scope}
+	// Forward the batch capability only when the wrapped store actually
+	// has it: a separate wrapper type keeps a plain observed Local from
+	// falsely asserting as a BatchQuerier.
+	if _, ok := inner.(BatchQuerier); ok {
+		return &observedBatchAccess{observedAccess: o}
+	}
+	return o
+}
+
+// observedBatchAccess augments observedAccess with BatchQuerier
+// forwarding plus a store.batch span carrying the frame/byte counts.
+type observedBatchAccess struct{ *observedAccess }
+
+var _ BatchQuerier = (*observedBatchAccess)(nil)
+
+func (o *observedBatchAccess) BatchQueryInto(ctx context.Context, entries []BatchEntry) (BatchStats, error) {
+	bq := o.inner.(BatchQuerier)
+	c := o.scope.Get()
+	if !c.Deep() {
+		return bq.BatchQueryInto(ctx, entries)
+	}
+	start := time.Now()
+	st, err := bq.BatchQueryInto(ctx, entries)
+	attrs := map[string]any{"op": "batch", "store": o.tag,
+		"entries": int64(st.Entries), "frames": int64(st.Frames)}
+	if st.Bytes > 0 {
+		attrs["bytes"] = st.Bytes
+	}
+	if st.FellBack {
+		attrs["fellback"] = true
+	}
+	if err != nil {
+		attrs["err"] = err.Error()
+	}
+	c.Record(obs.StorePrefix+"batch", obs.CatDatapath, time.Since(start).Nanoseconds(), attrs)
+	return st, err
 }
 
 type observedAccess struct {

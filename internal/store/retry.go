@@ -152,6 +152,12 @@ func retryable(err error) bool {
 	if errors.As(err, &te) {
 		return true
 	}
+	// A corrupt batch frame (CRC mismatch) is in-flight damage, not a
+	// deterministic failure: re-request the frame.
+	var ce *ChecksumError
+	if errors.As(err, &ce) {
+		return true
+	}
 	// A truncated response body (server died mid-stream) surfaces from
 	// the decoder rather than the transport.
 	return errors.Is(err, io.ErrUnexpectedEOF)

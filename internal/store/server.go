@@ -15,6 +15,9 @@ import (
 // Server exposes a MemFS over the Tensor Store REST API:
 //
 //	GET    /query?path=P[&range=R]   tensor (wire format); R slices it
+//	POST   /batch                    multi-range query: JSON entry list
+//	                                 in, coalesced frame stream out
+//	GET    /capabilities             JSON {batch, crc} feature probe
 //	POST   /upload?path=P            store the tensor in the body
 //	GET    /blob?path=P              raw blob bytes
 //	POST   /blob?path=P              store the body as a blob
@@ -37,6 +40,8 @@ type Server struct {
 func NewServer(fs *MemFS) *Server {
 	s := &Server{FS: fs, mux: http.NewServeMux()}
 	s.mux.HandleFunc("/query", s.handleQuery)
+	s.mux.HandleFunc("/batch", s.handleBatch)
+	s.mux.HandleFunc("/capabilities", s.handleCapabilities)
 	s.mux.HandleFunc("/upload", s.handleUpload)
 	s.mux.HandleFunc("/blob", s.handleBlob)
 	s.mux.HandleFunc("/stat", s.handleStat)

@@ -1,0 +1,139 @@
+package tensor
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Batch frame stream: the wire format the Tensor Store uses to answer a
+// multi-range batch query with a single response body. Little-endian
+// throughout:
+//
+//	stream header
+//	  magic   uint32  0x54504c42 ("TPLB")
+//	  version uint16  1
+//	  flags   uint16  bit 0: each frame carries a CRC32C trailer
+//	frame, repeated
+//	  index   uint32  first request entry this frame covers
+//	  count   uint32  number of consecutive entries coalesced into it
+//	  length  uint64  payload bytes
+//	  payload length × raw element bytes, row-major over the union region
+//	  crc     uint32  CRC32C (Castagnoli) of the payload, iff bit 0 set
+//	end frame
+//	  index=0xffffffff count=0 length=0, no payload, no crc
+//
+// The end frame is what lets a reader distinguish a complete response
+// from one truncated by a dying connection: any EOF before it surfaces
+// as io.ErrUnexpectedEOF, which the store client treats as retryable.
+const (
+	frameMagic   uint32 = 0x54504c42
+	frameVersion uint16 = 1
+
+	// FrameFlagCRC marks a stream whose frames carry CRC32C trailers.
+	FrameFlagCRC uint16 = 1 << 0
+
+	// FrameEndIndex is the Index value of the stream-terminating frame.
+	FrameEndIndex uint32 = 0xffffffff
+
+	// FrameStreamHeaderSize and FrameHeaderSize are the encoded sizes of
+	// the stream header and each per-frame header; FrameCRCSize is the
+	// per-frame trailer when FrameFlagCRC is set.
+	FrameStreamHeaderSize = 4 + 2 + 2
+	FrameHeaderSize       = 4 + 4 + 8
+	FrameCRCSize          = 4
+)
+
+// FrameHeader describes one frame of a batch response: the payload
+// covers Count consecutive request entries starting at Index, coalesced
+// into one contiguous run of Length bytes.
+type FrameHeader struct {
+	Index  uint32
+	Count  uint32
+	Length uint64
+}
+
+// End reports whether h terminates the stream.
+func (h FrameHeader) End() bool { return h.Index == FrameEndIndex }
+
+// EncodeFrameStreamHeader serializes the stream header.
+func EncodeFrameStreamHeader(flags uint16) []byte {
+	buf := make([]byte, FrameStreamHeaderSize)
+	binary.LittleEndian.PutUint32(buf[0:], frameMagic)
+	binary.LittleEndian.PutUint16(buf[4:], frameVersion)
+	binary.LittleEndian.PutUint16(buf[6:], flags)
+	return buf
+}
+
+// DecodeFrameStreamHeader reads and validates the stream header,
+// returning the stream flags. EOF before a complete header is reported
+// as io.ErrUnexpectedEOF: the stream was cut before it even began.
+func DecodeFrameStreamHeader(r io.Reader) (uint16, error) {
+	var buf [FrameStreamHeaderSize]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return 0, fmt.Errorf("tensor: frame stream header: %w", asTruncation(err))
+	}
+	if m := binary.LittleEndian.Uint32(buf[0:]); m != frameMagic {
+		return 0, fmt.Errorf("tensor: frame stream: bad magic %#x", m)
+	}
+	if v := binary.LittleEndian.Uint16(buf[4:]); v != frameVersion {
+		return 0, fmt.Errorf("tensor: frame stream: unsupported version %d", v)
+	}
+	flags := binary.LittleEndian.Uint16(buf[6:])
+	if flags&^FrameFlagCRC != 0 {
+		return 0, fmt.Errorf("tensor: frame stream: unknown flags %#x", flags)
+	}
+	return flags, nil
+}
+
+// EncodeFrameHeader serializes one per-frame header.
+func EncodeFrameHeader(h FrameHeader) []byte {
+	buf := make([]byte, FrameHeaderSize)
+	binary.LittleEndian.PutUint32(buf[0:], h.Index)
+	binary.LittleEndian.PutUint32(buf[4:], h.Count)
+	binary.LittleEndian.PutUint64(buf[8:], h.Length)
+	return buf
+}
+
+// EncodeEndFrame serializes the stream-terminating frame.
+func EncodeEndFrame() []byte {
+	return EncodeFrameHeader(FrameHeader{Index: FrameEndIndex})
+}
+
+// DecodeFrameHeaderFrom reads one per-frame header. The stream contract
+// says a header (data or end frame) always follows, so EOF here means
+// the connection died mid-stream and is reported as io.ErrUnexpectedEOF.
+func DecodeFrameHeaderFrom(r io.Reader) (FrameHeader, error) {
+	var buf [FrameHeaderSize]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return FrameHeader{}, fmt.Errorf("tensor: frame header: %w", asTruncation(err))
+	}
+	h := FrameHeader{
+		Index:  binary.LittleEndian.Uint32(buf[0:]),
+		Count:  binary.LittleEndian.Uint32(buf[4:]),
+		Length: binary.LittleEndian.Uint64(buf[8:]),
+	}
+	if h.End() {
+		if h.Count != 0 || h.Length != 0 {
+			return FrameHeader{}, fmt.Errorf("tensor: frame header: malformed end frame (count=%d length=%d)", h.Count, h.Length)
+		}
+		return h, nil
+	}
+	if h.Count == 0 {
+		return FrameHeader{}, fmt.Errorf("tensor: frame header: zero entry count")
+	}
+	if h.Length > 1<<62 {
+		return FrameHeader{}, fmt.Errorf("tensor: frame header: implausible length %d", h.Length)
+	}
+	return h, nil
+}
+
+// asTruncation maps a clean io.EOF from a partial read into
+// io.ErrUnexpectedEOF so callers see one retryable truncation error
+// regardless of where the stream was cut.
+func asTruncation(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}

@@ -1,0 +1,103 @@
+package tensor
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestFrameStreamHeaderRoundTrip(t *testing.T) {
+	for _, flags := range []uint16{0, FrameFlagCRC} {
+		got, err := DecodeFrameStreamHeader(bytes.NewReader(EncodeFrameStreamHeader(flags)))
+		if err != nil {
+			t.Fatalf("flags %#x: %v", flags, err)
+		}
+		if got != flags {
+			t.Fatalf("round trip flags = %#x, want %#x", got, flags)
+		}
+	}
+}
+
+func TestFrameStreamHeaderRejectsMalformed(t *testing.T) {
+	// Bad magic.
+	buf := EncodeFrameStreamHeader(0)
+	binary.LittleEndian.PutUint32(buf[0:], 0xdeadbeef)
+	if _, err := DecodeFrameStreamHeader(bytes.NewReader(buf)); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	// Unsupported version.
+	buf = EncodeFrameStreamHeader(0)
+	binary.LittleEndian.PutUint16(buf[4:], 99)
+	if _, err := DecodeFrameStreamHeader(bytes.NewReader(buf)); err == nil {
+		t.Fatal("unsupported version accepted")
+	}
+	// Unknown flag bits.
+	buf = EncodeFrameStreamHeader(0)
+	binary.LittleEndian.PutUint16(buf[6:], 1<<7)
+	if _, err := DecodeFrameStreamHeader(bytes.NewReader(buf)); err == nil {
+		t.Fatal("unknown flags accepted")
+	}
+	// Truncated header: a cut connection must read as ErrUnexpectedEOF so
+	// the store client treats it as retryable.
+	whole := EncodeFrameStreamHeader(0)
+	for n := 0; n < len(whole); n++ {
+		if _, err := DecodeFrameStreamHeader(bytes.NewReader(whole[:n])); !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("truncated header (%d bytes) error = %v, want ErrUnexpectedEOF", n, err)
+		}
+	}
+}
+
+func TestFrameHeaderRoundTrip(t *testing.T) {
+	want := FrameHeader{Index: 7, Count: 3, Length: 1 << 20}
+	got, err := DecodeFrameHeaderFrom(bytes.NewReader(EncodeFrameHeader(want)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("round trip header = %+v, want %+v", got, want)
+	}
+	if got.End() {
+		t.Fatal("data frame reported End")
+	}
+}
+
+func TestFrameHeaderEndFrame(t *testing.T) {
+	got, err := DecodeFrameHeaderFrom(bytes.NewReader(EncodeEndFrame()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.End() {
+		t.Fatal("end frame not recognized")
+	}
+	// A malformed end frame (end index but nonzero count/length) is
+	// rejected rather than read as "0 payload bytes follow".
+	bad := EncodeFrameHeader(FrameHeader{Index: FrameEndIndex, Count: 1})
+	if _, err := DecodeFrameHeaderFrom(bytes.NewReader(bad)); err == nil {
+		t.Fatal("end frame with nonzero count accepted")
+	}
+	bad = EncodeFrameHeader(FrameHeader{Index: FrameEndIndex, Length: 8})
+	if _, err := DecodeFrameHeaderFrom(bytes.NewReader(bad)); err == nil {
+		t.Fatal("end frame with nonzero length accepted")
+	}
+}
+
+func TestFrameHeaderRejectsMalformed(t *testing.T) {
+	if _, err := DecodeFrameHeaderFrom(bytes.NewReader(EncodeFrameHeader(FrameHeader{Index: 0, Count: 0, Length: 4}))); err == nil {
+		t.Fatal("zero entry count accepted")
+	}
+	if _, err := DecodeFrameHeaderFrom(bytes.NewReader(EncodeFrameHeader(FrameHeader{Index: 0, Count: 1, Length: 1 << 63}))); err == nil {
+		t.Fatal("implausible length accepted")
+	}
+}
+
+func TestFrameHeaderTruncationIsUnexpectedEOF(t *testing.T) {
+	whole := EncodeFrameHeader(FrameHeader{Index: 2, Count: 1, Length: 64})
+	for n := 0; n < len(whole); n++ {
+		_, err := DecodeFrameHeaderFrom(bytes.NewReader(whole[:n]))
+		if !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("truncated frame header (%d bytes) error = %v, want ErrUnexpectedEOF", n, err)
+		}
+	}
+}

@@ -1,0 +1,356 @@
+package transform
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"tenplex/internal/cluster"
+	"tenplex/internal/core"
+	"tenplex/internal/obs"
+	"tenplex/internal/store"
+	"tenplex/internal/tensor"
+)
+
+// The batched staging path. Instead of one store round trip per plan
+// range, every assignment's device fetches are grouped by SOURCE store
+// and issued as one store.BatchQueryInto per source: the server
+// coalesces adjacent ranges and streams one frame sequence, which
+// scatter-writes straight into the (already allocated) destination
+// buffers. Staging then proceeds in three passes:
+//
+//  1. per-assignment prep (parallel): noop pointer staging, destination
+//     allocation, immediate fetches for anything unbatchable (Local
+//     stores, storage fallback, overlapping targets), and deferral of
+//     the rest;
+//  2. per-source batches (parallel across sources);
+//  3. staging uploads (parallel across assignments).
+//
+// Local stores never implement BatchQuerier, so in-process setups —
+// including the coordinator's deterministic sims and their golden obs
+// traces — take the classic per-assignment path unchanged.
+
+// useBatch reports whether the batched staging path applies: streamed
+// pipeline, batching not disabled, and at least one batch-capable
+// store. Per-fetch capability is still checked during prep, so mixed
+// store sets batch what they can and fall back for the rest.
+func (tr *Transformer) useBatch() bool {
+	if tr.Pipeline != Streamed || tr.NoBatch {
+		return false
+	}
+	for _, acc := range tr.Stores {
+		if _, ok := acc.(store.BatchQuerier); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// batchPrep is one assignment moving through the batched staging path.
+type batchPrep struct {
+	a      core.Assignment
+	out    *tensor.Tensor // nil when the noop fast path staged by pointer
+	st     Stats
+	start  time.Time
+	err    error
+	staged bool
+}
+
+// batchFetch is one plan range deferred to a per-source batch: entry
+// scatter-writes into p's destination buffer, and bytes is attributed
+// to p's stats when the batch lands.
+type batchFetch struct {
+	src   cluster.DeviceID
+	p     *batchPrep
+	entry store.BatchEntry
+	bytes int64
+}
+
+// stageBatched stages every assignment of the plan through the batched
+// path; the first fatal error cancels the rest. Counter totals match
+// the per-assignment path: only fully staged assignments contribute.
+func (tr *Transformer) stageBatched(ctx context.Context, cancel context.CancelFunc, plan *core.Plan) (Stats, []error) {
+	par := tr.Parallelism
+	if par <= 0 {
+		par = 8
+	}
+	preps := make([]batchPrep, len(plan.Assignments))
+	var (
+		mu       sync.Mutex
+		deferred []batchFetch
+		errs     []error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if ctx.Err() == nil || !errors.Is(err, ctx.Err()) {
+			errs = append(errs, err)
+		}
+		mu.Unlock()
+		cancel()
+	}
+
+	runBounded(ctx, par, len(plan.Assignments), func(i int) {
+		p := &preps[i]
+		p.a = plan.Assignments[i]
+		p.start = time.Now()
+		local, err := tr.prepAssignment(ctx, plan, p)
+		if err != nil {
+			p.err = err
+			fail(err)
+			return
+		}
+		if len(local) > 0 {
+			mu.Lock()
+			deferred = append(deferred, local...)
+			mu.Unlock()
+		}
+	})
+
+	groups := map[cluster.DeviceID][]batchFetch{}
+	for _, bf := range deferred {
+		groups[bf.src] = append(groups[bf.src], bf)
+	}
+	srcs := make([]cluster.DeviceID, 0, len(groups))
+	for d := range groups {
+		srcs = append(srcs, d)
+	}
+	sort.Slice(srcs, func(i, j int) bool { return srcs[i] < srcs[j] })
+	runBounded(ctx, par, len(srcs), func(gi int) {
+		src := srcs[gi]
+		group := groups[src]
+		// Order entries by path then source range: that is the sequence
+		// the server's coalescer sees, so adjacent ranges of one tensor
+		// end up in consecutive entries and merge into single frames. It
+		// also makes the request deterministic despite the concurrent
+		// prep phase.
+		sort.Slice(group, func(i, j int) bool {
+			if group[i].entry.Path != group[j].entry.Path {
+				return group[i].entry.Path < group[j].entry.Path
+			}
+			return regionLess(group[i].entry.Reg, group[j].entry.Reg)
+		})
+		entries := make([]store.BatchEntry, len(group))
+		for i, bf := range group {
+			entries[i] = bf.entry
+		}
+		bq := tr.Stores[src].(store.BatchQuerier)
+		if _, err := bq.BatchQueryInto(ctx, entries); err != nil {
+			fail(fmt.Errorf("transform: batch fetch from dev %d: %w", src, err))
+			return
+		}
+		mu.Lock()
+		for _, bf := range group {
+			bf.p.st.BytesCopied += bf.bytes
+			if src == bf.p.a.Device {
+				bf.p.st.LocalBytes += bf.bytes
+			} else {
+				bf.p.st.PeerBytes += bf.bytes
+			}
+		}
+		mu.Unlock()
+	})
+
+	runBounded(ctx, par, len(preps), func(i int) {
+		p := &preps[i]
+		if p.err != nil || p.out == nil {
+			return
+		}
+		dst := tr.Stores[p.a.Device]
+		if err := upload(ctx, dst, stagingPath(tr.Job, p.a.Device, p.a.Tensor), p.out); err != nil {
+			p.err = fmt.Errorf("transform: stage %s on dev %d: %w", p.a.Tensor, p.a.Device, err)
+			fail(p.err)
+			return
+		}
+		if uploadCopies(dst) {
+			p.st.BytesCopied += int64(p.out.NumBytes())
+		}
+		p.staged = true
+	})
+
+	var st Stats
+	for i := range preps {
+		p := &preps[i]
+		tr.recordBatchSpan(ctx, p)
+		if !p.staged {
+			continue
+		}
+		st.Assignments++
+		if p.a.IsNoop() {
+			st.Noops++
+		}
+		st.merge(p.st)
+	}
+	return st, errs
+}
+
+// prepAssignment stages a noop by pointer or allocates the destination
+// and routes every plan range: ranges read from batch-capable device
+// stores with pairwise-disjoint targets are returned for the batch
+// phase, everything else fetches immediately.
+func (tr *Transformer) prepAssignment(ctx context.Context, plan *core.Plan, p *batchPrep) ([]batchFetch, error) {
+	a := p.a
+	meta := plan.To.Tensors[a.Tensor]
+	dst := tr.Stores[a.Device]
+
+	if a.IsNoop() && !uploadCopies(dst) {
+		if t, err := dst.Query(ModelPath(tr.Job, a.Device, a.Tensor), nil); err == nil {
+			if err := upload(ctx, dst, stagingPath(tr.Job, a.Device, a.Tensor), t); err != nil {
+				return nil, fmt.Errorf("transform: stage %s on dev %d: %w", a.Tensor, a.Device, err)
+			}
+			p.st.LocalBytes += a.Region.NumBytes(meta.DType)
+			p.staged = true
+			return nil, nil
+		}
+		// The sub-tensor is unexpectedly absent; fall through so the
+		// general path reports the fetch error.
+	}
+
+	out := tensor.NewFromRegion(meta.DType, a.Region)
+	p.out = out
+	p.st.AllocBytes += int64(out.NumBytes())
+
+	covered := 0
+	for i := range a.Fetch {
+		covered += a.Fetch[i].Want.NumElems()
+	}
+	if covered < a.Region.NumElems() {
+		return nil, fmt.Errorf("transform: assemble %s%v: fetches cover %d of %d elements",
+			a.Tensor, a.Region, covered, a.Region.NumElems())
+	}
+
+	// Overlapping targets force the immediate sequential path: batches
+	// from different sources scatter concurrently, and two writers for
+	// one destination byte would race.
+	batchable := disjointTargets(a.Fetch)
+	var deferred []batchFetch
+	for _, f := range a.Fetch {
+		if batchable && f.Src.Kind == core.FromDevice {
+			if src, ok := tr.Stores[f.Src.Device]; ok {
+				if _, ok := src.(store.BatchQuerier); ok {
+					target, local := fetchRegions(a, f)
+					deferred = append(deferred, batchFetch{
+						src: f.Src.Device,
+						p:   p,
+						entry: store.BatchEntry{
+							Path: ModelPath(tr.Job, f.Src.Device, a.Tensor),
+							Reg:  local,
+							Dst:  out,
+							At:   target,
+						},
+						bytes: f.Want.NumBytes(meta.DType),
+					})
+					continue
+				}
+			}
+		}
+		fs, err := tr.fetchInto(ctx, a, f, meta.DType, out)
+		p.st.merge(fs)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return deferred, nil
+}
+
+// recordBatchSpan mirrors applyAssignment's per-assignment datapath
+// span for the batched path. The recorded duration runs from prep start
+// to staging end and so includes the shared batch wait; spans for
+// assignments abandoned by cancellation are suppressed along with their
+// errors, exactly as on the per-assignment path.
+func (tr *Transformer) recordBatchSpan(ctx context.Context, p *batchPrep) {
+	if !tr.Obs.Deep() {
+		return
+	}
+	if p.err != nil && ctx.Err() != nil && errors.Is(p.err, ctx.Err()) {
+		return
+	}
+	if p.err == nil && !p.staged {
+		return // abandoned before staging: scheduling, not outcome
+	}
+	attrs := map[string]any{
+		"tensor": string(p.a.Tensor),
+		"device": int(p.a.Device),
+	}
+	if p.a.IsNoop() {
+		attrs["noop"] = true
+	}
+	if b := p.st.PlanBytes(); b > 0 {
+		attrs["bytes"] = b
+	}
+	if p.st.AllocBytes > 0 {
+		attrs["alloc_bytes"] = p.st.AllocBytes
+	}
+	if p.err != nil {
+		attrs["err"] = p.err.Error()
+	}
+	tr.Obs.Record(obs.SpanAssignment, obs.CatDatapath, time.Since(p.start).Nanoseconds(), attrs)
+}
+
+// fetchRegions computes a fetch's destination region inside the
+// assignment's buffer and its source-local region inside the stored
+// sub-tensor (Want translated by the respective origins), mirroring
+// fetchInto's arithmetic.
+func fetchRegions(a core.Assignment, f core.Fetch) (target, local tensor.Region) {
+	rank := len(f.Want)
+	regs := make(tensor.Region, 2*rank)
+	target, local = regs[:rank:rank], regs[rank:]
+	for i := range f.Want {
+		target[i] = tensor.Range{Lo: f.Want[i].Lo - a.Region[i].Lo, Hi: f.Want[i].Hi - a.Region[i].Lo}
+		local[i] = tensor.Range{Lo: f.Want[i].Lo - f.Src.Region[i].Lo, Hi: f.Want[i].Hi - f.Src.Region[i].Lo}
+	}
+	return target, local
+}
+
+// regionLess orders regions by their bounds, dimension-major.
+func regionLess(a, b tensor.Region) bool {
+	for k := range a {
+		if k >= len(b) {
+			return false
+		}
+		if a[k].Lo != b[k].Lo {
+			return a[k].Lo < b[k].Lo
+		}
+		if a[k].Hi != b[k].Hi {
+			return a[k].Hi < b[k].Hi
+		}
+	}
+	return len(a) < len(b)
+}
+
+// runBounded runs fn(0..n-1) on up to par goroutines, abandoning the
+// remaining indices once ctx is canceled.
+func runBounded(ctx context.Context, par, n int, fn func(int)) {
+	if n == 0 {
+		return
+	}
+	if par > n {
+		par = n
+	}
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				if ctx.Err() != nil {
+					continue
+				}
+				fn(i)
+			}
+		}()
+	}
+feed:
+	for i := 0; i < n; i++ {
+		select {
+		case work <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(work)
+	wg.Wait()
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"tenplex/internal/cluster"
@@ -46,6 +47,22 @@ func ApplyDistributed(job string, plan *core.Plan, topo *cluster.Topology,
 // materialized reference under the distributed execution shape.
 func ApplyDistributedPipeline(job string, plan *core.Plan, topo *cluster.Topology,
 	stores map[cluster.DeviceID]store.Access, storage StorageReader, pipeline Pipeline) (Stats, error) {
+	return ApplyDistributedOpts(job, plan, topo, stores, storage, DistOptions{Pipeline: pipeline})
+}
+
+// DistOptions configures ApplyDistributedOpts.
+type DistOptions struct {
+	// Pipeline selects the data path (zero value: streamed).
+	Pipeline Pipeline
+	// NoBatch disables the multi-range batch protocol even against
+	// batch-capable stores, forcing per-range QueryInto fetches; the
+	// datapath benchmarks use it to measure the protocol's gain.
+	NoBatch bool
+}
+
+// ApplyDistributedOpts is the fully-configurable distributed apply.
+func ApplyDistributedOpts(job string, plan *core.Plan, topo *cluster.Topology,
+	stores map[cluster.DeviceID]store.Access, storage StorageReader, opts DistOptions) (Stats, error) {
 	if err := plan.Validate(); err != nil {
 		return Stats{}, fmt.Errorf("transform: invalid plan: %w", err)
 	}
@@ -70,7 +87,8 @@ func ApplyDistributedPipeline(job string, plan *core.Plan, topo *cluster.Topolog
 		wg.Add(1)
 		go func(w int, devs map[cluster.DeviceID]bool) {
 			defer wg.Done()
-			tr := &Transformer{Job: job, Stores: stores, Storage: storage, Pipeline: pipeline}
+			tr := &Transformer{Job: job, Stores: stores, Storage: storage,
+				Pipeline: opts.Pipeline, NoBatch: opts.NoBatch}
 			sub := planFor(plan, devs)
 			st, err := tr.applyNoCommit(sub)
 			mu.Lock()
@@ -88,13 +106,13 @@ func ApplyDistributedPipeline(job string, plan *core.Plan, topo *cluster.Topolog
 	if len(errs) > 0 {
 		// Remove partial staging everywhere before reporting failure.
 		tr := &Transformer{Job: job, Stores: stores}
-		tr.cleanupStaging(plan)
+		tr.cleanupStaging(context.Background(), plan)
 		return total, fmt.Errorf("transform: distributed apply: %w", errors.Join(errs...))
 	}
 
 	// Global barrier reached: every worker staged its partitions.
 	tr := &Transformer{Job: job, Stores: stores}
-	if err := tr.commit(plan); err != nil {
+	if err := tr.commit(context.Background(), plan); err != nil {
 		return total, err
 	}
 	return total, nil
@@ -103,6 +121,14 @@ func ApplyDistributedPipeline(job string, plan *core.Plan, topo *cluster.Topolog
 // applyNoCommit stages every assignment of the plan without swapping it
 // live; used by the per-worker execution path.
 func (tr *Transformer) applyNoCommit(plan *core.Plan) (Stats, error) {
+	return tr.applyNoCommitCtx(context.Background(), plan)
+}
+
+// applyNoCommitCtx stages the plan without committing. Against
+// batch-capable stores it rides the same batched staging path as
+// ApplyContext; otherwise assignments run sequentially (the per-worker
+// sub-plans already execute in parallel across workers).
+func (tr *Transformer) applyNoCommitCtx(ctx context.Context, plan *core.Plan) (Stats, error) {
 	var st Stats
 	if err := tr.checkOneRegionPerTensor(plan); err != nil {
 		return st, err
@@ -111,7 +137,22 @@ func (tr *Transformer) applyNoCommit(plan *core.Plan) (Stats, error) {
 		if _, ok := tr.Stores[a.Device]; !ok {
 			return st, fmt.Errorf("transform: no store for destination device %d", a.Device)
 		}
-		s, err := tr.applyAssignment(context.Background(), plan, a)
+	}
+	if tr.useBatch() {
+		ctx, cancel := context.WithCancel(ctx)
+		defer cancel()
+		st, errs := tr.stageBatched(ctx, cancel, plan)
+		if len(errs) == 0 && ctx.Err() != nil {
+			errs = append(errs, ctx.Err())
+		}
+		if len(errs) > 0 {
+			sort.Slice(errs, func(i, j int) bool { return errs[i].Error() < errs[j].Error() })
+			return st, errs[0]
+		}
+		return st, nil
+	}
+	for _, a := range plan.Assignments {
+		s, err := tr.applyAssignment(ctx, plan, a)
 		if err != nil {
 			return st, err
 		}

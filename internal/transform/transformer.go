@@ -19,6 +19,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"sort"
 	"strconv"
 	"sync"
@@ -105,6 +106,12 @@ type Transformer struct {
 	// Pipeline selects the data path; the zero value is the streamed
 	// production pipeline.
 	Pipeline Pipeline
+	// NoBatch disables the multi-range batch protocol even against
+	// batch-capable stores, forcing per-range QueryInto fetches. The
+	// zero value (batching on) is the production configuration; the
+	// escape hatch exists for benchmarks measuring the protocol's gain
+	// and for bisecting datapath issues.
+	NoBatch bool
 	// Obs, when non-nil and datapath-deep, records one span per
 	// assignment (tensor, device, bytes by source, allocation) under
 	// the owning change's parent span. Nil costs nothing.
@@ -191,6 +198,34 @@ func (tr *Transformer) ApplyContext(ctx context.Context, plan *core.Plan) (Stats
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
+	var errs []error
+	if tr.useBatch() {
+		st, errs = tr.stageBatched(ctx, cancel, plan)
+	} else {
+		st, errs = tr.stagePooled(ctx, cancel, plan)
+	}
+	if len(errs) == 0 && ctx.Err() != nil {
+		errs = append(errs, ctx.Err())
+	}
+	if len(errs) > 0 {
+		tr.cleanupStaging(ctx, plan)
+		sort.Slice(errs, func(i, j int) bool { return errs[i].Error() < errs[j].Error() })
+		return st, fmt.Errorf("transform: %d assignments failed: %w", len(errs), errors.Join(errs...))
+	}
+
+	if err := tr.commit(ctx, plan); err != nil {
+		return st, err
+	}
+	st.Duration = time.Since(start)
+	tr.recordStats(st)
+	return st, nil
+}
+
+// stagePooled stages every assignment through a fixed worker pool that
+// drains the assignment queue, bounding goroutine count by Parallelism
+// instead of plan size. The first fatal error cancels the rest.
+func (tr *Transformer) stagePooled(ctx context.Context, cancel context.CancelFunc, plan *core.Plan) (Stats, []error) {
+	var st Stats
 	par := tr.Parallelism
 	if par <= 0 {
 		par = 8
@@ -198,8 +233,6 @@ func (tr *Transformer) ApplyContext(ctx context.Context, plan *core.Plan) (Stats
 	if par > len(plan.Assignments) {
 		par = len(plan.Assignments)
 	}
-	// A fixed pool of workers drains the assignment queue; this bounds
-	// goroutine count by Parallelism instead of plan size.
 	var (
 		mu   sync.Mutex
 		errs []error
@@ -243,21 +276,7 @@ feed:
 	}
 	close(work)
 	wg.Wait()
-	if len(errs) == 0 && ctx.Err() != nil {
-		errs = append(errs, ctx.Err())
-	}
-	if len(errs) > 0 {
-		tr.cleanupStaging(plan)
-		sort.Slice(errs, func(i, j int) bool { return errs[i].Error() < errs[j].Error() })
-		return st, fmt.Errorf("transform: %d assignments failed: %w", len(errs), errors.Join(errs...))
-	}
-
-	if err := tr.commit(plan); err != nil {
-		return st, err
-	}
-	st.Duration = time.Since(start)
-	tr.recordStats(st)
-	return st, nil
+	return st, errs
 }
 
 // recordStats absorbs one successful apply's Stats into the shared
@@ -343,6 +362,81 @@ func queryInto(ctx context.Context, acc store.Access, path string, reg tensor.Re
 	return acc.QueryInto(path, reg, dst, at)
 }
 
+// The write-side counterparts of ctxQuerier: store.Client implements
+// them all, so canceling an apply interrupts in-flight uploads and an
+// abort/rollback is never wedged behind a slow store operation. Stores
+// without a context-aware variant get a cancellation check up front and
+// run the plain call.
+type ctxUploader interface {
+	UploadContext(ctx context.Context, path string, t *tensor.Tensor) error
+}
+
+type ctxUploadFromer interface {
+	UploadFromContext(ctx context.Context, path string, dt tensor.DType, shape []int, r io.Reader) error
+}
+
+type ctxDeleter interface {
+	DeleteContext(ctx context.Context, path string) error
+}
+
+type ctxLister interface {
+	ListContext(ctx context.Context, path string) ([]string, error)
+}
+
+type ctxRenamer interface {
+	RenameContext(ctx context.Context, src, dst string) error
+}
+
+func upload(ctx context.Context, acc store.Access, path string, t *tensor.Tensor) error {
+	if cu, ok := acc.(ctxUploader); ok {
+		return cu.UploadContext(ctx, path, t)
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return acc.Upload(path, t)
+}
+
+func uploadFrom(ctx context.Context, acc store.Access, path string, dt tensor.DType, shape []int, r io.Reader) error {
+	if cu, ok := acc.(ctxUploadFromer); ok {
+		return cu.UploadFromContext(ctx, path, dt, shape, r)
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return acc.UploadFrom(path, dt, shape, r)
+}
+
+func deleteCtx(ctx context.Context, acc store.Access, path string) error {
+	if cd, ok := acc.(ctxDeleter); ok {
+		return cd.DeleteContext(ctx, path)
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return acc.Delete(path)
+}
+
+func listCtx(ctx context.Context, acc store.Access, path string) ([]string, error) {
+	if cl, ok := acc.(ctxLister); ok {
+		return cl.ListContext(ctx, path)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return acc.List(path)
+}
+
+func renameCtx(ctx context.Context, acc store.Access, src, dst string) error {
+	if cr, ok := acc.(ctxRenamer); ok {
+		return cr.RenameContext(ctx, src, dst)
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return acc.Rename(src, dst)
+}
+
 // applyAssignmentStreamed is the zero-copy pipeline: the destination
 // sub-tensor is allocated once and every plan range is fetched directly
 // into its final strided offset. Independent ranges of one assignment
@@ -357,7 +451,7 @@ func (tr *Transformer) applyAssignmentStreamed(ctx context.Context, plan *core.P
 
 	if a.IsNoop() && !uploadCopies(dst) {
 		if t, err := dst.Query(ModelPath(tr.Job, a.Device, a.Tensor), nil); err == nil {
-			if err := dst.Upload(stagingPath(tr.Job, a.Device, a.Tensor), t); err != nil {
+			if err := upload(ctx, dst, stagingPath(tr.Job, a.Device, a.Tensor), t); err != nil {
 				return st, fmt.Errorf("transform: stage %s on dev %d: %w", a.Tensor, a.Device, err)
 			}
 			st.LocalBytes += a.Region.NumBytes(meta.DType)
@@ -414,7 +508,7 @@ func (tr *Transformer) applyAssignmentStreamed(ctx context.Context, plan *core.P
 		}
 	}
 
-	if err := dst.Upload(stagingPath(tr.Job, a.Device, a.Tensor), out); err != nil {
+	if err := upload(ctx, dst, stagingPath(tr.Job, a.Device, a.Tensor), out); err != nil {
 		return st, fmt.Errorf("transform: stage %s on dev %d: %w", a.Tensor, a.Device, err)
 	}
 	if uploadCopies(dst) {
@@ -540,7 +634,7 @@ func (tr *Transformer) applyAssignmentMaterialized(ctx context.Context, plan *co
 	for _, p := range pieces {
 		st.BytesCopied += int64(p.Data.NumBytes()) // assembly copy
 	}
-	if err := dst.Upload(stagingPath(tr.Job, a.Device, a.Tensor), merged); err != nil {
+	if err := upload(ctx, dst, stagingPath(tr.Job, a.Device, a.Tensor), merged); err != nil {
 		return st, fmt.Errorf("transform: stage %s on dev %d: %w", a.Tensor, a.Device, err)
 	}
 	if uploadCopies(dst) {
@@ -573,27 +667,35 @@ func uploadCopies(acc store.Access) bool {
 
 // cleanupStaging removes partially staged state from every destination
 // device after a failed apply, so the live tree is all that remains and
-// a retry starts clean.
-func (tr *Transformer) cleanupStaging(plan *core.Plan) {
+// a retry starts clean. It runs detached from the apply's cancellation
+// (the common trigger IS a canceled ctx) but routes through the stores'
+// context-aware deletes, which stay bounded by the client's per-request
+// timeout.
+func (tr *Transformer) cleanupStaging(ctx context.Context, plan *core.Plan) {
+	ctx = context.WithoutCancel(ctx)
 	for _, d := range plan.To.Devices {
 		if acc, ok := tr.Stores[d]; ok {
-			_ = acc.Delete(stagingRoot(tr.Job)) // may not exist
+			_ = deleteCtx(ctx, acc, stagingRoot(tr.Job)) // may not exist
 		}
 	}
 }
 
 // commit swaps the staged tree into place on every destination device
-// and clears stale model state on devices that leave the job.
-func (tr *Transformer) commit(plan *core.Plan) error {
+// and clears stale model state on devices that leave the job. Once
+// staging has fully succeeded the swap is the point of no return, so it
+// runs detached from the apply's cancellation: a ctx canceled in the
+// commit window must not strand a half-renamed model tree.
+func (tr *Transformer) commit(ctx context.Context, plan *core.Plan) error {
+	ctx = context.WithoutCancel(ctx)
 	for _, d := range plan.To.Devices {
 		acc := tr.Stores[d]
 		// A device with no assignments (possible when it holds nothing
 		// under the new PTC) still needs its old state cleared below.
-		if _, err := acc.List(stagingRoot(tr.Job)); err != nil {
+		if _, err := listCtx(ctx, acc, stagingRoot(tr.Job)); err != nil {
 			continue
 		}
-		_ = acc.Delete(modelRoot(tr.Job)) // old state may not exist
-		if err := acc.Rename(stagingRoot(tr.Job), modelRoot(tr.Job)); err != nil {
+		_ = deleteCtx(ctx, acc, modelRoot(tr.Job)) // old state may not exist
+		if err := renameCtx(ctx, acc, stagingRoot(tr.Job), modelRoot(tr.Job)); err != nil {
 			return fmt.Errorf("transform: commit on dev %d: %w", d, err)
 		}
 	}
@@ -608,7 +710,7 @@ func (tr *Transformer) commit(plan *core.Plan) error {
 			continue
 		}
 		if acc, ok := tr.Stores[d]; ok {
-			_ = acc.Delete(modelRoot(tr.Job))
+			_ = deleteCtx(ctx, acc, modelRoot(tr.Job))
 		}
 	}
 	return nil
@@ -640,6 +742,14 @@ func (tr *Transformer) checkOneRegionPerTensor(plan *core.Plan) error {
 // sub-tensor is sliced out).
 func LoadPTC(job string, ptc *core.PTC, stores map[cluster.DeviceID]store.Access,
 	full map[core.TensorID]*tensor.Tensor) error {
+	return LoadPTCContext(context.Background(), job, ptc, stores, full)
+}
+
+// LoadPTCContext is LoadPTC under a caller-supplied context: against
+// context-aware stores, cancellation aborts an in-flight streaming
+// upload promptly instead of letting it run to completion.
+func LoadPTCContext(ctx context.Context, job string, ptc *core.PTC, stores map[cluster.DeviceID]store.Access,
+	full map[core.TensorID]*tensor.Tensor) error {
 	for _, d := range ptc.Devices {
 		acc, ok := stores[d]
 		if !ok {
@@ -651,7 +761,7 @@ func LoadPTC(job string, ptc *core.PTC, stores map[cluster.DeviceID]store.Access
 				return fmt.Errorf("transform: no source tensor for %q", s.Tensor)
 			}
 			v := src.View(s.Region)
-			if err := acc.UploadFrom(ModelPath(job, d, s.Tensor), src.DType(), v.Shape(), v.Reader()); err != nil {
+			if err := uploadFrom(ctx, acc, ModelPath(job, d, s.Tensor), src.DType(), v.Shape(), v.Reader()); err != nil {
 				return err
 			}
 		}
